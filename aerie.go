@@ -1,0 +1,118 @@
+// Package aerie is a Go implementation of Aerie (Volos et al., EuroSys
+// 2014): a decentralized file-system architecture that exposes storage-class
+// memory directly to user-mode programs. A machine consists of an emulated
+// SCM arena, the kernel SCM manager (allocation, mapping, page protection),
+// and a trusted file-system service (metadata integrity, distributed locks,
+// crash-consistent journaling); clients mount sessions that read data and
+// metadata straight from memory and ship batched metadata updates to the
+// service.
+//
+// Two file-system interfaces share one layout:
+//
+//   - PXFS, a POSIX-style hierarchical file system
+//     (Open/Read/Write/Unlink/Rename/...), and
+//   - FlatFS, a put/get/erase store for many small files in a flat
+//     namespace, with fine-grained bucket locking.
+//
+// Quick start:
+//
+//	sys, _ := aerie.New(aerie.Options{ArenaSize: 64 << 20})
+//	fs, _ := sys.NewPXFS(1000, aerie.PXFSOptions{NameCache: true})
+//	f, _ := fs.Create("/hello.txt", 0644)
+//	f.Write([]byte("hi"))
+//	f.Close()
+//	fs.Sync()
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package aerie
+
+import (
+	"github.com/aerie-fs/aerie/internal/core"
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/flatfs"
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/pxfs"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// Options configures a machine (see core.Options for field docs).
+type Options = core.Options
+
+// Costs holds the injected hardware/OS latencies.
+type Costs = costmodel.Costs
+
+// OID is a storage-object identifier.
+type OID = sobj.OID
+
+// PXFS is the POSIX-style interface; File is an open PXFS file.
+type (
+	PXFS     = pxfs.FS
+	File     = pxfs.File
+	FileInfo = pxfs.FileInfo
+	DirEntry = pxfs.DirEntry
+	// PXFSOptions tunes a PXFS client (name cache on/off).
+	PXFSOptions = pxfs.Options
+)
+
+// FlatFS is the specialized put/get/erase interface.
+type (
+	FlatFS = flatfs.FS
+	// FlatFSOptions tunes a FlatFS client.
+	FlatFSOptions = flatfs.Options
+)
+
+// Session is a mounted libFS client, usable by several interface layers at
+// once (a PXFS and a FlatFS view may share one session).
+type Session = libfs.Session
+
+// SessionConfig tunes a client session (batch limit, pool size, tracer).
+type SessionConfig = libfs.Config
+
+// PXFS open flags.
+const (
+	O_RDONLY = pxfs.O_RDONLY
+	O_RDWR   = pxfs.O_RDWR
+	O_CREATE = pxfs.O_CREATE
+	O_TRUNC  = pxfs.O_TRUNC
+	O_APPEND = pxfs.O_APPEND
+)
+
+// System is a running Aerie machine.
+type System struct {
+	*core.System
+}
+
+// New formats and boots a machine: SCM arena, SCM manager, one volume, the
+// TFS with its lock service.
+func New(opts Options) (*System, error) {
+	sys, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{System: sys}, nil
+}
+
+// NewPXFS mounts a client session for uid and attaches a PXFS view.
+func (s *System) NewPXFS(uid uint32, opts PXFSOptions) (*PXFS, error) {
+	sess, err := s.NewSession(SessionConfig{UID: uid})
+	if err != nil {
+		return nil, err
+	}
+	return pxfs.New(sess, opts), nil
+}
+
+// NewFlatFS mounts a client session for uid and attaches a FlatFS view.
+func (s *System) NewFlatFS(uid uint32, opts FlatFSOptions) (*FlatFS, error) {
+	sess, err := s.NewSession(SessionConfig{UID: uid})
+	if err != nil {
+		return nil, err
+	}
+	return flatfs.New(sess, opts), nil
+}
+
+// PXFSOn attaches a PXFS view to an existing session.
+func PXFSOn(sess *Session, opts PXFSOptions) *PXFS { return pxfs.New(sess, opts) }
+
+// FlatFSOn attaches a FlatFS view to an existing session.
+func FlatFSOn(sess *Session, opts FlatFSOptions) *FlatFS { return flatfs.New(sess, opts) }

@@ -1,0 +1,84 @@
+// Command aerie-bench regenerates the tables and figures of the Aerie paper
+// (Volos et al., EuroSys 2014) on the Go reproduction. Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records a
+// calibrated run side by side with the paper's numbers.
+//
+// Usage:
+//
+//	aerie-bench -experiment all                 # everything (slow)
+//	aerie-bench -experiment table1 -scale 0.1   # one experiment, bigger working set
+//
+// Experiments: fig1, table1, table2, table3, fig5, fig6, mprotect,
+// batchsweep, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "all", "which experiment to run (fig1|table1|table2|table3|fig5|fig6|mprotect|batchsweep|all)")
+		scale = flag.Float64("scale", 0.05, "working-set scale relative to the paper (1.0 = full size)")
+		iters = flag.Int("iters", 0, "iterations per measurement (0 = per-experiment default)")
+		nocal = flag.Bool("no-costs", false, "disable injected hardware cost calibration")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:      *scale,
+		Iterations: *iters,
+		Costs:      costmodel.DefaultCosts(),
+		Out:        os.Stdout,
+	}
+	if *nocal {
+		cfg.Costs = costmodel.Costs{}
+	}
+
+	all := map[string]func(experiments.Config) error{
+		"fig1":       experiments.Figure1,
+		"table1":     experiments.Table1,
+		"table2":     experiments.Table2,
+		"table3":     experiments.Table3,
+		"fig5":       experiments.Figure5,
+		"fig6":       experiments.Figure6,
+		"mprotect":   experiments.MProtect,
+		"batchsweep": experiments.BatchSweep,
+	}
+	order := []string{"fig1", "table1", "table2", "table3", "fig5", "fig6", "mprotect", "batchsweep"}
+
+	run := func(name string) {
+		fn, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s ====\n", name)
+		start := time.Now()
+		if err := fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Return the previous experiment's arenas to the OS so heap
+		// ballast does not distort the next experiment's timings.
+		runtime.GC()
+		debug.FreeOSMemory()
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

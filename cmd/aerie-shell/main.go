@@ -1,0 +1,196 @@
+// Command aerie-shell is an interactive shell over a fresh Aerie machine,
+// exposing both file-system interfaces on the same volume: POSIX-style
+// commands (ls, cat, write, mkdir, rm, mv, stat, chmod) go through PXFS,
+// and key-value commands (put, get, erase, keys) go through FlatFS —
+// demonstrating §6.2's one-layout-two-interfaces design interactively.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	aerie "github.com/aerie-fs/aerie"
+)
+
+func main() {
+	sys, err := aerie.New(aerie.Options{ArenaSize: 256 << 20})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sess, err := sys.NewSession(aerie.SessionConfig{UID: 1000})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	px := aerie.PXFSOn(sess, aerie.PXFSOptions{NameCache: true})
+	flat := aerie.FlatFSOn(sess, aerie.FlatFSOptions{})
+
+	fmt.Println("aerie-shell — 'help' for commands, 'quit' to exit")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("aerie> ")
+		if !sc.Scan() {
+			break
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		if cmd == "quit" || cmd == "exit" {
+			break
+		}
+		if err := dispatch(px, flat, cmd, args); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	_ = sess.Close()
+}
+
+func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, cmd string, args []string) error {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "help":
+		fmt.Print(`POSIX (PXFS):  ls [dir] | cat <file> | write <file> <text...> | append <file> <text...>
+               mkdir <dir> | rm <file> | rmdir <dir> | mv <src> <dst> | stat <path> | chmod <octal> <path>
+Key/value (FlatFS): put <key> <text...> | get <key> | erase <key> | keys
+Other:         sync | help | quit
+`)
+		return nil
+	case "ls":
+		dir := "/"
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		ents, err := px.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+		return nil
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		f, err := px.Open(args[0], aerie.O_RDONLY)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, 4096)
+		for {
+			n, err := f.Read(buf)
+			os.Stdout.Write(buf[:n])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+		return nil
+	case "write", "append":
+		if err := need(2); err != nil {
+			return err
+		}
+		flags := aerie.O_RDWR | aerie.O_CREATE | aerie.O_TRUNC
+		if cmd == "append" {
+			flags = aerie.O_RDWR | aerie.O_CREATE | aerie.O_APPEND
+		}
+		f, err := px.OpenFile(args[0], flags, 0644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.Write([]byte(strings.Join(args[1:], " ") + "\n"))
+		return err
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return px.Mkdir(args[0], 0755)
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return px.Unlink(args[0])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return px.Rmdir(args[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return px.Rename(args[0], args[1])
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		fi, err := px.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: size=%d mode=%o dir=%v links=%d oid=%v\n",
+			fi.Name, fi.Size, fi.Mode, fi.IsDir, fi.Links, fi.OID)
+		return nil
+	case "chmod":
+		if err := need(2); err != nil {
+			return err
+		}
+		var mode uint32
+		if _, err := fmt.Sscanf(args[0], "%o", &mode); err != nil {
+			return err
+		}
+		return px.Chmod(args[1], mode, false)
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		return flat.Put(args[0], []byte(strings.Join(args[1:], " ")))
+	case "get":
+		if err := need(1); err != nil {
+			return err
+		}
+		v, err := flat.Get(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(v))
+		return nil
+	case "erase":
+		if err := need(1); err != nil {
+			return err
+		}
+		return flat.Erase(args[0])
+	case "keys":
+		keys, err := flat.Keys()
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+		return nil
+	case "sync":
+		return px.Sync()
+	}
+	return fmt.Errorf("unknown command %q (try help)", cmd)
+}

@@ -1,0 +1,3 @@
+module github.com/aerie-fs/aerie
+
+go 1.22

@@ -1,0 +1,291 @@
+// Package alloc implements the TFS's buddy storage allocator (§5.3.7): it
+// carves power-of-two extents out of a partition's data area. The free-list
+// structure is volatile (rebuilt at attach time), while the authoritative
+// allocation state is a persistent bitmap in SCM with one bit per minimum
+// block. The TFS updates the bitmap only while applying journaled operations,
+// so a crash never leaks blocks that no committed operation references.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"github.com/aerie-fs/aerie/internal/scm"
+)
+
+// MinBlock is the smallest allocatable extent (one page, the protection
+// granularity).
+const MinBlock = scm.PageSize
+
+const minOrder = 12 // log2(MinBlock)
+
+// Errors.
+var (
+	ErrNoSpace  = errors.New("alloc: out of space")
+	ErrBadFree  = errors.New("alloc: bad free")
+	ErrTooLarge = errors.New("alloc: request exceeds heap")
+)
+
+// BitmapBytes returns the size of the persistent bitmap needed for a heap of
+// heapSize bytes, rounded up to a cache line.
+func BitmapBytes(heapSize uint64) uint64 {
+	blocks := heapSize / MinBlock
+	return (blocks/8 + scm.LineSize - 1) / scm.LineSize * scm.LineSize
+}
+
+// Buddy is a buddy allocator over [heapStart, heapStart+heapSize) with its
+// allocation bitmap at bitmapAddr. Safe for concurrent use.
+type Buddy struct {
+	mem        scm.Space
+	bitmapAddr uint64
+	heapStart  uint64
+	heapSize   uint64
+	maxOrder   uint
+
+	mu    sync.Mutex
+	free  map[uint][]uint64 // order -> free block addresses (volatile)
+	freeB uint64            // free bytes
+}
+
+// Format zeroes the bitmap (everything free) and returns an attached
+// allocator.
+func Format(mem scm.Space, bitmapAddr, heapStart, heapSize uint64) (*Buddy, error) {
+	heapSize = heapSize / MinBlock * MinBlock
+	if heapSize == 0 {
+		return nil, fmt.Errorf("%w: empty heap", ErrNoSpace)
+	}
+	if err := scm.Zero(mem, bitmapAddr, int(BitmapBytes(heapSize))); err != nil {
+		return nil, err
+	}
+	if err := mem.Flush(bitmapAddr, int(BitmapBytes(heapSize))); err != nil {
+		return nil, err
+	}
+	return Attach(mem, bitmapAddr, heapStart, heapSize)
+}
+
+// Attach rebuilds the volatile free lists from the persistent bitmap, e.g.
+// after a crash: maximal aligned free runs are decomposed greedily into
+// buddy blocks.
+func Attach(mem scm.Space, bitmapAddr, heapStart, heapSize uint64) (*Buddy, error) {
+	heapSize = heapSize / MinBlock * MinBlock
+	b := &Buddy{
+		mem:        mem,
+		bitmapAddr: bitmapAddr,
+		heapStart:  heapStart,
+		heapSize:   heapSize,
+		free:       make(map[uint][]uint64),
+	}
+	b.maxOrder = uint(bits.Len64(heapSize)) - 1
+	if 1<<b.maxOrder > heapSize {
+		b.maxOrder--
+	}
+	// Scan the bitmap for free runs.
+	nblocks := heapSize / MinBlock
+	run := uint64(0)
+	runStart := uint64(0)
+	for blk := uint64(0); blk <= nblocks; blk++ {
+		allocated := true
+		if blk < nblocks {
+			var err error
+			allocated, err = b.bitAt(blk)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !allocated {
+			if run == 0 {
+				runStart = blk
+			}
+			run++
+			continue
+		}
+		if run > 0 {
+			b.insertRun(runStart, run)
+			run = 0
+		}
+	}
+	return b, nil
+}
+
+// insertRun decomposes a free run of blocks into maximal aligned buddy
+// blocks and pushes them on the free lists.
+func (b *Buddy) insertRun(startBlk, nblocks uint64) {
+	blk := startBlk
+	remaining := nblocks
+	for remaining > 0 {
+		// Largest order that is aligned at blk and fits in remaining.
+		order := uint(minOrder)
+		for order < b.maxOrder {
+			sizeBlocks := uint64(1) << (order + 1 - minOrder)
+			if blk%sizeBlocks != 0 || sizeBlocks > remaining {
+				break
+			}
+			order++
+		}
+		sizeBlocks := uint64(1) << (order - minOrder)
+		addr := b.heapStart + blk*MinBlock
+		b.free[order] = append(b.free[order], addr)
+		b.freeB += sizeBlocks * MinBlock
+		blk += sizeBlocks
+		remaining -= sizeBlocks
+	}
+}
+
+func (b *Buddy) bitAt(blk uint64) (bool, error) {
+	var buf [1]byte
+	if err := b.mem.Read(b.bitmapAddr+blk/8, buf[:]); err != nil {
+		return false, err
+	}
+	return buf[0]&(1<<(blk%8)) != 0, nil
+}
+
+// setBits marks [blk, blk+n) allocated (v=true) or free (v=false) and
+// flushes the touched bitmap bytes.
+func (b *Buddy) setBits(blk, n uint64, v bool) error {
+	firstByte := blk / 8
+	lastByte := (blk + n - 1) / 8
+	buf := make([]byte, lastByte-firstByte+1)
+	if err := b.mem.Read(b.bitmapAddr+firstByte, buf); err != nil {
+		return err
+	}
+	for i := blk; i < blk+n; i++ {
+		idx := i/8 - firstByte
+		if v {
+			buf[idx] |= 1 << (i % 8)
+		} else {
+			buf[idx] &^= 1 << (i % 8)
+		}
+	}
+	return scm.WriteFlush(b.mem, b.bitmapAddr+firstByte, buf)
+}
+
+// OrderFor returns the buddy order used for a request of size bytes.
+func OrderFor(size uint64) uint {
+	if size <= MinBlock {
+		return minOrder
+	}
+	o := uint(bits.Len64(size - 1))
+	return o
+}
+
+// BlockSize returns the byte size of a block of the given order.
+func BlockSize(order uint) uint64 { return 1 << order }
+
+// Alloc allocates an extent of at least size bytes, returning its address.
+// The extent's actual size is BlockSize(OrderFor(size)).
+func (b *Buddy) Alloc(size uint64) (uint64, error) {
+	order := OrderFor(size)
+	if order > b.maxOrder {
+		return 0, fmt.Errorf("%w: %d bytes (order %d > max %d)", ErrTooLarge, size, order, b.maxOrder)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Find the smallest order with a free block, splitting down.
+	o := order
+	for o <= b.maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return 0, fmt.Errorf("%w: no free block of order %d", ErrNoSpace, order)
+	}
+	addr := b.free[o][len(b.free[o])-1]
+	b.free[o] = b.free[o][:len(b.free[o])-1]
+	for o > order {
+		o--
+		buddy := addr + BlockSize(o)
+		b.free[o] = append(b.free[o], buddy)
+	}
+	blk := (addr - b.heapStart) / MinBlock
+	n := BlockSize(order) / MinBlock
+	if err := b.setBits(blk, n, true); err != nil {
+		// Roll the block back onto the free list.
+		b.free[order] = append(b.free[order], addr)
+		return 0, err
+	}
+	b.freeB -= BlockSize(order)
+	return addr, nil
+}
+
+// Free returns an extent previously allocated with size bytes (the original
+// request size; it is rounded to the same order). Buddies are coalesced.
+func (b *Buddy) Free(addr, size uint64) error {
+	order := OrderFor(size)
+	if addr < b.heapStart || addr+BlockSize(order) > b.heapStart+b.heapSize {
+		return fmt.Errorf("%w: [%#x,+%d) outside heap", ErrBadFree, addr, size)
+	}
+	if (addr-b.heapStart)%BlockSize(order) != 0 {
+		return fmt.Errorf("%w: %#x misaligned for order %d", ErrBadFree, addr, order)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	blk := (addr - b.heapStart) / MinBlock
+	// Double-free detection: the first block must be marked allocated.
+	set, err := b.bitAt(blk)
+	if err != nil {
+		return err
+	}
+	if !set {
+		return fmt.Errorf("%w: %#x already free", ErrBadFree, addr)
+	}
+	if err := b.setBits(blk, BlockSize(order)/MinBlock, false); err != nil {
+		return err
+	}
+	b.freeB += BlockSize(order)
+	// Coalesce with free buddies.
+	for order < b.maxOrder {
+		buddy := b.heapStart + ((addr - b.heapStart) ^ BlockSize(order))
+		if !b.removeFree(order, buddy) {
+			break
+		}
+		if buddy < addr {
+			addr = buddy
+		}
+		order++
+	}
+	b.free[order] = append(b.free[order], addr)
+	return nil
+}
+
+func (b *Buddy) removeFree(order uint, addr uint64) bool {
+	list := b.free[order]
+	for i, a := range list {
+		if a == addr {
+			list[i] = list[len(list)-1]
+			b.free[order] = list[:len(list)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// FreeBytes returns the total free space.
+func (b *Buddy) FreeBytes() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.freeB
+}
+
+// HeapSize returns the managed heap size.
+func (b *Buddy) HeapSize() uint64 { return b.heapSize }
+
+// ForEachAllocated calls fn for every allocated minimum block's address, in
+// ascending order. Used by fsck's mark-and-sweep.
+func (b *Buddy) ForEachAllocated(fn func(addr uint64) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nblocks := b.heapSize / MinBlock
+	for blk := uint64(0); blk < nblocks; blk++ {
+		set, err := b.bitAt(blk)
+		if err != nil {
+			return err
+		}
+		if set {
+			if err := fn(b.heapStart + blk*MinBlock); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package core assembles a complete Aerie machine: the emulated SCM arena,
+// the kernel SCM manager, a partition formatted as an Aerie volume, the
+// trusted file-system service with its lock service, and the RPC fabric
+// clients mount through. It is the composition root used by the public
+// aerie package, the test suites, and the benchmark harness.
+package core
+
+import (
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/rpc"
+	"github.com/aerie-fs/aerie/internal/scm"
+	"github.com/aerie-fs/aerie/internal/scmmgr"
+	"github.com/aerie-fs/aerie/internal/tfs"
+)
+
+// Options configures a System.
+type Options struct {
+	// ArenaSize is the emulated SCM size (default 256 MiB).
+	ArenaSize uint64
+	// TrackPersistence enables crash simulation (slower; tests only).
+	TrackPersistence bool
+	// Costs injects modeled latencies; zero value injects nothing.
+	Costs costmodel.Costs
+	// JournalSize for the volume redo log (default 4 MiB).
+	JournalSize uint64
+	// Lease and AcquireTimeout for the lock service.
+	Lease          time.Duration
+	AcquireTimeout time.Duration
+	// VolumeGID for the volume-wide extent ACL.
+	VolumeGID uint32
+	// Tracer records client phase traces (single-threaded capture runs).
+	Tracer *costmodel.Tracer
+}
+
+// tfsUID is the trusted service's identity; it owns the partition.
+const tfsUID = 0
+
+// System is a running Aerie machine.
+type System struct {
+	Mem   *scm.Memory
+	Mgr   *scmmgr.Manager
+	Srv   *rpc.Server
+	TFS   *tfs.Service
+	Part  scmmgr.PartitionID
+	Costs *costmodel.Costs
+
+	opts Options
+	proc *scmmgr.Process
+}
+
+// New formats a fresh Aerie machine.
+func New(opts Options) (*System, error) {
+	if opts.ArenaSize == 0 {
+		opts.ArenaSize = 256 << 20
+	}
+	costs := opts.Costs
+	sys := &System{Costs: &costs, opts: opts}
+	sys.Mem = scm.New(scm.Config{
+		Size:             opts.ArenaSize,
+		Costs:            sys.Costs,
+		TrackPersistence: opts.TrackPersistence,
+	})
+	mgr, err := scmmgr.FormatAndAttach(sys.Mem, sys.Costs)
+	if err != nil {
+		return nil, err
+	}
+	sys.Mgr = mgr
+	sys.proc = scmmgr.NewProcess(tfsUID)
+	// One large partition for the volume: the whole arena minus the
+	// manager region (first-fit finds the gap).
+	region := opts.ArenaSize / 64
+	if region < 64*1024 {
+		region = 64 * 1024
+	}
+	partSize := opts.ArenaSize - region - (opts.ArenaSize / 32) // slack for rounding
+	part, err := mgr.CreatePartition(partSize, tfsUID)
+	if err != nil {
+		return nil, err
+	}
+	sys.Part = part
+	if err := tfs.FormatVolume(mgr, sys.proc, part, sys.tfsConfig()); err != nil {
+		return nil, err
+	}
+	if err := sys.serve(); err != nil {
+		return nil, err
+	}
+	if opts.TrackPersistence {
+		// Start crash experiments from a fully persistent image.
+		sys.Mem.PersistAll()
+	}
+	return sys, nil
+}
+
+func (sys *System) tfsConfig() tfs.Config {
+	return tfs.Config{
+		JournalSize:    sys.opts.JournalSize,
+		Lease:          sys.opts.Lease,
+		AcquireTimeout: sys.opts.AcquireTimeout,
+		VolumeGID:      sys.opts.VolumeGID,
+		Costs:          sys.Costs,
+	}
+}
+
+func (sys *System) serve() error {
+	sys.Srv = rpc.NewServer()
+	svc, err := tfs.Serve(sys.Srv, sys.Mgr, sys.proc, sys.Part, sys.tfsConfig())
+	if err != nil {
+		return err
+	}
+	sys.TFS = svc
+	return nil
+}
+
+// NewSession mounts a libFS client over the in-process transport. Lease
+// renewal defaults to a third of the lock-service lease so cached grants
+// of a healthy client never expire (§5.1).
+func (sys *System) NewSession(cfg libfs.Config) (*libfs.Session, error) {
+	if cfg.Costs == nil {
+		cfg.Costs = sys.Costs
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = sys.opts.Tracer
+	}
+	if cfg.RenewEvery == 0 {
+		lease := sys.opts.Lease
+		if lease == 0 {
+			lease = 2 * time.Second // the lock service's default
+		}
+		cfg.RenewEvery = lease / 3
+	}
+	return libfs.MountInProc(sys.Srv, sys.Mgr, cfg)
+}
+
+// CrashAndRecover simulates machine power loss: the volatile image is
+// discarded, then the SCM manager re-attaches and the TFS recovers from
+// its redo journal. All prior sessions are dead. Requires
+// TrackPersistence.
+func (sys *System) CrashAndRecover() error {
+	sys.TFS.Locks.Shutdown()
+	sys.Mem.Crash()
+	mgr, err := scmmgr.Attach(sys.Mem, sys.Costs)
+	if err != nil {
+		return err
+	}
+	sys.Mgr = mgr
+	return sys.serve()
+}
+
+// RestartTFS simulates a TFS process restart without power loss (journal
+// replay over intact memory, pre-allocation scavenging).
+func (sys *System) RestartTFS() error {
+	sys.TFS.Locks.Shutdown()
+	return sys.serve()
+}
+
+// ListenTCP additionally serves the machine's RPC fabric over loopback TCP
+// for out-of-process clients (cmd/aerie-tfsd).
+func (sys *System) ListenTCP(addr string) (*rpc.TCPListener, error) {
+	return rpc.ListenTCP(sys.Srv, addr)
+}

@@ -1,0 +1,140 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinWaitsApproximately(t *testing.T) {
+	start := time.Now()
+	Spin(2 * time.Millisecond)
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("spin returned after %v", d)
+	}
+	// Zero and negative are free.
+	start = time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if d := time.Since(start); d > time.Millisecond {
+		t.Fatalf("no-op spins took %v", d)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if c.Load() != 3 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTracerRecordsLocalAndResourcePhases(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginOp("op")
+	Spin(200 * time.Microsecond) // local
+	tr.EnterResource("lock:a", Exclusive)
+	Spin(300 * time.Microsecond)
+	tr.ExitResource("lock:a")
+	Spin(100 * time.Microsecond) // trailing local
+	tr.EndOp()
+
+	ops := tr.Ops()
+	if len(ops) != 1 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	op := ops[0]
+	if op.Name != "op" || op.Total < 600*time.Microsecond {
+		t.Fatalf("op = %+v", op)
+	}
+	var local, held time.Duration
+	for _, ph := range op.Phases {
+		if ph.Resource == "" {
+			local += ph.Dur
+		} else {
+			if ph.Resource != "lock:a" || ph.Mode != Exclusive {
+				t.Fatalf("phase = %+v", ph)
+			}
+			held += ph.Dur
+		}
+	}
+	if held < 300*time.Microsecond || local < 300*time.Microsecond {
+		t.Fatalf("held=%v local=%v", held, local)
+	}
+	// Phase durations account for the whole op.
+	var sum time.Duration
+	for _, ph := range op.Phases {
+		sum += ph.Dur
+	}
+	if sum < op.Total*9/10 {
+		t.Fatalf("phases cover %v of %v", sum, op.Total)
+	}
+}
+
+func TestTracerNestedHoldsAttributeInnermost(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginOp("nested")
+	tr.EnterResource("lock:outer", Exclusive)
+	Spin(100 * time.Microsecond)
+	tr.EnterResource("tfs", Exclusive)
+	Spin(200 * time.Microsecond)
+	tr.ExitResource("tfs")
+	Spin(100 * time.Microsecond)
+	tr.ExitResource("lock:outer")
+	tr.EndOp()
+
+	op := tr.Ops()[0]
+	var outer, inner time.Duration
+	for _, ph := range op.Phases {
+		switch ph.Resource {
+		case "lock:outer":
+			outer += ph.Dur
+		case "tfs":
+			inner += ph.Dur
+		}
+	}
+	if inner < 200*time.Microsecond {
+		t.Fatalf("inner = %v", inner)
+	}
+	if outer < 150*time.Microsecond {
+		t.Fatalf("outer = %v", outer)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.BeginOp("x")
+	tr.EnterResource("r", Shared)
+	tr.ExitResource("r")
+	tr.EndOp()
+	if tr.Ops() != nil {
+		t.Fatal("nil tracer returned ops")
+	}
+	tr.Reset()
+}
+
+func TestTracerMismatchedExitIgnored(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginOp("x")
+	tr.EnterResource("a", Shared)
+	tr.ExitResource("b") // wrong resource: ignored
+	tr.ExitResource("a")
+	tr.EndOp()
+	if len(tr.Ops()) != 1 {
+		t.Fatal("op lost")
+	}
+}
+
+func TestPhasesOutsideOpsAreDropped(t *testing.T) {
+	tr := NewTracer()
+	tr.EnterResource("a", Shared) // no BeginOp: must be a no-op
+	tr.ExitResource("a")
+	tr.EndOp()
+	if len(tr.Ops()) != 0 {
+		t.Fatal("phantom op recorded")
+	}
+}

@@ -1,0 +1,156 @@
+package costmodel
+
+import (
+	"sync"
+	"time"
+)
+
+// ResourceMode says how a phase uses a shared resource. Shared-mode phases
+// on the same resource may overlap in the scalability simulation (reader
+// locks); exclusive phases serialize (writer locks, a TFS worker thread).
+type ResourceMode uint8
+
+const (
+	// Exclusive phases serialize on the resource.
+	Exclusive ResourceMode = iota
+	// Shared phases may overlap with other shared phases.
+	Shared
+)
+
+// Phase is one step of an operation: either local computation
+// (Resource == "") or time spent holding / occupying a shared resource.
+type Phase struct {
+	Resource string
+	Mode     ResourceMode
+	Dur      time.Duration
+}
+
+// OpTrace is the recorded phase breakdown of one workload operation.
+type OpTrace struct {
+	Name   string
+	Phases []Phase
+	Total  time.Duration
+}
+
+// span is an in-flight resource hold.
+type span struct {
+	res   string
+	mode  ResourceMode
+	start time.Time
+}
+
+// Tracer records per-operation phase traces on a single client thread.
+// A nil *Tracer is valid and records nothing, so instrumented code can call
+// it unconditionally. Tracer is not safe for concurrent use by multiple
+// goroutines; each simulated client thread owns its own Tracer.
+type Tracer struct {
+	mu      sync.Mutex
+	ops     []OpTrace
+	cur     *OpTrace
+	opStart time.Time
+	mark    time.Time // end of the last recorded phase
+	stack   []span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// BeginOp starts recording a new operation. Any phases recorded before the
+// next EndOp belong to this operation.
+func (t *Tracer) BeginOp(name string) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.cur = &OpTrace{Name: name}
+	t.opStart = now
+	t.mark = now
+	t.stack = t.stack[:0]
+}
+
+// EndOp finishes the current operation, filling any trailing local time.
+func (t *Tracer) EndOp() {
+	if t == nil || t.cur == nil {
+		return
+	}
+	now := time.Now()
+	t.localUntil(now)
+	t.cur.Total = now.Sub(t.opStart)
+	t.mu.Lock()
+	t.ops = append(t.ops, *t.cur)
+	t.mu.Unlock()
+	t.cur = nil
+}
+
+// localUntil appends a local-compute phase covering [t.mark, now).
+func (t *Tracer) localUntil(now time.Time) {
+	if d := now.Sub(t.mark); d > 0 {
+		t.cur.Phases = append(t.cur.Phases, Phase{Dur: d})
+	}
+	t.mark = now
+}
+
+// EnterResource marks the start of a hold on res. Holds may nest; the
+// innermost hold attributes the time (an RPC issued while holding a lock
+// records the RPC server time, not double-counted lock time).
+func (t *Tracer) EnterResource(res string, mode ResourceMode) {
+	if t == nil || t.cur == nil {
+		return
+	}
+	now := time.Now()
+	if len(t.stack) == 0 {
+		t.localUntil(now)
+	} else {
+		top := t.stack[len(t.stack)-1]
+		t.flushHold(top, now)
+	}
+	t.stack = append(t.stack, span{res: res, mode: mode, start: now})
+	t.mark = now
+}
+
+// ExitResource marks the end of the innermost hold on res. Mismatched exits
+// are ignored (defensive: instrumented error paths).
+func (t *Tracer) ExitResource(res string) {
+	if t == nil || t.cur == nil || len(t.stack) == 0 {
+		return
+	}
+	top := t.stack[len(t.stack)-1]
+	if top.res != res {
+		return
+	}
+	now := time.Now()
+	t.flushHold(top, now)
+	t.stack = t.stack[:len(t.stack)-1]
+	if len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].start = now
+	}
+	t.mark = now
+}
+
+func (t *Tracer) flushHold(s span, now time.Time) {
+	if d := now.Sub(s.start); d > 0 {
+		t.cur.Phases = append(t.cur.Phases, Phase{Resource: s.res, Mode: s.mode, Dur: d})
+	}
+}
+
+// Ops returns a copy of all recorded operation traces.
+func (t *Tracer) Ops() []OpTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]OpTrace, len(t.ops))
+	copy(out, t.ops)
+	return out
+}
+
+// Reset discards all recorded traces.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ops = nil
+	t.mu.Unlock()
+}

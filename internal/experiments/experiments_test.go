@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+// tinyCfg keeps the full experiment pipeline fast enough for the unit
+// suite while still exercising every code path.
+func tinyCfg(out *bytes.Buffer) Config {
+	return Config{
+		Scale:      0.01,
+		Iterations: 3,
+		Costs:      costmodel.Costs{}, // no injected delays in tests
+		Out:        out,
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyCfg(&out)
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Sequential read", "Create", "PXFS", "RamFS", "ext3", "ext4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var out bytes.Buffer
+	if err := Table2(tinyCfg(&out)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fileserver", "webserver", "webproxy", "PXFS-NNC"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure1Runs(t *testing.T) {
+	var out bytes.Buffer
+	if err := Figure1(tinyCfg(&out)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"stat", "rename", "Naming", "MemoryObjects", "Synchronization"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure5Runs(t *testing.T) {
+	var out bytes.Buffer
+	if err := Figure5(tinyCfg(&out)); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"FlatFS", "threads", "webproxy"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	var out bytes.Buffer
+	if err := Table3(tinyCfg(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "FS+WP (FlatFS)") {
+		t.Fatalf("missing mixes in:\n%s", out.String())
+	}
+}
+
+func TestFigure6Runs(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyCfg(&out)
+	if err := Figure6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Webproxy-FlatFS") {
+		t.Fatalf("missing series in:\n%s", out.String())
+	}
+}
+
+func TestMProtectRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := MProtect(tinyCfg(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "per referenced page") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestBatchSweepRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := BatchSweep(tinyCfg(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no batching") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}

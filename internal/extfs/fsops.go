@@ -1,0 +1,488 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"sort"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/vfs"
+)
+
+// Directory blocks hold fixed 64-byte slots: [u32 ino][u8 namelen][name].
+// Slot ino 0 is free. Directory contents are metadata: modifications join
+// the journal transaction.
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() vfs.Ino { return rootIno }
+
+// dirScan walks dir's slots, calling fn(blockIdx, slot, ino, name); fn
+// returning false stops.
+func (fs *FS) dirScan(dir vfs.Ino, fn func(blkIdx uint64, slot int, ino vfs.Ino, name string) bool) error {
+	buf := make([]byte, blockSize)
+	rec, err := fs.readInode(dir, buf)
+	if err != nil {
+		return err
+	}
+	if !inodeLive(rec) {
+		return vfs.ErrNotExist
+	}
+	if !inodeIsDir(rec) {
+		return vfs.ErrNotDir
+	}
+	size := inodeSizeOf(rec)
+	nblocks := (size + blockSize - 1) / blockSize
+	le := binary.LittleEndian
+	data := make([]byte, blockSize)
+	for b := uint64(0); b < nblocks; b++ {
+		phys, err := fs.mapBlock(dir, b, false)
+		if err != nil {
+			return err
+		}
+		if phys == 0 {
+			continue
+		}
+		img, err := fs.readView(phys, data)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < dirSlotsPer; s++ {
+			off := s * dirSlot
+			ino := vfs.Ino(le.Uint32(img[off:]))
+			if ino == 0 {
+				continue
+			}
+			nl := int(img[off+4])
+			if nl > maxName {
+				return ErrCorrupt
+			}
+			name := string(img[off+5 : off+5+nl])
+			if !fn(b, s, ino, name) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup implements vfs.FileSystem.
+func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.lookupLocked(dir, name)
+}
+
+func (fs *FS) lookupLocked(dir vfs.Ino, name string) (vfs.Ino, error) {
+	var found vfs.Ino
+	err := fs.dirScan(dir, func(_ uint64, _ int, ino vfs.Ino, n string) bool {
+		if n == name {
+			found = ino
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if found == 0 {
+		return 0, vfs.ErrNotExist
+	}
+	return found, nil
+}
+
+// dirAddEntry inserts (name -> ino) into dir inside the current
+// transaction, extending the directory by one block when full.
+func (fs *FS) dirAddEntry(dir vfs.Ino, name string, ino vfs.Ino) error {
+	if len(name) > maxName {
+		return ErrNameLen
+	}
+	le := binary.LittleEndian
+	rec, err := fs.inodeImage(dir)
+	if err != nil {
+		return err
+	}
+	size := inodeSizeOf(rec)
+	nblocks := (size + blockSize - 1) / blockSize
+	// Find a free slot.
+	for b := uint64(0); b < nblocks; b++ {
+		phys, err := fs.mapBlock(dir, b, false)
+		if err != nil {
+			return err
+		}
+		if phys == 0 {
+			continue
+		}
+		img, err := fs.txBlock(phys)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < dirSlotsPer; s++ {
+			off := s * dirSlot
+			if le.Uint32(img[off:]) == 0 {
+				writeSlot(img, off, ino, name)
+				return nil
+			}
+		}
+	}
+	// Extend by a block.
+	phys, err := fs.mapBlock(dir, nblocks, true)
+	if err != nil {
+		return err
+	}
+	img := fs.txBlockZero(phys)
+	writeSlot(img, 0, ino, name)
+	le.PutUint64(rec[iSize:], (nblocks+1)*blockSize)
+	return nil
+}
+
+func writeSlot(img []byte, off int, ino vfs.Ino, name string) {
+	binary.LittleEndian.PutUint32(img[off:], uint32(ino))
+	img[off+4] = byte(len(name))
+	copy(img[off+5:], name)
+}
+
+// dirRemoveEntry clears name's slot inside the current transaction.
+func (fs *FS) dirRemoveEntry(dir vfs.Ino, name string) (vfs.Ino, error) {
+	var blkIdx uint64
+	var slot int
+	var victim vfs.Ino
+	if err := fs.dirScan(dir, func(b uint64, s int, ino vfs.Ino, n string) bool {
+		if n == name {
+			blkIdx, slot, victim = b, s, ino
+			return false
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	if victim == 0 {
+		return 0, vfs.ErrNotExist
+	}
+	phys, err := fs.mapBlock(dir, blkIdx, false)
+	if err != nil {
+		return 0, err
+	}
+	img, err := fs.txBlock(phys)
+	if err != nil {
+		return 0, err
+	}
+	binary.LittleEndian.PutUint32(img[slot*dirSlot:], 0)
+	return victim, nil
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(dir vfs.Ino, name string, mode uint32, isDir bool) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.lookupLocked(dir, name); err == nil {
+		return 0, vfs.ErrExist
+	}
+	fs.begin()
+	ino, err := fs.allocInode()
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.setBitmapBit(fs.geo.inoBmapBlk, 0, uint64(ino), true); err != nil {
+		return 0, err
+	}
+	rec, err := fs.inodeImage(ino)
+	if err != nil {
+		return 0, err
+	}
+	initInode(rec, mode, isDir)
+	if err := fs.dirAddEntry(dir, name, ino); err != nil {
+		return 0, err
+	}
+	if err := fs.commit(); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(dir vfs.Ino, name string, rmdir bool) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, err := fs.lookupLocked(dir, name)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, blockSize)
+	rec, err := fs.readInode(ino, buf)
+	if err != nil {
+		return err
+	}
+	isDir := inodeIsDir(rec)
+	if rmdir {
+		if !isDir {
+			return vfs.ErrNotDir
+		}
+		empty := true
+		if err := fs.dirScan(ino, func(uint64, int, vfs.Ino, string) bool {
+			empty = false
+			return false
+		}); err != nil {
+			return err
+		}
+		if !empty {
+			return vfs.ErrNotEmpty
+		}
+	} else if isDir {
+		return vfs.ErrIsDir
+	}
+	fs.begin()
+	if _, err := fs.dirRemoveEntry(dir, name); err != nil {
+		return err
+	}
+	if err := fs.destroyInode(ino); err != nil {
+		return err
+	}
+	return fs.commit()
+}
+
+func (fs *FS) destroyInode(ino vfs.Ino) error {
+	if err := fs.freeFileBlocks(ino); err != nil {
+		return err
+	}
+	rec, err := fs.inodeImage(ino)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(rec[iNlink:], 0)
+	return fs.setBitmapBit(fs.geo.inoBmapBlk, 0, uint64(ino), false)
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.lookupLocked(sdir, sname); err != nil {
+		return err
+	}
+	fs.begin()
+	ino, err := fs.dirRemoveEntry(sdir, sname)
+	if err != nil {
+		return err
+	}
+	// Overwrite semantics.
+	if old, err := fs.dirRemoveEntry(ddir, dname); err == nil {
+		if err := fs.destroyInode(old); err != nil {
+			return err
+		}
+	}
+	if err := fs.dirAddEntry(ddir, dname, ino); err != nil {
+		return err
+	}
+	return fs.commit()
+}
+
+// GetAttr implements vfs.FileSystem.
+func (fs *FS) GetAttr(ino vfs.Ino) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	buf := make([]byte, blockSize)
+	rec, err := fs.readInode(ino, buf)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	if !inodeLive(rec) {
+		return vfs.Attr{}, vfs.ErrNotExist
+	}
+	le := binary.LittleEndian
+	return vfs.Attr{
+		Mode:  le.Uint32(rec[iMode:]),
+		Size:  le.Uint64(rec[iSize:]),
+		Nlink: le.Uint32(rec[iNlink:]),
+		Mtime: int64(le.Uint64(rec[iMtime:])),
+		IsDir: inodeIsDir(rec),
+	}, nil
+}
+
+// SetMode implements vfs.FileSystem.
+func (fs *FS) SetMode(ino vfs.Ino, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.begin()
+	rec, err := fs.inodeImage(ino)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(rec[iMode:], mode)
+	return fs.commit()
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.NameIno, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []vfs.NameIno
+	if err := fs.dirScan(dir, func(_ uint64, _ int, ino vfs.Ino, name string) bool {
+		out = append(out, vfs.NameIno{Name: name, Ino: ino})
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ReadAt implements vfs.FileSystem.
+func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off uint64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	buf := make([]byte, blockSize)
+	rec, err := fs.readInode(ino, buf)
+	if err != nil {
+		return 0, err
+	}
+	size := inodeSizeOf(rec)
+	if off >= size {
+		return 0, nil
+	}
+	if off+uint64(len(p)) > size {
+		p = p[:size-off]
+	}
+	data := make([]byte, blockSize)
+	read := 0
+	for read < len(p) {
+		cur := off + uint64(read)
+		fileBlk := cur / blockSize
+		inBlk := cur % blockSize
+		chunk := int(blockSize - inBlk)
+		if chunk > len(p)-read {
+			chunk = len(p) - read
+		}
+		phys, err := fs.mapBlock(ino, fileBlk, false)
+		if err != nil {
+			return read, err
+		}
+		dst := p[read : read+chunk]
+		if phys == 0 {
+			for i := range dst {
+				dst[i] = 0
+			}
+		} else {
+			img, err := fs.readView(phys, data)
+			if err != nil {
+				return read, err
+			}
+			copy(dst, img[inBlk:inBlk+uint64(chunk)])
+		}
+		read += chunk
+	}
+	return read, nil
+}
+
+// WriteAt implements vfs.FileSystem: ordered-data journaling — data blocks
+// are written and flushed to the device before the metadata transaction
+// (allocations, size update) commits.
+func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off uint64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.begin()
+	data := make([]byte, blockSize)
+	written := 0
+	for written < len(p) {
+		cur := off + uint64(written)
+		fileBlk := cur / blockSize
+		inBlk := cur % blockSize
+		chunk := int(blockSize - inBlk)
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		phys, err := fs.mapBlock(ino, fileBlk, true)
+		if err != nil {
+			return written, err
+		}
+		if chunk == blockSize {
+			if err := fs.disk.Write(phys, p[written:written+chunk]); err != nil {
+				return written, err
+			}
+		} else {
+			if err := fs.disk.Read(phys, data); err != nil {
+				return written, err
+			}
+			copy(data[inBlk:], p[written:written+chunk])
+			if err := fs.disk.Write(phys, data); err != nil {
+				return written, err
+			}
+		}
+		written += chunk
+	}
+	// Ordered mode: data reaches the device before the commit record.
+	fs.disk.Flush()
+	rec, err := fs.inodeImage(ino)
+	if err != nil {
+		return written, err
+	}
+	le := binary.LittleEndian
+	if end := off + uint64(written); end > inodeSizeOf(rec) {
+		le.PutUint64(rec[iSize:], end)
+	}
+	le.PutUint64(rec[iMtime:], uint64(time.Now().UnixNano()))
+	if err := fs.commit(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// Truncate implements vfs.FileSystem.
+func (fs *FS) Truncate(ino vfs.Ino, size uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.begin()
+	rec, err := fs.inodeImage(ino)
+	if err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	old := inodeSizeOf(rec)
+	if size == 0 && old > 0 {
+		if err := fs.freeFileBlocks(ino); err != nil {
+			return err
+		}
+	} else if size < old {
+		// Partial truncate keeps blocks allocated (they are reclaimed at
+		// unlink or truncate-to-zero, like several simple file systems)
+		// but must zero the exposed tail so re-extension reads zeros.
+		zero := make([]byte, blockSize)
+		data := make([]byte, blockSize)
+		for cur := size; cur < old; {
+			fileBlk := cur / blockSize
+			inBlk := cur % blockSize
+			phys, err := fs.mapBlock(ino, fileBlk, false)
+			if err != nil {
+				return err
+			}
+			if phys != 0 {
+				if inBlk == 0 {
+					if err := fs.disk.Write(phys, zero); err != nil {
+						return err
+					}
+				} else {
+					if err := fs.disk.Read(phys, data); err != nil {
+						return err
+					}
+					for i := inBlk; i < blockSize; i++ {
+						data[i] = 0
+					}
+					if err := fs.disk.Write(phys, data); err != nil {
+						return err
+					}
+				}
+			}
+			cur = (fileBlk + 1) * blockSize
+		}
+		fs.disk.Flush()
+	}
+	le.PutUint64(rec[iSize:], size)
+	return fs.commit()
+}
+
+// Sync implements vfs.FileSystem: per-op journaling means metadata is
+// already durable; this drains the device buffers.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.disk.Flush()
+	return nil
+}

@@ -1,0 +1,410 @@
+package extfs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/aerie-fs/aerie/internal/vfs"
+)
+
+// File-block mapping for both layouts. Metadata blocks (pointer blocks,
+// extent spill blocks) join the current transaction; data blocks never do
+// (ordered mode).
+
+// txBlockZero installs a zeroed image for a freshly allocated metadata
+// block.
+func (fs *FS) txBlockZero(b uint64) []byte {
+	img := make([]byte, blockSize)
+	fs.touched[b] = img
+	return img
+}
+
+// readView returns a read-only view of block b: the transaction image if
+// present, else a fresh read into buf.
+func (fs *FS) readView(b uint64, buf []byte) ([]byte, error) {
+	if img, ok := fs.touched[b]; ok {
+		return img, nil
+	}
+	if err := fs.disk.Read(b, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// mapBlock translates fileBlk to a physical block. With alloc, missing
+// blocks (and interior pointer structures) are allocated inside the current
+// transaction; without, 0 means a hole.
+func (fs *FS) mapBlock(ino vfs.Ino, fileBlk uint64, alloc bool) (uint64, error) {
+	if fs.mode == Ext4 {
+		return fs.mapExt4(ino, fileBlk, alloc)
+	}
+	return fs.mapExt3(ino, fileBlk, alloc)
+}
+
+// ---- ext3: direct / indirect / double-indirect pointers ----
+
+func (fs *FS) mapExt3(ino vfs.Ino, fileBlk uint64, alloc bool) (uint64, error) {
+	le := binary.LittleEndian
+	getRec := func() ([]byte, error) {
+		if alloc {
+			return fs.inodeImage(ino)
+		}
+		buf := make([]byte, blockSize)
+		return fs.readInode(ino, buf)
+	}
+	rec, err := getRec()
+	if err != nil {
+		return 0, err
+	}
+	// Direct pointers.
+	if fileBlk < nDirect {
+		off := iLay + 8*int(fileBlk)
+		phys := le.Uint64(rec[off:])
+		if phys == 0 && alloc {
+			phys, err = fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			le.PutUint64(rec[off:], phys)
+		}
+		return phys, nil
+	}
+	idx := fileBlk - nDirect
+	// Single indirect.
+	if idx < ptrsPerBl {
+		return fs.walkPtr(rec, iLay+8*nDirect, []uint64{idx}, alloc)
+	}
+	idx -= ptrsPerBl
+	// Double indirect.
+	if idx < ptrsPerBl*ptrsPerBl {
+		return fs.walkPtr(rec, iLay+8*nDirect+8, []uint64{idx / ptrsPerBl, idx % ptrsPerBl}, alloc)
+	}
+	return 0, fmt.Errorf("%w: block %d in ext3 layout", ErrTooBig, fileBlk)
+}
+
+// walkPtr follows a chain of pointer blocks rooted at rec[rootOff],
+// indexing by idxs, allocating interior blocks as needed.
+func (fs *FS) walkPtr(rec []byte, rootOff int, idxs []uint64, alloc bool) (uint64, error) {
+	le := binary.LittleEndian
+	cur := le.Uint64(rec[rootOff:])
+	if cur == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		fs.txBlockZero(b)
+		le.PutUint64(rec[rootOff:], b)
+		cur = b
+	}
+	for level, idx := range idxs {
+		last := level == len(idxs)-1
+		var img []byte
+		var err error
+		if alloc {
+			img, err = fs.txBlock(cur)
+		} else {
+			buf := make([]byte, blockSize)
+			img, err = fs.readView(cur, buf)
+		}
+		if err != nil {
+			return 0, err
+		}
+		next := le.Uint64(img[8*idx:])
+		if next == 0 {
+			if !alloc {
+				return 0, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, err
+			}
+			if !last {
+				fs.txBlockZero(b)
+			}
+			// img must be a tx image in the alloc path.
+			le.PutUint64(img[8*idx:], b)
+			next = b
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ---- ext4: extent lists ----
+//
+// Inode layout area: u32 nInline | u32 nSpill | 6 inline extents of
+// {u32 fileBlk, u32 count, u64 phys} | u64 spillBlockPtr.
+
+const (
+	e4NInline = iLay
+	e4NSpill  = iLay + 4
+	e4Inline  = iLay + 8
+	e4Spill   = iLay + 8 + nInlineExt*extEntrySz
+)
+
+type extent struct {
+	file  uint32
+	count uint32
+	phys  uint64
+}
+
+func getExtent(b []byte, off int) extent {
+	le := binary.LittleEndian
+	return extent{file: le.Uint32(b[off:]), count: le.Uint32(b[off+4:]), phys: le.Uint64(b[off+8:])}
+}
+
+func putExtent(b []byte, off int, e extent) {
+	le := binary.LittleEndian
+	le.PutUint32(b[off:], e.file)
+	le.PutUint32(b[off+4:], e.count)
+	le.PutUint64(b[off+8:], e.phys)
+}
+
+func (fs *FS) mapExt4(ino vfs.Ino, fileBlk uint64, alloc bool) (uint64, error) {
+	le := binary.LittleEndian
+	var rec []byte
+	var err error
+	if alloc {
+		rec, err = fs.inodeImage(ino)
+	} else {
+		buf := make([]byte, blockSize)
+		rec, err = fs.readInode(ino, buf)
+	}
+	if err != nil {
+		return 0, err
+	}
+	nIn := le.Uint32(rec[e4NInline:])
+	nSp := le.Uint32(rec[e4NSpill:])
+	if nIn > nInlineExt || nSp > spillMaxExt {
+		return 0, fmt.Errorf("%w: extent counts %d/%d", ErrCorrupt, nIn, nSp)
+	}
+	fb := uint32(fileBlk)
+	// Search inline extents.
+	for i := 0; i < int(nIn); i++ {
+		e := getExtent(rec, e4Inline+i*extEntrySz)
+		if fb >= e.file && fb < e.file+e.count {
+			return e.phys + uint64(fb-e.file), nil
+		}
+	}
+	// Search the spill block.
+	spill := le.Uint64(rec[e4Spill:])
+	var spillImg []byte
+	if spill != 0 {
+		if alloc {
+			spillImg, err = fs.txBlock(spill)
+		} else {
+			buf := make([]byte, blockSize)
+			spillImg, err = fs.readView(spill, buf)
+		}
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < int(nSp); i++ {
+			e := getExtent(spillImg, i*extEntrySz)
+			if fb >= e.file && fb < e.file+e.count {
+				return e.phys + uint64(fb-e.file), nil
+			}
+		}
+	}
+	if !alloc {
+		return 0, nil
+	}
+	// Allocate, preferring to extend the last extent (sequential appends
+	// produce long extents — the layout advantage §7.2.1 credits ext4).
+	phys, err := fs.allocBlock()
+	if err != nil {
+		return 0, err
+	}
+	extend := func(b []byte, off int) bool {
+		e := getExtent(b, off)
+		if e.file+e.count == fb && e.phys+uint64(e.count) == phys && e.count < 1<<30 {
+			e.count++
+			putExtent(b, off, e)
+			return true
+		}
+		return false
+	}
+	if nSp > 0 && spillImg != nil {
+		if extend(spillImg, int(nSp-1)*extEntrySz) {
+			return phys, nil
+		}
+	} else if nIn > 0 {
+		if extend(rec, e4Inline+int(nIn-1)*extEntrySz) {
+			return phys, nil
+		}
+	}
+	newExt := extent{file: fb, count: 1, phys: phys}
+	if nIn < nInlineExt && nSp == 0 {
+		putExtent(rec, e4Inline+int(nIn)*extEntrySz, newExt)
+		le.PutUint32(rec[e4NInline:], nIn+1)
+		return phys, nil
+	}
+	// Spill path.
+	if spill == 0 {
+		spill, err = fs.allocBlock()
+		if err != nil {
+			return 0, err
+		}
+		spillImg = fs.txBlockZero(spill)
+		le.PutUint64(rec[e4Spill:], spill)
+	}
+	if nSp >= spillMaxExt {
+		return 0, fmt.Errorf("%w: extent spill full", ErrTooBig)
+	}
+	putExtent(spillImg, int(nSp)*extEntrySz, newExt)
+	le.PutUint32(rec[e4NSpill:], nSp+1)
+	return phys, nil
+}
+
+// forEachBlock enumerates all allocated (fileBlk, phys) pairs of an inode.
+func (fs *FS) forEachBlock(ino vfs.Ino, fn func(fileBlk, phys uint64) error) error {
+	le := binary.LittleEndian
+	buf := make([]byte, blockSize)
+	rec, err := fs.readInode(ino, buf)
+	if err != nil {
+		return err
+	}
+	recCopy := make([]byte, inodeSize)
+	copy(recCopy, rec)
+	rec = recCopy
+	if fs.mode == Ext4 {
+		nIn := le.Uint32(rec[e4NInline:])
+		nSp := le.Uint32(rec[e4NSpill:])
+		emit := func(e extent) error {
+			for i := uint32(0); i < e.count; i++ {
+				if err := fn(uint64(e.file+i), e.phys+uint64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < int(nIn) && i < nInlineExt; i++ {
+			if err := emit(getExtent(rec, e4Inline+i*extEntrySz)); err != nil {
+				return err
+			}
+		}
+		if spill := le.Uint64(rec[e4Spill:]); spill != 0 {
+			sb := make([]byte, blockSize)
+			img, err := fs.readView(spill, sb)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < int(nSp) && i < spillMaxExt; i++ {
+				if err := emit(getExtent(img, i*extEntrySz)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	// ext3.
+	for i := 0; i < nDirect; i++ {
+		if phys := le.Uint64(rec[iLay+8*i:]); phys != 0 {
+			if err := fn(uint64(i), phys); err != nil {
+				return err
+			}
+		}
+	}
+	walkInd := func(root uint64, base uint64, depth int) error {
+		var rec2 func(blk uint64, base uint64, depth int) error
+		rec2 = func(blk uint64, base uint64, depth int) error {
+			buf := make([]byte, blockSize)
+			img, err := fs.readView(blk, buf)
+			if err != nil {
+				return err
+			}
+			span := uint64(1)
+			for i := 1; i < depth; i++ {
+				span *= ptrsPerBl
+			}
+			for i := uint64(0); i < ptrsPerBl; i++ {
+				p := le.Uint64(img[8*i:])
+				if p == 0 {
+					continue
+				}
+				if depth == 1 {
+					if err := fn(base+i, p); err != nil {
+						return err
+					}
+				} else if err := rec2(p, base+i*span, depth-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return rec2(root, base, depth)
+	}
+	if ind := le.Uint64(rec[iLay+8*nDirect:]); ind != 0 {
+		if err := walkInd(ind, nDirect, 1); err != nil {
+			return err
+		}
+	}
+	if dind := le.Uint64(rec[iLay+8*nDirect+8:]); dind != 0 {
+		if err := walkInd(dind, nDirect+ptrsPerBl, 2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freeFileBlocks frees every data and pointer/spill block of an inode
+// (inside the current transaction).
+func (fs *FS) freeFileBlocks(ino vfs.Ino) error {
+	le := binary.LittleEndian
+	// Collect data blocks first.
+	var data []uint64
+	if err := fs.forEachBlock(ino, func(_, phys uint64) error {
+		data = append(data, phys)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, b := range data {
+		if err := fs.freeBlock(b); err != nil {
+			return err
+		}
+	}
+	// Interior structures.
+	rec, err := fs.inodeImage(ino)
+	if err != nil {
+		return err
+	}
+	if fs.mode == Ext4 {
+		if spill := le.Uint64(rec[e4Spill:]); spill != 0 {
+			if err := fs.freeBlock(spill); err != nil {
+				return err
+			}
+		}
+	} else {
+		if ind := le.Uint64(rec[iLay+8*nDirect:]); ind != 0 {
+			if err := fs.freeBlock(ind); err != nil {
+				return err
+			}
+		}
+		if dind := le.Uint64(rec[iLay+8*nDirect+8:]); dind != 0 {
+			buf := make([]byte, blockSize)
+			img, err := fs.readView(dind, buf)
+			if err != nil {
+				return err
+			}
+			for i := uint64(0); i < ptrsPerBl; i++ {
+				if p := le.Uint64(img[8*i:]); p != 0 {
+					if err := fs.freeBlock(p); err != nil {
+						return err
+					}
+				}
+			}
+			if err := fs.freeBlock(dind); err != nil {
+				return err
+			}
+		}
+	}
+	// Clear the layout area.
+	for i := iLay; i < inodeSize; i++ {
+		rec[i] = 0
+	}
+	return nil
+}

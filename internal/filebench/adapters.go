@@ -1,0 +1,153 @@
+package filebench
+
+import (
+	"errors"
+	"io"
+
+	"github.com/aerie-fs/aerie/internal/flatfs"
+	"github.com/aerie-fs/aerie/internal/pxfs"
+	"github.com/aerie-fs/aerie/internal/vfs"
+)
+
+// PXFSAdapter drives a PXFS client (calls go through libFS rather than
+// system calls, as the paper's modified FileBench does).
+type PXFSAdapter struct{ FS *pxfs.FS }
+
+type pxfsFile struct{ f *pxfs.File }
+
+func (p pxfsFile) Read(b []byte) (int, error) {
+	n, err := p.f.Read(b)
+	if errors.Is(err, io.EOF) {
+		return n, io.EOF
+	}
+	return n, err
+}
+func (p pxfsFile) Write(b []byte) (int, error) { return p.f.Write(b) }
+func (p pxfsFile) Close() error                { return p.f.Close() }
+
+// Create implements FS.
+func (a PXFSAdapter) Create(path string) (File, error) {
+	f, err := a.FS.Create(path, 0644)
+	if err != nil {
+		return nil, err
+	}
+	return pxfsFile{f}, nil
+}
+
+// Open implements FS.
+func (a PXFSAdapter) Open(path string) (File, error) {
+	f, err := a.FS.Open(path, pxfs.O_RDONLY)
+	if err != nil {
+		return nil, err
+	}
+	return pxfsFile{f}, nil
+}
+
+// OpenAppend implements FS.
+func (a PXFSAdapter) OpenAppend(path string) (File, error) {
+	f, err := a.FS.OpenFile(path, pxfs.O_RDWR|pxfs.O_APPEND, 0644)
+	if err != nil {
+		return nil, err
+	}
+	return pxfsFile{f}, nil
+}
+
+// Delete implements FS.
+func (a PXFSAdapter) Delete(path string) error { return a.FS.Unlink(path) }
+
+// Mkdir implements FS (idempotent: repeated Setup on a warm tree is fine).
+func (a PXFSAdapter) Mkdir(path string) error {
+	err := a.FS.Mkdir(path, 0755)
+	if errors.Is(err, pxfs.ErrExist) {
+		return nil
+	}
+	return err
+}
+
+// Stat implements FS.
+func (a PXFSAdapter) Stat(path string) error {
+	_, err := a.FS.Stat(path)
+	return err
+}
+
+// Sync implements FS.
+func (a PXFSAdapter) Sync() error { return a.FS.Sync() }
+
+// VFSAdapter drives a kernel baseline (RamFS / ext3 / ext4) through the
+// simulated system-call layer.
+type VFSAdapter struct{ V *vfs.VFS }
+
+type vfsFile struct {
+	v  *vfs.VFS
+	fd int
+}
+
+func (f vfsFile) Read(b []byte) (int, error) {
+	n, err := f.v.Read(f.fd, b)
+	if err == nil && n == 0 && len(b) > 0 {
+		return 0, io.EOF
+	}
+	return n, err
+}
+func (f vfsFile) Write(b []byte) (int, error) { return f.v.Write(f.fd, b) }
+func (f vfsFile) Close() error                { return f.v.Close(f.fd) }
+
+// Create implements FS.
+func (a VFSAdapter) Create(path string) (File, error) {
+	fd, err := a.V.Open(path, vfs.O_RDWR|vfs.O_CREATE|vfs.O_TRUNC, 0644)
+	if err != nil {
+		return nil, err
+	}
+	return vfsFile{a.V, fd}, nil
+}
+
+// Open implements FS.
+func (a VFSAdapter) Open(path string) (File, error) {
+	fd, err := a.V.Open(path, vfs.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	return vfsFile{a.V, fd}, nil
+}
+
+// OpenAppend implements FS.
+func (a VFSAdapter) OpenAppend(path string) (File, error) {
+	fd, err := a.V.Open(path, vfs.O_RDWR|vfs.O_APPEND, 0)
+	if err != nil {
+		return nil, err
+	}
+	return vfsFile{a.V, fd}, nil
+}
+
+// Delete implements FS.
+func (a VFSAdapter) Delete(path string) error { return a.V.Unlink(path) }
+
+// Mkdir implements FS (idempotent).
+func (a VFSAdapter) Mkdir(path string) error {
+	err := a.V.Mkdir(path, 0755)
+	if errors.Is(err, vfs.ErrExist) {
+		return nil
+	}
+	return err
+}
+
+// Stat implements FS.
+func (a VFSAdapter) Stat(path string) error {
+	_, err := a.V.Stat(path)
+	return err
+}
+
+// Sync implements FS.
+func (a VFSAdapter) Sync() error { return a.V.Sync() }
+
+// FlatKV adapts a FlatFS client to the KV interface.
+type FlatKV struct{ FS *flatfs.FS }
+
+// Put implements KV.
+func (a FlatKV) Put(key string, val []byte) error { return a.FS.Put(key, val) }
+
+// Get implements KV.
+func (a FlatKV) Get(key string, buf []byte) ([]byte, error) { return a.FS.GetInto(key, buf) }
+
+// Erase implements KV.
+func (a FlatKV) Erase(key string) error { return a.FS.Erase(key) }

@@ -1,0 +1,336 @@
+package filebench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+// Run executes the profile against fsys. Threads share the file system (as
+// client threads share a process in §7.2.3); each owns a disjoint slice of
+// the file index space for create/delete so the working set stays stable.
+func Run(fsys FS, p Profile, opts RunOpts) (Result, error) {
+	opts.defaults()
+	type threadOut struct {
+		ops     int64
+		latencs []time.Duration // per-iteration
+		iters   int64
+		err     error
+	}
+	outs := make([]threadOut, opts.Threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tIdx := 0; tIdx < opts.Threads; tIdx++ {
+		wg.Add(1)
+		go func(tIdx int) {
+			defer wg.Done()
+			out := &outs[tIdx]
+			rng := rand.New(rand.NewSource(opts.Seed + int64(tIdx)*7919))
+			w := worker{
+				fsys: fsys, p: p, rng: rng,
+				lo: tIdx * p.NFiles / opts.Threads,
+				hi: (tIdx + 1) * p.NFiles / opts.Threads,
+			}
+			w.tracer = opts.Tracer
+			for i := 0; i < opts.Iterations; i++ {
+				t0 := time.Now()
+				ops, err := w.iteration()
+				if err != nil {
+					out.err = fmt.Errorf("thread %d iter %d: %w", tIdx, i, err)
+					return
+				}
+				out.latencs = append(out.latencs, time.Since(t0))
+				out.ops += ops
+				out.iters++
+			}
+		}(tIdx)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{Profile: p.Name, Threads: opts.Threads, Elapsed: elapsed}
+	var perOp []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, outs[i].err
+		}
+		res.Ops += outs[i].ops
+		res.Iterations += outs[i].iters
+		opsPerIter := outs[i].ops / max64(outs[i].iters, 1)
+		for _, d := range outs[i].latencs {
+			perOp = append(perOp, d/time.Duration(max64(opsPerIter, 1)))
+		}
+	}
+	if res.Ops > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	if len(perOp) > 0 {
+		sort.Slice(perOp, func(i, j int) bool { return perOp[i] < perOp[j] })
+		res.P95OpLatency = perOp[len(perOp)*95/100]
+		// Mean per-op latency as experienced by a thread.
+		var sum time.Duration
+		for _, d := range perOp {
+			sum += d
+		}
+		res.MeanOpLatency = sum / time.Duration(len(perOp))
+	}
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type worker struct {
+	fsys   FS
+	p      Profile
+	rng    *rand.Rand
+	lo, hi int
+	tracer *costmodel.Tracer
+	buf    []byte
+}
+
+func (w *worker) pick() int {
+	if w.hi <= w.lo {
+		return w.lo
+	}
+	return w.lo + w.rng.Intn(w.hi-w.lo)
+}
+
+func (w *worker) begin(name string) { w.tracer.BeginOp(name) }
+
+func (w *worker) end() { w.tracer.EndOp() }
+
+// iteration performs one profile iteration, returning the number of
+// workload operations it issued.
+func (w *worker) iteration() (int64, error) {
+	p := w.p
+	if w.buf == nil {
+		w.buf = make([]byte, p.IOSize)
+		fillPattern(w.buf)
+	}
+	ops := int64(0)
+	// Whole-file reads.
+	for r := 0; r < p.ReadsPerIter; r++ {
+		i := w.pick()
+		w.begin("openreadclose")
+		err := w.readWhole(p.fileName(i))
+		w.end()
+		ops += 3
+		if err != nil {
+			return ops, fmt.Errorf("read %d: %w", i, err)
+		}
+	}
+	if p.DoCreateDelete {
+		i := w.pick()
+		name := p.fileName(i)
+		// Delete then recreate keeps the working set stable.
+		w.begin("delete")
+		err := w.fsys.Delete(name)
+		w.end()
+		ops++
+		if err != nil {
+			return ops, fmt.Errorf("delete: %w", err)
+		}
+		w.begin("createwrite")
+		err = writeWhole(w.fsys, name, w.buf[:min(p.fileSize(i), len(w.buf))])
+		w.end()
+		ops += 3
+		if err != nil {
+			return ops, fmt.Errorf("create: %w", err)
+		}
+	}
+	if p.Name == "fileserver" {
+		// Whole-file overwrite of another file.
+		i := w.pick()
+		w.begin("writewhole")
+		err := writeWhole(w.fsys, p.fileName(i), w.buf[:min(p.fileSize(i), len(w.buf))])
+		w.end()
+		ops += 3
+		if err != nil {
+			return ops, fmt.Errorf("overwrite: %w", err)
+		}
+	}
+	// Log append.
+	if p.AppendSize > 0 {
+		w.begin("appendlog")
+		err := w.appendLog()
+		w.end()
+		ops += 3
+		if err != nil {
+			return ops, fmt.Errorf("append: %w", err)
+		}
+	}
+	if p.DoStat {
+		i := w.pick()
+		w.begin("stat")
+		err := w.fsys.Stat(p.fileName(i))
+		w.end()
+		ops++
+		if err != nil {
+			return ops, fmt.Errorf("stat: %w", err)
+		}
+	}
+	return ops, nil
+}
+
+func (w *worker) readWhole(path string) error {
+	f, err := w.fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	for {
+		n, err := f.Read(w.buf)
+		if err == io.EOF || (err == nil && n == 0) {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func (w *worker) appendLog() error {
+	f, err := w.fsys.OpenAppend("/bench/logfile")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(w.buf[:w.p.AppendSize]); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RunKV executes the FlatFS-converted Webproxy (§7.3.2): create/write/close
+// becomes put, open/read/close becomes get, delete becomes erase, and the
+// log append becomes get/modify/put. Converted operations keep the op count
+// of the file sequences they replace (a get counts as open+read+close),
+// so throughput is comparable across interfaces — the same logical
+// workload, fewer actual operations, which is exactly FlatFS's advantage.
+func RunKV(kv KV, p Profile, opts RunOpts) (Result, error) {
+	opts.defaults()
+	type threadOut struct {
+		ops     int64
+		latencs []time.Duration
+		iters   int64
+		err     error
+	}
+	outs := make([]threadOut, opts.Threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tIdx := 0; tIdx < opts.Threads; tIdx++ {
+		wg.Add(1)
+		go func(tIdx int) {
+			defer wg.Done()
+			out := &outs[tIdx]
+			rng := rand.New(rand.NewSource(opts.Seed + int64(tIdx)*104729))
+			lo := tIdx * p.NFiles / opts.Threads
+			hi := (tIdx + 1) * p.NFiles / opts.Threads
+			if hi <= lo {
+				hi = lo + 1
+			}
+			buf := make([]byte, p.MeanFileSize*8)
+			fillPattern(buf)
+			readBuf := make([]byte, p.MeanFileSize*8)
+			pick := func() int { return lo + rng.Intn(hi-lo) }
+			for i := 0; i < opts.Iterations; i++ {
+				t0 := time.Now()
+				ops := int64(0)
+				trace := func(name string, fn func() error) error {
+					if opts.Tracer != nil {
+						opts.Tracer.BeginOp(name)
+						defer opts.Tracer.EndOp()
+					}
+					return fn()
+				}
+				// Gets (into a reused application buffer, §6.2).
+				for r := 0; r < p.ReadsPerIter; r++ {
+					k := p.key(pick())
+					if err := trace("get", func() error {
+						got, err := kv.Get(k, readBuf)
+						if err == nil {
+							readBuf = got[:cap(got)]
+						}
+						return err
+					}); err != nil {
+						out.err = err
+						return
+					}
+					ops += 3 // replaces open/read/close
+				}
+				// Erase + put (create/delete converted); the key is
+				// recreated so the working set stays stable.
+				ki := pick()
+				k := p.key(ki)
+				if err := trace("erase", func() error { return kv.Erase(k) }); err != nil {
+					out.err = err
+					return
+				}
+				ops++
+				if err := trace("put", func() error {
+					return kv.Put(k, buf[:p.fileSize(ki)])
+				}); err != nil {
+					out.err = err
+					return
+				}
+				ops += 3 // replaces create/write/close
+				// Log append as get/modify/put.
+				if err := trace("logappend", func() error {
+					cur, err := kv.Get("bench-logfile", nil)
+					if err != nil {
+						return err
+					}
+					if len(cur) > 4*p.AppendSize {
+						cur = cur[:0]
+					}
+					return kv.Put("bench-logfile", append(cur, buf[:p.AppendSize]...))
+				}); err != nil {
+					out.err = err
+					return
+				}
+				ops += 3 // replaces open/append/close
+				out.latencs = append(out.latencs, time.Since(t0))
+				out.ops += ops
+				out.iters++
+			}
+		}(tIdx)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{Profile: p.Name + "-flat", Threads: opts.Threads, Elapsed: elapsed}
+	var perOp []time.Duration
+	for i := range outs {
+		if outs[i].err != nil {
+			return res, outs[i].err
+		}
+		res.Ops += outs[i].ops
+		res.Iterations += outs[i].iters
+		opsPerIter := outs[i].ops / max64(outs[i].iters, 1)
+		for _, d := range outs[i].latencs {
+			perOp = append(perOp, d/time.Duration(max64(opsPerIter, 1)))
+		}
+	}
+	if res.Ops > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	if len(perOp) > 0 {
+		sort.Slice(perOp, func(i, j int) bool { return perOp[i] < perOp[j] })
+		res.P95OpLatency = perOp[len(perOp)*95/100]
+		var sum time.Duration
+		for _, d := range perOp {
+			sum += d
+		}
+		res.MeanOpLatency = sum / time.Duration(len(perOp))
+	}
+	return res, nil
+}

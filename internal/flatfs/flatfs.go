@@ -1,0 +1,290 @@
+// Package flatfs implements FlatFS (§6.2): a specialized file-system
+// interface for applications that store many small files in one directory
+// (mail stores, proxy caches, wikis). It replaces the hierarchical
+// namespace with a single flat collection mapping keys to single-extent
+// mFiles, and replaces open/read/write/close with put/get/erase — a get or
+// put locates the file and copies it in a single operation, with no open-
+// file state.
+//
+// Locking (§6.2): a single lock covers the whole collection and
+// fine-grained locks cover the hash-table buckets. Operations take the
+// collection lock in intent mode (IS for get, IX for put/erase) plus the
+// bucket lock (S or X) for their key, so independent keys proceed in
+// parallel — the scalability fix for PXFS's single-directory bottleneck.
+// An operation that would rehash the table (growth or tombstone GC)
+// escalates to the whole-collection write lock first, because a rehash
+// moves every bucket.
+//
+// FlatFS and PXFS share the same layout: the flat namespace is an ordinary
+// collection (by default the volume root), which PXFS sees as a single
+// global directory (§6.2 Discussion).
+package flatfs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("flatfs: key not found")
+	ErrBadKey   = errors.New("flatfs: bad key")
+)
+
+// Options tunes a FlatFS instance.
+type Options struct {
+	// Namespace is the flat collection; zero means the volume root.
+	Namespace sobj.OID
+	// Perm is the mode for created files (all FlatFS files share
+	// permissions, §6.2); default 0644.
+	Perm uint32
+	// GrowHeadroom is how close to the rehash threshold the table may get
+	// before writes escalate to the whole-collection lock (default 8).
+	GrowHeadroom uint32
+}
+
+// FS is a FlatFS client instance.
+type FS struct {
+	s    *libfs.Session
+	ns   sobj.OID
+	opts Options
+
+	// Stats.
+	Escalations int64
+}
+
+// New creates a FlatFS view over session s.
+func New(s *libfs.Session, opts Options) *FS {
+	if opts.Namespace == 0 {
+		opts.Namespace = s.Root
+	}
+	if opts.Perm == 0 {
+		opts.Perm = 0644
+	}
+	if opts.GrowHeadroom == 0 {
+		opts.GrowHeadroom = 8
+	}
+	return &FS{s: s, ns: opts.Namespace, opts: opts}
+}
+
+// Session returns the underlying libFS session.
+func (fs *FS) Session() *libfs.Session { return fs.s }
+
+// Namespace returns the flat collection's OID.
+func (fs *FS) Namespace() sobj.OID { return fs.ns }
+
+func checkKey(key string) error {
+	if key == "" || len(key) > sobj.MaxKeyLen {
+		return fmt.Errorf("%w: %d bytes", ErrBadKey, len(key))
+	}
+	return nil
+}
+
+// lockWrite acquires the locks for a mutating operation: normally the
+// collection intent-write lock plus the key's bucket lock in write mode;
+// when the table is near a rehash, the whole-collection write lock
+// (hierarchical, so it covers the files too).
+func (fs *FS) lockWrite(key []byte) (cover uint64, keyArg []byte, unlock func(), err error) {
+	col, err := sobj.OpenCollection(fs.s.Mem, fs.ns)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	grow, err := col.NeedsGrow(fs.opts.GrowHeadroom + uint32(fs.s.StagedInserts(fs.ns)))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	nsLock := fs.ns.Lock()
+	if grow {
+		fs.Escalations++
+		if err := fs.s.Clerk.Acquire(nsLock, lockservice.X, true); err != nil {
+			return 0, nil, nil, err
+		}
+		return nsLock, nil, func() { fs.s.Clerk.Release(nsLock, lockservice.X) }, nil
+	}
+	if err := fs.s.Clerk.Acquire(nsLock, lockservice.IX, false); err != nil {
+		return 0, nil, nil, err
+	}
+	// The bucket lock is derived from the current table, which cannot
+	// move while we hold IX (a rehash needs X).
+	bl, err := col.BucketLock(key)
+	if err != nil {
+		fs.s.Clerk.Release(nsLock, lockservice.IX)
+		return 0, nil, nil, err
+	}
+	if err := fs.s.Clerk.Acquire(bl, lockservice.X, false); err != nil {
+		fs.s.Clerk.Release(nsLock, lockservice.IX)
+		return 0, nil, nil, err
+	}
+	return bl, key, func() {
+		fs.s.Clerk.Release(bl, lockservice.X)
+		fs.s.Clerk.Release(nsLock, lockservice.IX)
+	}, nil
+}
+
+// Put stores data under key, creating or overwriting the file in a single
+// operation.
+func (fs *FS) Put(key string, data []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	kb := []byte(key)
+	cover, keyArg, unlock, err := fs.lockWrite(kb)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	oid, found, err := fs.s.DirLookup(fs.ns, kb)
+	if err != nil {
+		return err
+	}
+	if found {
+		if len(data) > 0 {
+			if _, err := fs.s.FileWriteKeyed(oid, data, 0, cover, keyArg); err != nil {
+				return err
+			}
+		}
+		// Overwrite semantics: the file is exactly data.
+		return fs.s.FileSetSizeKeyed(oid, uint64(len(data)), cover, keyArg)
+	}
+	capacity := uint64(len(data))
+	if capacity < 64 {
+		capacity = 64
+	}
+	oid, err = fs.s.CreateMFileSingleStaged(fs.opts.Perm, capacity)
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := fs.s.FileWriteKeyed(oid, data, 0, cover, keyArg); err != nil {
+			return err
+		}
+	}
+	if keyArg != nil {
+		return fs.s.DirInsertFlat(fs.ns, kb, oid, cover)
+	}
+	return fs.s.DirInsert(fs.ns, kb, oid, cover)
+}
+
+// Get returns the contents stored under key as a fresh buffer. Prefer
+// GetInto on hot paths: the paper's get copies the file directly into an
+// application buffer (§6.2), and allocating per call costs more than the
+// copy itself.
+func (fs *FS) Get(key string) ([]byte, error) {
+	return fs.GetInto(key, nil)
+}
+
+// GetInto returns the contents stored under key, reusing buf's storage when
+// it is large enough: locate the file in memory and copy it to the
+// application's buffer in one operation (§6.2).
+func (fs *FS) GetInto(key string, buf []byte) ([]byte, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	kb := []byte(key)
+	nsLock := fs.ns.Lock()
+	if err := fs.s.Clerk.Acquire(nsLock, lockservice.IS, false); err != nil {
+		return nil, err
+	}
+	defer fs.s.Clerk.Release(nsLock, lockservice.IS)
+	col, err := sobj.OpenCollection(fs.s.Mem, fs.ns)
+	if err != nil {
+		return nil, err
+	}
+	bl, err := col.BucketLock(kb)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.s.Clerk.Acquire(bl, lockservice.S, false); err != nil {
+		return nil, err
+	}
+	defer fs.s.Clerk.Release(bl, lockservice.S)
+	oid, found, err := fs.s.DirLookup(fs.ns, kb)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	size, err := fs.s.FileSize(oid)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := fs.s.FileRead(oid, buf, 0); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Erase removes key and reclaims its file's storage.
+func (fs *FS) Erase(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	kb := []byte(key)
+	cover, keyArg, unlock, err := fs.lockWrite(kb)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	_, found, err := fs.s.DirLookup(fs.ns, kb)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if keyArg != nil {
+		return fs.s.DirRemoveFlat(fs.ns, kb, cover)
+	}
+	return fs.s.DirRemove(fs.ns, kb, cover)
+}
+
+// Has reports whether key exists.
+func (fs *FS) Has(key string) (bool, error) {
+	if err := checkKey(key); err != nil {
+		return false, err
+	}
+	_, found, err := fs.s.DirLookup(fs.ns, []byte(key))
+	return found, err
+}
+
+// Keys lists all keys (whole-namespace read lock).
+func (fs *FS) Keys() ([]string, error) {
+	nsLock := fs.ns.Lock()
+	if err := fs.s.Clerk.Acquire(nsLock, lockservice.S, false); err != nil {
+		return nil, err
+	}
+	defer fs.s.Clerk.Release(nsLock, lockservice.S)
+	var keys []string
+	if err := fs.s.DirIterate(fs.ns, func(key []byte, _ sobj.OID) error {
+		keys = append(keys, string(key))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// Count returns the number of stored keys (live entries plus this client's
+// staged inserts).
+func (fs *FS) Count() (int, error) {
+	n := 0
+	if err := fs.s.DirIterate(fs.ns, func([]byte, sobj.OID) error {
+		n++
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Sync ships buffered metadata updates.
+func (fs *FS) Sync() error { return fs.s.Sync() }

@@ -1,0 +1,211 @@
+// Package fsproto defines the wire protocol between libFS clients and the
+// trusted file-system service: RPC method numbers, the metadata-update
+// operation log format (§5.3.5 — each log entry identifies the operation,
+// the objects it modifies, and the fields it updates), and the encoders and
+// decoders both sides share.
+//
+// Clients buffer Op records locally and ship them in batches; the TFS
+// validates each op (structure, locks held, allocations legitimate,
+// invariants preserved) before journaling and applying it.
+package fsproto
+
+import (
+	"fmt"
+
+	"github.com/aerie-fs/aerie/internal/sobj"
+	"github.com/aerie-fs/aerie/internal/wire"
+)
+
+// RPC methods (range 0x200 is reserved for the file-system service; 0x100
+// belongs to the lock service).
+const (
+	MethodMount     = 0x201
+	MethodPrealloc  = 0x202
+	MethodApplyLog  = 0x203
+	MethodChmod     = 0x204
+	MethodOpenFile  = 0x205
+	MethodCloseFile = 0x206
+	MethodSync      = 0x207
+	MethodStatVol   = 0x208
+)
+
+// Op codes in a metadata-update batch.
+const (
+	OpCreateObject uint8 = 1 // client-staged object becomes live
+	OpInsert       uint8 = 2 // directory/collection insert
+	OpRemove       uint8 = 3 // directory/collection remove
+	OpRename       uint8 = 4 // atomic two-directory move
+	OpAttachExtent uint8 = 5 // link a pre-allocated, pre-written extent
+	OpSetSize      uint8 = 6 // mFile logical size
+	OpTruncate     uint8 = 7 // shrink an mFile, freeing extents
+	OpSetAttr      uint8 = 8 // permission bits / attribute word
+	OpReplaceExt   uint8 = 9 // swap a single-extent mFile's extent
+)
+
+// Op is one metadata update. Fields are a union across op codes; CoverLock
+// names the lock the client claims covers the target (its own lock, or a
+// hierarchical ancestor's).
+type Op struct {
+	Code      uint8
+	Target    sobj.OID // object being modified (directory for inserts)
+	Child     sobj.OID // inserted/removed object; rename: moved object
+	Key       []byte   // collection key (insert/remove; rename: source key)
+	Key2      []byte   // rename: destination key
+	Dir2      sobj.OID // rename: destination directory
+	Val       uint64   // size / blockIdx / perm / attrs
+	Val2      uint64   // extent addr / capacity
+	CoverLock uint64   // lock claimed to cover Target
+	Cover2    uint64   // rename: lock claimed to cover Dir2
+}
+
+// AppendOp encodes op onto w.
+func AppendOp(w *wire.Writer, op *Op) {
+	w.U8(op.Code)
+	w.U64(uint64(op.Target))
+	w.U64(uint64(op.Child))
+	w.Bytes32(op.Key)
+	w.Bytes32(op.Key2)
+	w.U64(uint64(op.Dir2))
+	w.U64(op.Val)
+	w.U64(op.Val2)
+	w.U64(op.CoverLock)
+	w.U64(op.Cover2)
+}
+
+// DecodeOps decodes a batch of ops, validating structure.
+func DecodeOps(payload []byte) ([]Op, error) {
+	r := wire.NewReader(payload)
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("fsproto: implausible op count %d", n)
+	}
+	ops := make([]Op, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var op Op
+		op.Code = r.U8()
+		op.Target = sobj.OID(r.U64())
+		op.Child = sobj.OID(r.U64())
+		op.Key = append([]byte(nil), r.Bytes32()...)
+		op.Key2 = append([]byte(nil), r.Bytes32()...)
+		op.Dir2 = sobj.OID(r.U64())
+		op.Val = r.U64()
+		op.Val2 = r.U64()
+		op.CoverLock = r.U64()
+		op.Cover2 = r.U64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if op.Code == 0 || op.Code > OpReplaceExt {
+			return nil, fmt.Errorf("fsproto: unknown op code %d", op.Code)
+		}
+		ops = append(ops, op)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// EncodeOps builds an ApplyLog payload from ops.
+func EncodeOps(ops []Op) []byte {
+	w := wire.NewWriter(64 * len(ops))
+	w.U32(uint32(len(ops)))
+	for i := range ops {
+		AppendOp(w, &ops[i])
+	}
+	return w.Bytes()
+}
+
+// MountReply is the response to MethodMount.
+type MountReply struct {
+	Root      sobj.OID
+	HeapStart uint64
+	HeapSize  uint64
+	Partition uint32
+	VolumeGID uint32
+}
+
+// EncodeMountReply serializes r.
+func EncodeMountReply(m *MountReply) []byte {
+	w := wire.NewWriter(48)
+	w.U64(uint64(m.Root))
+	w.U64(m.HeapStart)
+	w.U64(m.HeapSize)
+	w.U32(m.Partition)
+	w.U32(m.VolumeGID)
+	return w.Bytes()
+}
+
+// DecodeMountReply parses a MethodMount response.
+func DecodeMountReply(p []byte) (MountReply, error) {
+	r := wire.NewReader(p)
+	var m MountReply
+	m.Root = sobj.OID(r.U64())
+	m.HeapStart = r.U64()
+	m.HeapSize = r.U64()
+	m.Partition = r.U32()
+	m.VolumeGID = r.U32()
+	if err := r.Finish(); err != nil {
+		return MountReply{}, err
+	}
+	return m, nil
+}
+
+// PreallocRequest asks for count extents of size bytes each.
+type PreallocRequest struct {
+	Size  uint64
+	Count uint32
+}
+
+// EncodePrealloc serializes a PreallocRequest.
+func EncodePrealloc(q PreallocRequest) []byte {
+	w := wire.NewWriter(16)
+	w.U64(q.Size)
+	w.U32(q.Count)
+	return w.Bytes()
+}
+
+// DecodePrealloc parses a PreallocRequest.
+func DecodePrealloc(p []byte) (PreallocRequest, error) {
+	r := wire.NewReader(p)
+	var q PreallocRequest
+	q.Size = r.U64()
+	q.Count = r.U32()
+	if err := r.Finish(); err != nil {
+		return PreallocRequest{}, err
+	}
+	return q, nil
+}
+
+// EncodeAddrs serializes a list of extent addresses.
+func EncodeAddrs(addrs []uint64) []byte {
+	w := wire.NewWriter(8 + 8*len(addrs))
+	w.U32(uint32(len(addrs)))
+	for _, a := range addrs {
+		w.U64(a)
+	}
+	return w.Bytes()
+}
+
+// DecodeAddrs parses a list of extent addresses.
+func DecodeAddrs(p []byte) ([]uint64, error) {
+	r := wire.NewReader(p)
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("fsproto: implausible addr count %d", n)
+	}
+	addrs := make([]uint64, 0, n)
+	for i := uint32(0); i < n; i++ {
+		addrs = append(addrs, r.U64())
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return addrs, nil
+}

@@ -1,0 +1,573 @@
+package libfs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/scm"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// Staged object creation and shadow-aware reads/writes. A client builds new
+// objects directly in its pre-allocated extents (which it owns and may
+// write), logs an OpCreateObject, and from then on observes the object
+// through its shadows until the batch ships.
+
+// CreateCollectionStaged builds a collection client-side and logs its
+// creation.
+func (s *Session) CreateCollectionStaged(perm uint32) (sobj.OID, error) {
+	col, err := sobj.CreateCollection(s.Mem, s.StagingAllocator(), perm)
+	if err != nil {
+		return 0, err
+	}
+	oid := col.OID()
+	if err := s.LogOp(fsproto.Op{Code: fsproto.OpCreateObject, Target: oid}); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// CreateMFileStaged builds a radix-tree mFile client-side and logs its
+// creation.
+func (s *Session) CreateMFileStaged(perm uint32, extentLog uint32) (sobj.OID, error) {
+	m, err := sobj.CreateMFile(s.Mem, s.StagingAllocator(), perm, extentLog)
+	if err != nil {
+		return 0, err
+	}
+	oid := m.OID()
+	if err := s.LogOp(fsproto.Op{Code: fsproto.OpCreateObject, Target: oid}); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// CreateMFileSingleStaged builds a single-extent mFile (FlatFS files).
+func (s *Session) CreateMFileSingleStaged(perm uint32, capacity uint64) (sobj.OID, error) {
+	m, err := sobj.CreateMFileSingle(s.Mem, s.StagingAllocator(), perm, capacity)
+	if err != nil {
+		return 0, err
+	}
+	oid := m.OID()
+	if err := s.LogOp(fsproto.Op{Code: fsproto.OpCreateObject, Target: oid}); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+// ---- Directory (collection) operations through the shadow overlay ----
+
+func (s *Session) colShadow(dir sobj.OID) *colShadow {
+	cs := s.colShadows[dir]
+	if cs == nil {
+		cs = &colShadow{ins: make(map[string]sobj.OID), del: make(map[string]bool)}
+		s.colShadows[dir] = cs
+	}
+	return cs
+}
+
+// DirLookup resolves key in dir, seeing the client's own staged updates.
+func (s *Session) DirLookup(dir sobj.OID, key []byte) (sobj.OID, bool, error) {
+	s.mu.Lock()
+	if cs := s.colShadows[dir]; cs != nil {
+		if v, ok := cs.ins[string(key)]; ok {
+			s.mu.Unlock()
+			return v, true, nil
+		}
+		if cs.del[string(key)] {
+			s.mu.Unlock()
+			return 0, false, nil
+		}
+	}
+	s.mu.Unlock()
+	col, err := sobj.OpenCollection(s.Mem, dir)
+	if err != nil {
+		return 0, false, err
+	}
+	v, err := col.Lookup(key)
+	if errors.Is(err, sobj.ErrNotFound) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, nil
+}
+
+// DirInsert stages key -> child in dir under coverLock.
+func (s *Session) DirInsert(dir sobj.OID, key []byte, child sobj.OID, coverLock uint64) error {
+	s.mu.Lock()
+	cs := s.colShadow(dir)
+	cs.ins[string(key)] = child
+	delete(cs.del, string(key))
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{
+		Code: fsproto.OpInsert, Target: dir, Child: child,
+		Key: append([]byte(nil), key...), CoverLock: coverLock,
+	})
+}
+
+// DirRemove stages removal of key from dir under coverLock.
+func (s *Session) DirRemove(dir sobj.OID, key []byte, coverLock uint64) error {
+	s.mu.Lock()
+	cs := s.colShadow(dir)
+	delete(cs.ins, string(key))
+	cs.del[string(key)] = true
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{
+		Code: fsproto.OpRemove, Target: dir,
+		Key: append([]byte(nil), key...), CoverLock: coverLock,
+	})
+}
+
+// DirInsertFlat stages an insert covered by a FlatFS bucket lock: the
+// no-grow flag tells the TFS to extend with overflow chains rather than
+// rehash (which would invalidate bucket locks, §6.2).
+func (s *Session) DirInsertFlat(dir sobj.OID, key []byte, child sobj.OID, bucketLock uint64) error {
+	s.mu.Lock()
+	cs := s.colShadow(dir)
+	cs.ins[string(key)] = child
+	delete(cs.del, string(key))
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{
+		Code: fsproto.OpInsert, Target: dir, Child: child,
+		Key: append([]byte(nil), key...), CoverLock: bucketLock, Val: 1,
+	})
+}
+
+// DirRemoveFlat stages a bucket-locked remove (no tombstone GC rehash).
+func (s *Session) DirRemoveFlat(dir sobj.OID, key []byte, bucketLock uint64) error {
+	s.mu.Lock()
+	cs := s.colShadow(dir)
+	delete(cs.ins, string(key))
+	cs.del[string(key)] = true
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{
+		Code: fsproto.OpRemove, Target: dir,
+		Key: append([]byte(nil), key...), CoverLock: bucketLock, Val: 1,
+	})
+}
+
+// DirRename stages an atomic move.
+func (s *Session) DirRename(srcDir sobj.OID, srcKey []byte, dstDir sobj.OID, dstKey []byte, child sobj.OID, coverSrc, coverDst uint64) error {
+	s.mu.Lock()
+	css := s.colShadow(srcDir)
+	delete(css.ins, string(srcKey))
+	css.del[string(srcKey)] = true
+	csd := s.colShadow(dstDir)
+	csd.ins[string(dstKey)] = child
+	delete(csd.del, string(dstKey))
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{
+		Code: fsproto.OpRename, Target: srcDir, Dir2: dstDir, Child: child,
+		Key:       append([]byte(nil), srcKey...),
+		Key2:      append([]byte(nil), dstKey...),
+		CoverLock: coverSrc, Cover2: coverDst,
+	})
+}
+
+// StagedInserts reports how many inserts into dir are buffered but not yet
+// shipped (FlatFS adds them to the live count when deciding whether the
+// next insert could trigger a rehash).
+func (s *Session) StagedInserts(dir sobj.OID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs := s.colShadows[dir]; cs != nil {
+		return len(cs.ins)
+	}
+	return 0
+}
+
+// DirIterate walks dir's live entries merged with the staged overlay.
+func (s *Session) DirIterate(dir sobj.OID, fn func(key []byte, val sobj.OID) error) error {
+	s.mu.Lock()
+	var ins map[string]sobj.OID
+	var del map[string]bool
+	if cs := s.colShadows[dir]; cs != nil {
+		ins = make(map[string]sobj.OID, len(cs.ins))
+		for k, v := range cs.ins {
+			ins[k] = v
+		}
+		del = make(map[string]bool, len(cs.del))
+		for k := range cs.del {
+			del[k] = true
+		}
+	}
+	s.mu.Unlock()
+	col, err := sobj.OpenCollection(s.Mem, dir)
+	if err != nil {
+		return err
+	}
+	if err := col.Iterate(func(key []byte, val sobj.OID) error {
+		if del[string(key)] {
+			return nil
+		}
+		if _, staged := ins[string(key)]; staged {
+			return nil // staged value wins below
+		}
+		return fn(key, val)
+	}); err != nil {
+		return err
+	}
+	for k, v := range ins {
+		if err := fn([]byte(k), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Shadow-aware file I/O ----
+
+func (s *Session) fileShadow(oid sobj.OID) *fileShadow {
+	sh := s.shadows[oid]
+	if sh == nil {
+		sh = &fileShadow{pendingExtents: make(map[uint64]uint64)}
+		s.shadows[oid] = sh
+	}
+	return sh
+}
+
+// FileSize returns the file size the client observes (pending size wins).
+func (s *Session) FileSize(oid sobj.OID) (uint64, error) {
+	s.mu.Lock()
+	if sh := s.shadows[oid]; sh != nil && sh.hasSize {
+		n := sh.size
+		s.mu.Unlock()
+		return n, nil
+	}
+	s.mu.Unlock()
+	m, err := sobj.OpenMFile(s.Mem, oid)
+	if err != nil {
+		return 0, err
+	}
+	return m.Size()
+}
+
+// FileSetSize stages a logical size change under coverLock.
+func (s *Session) FileSetSize(oid sobj.OID, n uint64, coverLock uint64) error {
+	return s.FileSetSizeKeyed(oid, n, coverLock, nil)
+}
+
+// FileSetSizeKeyed is FileSetSize for bucket-locked FlatFS files: key binds
+// the file into its collection for the TFS's cover check.
+func (s *Session) FileSetSizeKeyed(oid sobj.OID, n uint64, coverLock uint64, key []byte) error {
+	s.mu.Lock()
+	sh := s.fileShadow(oid)
+	sh.size = n
+	sh.hasSize = true
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{Code: fsproto.OpSetSize, Target: oid, Val: n, CoverLock: coverLock,
+		Key: append([]byte(nil), key...)})
+}
+
+// FileTruncate stages a shrink. Blocks beyond the cut become holes in the
+// client's shadow: the extents currently mapped there (pending or applied)
+// will be freed when the TFS applies the truncate, so later writes must
+// stage fresh extents rather than write through soon-to-be-freed storage.
+func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
+	m, err := sobj.OpenMFile(s.Mem, oid)
+	if err != nil {
+		return err
+	}
+	single, err := m.IsSingle()
+	if err != nil {
+		return err
+	}
+	bs := uint64(1)
+	if !single {
+		if bs, err = m.BlockSize(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	sh := s.fileShadow(oid)
+	sh.size = n
+	sh.hasSize = true
+	if !single {
+		keep := (n + bs - 1) / bs
+		if !sh.hasHole || keep < sh.holeFrom {
+			sh.hasHole = true
+			sh.holeFrom = keep
+		}
+		for blk := range sh.pendingExtents {
+			if blk >= keep {
+				delete(sh.pendingExtents, blk)
+			}
+		}
+	}
+	s.mu.Unlock()
+	return s.LogOp(fsproto.Op{Code: fsproto.OpTruncate, Target: oid, Val: n, CoverLock: coverLock})
+}
+
+// extentFor resolves a block through the shadow first, then the mFile.
+// Staged truncates hide the mFile's extents beyond the cut (they are doomed
+// to be freed when the batch applies).
+func (s *Session) extentFor(m *sobj.MFile, oid sobj.OID, blockIdx uint64, bs uint64) (uint64, error) {
+	s.mu.Lock()
+	if sh := s.shadows[oid]; sh != nil {
+		if sh.pendingSingle != 0 {
+			addr := sh.pendingSingle
+			s.mu.Unlock()
+			return addr, nil
+		}
+		if a, ok := sh.pendingExtents[blockIdx]; ok {
+			s.mu.Unlock()
+			return a, nil
+		}
+		if sh.hasHole && blockIdx >= sh.holeFrom {
+			s.mu.Unlock()
+			return 0, nil
+		}
+	}
+	s.mu.Unlock()
+	return m.ExtentFor(blockIdx * bs)
+}
+
+// FileRead reads through the shadow overlay: pending extents and pending
+// size are visible to this client before the batch ships.
+func (s *Session) FileRead(oid sobj.OID, p []byte, off uint64) (int, error) {
+	m, err := sobj.OpenMFile(s.Mem, oid)
+	if err != nil {
+		return 0, err
+	}
+	size, err := s.FileSize(oid)
+	if err != nil {
+		return 0, err
+	}
+	if off >= size {
+		return 0, nil
+	}
+	if off+uint64(len(p)) > size {
+		p = p[:size-off]
+	}
+	single, err := m.IsSingle()
+	if err != nil {
+		return 0, err
+	}
+	if single {
+		ext, err := s.extentFor(m, oid, 0, 1)
+		if err != nil {
+			return 0, err
+		}
+		if ext == 0 {
+			for i := range p {
+				p[i] = 0
+			}
+			return len(p), nil
+		}
+		if err := s.Mem.Read(ext+off, p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	bs, err := m.BlockSize()
+	if err != nil {
+		return 0, err
+	}
+	read := 0
+	for read < len(p) {
+		cur := off + uint64(read)
+		blockIdx := cur / bs
+		inBlock := cur % bs
+		chunk := int(bs - inBlock)
+		if chunk > len(p)-read {
+			chunk = len(p) - read
+		}
+		ext, err := s.extentFor(m, oid, blockIdx, bs)
+		if err != nil {
+			return read, err
+		}
+		dst := p[read : read+chunk]
+		if ext == 0 {
+			for i := range dst {
+				dst[i] = 0
+			}
+		} else if err := s.Mem.Read(ext+inBlock, dst); err != nil {
+			return read, err
+		}
+		read += chunk
+	}
+	return read, nil
+}
+
+// FileWrite writes p at off, extending the file as needed: holes and
+// appends take extents from the pre-allocated pool, are written directly,
+// and their attachment is logged for the TFS to verify and link (§5.3.5 —
+// the server only verifies each allocation and attaches each extent rather
+// than allocating and writing itself). Size growth is staged too.
+func (s *Session) FileWrite(oid sobj.OID, p []byte, off uint64, coverLock uint64) (int, error) {
+	return s.FileWriteKeyed(oid, p, off, coverLock, nil)
+}
+
+// FileWriteKeyed is FileWrite for bucket-locked FlatFS files.
+func (s *Session) FileWriteKeyed(oid sobj.OID, p []byte, off uint64, coverLock uint64, key []byte) (int, error) {
+	m, err := sobj.OpenMFile(s.Mem, oid)
+	if err != nil {
+		return 0, err
+	}
+	single, err := m.IsSingle()
+	if err != nil {
+		return 0, err
+	}
+	if single {
+		return s.singleWrite(m, oid, p, off, coverLock, key)
+	}
+	bs, err := m.BlockSize()
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	for written < len(p) {
+		cur := off + uint64(written)
+		blockIdx := cur / bs
+		inBlock := cur % bs
+		chunk := int(bs - inBlock)
+		if chunk > len(p)-written {
+			chunk = len(p) - written
+		}
+		ext, err := s.extentFor(m, oid, blockIdx, bs)
+		if err != nil {
+			return written, err
+		}
+		if ext == 0 {
+			ext, err = s.stageExtent(oid, blockIdx, bs, chunk == int(bs), coverLock, key)
+			if err != nil {
+				return written, err
+			}
+		}
+		if err := scm.WriteFlush(s.Mem, ext+inBlock, p[written:written+chunk]); err != nil {
+			return written, err
+		}
+		written += chunk
+	}
+	end := off + uint64(len(p))
+	size, err := s.FileSize(oid)
+	if err != nil {
+		return written, err
+	}
+	if end > size {
+		if err := s.FileSetSizeKeyed(oid, end, coverLock, key); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// stageExtent allocates, zeroes (when partially covered), and stages an
+// extent for blockIdx.
+func (s *Session) stageExtent(oid sobj.OID, blockIdx, bs uint64, fullCover bool, coverLock uint64, key []byte) (uint64, error) {
+	ext, err := s.AllocStaged(bs)
+	if err != nil {
+		return 0, err
+	}
+	if !fullCover {
+		if err := scm.Zero(s.Mem, ext, int(bs)); err != nil {
+			return 0, err
+		}
+		if err := s.Mem.Flush(ext, int(bs)); err != nil {
+			return 0, err
+		}
+	}
+	s.mu.Lock()
+	s.fileShadow(oid).pendingExtents[blockIdx] = ext
+	s.mu.Unlock()
+	if err := s.LogOp(fsproto.Op{
+		Code: fsproto.OpAttachExtent, Target: oid,
+		Val: blockIdx, Val2: ext, CoverLock: coverLock,
+		Key: append([]byte(nil), key...),
+	}); err != nil {
+		return 0, err
+	}
+	return ext, nil
+}
+
+// singleWrite handles FlatFS-style single-extent files, growing by staging
+// a replacement extent when the write exceeds the current capacity.
+func (s *Session) singleWrite(m *sobj.MFile, oid sobj.OID, p []byte, off uint64, coverLock uint64, key []byte) (int, error) {
+	curExt, curCap, err := m.SingleExtent()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	sh := s.shadows[oid]
+	var ext uint64
+	if sh != nil && sh.pendingSingle != 0 {
+		ext = sh.pendingSingle
+		curCap = sh.singleCap
+	}
+	s.mu.Unlock()
+	need := off + uint64(len(p))
+	if need > curCap {
+		// Stage a larger replacement extent carrying the old contents.
+		newCap := curCap * 2
+		if newCap < need {
+			newCap = need
+		}
+		newExt, err := s.AllocStaged(newCap)
+		if err != nil {
+			return 0, err
+		}
+		size, err := s.FileSize(oid)
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, size)
+		if _, err := s.FileRead(oid, buf, 0); err != nil {
+			return 0, err
+		}
+		if err := scm.Zero(s.Mem, newExt, int(newCap)); err != nil {
+			return 0, err
+		}
+		if len(buf) > 0 {
+			if err := s.Mem.Write(newExt, buf); err != nil {
+				return 0, err
+			}
+		}
+		if err := s.Mem.Flush(newExt, int(newCap)); err != nil {
+			return 0, err
+		}
+		actualCap := poolBlockSize(newCap)
+		s.mu.Lock()
+		shh := s.fileShadow(oid)
+		shh.pendingSingle = newExt
+		shh.singleCap = actualCap
+		s.mu.Unlock()
+		if err := s.LogOp(fsproto.Op{
+			Code: fsproto.OpReplaceExt, Target: oid,
+			Val: newExt, Val2: actualCap, CoverLock: coverLock,
+			Key: append([]byte(nil), key...),
+		}); err != nil {
+			return 0, err
+		}
+		ext = newExt
+	} else if ext == 0 {
+		ext = curExt
+		if ext == 0 {
+			return 0, fmt.Errorf("libfs: single-extent file with no extent")
+		}
+	}
+	if err := scm.WriteFlush(s.Mem, ext+off, p); err != nil {
+		return 0, err
+	}
+	size, err := s.FileSize(oid)
+	if err != nil {
+		return 0, err
+	}
+	if need > size {
+		if err := s.FileSetSizeKeyed(oid, need, coverLock, key); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// poolBlockSize returns the actual extent size the pool hands out for a
+// request (the buddy block size).
+func poolBlockSize(size uint64) uint64 {
+	order := uint(12)
+	for uint64(1)<<order < size {
+		order++
+	}
+	return 1 << order
+}

@@ -1,0 +1,388 @@
+// Package libfs is Aerie's untrusted client library (§4.2): the in-process
+// half of the file system. It mounts the volume through the kernel SCM
+// manager, reads metadata and data directly from SCM through its protected
+// mapping, stages new objects into pre-allocated extents, buffers metadata
+// updates in a local log that is shipped to the TFS in batches (§5.3.5 —
+// on a size threshold, on Sync, and whenever a global lock is released or
+// revoked), and keeps volatile shadow state so a client observes its own
+// not-yet-shipped updates.
+package libfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/alloc"
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/rpc"
+	"github.com/aerie-fs/aerie/internal/scm"
+	"github.com/aerie-fs/aerie/internal/scmmgr"
+	"github.com/aerie-fs/aerie/internal/sobj"
+	"github.com/aerie-fs/aerie/internal/wire"
+)
+
+// Config tunes a client session.
+type Config struct {
+	// UID is the client's user identity; it joins the volume group.
+	UID uint32
+	// BatchLimit is the metadata log size that triggers shipping
+	// (default 8 MiB, the paper's measured optimum).
+	BatchLimit int
+	// PoolRefill is how many extents one Prealloc RPC fetches (default 64).
+	PoolRefill uint32
+	// RenewEvery starts clerk lease renewal (default: lease-dependent off).
+	RenewEvery time.Duration
+	// Tracer records phase traces for the scalability simulator (single-
+	// threaded capture runs only).
+	Tracer *costmodel.Tracer
+	// Costs injects the RPC round-trip latency (may be nil).
+	Costs *costmodel.Costs
+}
+
+// ErrStaleBatch reports that the TFS rejected a batch; the client's buffered
+// updates were discarded (§4.3: integrity is preserved, client data may be
+// lost).
+var ErrStaleBatch = errors.New("libfs: update batch rejected and discarded")
+
+// Session is a mounted client. All methods are safe for concurrent use by
+// the process's threads.
+type Session struct {
+	rc      rpc.Client
+	Clerk   *lockservice.Clerk
+	mgr     *scmmgr.Manager
+	proc    *scmmgr.Process
+	mapping *scmmgr.Mapping
+	cfg     Config
+
+	// Mem is the session's protected view of SCM.
+	Mem scm.Space
+	// Root is the volume root collection.
+	Root sobj.OID
+
+	mu           sync.Mutex
+	batch        []fsproto.Op
+	batchBytes   int
+	shadows      map[sobj.OID]*fileShadow
+	colShadows   map[sobj.OID]*colShadow
+	pool         map[uint][]uint64 // buddy order -> staged extents
+	releaseHooks []func(lockID uint64)
+	closed       bool
+
+	// Stats.
+	Flushes     costmodel.Counter
+	OpsLogged   costmodel.Counter
+	PoolRefills costmodel.Counter
+}
+
+// fileShadow is volatile per-file state covering not-yet-shipped updates:
+// pending extent attachments and the pending size (§6.1's shadow object).
+type fileShadow struct {
+	pendingExtents map[uint64]uint64 // blockIdx -> extent addr
+	size           uint64
+	hasSize        bool
+	pendingSingle  uint64 // staged replacement extent (single mode)
+	singleCap      uint64
+	// A staged truncate makes blocks >= holeFrom holes until new extents
+	// are staged over them: the mFile's current extents there will be
+	// freed when the batch applies, so writing through them would lose
+	// data (and alias storage the allocator may hand out again).
+	holeFrom uint64
+	hasHole  bool
+}
+
+// colShadow overlays a collection with staged inserts and removes.
+type colShadow struct {
+	ins map[string]sobj.OID
+	del map[string]bool
+}
+
+// Mount connects a session: RPC mount, kernel partition mapping, clerk.
+// The rpc client must have been dialed with a callback routed to
+// RouteCallback (see MountInProc for the common wiring).
+func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
+	if cfg.BatchLimit == 0 {
+		cfg.BatchLimit = 8 << 20
+	}
+	if cfg.PoolRefill == 0 {
+		cfg.PoolRefill = 64
+	}
+	w := wire.NewWriter(8)
+	w.U32(cfg.UID)
+	resp, err := rc.Call(fsproto.MethodMount, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	reply, err := fsproto.DecodeMountReply(resp)
+	if err != nil {
+		return nil, err
+	}
+	proc := scmmgr.NewProcess(cfg.UID, reply.VolumeGID)
+	mapping, err := mgr.Mount(proc, scmmgr.PartitionID(reply.Partition))
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		rc: rc, mgr: mgr, proc: proc, mapping: mapping, cfg: cfg,
+		Mem: mapping, Root: reply.Root,
+		shadows:    make(map[sobj.OID]*fileShadow),
+		colShadows: make(map[sobj.OID]*colShadow),
+		pool:       make(map[uint][]uint64),
+	}
+	s.Clerk = lockservice.NewClerk(rc, lockservice.ClerkConfig{RenewEvery: cfg.RenewEvery})
+	s.Clerk.SetTracer(cfg.Tracer)
+	// Ship buffered updates whenever a global lock leaves this client
+	// (voluntary release or revocation) so other clients observe a
+	// consistent view (§5.3.5). Interface layers add their own hooks
+	// (PXFS flushes its path-name cache here).
+	s.Clerk.OnRelease(func(lockID uint64) {
+		_ = s.FlushUpdates()
+		s.mu.Lock()
+		hooks := s.releaseHooks
+		s.mu.Unlock()
+		for _, fn := range hooks {
+			fn(lockID)
+		}
+	})
+	return s, nil
+}
+
+// AddReleaseHook registers fn to run whenever a global lock is released or
+// revoked (after buffered updates ship).
+func (s *Session) AddReleaseHook(fn func(lockID uint64)) {
+	s.mu.Lock()
+	s.releaseHooks = append(s.releaseHooks, fn)
+	s.mu.Unlock()
+}
+
+// sessionHolder lets the RPC callback (created before the session) reach
+// the clerk once it exists.
+type sessionHolder struct {
+	mu sync.Mutex
+	s  *Session
+}
+
+// MountInProc dials srv over the in-process transport and mounts, wiring
+// lock-revocation callbacks to the session's clerk.
+func MountInProc(srv *rpc.Server, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
+	h := &sessionHolder{}
+	rc := rpc.DialInProc(srv, func(method uint32, payload []byte) {
+		h.mu.Lock()
+		s := h.s
+		h.mu.Unlock()
+		if s != nil {
+			s.Clerk.HandleCallback(method, payload)
+		}
+	}, cfg.Costs, cfg.Tracer)
+	s, err := Mount(rc, mgr, cfg)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	h.mu.Lock()
+	h.s = s
+	h.mu.Unlock()
+	return s, nil
+}
+
+// MountTCP dials a TFS served over loopback TCP (cmd/aerie-tfsd) and
+// mounts, wiring revocation callbacks back to the clerk — the paper's
+// socket-RPC deployment (§5.1). The kernel SCM manager is still reached
+// in-process (partition mapping is a kernel service, not an RPC).
+func MountTCP(addr string, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
+	h := &sessionHolder{}
+	rc, err := rpc.DialTCP(addr, func(method uint32, payload []byte) {
+		h.mu.Lock()
+		s := h.s
+		h.mu.Unlock()
+		if s != nil {
+			s.Clerk.HandleCallback(method, payload)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s, err := Mount(rc, mgr, cfg)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	h.mu.Lock()
+	h.s = s
+	h.mu.Unlock()
+	return s, nil
+}
+
+// Close ships pending updates, releases locks, and unmounts.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.FlushUpdates()
+	s.Clerk.Close()
+	s.mgr.Unmount(s.mapping)
+	_ = s.rc.Close()
+	return err
+}
+
+// Abandon simulates a client crash: buffered updates and staged objects are
+// dropped on the floor, locks are left to lease expiry. Used by tests and
+// the sharing example.
+func (s *Session) Abandon() {
+	s.mu.Lock()
+	s.closed = true
+	s.batch = nil
+	s.shadows = make(map[sobj.OID]*fileShadow)
+	s.colShadows = make(map[sobj.OID]*colShadow)
+	s.mu.Unlock()
+	_ = s.rc.Close()
+}
+
+// ---- Pre-allocated extent pool (§5.3.7) ----
+
+// AllocStaged takes an extent of at least size bytes from the local pool,
+// refilling from the TFS when empty.
+func (s *Session) AllocStaged(size uint64) (uint64, error) {
+	order := alloc.OrderFor(size)
+	s.mu.Lock()
+	if list := s.pool[order]; len(list) > 0 {
+		addr := list[len(list)-1]
+		s.pool[order] = list[:len(list)-1]
+		s.mu.Unlock()
+		return addr, nil
+	}
+	s.mu.Unlock()
+	// Refill outside the lock; concurrent refills are harmless.
+	addrs, err := s.prealloc(uint64(1)<<order, s.cfg.PoolRefill)
+	if err != nil {
+		return 0, err
+	}
+	s.PoolRefills.Add(1)
+	s.mu.Lock()
+	s.pool[order] = append(s.pool[order], addrs[1:]...)
+	s.mu.Unlock()
+	return addrs[0], nil
+}
+
+// FreeStaged returns an unused staged extent to the pool.
+func (s *Session) FreeStaged(addr, size uint64) {
+	order := alloc.OrderFor(size)
+	s.mu.Lock()
+	s.pool[order] = append(s.pool[order], addr)
+	s.mu.Unlock()
+}
+
+func (s *Session) prealloc(size uint64, count uint32) ([]uint64, error) {
+	resp, err := s.rc.Call(fsproto.MethodPrealloc, fsproto.EncodePrealloc(fsproto.PreallocRequest{Size: size, Count: count}))
+	if err != nil {
+		return nil, err
+	}
+	return fsproto.DecodeAddrs(resp)
+}
+
+// poolAllocator adapts the session pool to sobj.Allocator for staging
+// objects client-side.
+type poolAllocator struct{ s *Session }
+
+func (p poolAllocator) Alloc(size uint64) (uint64, error) { return p.s.AllocStaged(size) }
+func (p poolAllocator) Free(addr, size uint64) error {
+	p.s.FreeStaged(addr, size)
+	return nil
+}
+
+// StagingAllocator returns an sobj.Allocator backed by the session pool.
+func (s *Session) StagingAllocator() sobj.Allocator { return poolAllocator{s} }
+
+// ---- Metadata update log (§5.3.5) ----
+
+// LogOp buffers one metadata update, shipping the batch if it crossed the
+// size threshold.
+func (s *Session) LogOp(op fsproto.Op) error {
+	s.mu.Lock()
+	s.batch = append(s.batch, op)
+	s.batchBytes += 64 + len(op.Key) + len(op.Key2)
+	s.OpsLogged.Add(1)
+	over := s.batchBytes >= s.cfg.BatchLimit
+	s.mu.Unlock()
+	if over {
+		return s.FlushUpdates()
+	}
+	return nil
+}
+
+// FlushUpdates ships all buffered metadata updates to the TFS (§4.3's
+// libfs sync). On validation failure the batch is discarded: metadata
+// integrity is preserved, the client's unshipped changes are lost.
+func (s *Session) FlushUpdates() error {
+	s.mu.Lock()
+	if len(s.batch) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	batch := s.batch
+	s.batch = nil
+	s.batchBytes = 0
+	s.mu.Unlock()
+
+	payload := fsproto.EncodeOps(batch)
+	_, err := s.rc.Call(fsproto.MethodApplyLog, payload)
+
+	s.mu.Lock()
+	// Whether applied or rejected, the staged state is no longer pending:
+	// applied updates are visible in SCM, rejected ones are gone.
+	s.shadows = make(map[sobj.OID]*fileShadow)
+	s.colShadows = make(map[sobj.OID]*colShadow)
+	s.mu.Unlock()
+	s.Flushes.Add(1)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStaleBatch, err)
+	}
+	return nil
+}
+
+// Sync ships buffered updates, the library equivalent of fsync (§4.3).
+func (s *Session) Sync() error { return s.FlushUpdates() }
+
+// PendingOps reports the number of buffered, unshipped updates.
+func (s *Session) PendingOps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.batch)
+}
+
+// ---- Open-file and protection RPCs ----
+
+// NotifyOpen tells the TFS the client has oid open (unlink-while-open
+// support, §6.1).
+func (s *Session) NotifyOpen(oid sobj.OID) error {
+	w := wire.NewWriter(8)
+	w.U64(uint64(oid))
+	_, err := s.rc.Call(fsproto.MethodOpenFile, w.Bytes())
+	return err
+}
+
+// NotifyClose ends an open registration.
+func (s *Session) NotifyClose(oid sobj.OID) error {
+	w := wire.NewWriter(8)
+	w.U64(uint64(oid))
+	_, err := s.rc.Call(fsproto.MethodCloseFile, w.Bytes())
+	return err
+}
+
+// Chmod asks the TFS to change permission bits; hwProtect also narrows the
+// extent ACLs (the expensive path of §7.2.1).
+func (s *Session) Chmod(oid sobj.OID, perm uint32, hwProtect bool) error {
+	w := wire.NewWriter(16)
+	w.U64(uint64(oid))
+	w.U32(perm)
+	w.Bool(hwProtect)
+	_, err := s.rc.Call(fsproto.MethodChmod, w.Bytes())
+	return err
+}

@@ -1,0 +1,264 @@
+package libfs_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/core"
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+func newSess(t *testing.T, cfg libfs.Config) (*libfs.Session, *core.System) {
+	t.Helper()
+	sys, err := core.New(core.Options{ArenaSize: 64 << 20, AcquireTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, sys
+}
+
+func TestPoolRefillsInBatches(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1, PoolRefill: 16})
+	for i := 0; i < 40; i++ {
+		if _, err := s.AllocStaged(4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 40 allocations at refill 16 need ceil(40/16)=3 RPCs.
+	if got := s.PoolRefills.Load(); got != 3 {
+		t.Fatalf("refills = %d, want 3", got)
+	}
+}
+
+func TestFreeStagedReturnsToPool(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1, PoolRefill: 4})
+	a, err := s.AllocStaged(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FreeStaged(a, 4096)
+	refills := s.PoolRefills.Load()
+	b, err := s.AllocStaged(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PoolRefills.Load() != refills {
+		t.Fatal("freed extent did not come back from the pool")
+	}
+	_ = b
+}
+
+func TestBatchLimitTriggersShipping(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1, BatchLimit: 300}) // tiny: a few ops
+	lock := s.Root.Lock()
+	if err := s.Clerk.Acquire(lock, lockservice.X, true); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Clerk.Release(lock, lockservice.X)
+	for i := 0; i < 10; i++ {
+		oid, err := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DirInsert(s.Root, []byte{byte('a' + i)}, oid, lock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Flushes.Load() == 0 {
+		t.Fatal("batch limit never triggered a flush")
+	}
+}
+
+func TestShadowReadsOwnPendingWrites(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1, BatchLimit: 16 << 20})
+	lock := s.Root.Lock()
+	if err := s.Clerk.Acquire(lock, lockservice.X, true); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Clerk.Release(lock, lockservice.X)
+	oid, err := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("shadow"), 3000)
+	if _, err := s.FileWrite(oid, payload, 0, lock); err != nil {
+		t.Fatal(err)
+	}
+	if s.PendingOps() == 0 {
+		t.Fatal("expected staged ops")
+	}
+	got := make([]byte, len(payload))
+	if _, err := s.FileRead(oid, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("shadow read mismatch before shipping")
+	}
+	size, err := s.FileSize(oid)
+	if err != nil || size != uint64(len(payload)) {
+		t.Fatalf("shadow size = %d, %v", size, err)
+	}
+	// After shipping, reads come from the applied structures.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FileRead(oid, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read mismatch after shipping")
+	}
+}
+
+func TestDirIterateMergesOverlay(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1, BatchLimit: 16 << 20})
+	lock := s.Root.Lock()
+	if err := s.Clerk.Acquire(lock, lockservice.X, true); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Clerk.Release(lock, lockservice.X)
+	// One applied entry, one staged insert, one staged remove.
+	a, _ := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	_ = s.DirInsert(s.Root, []byte("applied"), a, lock)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	_ = s.DirInsert(s.Root, []byte("staged"), b, lock)
+	_ = s.DirRemove(s.Root, []byte("applied"), lock)
+	seen := map[string]bool{}
+	if err := s.DirIterate(s.Root, func(key []byte, _ sobj.OID) error {
+		seen[string(key)] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !seen["staged"] || seen["applied"] || len(seen) != 1 {
+		t.Fatalf("overlay iterate = %v", seen)
+	}
+}
+
+func TestStagedInsertsCounter(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1, BatchLimit: 16 << 20})
+	lock := s.Root.Lock()
+	_ = s.Clerk.Acquire(lock, lockservice.X, true)
+	defer s.Clerk.Release(lock, lockservice.X)
+	if n := s.StagedInserts(s.Root); n != 0 {
+		t.Fatalf("fresh staged = %d", n)
+	}
+	oid, _ := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	_ = s.DirInsert(s.Root, []byte("x"), oid, lock)
+	if n := s.StagedInserts(s.Root); n != 1 {
+		t.Fatalf("staged = %d", n)
+	}
+	_ = s.Sync()
+	if n := s.StagedInserts(s.Root); n != 0 {
+		t.Fatalf("staged after sync = %d", n)
+	}
+}
+
+func TestSingleExtentGrowthAcrossSync(t *testing.T) {
+	s, _ := newSess(t, libfs.Config{UID: 1})
+	lock := s.Root.Lock()
+	_ = s.Clerk.Acquire(lock, lockservice.X, true)
+	defer s.Clerk.Release(lock, lockservice.X)
+	oid, err := s.CreateMFileSingleStaged(0644, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.DirInsert(s.Root, []byte("grow"), oid, lock)
+	big := bytes.Repeat([]byte{7}, 20000) // outgrows 4096
+	if _, err := s.FileWrite(oid, big, 0, lock); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(big))
+	if _, err := s.FileRead(oid, got, 0); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("pre-sync read: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FileRead(oid, got, 0); err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("post-sync read: %v", err)
+	}
+}
+
+func TestReleaseHookRuns(t *testing.T) {
+	s, sys := newSess(t, libfs.Config{UID: 1})
+	fired := 0
+	s.AddReleaseHook(func(uint64) { fired++ })
+	lock := s.Root.Lock()
+	_ = s.Clerk.Acquire(lock, lockservice.S, false)
+	s.Clerk.Release(lock, lockservice.S)
+	s.Clerk.ReleaseGlobal(lock)
+	if fired == 0 {
+		t.Fatal("release hook never ran")
+	}
+	_ = sys
+}
+
+// TestMountOverTCP exercises the paper's loopback-socket deployment end to
+// end: mount, lock traffic, metadata batch shipping, and revocation
+// callbacks all cross real TCP connections.
+func TestMountOverTCP(t *testing.T) {
+	sys, err := core.New(core.Options{ArenaSize: 64 << 20, AcquireTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := sys.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	a, err := libfs.MountTCP(ln.Addr(), sys.Mgr, libfs.Config{UID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	lock := a.Root.Lock()
+	if err := a.Clerk.Acquire(lock, lockservice.X, true); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := a.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.FileWrite(oid, []byte("over tcp"), 0, lock); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DirInsert(a.Root, []byte("tcp-file"), oid, lock); err != nil {
+		t.Fatal(err)
+	}
+	a.Clerk.Release(lock, lockservice.X)
+
+	// A second TCP client revokes the first's cached lock (callback over
+	// the dial-back connection) and reads the shipped file.
+	b, err := libfs.MountTCP(ln.Addr(), sys.Mgr, libfs.Config{UID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Clerk.Acquire(lock, lockservice.S, false); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Clerk.Release(lock, lockservice.S)
+	got, found, err := b.DirLookup(b.Root, []byte("tcp-file"))
+	if err != nil || !found {
+		t.Fatalf("lookup over tcp: %v %v", found, err)
+	}
+	buf := make([]byte, 8)
+	if _, err := b.FileRead(got, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "over tcp" {
+		t.Fatalf("read %q", buf)
+	}
+}

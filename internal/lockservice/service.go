@@ -1,0 +1,380 @@
+// Package lockservice implements Aerie's distributed concurrency control
+// (§5.1, §5.3.4): a centralized lock service executing in the TFS that
+// issues multiple-reader/single-writer locks named by 64-bit IDs, plus the
+// client-side clerk that caches grants, issues local lightweight mutexes to
+// threads, answers descendant requests under hierarchical locks, and
+// responds to revocation callbacks.
+//
+// Lock classes follow the paper's three modes per lock — explicit (covers
+// one object), hierarchical (covers the object and its descendants), and
+// intent (a descendant may be locked) — each in read or write mode. For
+// conflict detection these collapse onto the classic granular-locking
+// classes (Gray et al.): IS, IX, S, X; the hierarchical property is carried
+// on the grant so the clerk can cover descendants locally and the TFS can
+// validate that a batched update was covered by a write lock.
+//
+// Every grant carries a lease that the clerk renews; a client that stops
+// renewing (crashed or unresponsive) implicitly releases its locks, which
+// bounds denial of service (§5.1). Lease expiry also implicitly discards
+// the client's unshipped metadata updates: the service fires an expiry hook
+// the TFS uses to drop that client's state.
+package lockservice
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class is a lock class in the granular-locking lattice.
+type Class uint8
+
+// Lock classes.
+const (
+	// IS: intent to read a descendant.
+	IS Class = iota
+	// IX: intent to write a descendant.
+	IX
+	// S: shared (read) on this object (and descendants if hierarchical).
+	S
+	// X: exclusive (write) on this object (and descendants if
+	// hierarchical).
+	X
+)
+
+func (c Class) String() string {
+	switch c {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Compatible reports whether two classes held by different clients may
+// coexist on the same lock.
+func Compatible(a, b Class) bool {
+	switch a {
+	case IS:
+		return b != X
+	case IX:
+		return b == IS || b == IX
+	case S:
+		return b == IS || b == S
+	case X:
+		return false
+	}
+	return false
+}
+
+// covers reports whether holding `have` satisfies a request for `want` by
+// the same client.
+func covers(have, want Class) bool {
+	if have == want {
+		return true
+	}
+	switch have {
+	case X:
+		return true
+	case S:
+		return want == IS
+	case IX:
+		return want == IS
+	}
+	return false
+}
+
+// merge returns the weakest class that covers both.
+func merge(a, b Class) Class {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	// S+IX (and any other incomparable pair) escalate to X.
+	return X
+}
+
+// Errors.
+var (
+	ErrTimeout  = errors.New("lockservice: acquire timed out")
+	ErrNotHeld  = errors.New("lockservice: lock not held")
+	ErrShutdown = errors.New("lockservice: service shut down")
+)
+
+// RevokeFn is called (without internal locks held) to ask a holder to
+// release a lock that a conflicting request needs. Delivery is best-effort;
+// an unresponsive holder loses the lock at lease expiry.
+type RevokeFn func(holder uint64, lockID uint64, wanted Class)
+
+// Config tunes the service.
+type Config struct {
+	// Lease is the grant lease duration; clerks renew at Lease/3.
+	Lease time.Duration
+	// AcquireTimeout bounds how long Acquire waits before ErrTimeout.
+	AcquireTimeout time.Duration
+	// Revoke delivers revocation callbacks; may be nil.
+	Revoke RevokeFn
+	// OnExpire is invoked when a client loses a grant to lease expiry;
+	// may be nil. The TFS uses it to discard the client's unshipped
+	// batched updates.
+	OnExpire func(client uint64)
+}
+
+type grant struct {
+	class    Class
+	hier     bool
+	expiry   time.Time
+	revoking bool // a revoke callback for this grant has been sent
+}
+
+type lockState struct {
+	holders map[uint64]*grant
+	waiters []chan struct{}
+}
+
+// Service is the lock server. All methods are safe for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu    sync.Mutex
+	locks map[uint64]*lockState
+	down  bool
+
+	// Stats.
+	Acquires    int64
+	Revocations int64
+	Expirations int64
+}
+
+// New creates a lock service.
+func New(cfg Config) *Service {
+	if cfg.Lease == 0 {
+		cfg.Lease = 2 * time.Second
+	}
+	if cfg.AcquireTimeout == 0 {
+		cfg.AcquireTimeout = 10 * time.Second
+	}
+	return &Service{cfg: cfg, locks: make(map[uint64]*lockState)}
+}
+
+func (s *Service) state(id uint64) *lockState {
+	st := s.locks[id]
+	if st == nil {
+		st = &lockState{holders: make(map[uint64]*grant)}
+		s.locks[id] = st
+	}
+	return st
+}
+
+// reapExpiredLocked removes holders with expired leases, firing the expiry
+// hook for each (after the caller releases s.mu). Returns the hooks to run.
+func (s *Service) reapExpiredLocked(st *lockState, now time.Time) []uint64 {
+	var expired []uint64
+	for client, g := range st.holders {
+		if now.After(g.expiry) {
+			delete(st.holders, client)
+			s.Expirations++
+			expired = append(expired, client)
+		}
+	}
+	if len(expired) > 0 {
+		s.wakeLocked(st)
+	}
+	return expired
+}
+
+func (s *Service) wakeLocked(st *lockState) {
+	for _, ch := range st.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Acquire grants client the lock id in the given class (hier marks the
+// grant as hierarchical). It blocks — revoking conflicting holders — until
+// granted, the configured timeout elapses, or the service shuts down.
+// Re-acquiring merges classes (upgrade), renewing the lease.
+func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) error {
+	deadline := time.Now().Add(s.cfg.AcquireTimeout)
+	var waiter chan struct{}
+	defer func() {
+		if waiter != nil {
+			s.mu.Lock()
+			s.removeWaiterLocked(id, waiter)
+			s.mu.Unlock()
+		}
+	}()
+	for {
+		now := time.Now()
+		s.mu.Lock()
+		if s.down {
+			s.mu.Unlock()
+			return ErrShutdown
+		}
+		st := s.state(id)
+		expired := s.reapExpiredLocked(st, now)
+		want := class
+		if g := st.holders[client]; g != nil {
+			want = merge(g.class, class)
+		}
+		var conflicts []uint64
+		for other, g := range st.holders {
+			if other == client {
+				continue
+			}
+			if !Compatible(want, g.class) {
+				if !g.revoking {
+					g.revoking = true
+					conflicts = append(conflicts, other)
+				} else {
+					conflicts = append(conflicts, 0) // already asked; just wait
+				}
+			}
+		}
+		if len(conflicts) == 0 {
+			g := st.holders[client]
+			if g == nil {
+				g = &grant{}
+				st.holders[client] = g
+			}
+			g.class = want
+			g.hier = g.hier || hier
+			g.expiry = now.Add(s.cfg.Lease)
+			g.revoking = false
+			s.Acquires++
+			s.mu.Unlock()
+			s.fireExpiry(expired)
+			return nil
+		}
+		if waiter == nil {
+			waiter = make(chan struct{}, 1)
+		}
+		st.waiters = append(st.waiters, waiter)
+		s.mu.Unlock()
+		s.fireExpiry(expired)
+		for _, holder := range conflicts {
+			if holder != 0 && s.cfg.Revoke != nil {
+				s.Revocations++
+				s.cfg.Revoke(holder, id, want)
+			}
+		}
+		// Wait for a release/expiry signal, polling so lease expiry of a
+		// dead holder is eventually observed.
+		poll := s.cfg.Lease / 4
+		if poll <= 0 || poll > 50*time.Millisecond {
+			poll = 50 * time.Millisecond
+		}
+		select {
+		case <-waiter:
+		case <-time.After(poll):
+		}
+		s.mu.Lock()
+		s.removeWaiterLocked(id, waiter)
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: lock %#x class %v", ErrTimeout, id, class)
+		}
+	}
+}
+
+func (s *Service) removeWaiterLocked(id uint64, ch chan struct{}) {
+	st := s.locks[id]
+	if st == nil {
+		return
+	}
+	for i, w := range st.waiters {
+		if w == ch {
+			st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Service) fireExpiry(clients []uint64) {
+	if s.cfg.OnExpire == nil {
+		return
+	}
+	for _, c := range clients {
+		s.cfg.OnExpire(c)
+	}
+}
+
+// Release drops client's grant on id.
+func (s *Service) Release(client uint64, id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.locks[id]
+	if st == nil || st.holders[client] == nil {
+		return fmt.Errorf("%w: client %d lock %#x", ErrNotHeld, client, id)
+	}
+	delete(st.holders, client)
+	s.wakeLocked(st)
+	if len(st.holders) == 0 && len(st.waiters) == 0 {
+		delete(s.locks, id)
+	}
+	return nil
+}
+
+// ReleaseAll drops every grant held by client (disconnect path).
+func (s *Service) ReleaseAll(client uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, st := range s.locks {
+		if st.holders[client] != nil {
+			delete(st.holders, client)
+			s.wakeLocked(st)
+			if len(st.holders) == 0 && len(st.waiters) == 0 {
+				delete(s.locks, id)
+			}
+		}
+	}
+}
+
+// Renew extends the lease on all grants held by client.
+func (s *Service) Renew(client uint64) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.locks {
+		if g := st.holders[client]; g != nil && !now.After(g.expiry) {
+			g.expiry = now.Add(s.cfg.Lease)
+		}
+	}
+}
+
+// Holds reports whether client currently holds id with a class covering
+// class, and whether that grant is hierarchical. Expired grants don't count.
+func (s *Service) Holds(client uint64, id uint64, class Class) (held, hier bool) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.locks[id]
+	if st == nil {
+		return false, false
+	}
+	g := st.holders[client]
+	if g == nil || now.After(g.expiry) {
+		return false, false
+	}
+	return covers(g.class, class), g.hier
+}
+
+// Shutdown fails all pending and future acquires.
+func (s *Service) Shutdown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = true
+	for _, st := range s.locks {
+		s.wakeLocked(st)
+	}
+}

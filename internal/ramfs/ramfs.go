@@ -1,0 +1,233 @@
+// Package ramfs is the best-case kernel baseline (§7.1): a purely in-memory
+// file system under the simulated VFS, with no crash-consistency work at
+// all — the role Linux RamFS plays in the paper's comparisons.
+package ramfs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/vfs"
+)
+
+type node struct {
+	attr     vfs.Attr
+	data     []byte
+	children map[string]vfs.Ino
+}
+
+// FS is an in-memory vfs.FileSystem.
+type FS struct {
+	mu    sync.Mutex
+	nodes map[vfs.Ino]*node
+	next  vfs.Ino
+}
+
+// New creates an empty RamFS with a root directory.
+func New() *FS {
+	fs := &FS{nodes: make(map[vfs.Ino]*node), next: 2}
+	fs.nodes[1] = &node{
+		attr:     vfs.Attr{Mode: 0755, Nlink: 1, IsDir: true},
+		children: make(map[string]vfs.Ino),
+	}
+	return fs
+}
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() vfs.Ino { return 1 }
+
+func (fs *FS) dir(ino vfs.Ino) (*node, error) {
+	n := fs.nodes[ino]
+	if n == nil {
+		return nil, vfs.ErrNotExist
+	}
+	if !n.attr.IsDir {
+		return nil, vfs.ErrNotDir
+	}
+	return n, nil
+}
+
+// Lookup implements vfs.FileSystem.
+func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dir(dir)
+	if err != nil {
+		return 0, err
+	}
+	ino, ok := d.children[name]
+	if !ok {
+		return 0, vfs.ErrNotExist
+	}
+	return ino, nil
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(dir vfs.Ino, name string, mode uint32, isDir bool) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dir(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := d.children[name]; ok {
+		return 0, vfs.ErrExist
+	}
+	ino := fs.next
+	fs.next++
+	n := &node{attr: vfs.Attr{Mode: mode, Nlink: 1, Mtime: time.Now().UnixNano(), IsDir: isDir}}
+	if isDir {
+		n.children = make(map[string]vfs.Ino)
+	}
+	fs.nodes[ino] = n
+	d.children[name] = ino
+	return ino, nil
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(dir vfs.Ino, name string, rmdir bool) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dir(dir)
+	if err != nil {
+		return err
+	}
+	ino, ok := d.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := fs.nodes[ino]
+	if rmdir {
+		if !n.attr.IsDir {
+			return vfs.ErrNotDir
+		}
+		if len(n.children) > 0 {
+			return vfs.ErrNotEmpty
+		}
+	} else if n.attr.IsDir {
+		return vfs.ErrIsDir
+	}
+	delete(d.children, name)
+	delete(fs.nodes, ino)
+	return nil
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sd, err := fs.dir(sdir)
+	if err != nil {
+		return err
+	}
+	dd, err := fs.dir(ddir)
+	if err != nil {
+		return err
+	}
+	ino, ok := sd.children[sname]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if old, ok := dd.children[dname]; ok {
+		delete(fs.nodes, old)
+	}
+	delete(sd.children, sname)
+	dd.children[dname] = ino
+	return nil
+}
+
+// GetAttr implements vfs.FileSystem.
+func (fs *FS) GetAttr(ino vfs.Ino) (vfs.Attr, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.nodes[ino]
+	if n == nil {
+		return vfs.Attr{}, vfs.ErrNotExist
+	}
+	return n.attr, nil
+}
+
+// SetMode implements vfs.FileSystem.
+func (fs *FS) SetMode(ino vfs.Ino, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.nodes[ino]
+	if n == nil {
+		return vfs.ErrNotExist
+	}
+	n.attr.Mode = mode
+	return nil
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.NameIno, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, err := fs.dir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vfs.NameIno, 0, len(d.children))
+	for name, ino := range d.children {
+		out = append(out, vfs.NameIno{Name: name, Ino: ino})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ReadAt implements vfs.FileSystem.
+func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off uint64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.nodes[ino]
+	if n == nil {
+		return 0, vfs.ErrNotExist
+	}
+	if off >= uint64(len(n.data)) {
+		return 0, nil
+	}
+	return copy(p, n.data[off:]), nil
+}
+
+// WriteAt implements vfs.FileSystem.
+func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off uint64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.nodes[ino]
+	if n == nil {
+		return 0, vfs.ErrNotExist
+	}
+	end := off + uint64(len(p))
+	if end > uint64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:end], p)
+	n.attr.Size = uint64(len(n.data))
+	n.attr.Mtime = time.Now().UnixNano()
+	return len(p), nil
+}
+
+// Truncate implements vfs.FileSystem.
+func (fs *FS) Truncate(ino vfs.Ino, size uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := fs.nodes[ino]
+	if n == nil {
+		return vfs.ErrNotExist
+	}
+	if size <= uint64(len(n.data)) {
+		n.data = n.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	n.attr.Size = size
+	return nil
+}
+
+// Sync implements vfs.FileSystem: RamFS provides no persistence.
+func (fs *FS) Sync() error { return nil }

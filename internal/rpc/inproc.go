@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"sync"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+// InProcClient is the in-process transport: calls run the handler on the
+// caller's goroutine after charging the configured RPC round-trip latency.
+// It is deterministic (no sockets, no scheduler variance) and is the default
+// transport for tests and the benchmark harness. A per-call copy of the
+// request and response preserves the no-shared-memory semantics of a real
+// socket transport, so handlers cannot accidentally alias client buffers.
+type InProcClient struct {
+	srv    *Server
+	id     uint64
+	costs  *costmodel.Costs
+	tracer *costmodel.Tracer
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialInProc connects to srv. cb (may be nil) receives server callbacks;
+// costs (may be nil) supplies the injected round-trip latency; tracer (may
+// be nil) records server-occupancy phases for the scalability simulator.
+func DialInProc(srv *Server, cb CallbackFn, costs *costmodel.Costs, tracer *costmodel.Tracer) *InProcClient {
+	id := srv.connect(cb)
+	return &InProcClient{srv: srv, id: id, costs: costs, tracer: tracer}
+}
+
+// Call implements Client.
+func (c *InProcClient) Call(method uint32, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if c.costs != nil {
+		costmodel.Spin(c.costs.RPCRoundTrip)
+	}
+	reqCopy := make([]byte, len(req))
+	copy(reqCopy, req)
+	c.tracer.EnterResource("tfs", costmodel.Exclusive)
+	resp, err := c.srv.dispatch(c.id, method, reqCopy)
+	c.tracer.ExitResource("tfs")
+	if err != nil {
+		// Errors cross the transport as strings, as they would over a
+		// socket.
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	respCopy := make([]byte, len(resp))
+	copy(respCopy, resp)
+	return respCopy, nil
+}
+
+// ClientID implements Client.
+func (c *InProcClient) ClientID() uint64 { return c.id }
+
+// Close implements Client.
+func (c *InProcClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.srv.disconnect(c.id)
+	return nil
+}

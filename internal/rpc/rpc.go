@@ -1,0 +1,132 @@
+// Package rpc provides the remote-procedure-call layer between libFS clients
+// and the trusted file-system service (§5.1). The paper implements RPC with
+// sockets on the loopback interface and a multithreaded server; this package
+// offers that transport (see tcp.go, used by cmd/aerie-tfsd) plus a
+// deterministic in-process transport that charges a calibrated round-trip
+// latency, which the test suite and benchmark harness use so results do not
+// depend on the host's loopback stack.
+//
+// The server supports a callback channel from the server to each client,
+// used by the distributed lock service to revoke locks.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Status codes carried on responses.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// Errors.
+var (
+	ErrNoHandler = errors.New("rpc: no handler for method")
+	ErrClosed    = errors.New("rpc: connection closed")
+)
+
+// RemoteError is an application error returned by a handler, reconstructed
+// on the client side.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// Handler processes one request from the identified client.
+type Handler func(client uint64, req []byte) ([]byte, error)
+
+// CallbackFn receives one-way server-to-client notifications.
+type CallbackFn func(method uint32, payload []byte)
+
+// Client is the caller's view of a connection to a Server.
+type Client interface {
+	// Call invokes method with req and returns the response.
+	Call(method uint32, req []byte) ([]byte, error)
+	// ClientID returns the server-assigned identity of this client.
+	ClientID() uint64
+	// Close tears down the connection.
+	Close() error
+}
+
+// Server dispatches requests to registered handlers and can push callbacks
+// to connected clients. It serves both transports simultaneously.
+type Server struct {
+	mu        sync.RWMutex
+	handlers  map[uint32]Handler
+	callbacks map[uint64]CallbackFn
+	onClose   map[uint64]func()
+	nextID    uint64
+	closed    bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers:  make(map[uint32]Handler),
+		callbacks: make(map[uint64]CallbackFn),
+		onClose:   make(map[uint64]func()),
+	}
+}
+
+// Register installs the handler for a method. Method 0 is reserved.
+func (s *Server) Register(method uint32, h Handler) {
+	if method == 0 {
+		panic("rpc: method 0 is reserved")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// OnDisconnect installs a hook invoked when the given client disconnects.
+func (s *Server) OnDisconnect(client uint64, fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onClose[client] = fn
+}
+
+// dispatch runs the handler for one request.
+func (s *Server) dispatch(client uint64, method uint32, req []byte) ([]byte, error) {
+	s.mu.RLock()
+	h, ok := s.handlers[method]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %d", ErrNoHandler, method)
+	}
+	return h(client, req)
+}
+
+// Callback pushes a one-way notification to a client. It is a no-op for
+// unknown (already departed) clients.
+func (s *Server) Callback(client uint64, method uint32, payload []byte) {
+	s.mu.RLock()
+	cb := s.callbacks[client]
+	s.mu.RUnlock()
+	if cb != nil {
+		cb(method, payload)
+	}
+}
+
+// connect registers a new client and returns its ID.
+func (s *Server) connect(cb CallbackFn) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.callbacks[id] = cb
+	return id
+}
+
+// disconnect removes a client and fires its disconnect hook.
+func (s *Server) disconnect(client uint64) {
+	s.mu.Lock()
+	delete(s.callbacks, client)
+	fn := s.onClose[client]
+	delete(s.onClose, client)
+	s.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}

@@ -1,0 +1,260 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/wire"
+)
+
+const (
+	methodEcho = 1
+	methodFail = 2
+	methodWho  = 3
+	methodPoke = 4
+)
+
+func newEchoServer(t *testing.T) *Server {
+	t.Helper()
+	srv := NewServer()
+	srv.Register(methodEcho, func(_ uint64, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	srv.Register(methodFail, func(_ uint64, _ []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	srv.Register(methodWho, func(client uint64, _ []byte) ([]byte, error) {
+		w := wire.NewWriter(8)
+		w.U64(client)
+		return w.Bytes(), nil
+	})
+	srv.Register(methodPoke, func(client uint64, req []byte) ([]byte, error) {
+		srv.Callback(client, 99, req)
+		return nil, nil
+	})
+	return srv
+}
+
+func testClientBehavior(t *testing.T, dial func(cb CallbackFn) Client) {
+	t.Helper()
+
+	t.Run("echo", func(t *testing.T) {
+		c := dial(nil)
+		defer c.Close()
+		resp, err := c.Call(methodEcho, []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != "payload" {
+			t.Fatalf("echo = %q", resp)
+		}
+	})
+
+	t.Run("remote error", func(t *testing.T) {
+		c := dial(nil)
+		defer c.Close()
+		_, err := c.Call(methodFail, nil)
+		var re *RemoteError
+		if !errors.As(err, &re) || !strings.Contains(re.Msg, "boom") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("unknown method", func(t *testing.T) {
+		c := dial(nil)
+		defer c.Close()
+		if _, err := c.Call(77, nil); err == nil {
+			t.Fatal("want error for unregistered method")
+		}
+	})
+
+	t.Run("distinct client ids", func(t *testing.T) {
+		a := dial(nil)
+		b := dial(nil)
+		defer a.Close()
+		defer b.Close()
+		ra, err := a.Call(methodWho, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Call(methodWho, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ida := wire.NewReader(ra).U64()
+		idb := wire.NewReader(rb).U64()
+		if ida == idb {
+			t.Fatalf("both clients got id %d", ida)
+		}
+		if ida != a.ClientID() || idb != b.ClientID() {
+			t.Fatal("ClientID mismatch with server view")
+		}
+	})
+
+	t.Run("callback", func(t *testing.T) {
+		got := make(chan string, 1)
+		c := dial(func(method uint32, payload []byte) {
+			if method == 99 {
+				got <- string(payload)
+			}
+		})
+		defer c.Close()
+		if _, err := c.Call(methodPoke, []byte("ding")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case v := <-got:
+			if v != "ding" {
+				t.Fatalf("callback payload = %q", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("callback never arrived")
+		}
+	})
+
+	t.Run("call after close", func(t *testing.T) {
+		c := dial(nil)
+		c.Close()
+		if _, err := c.Call(methodEcho, nil); err == nil {
+			t.Fatal("want error after close")
+		}
+	})
+
+	t.Run("concurrent calls", func(t *testing.T) {
+		c := dial(nil)
+		defer c.Close()
+		var wg sync.WaitGroup
+		errs := make(chan error, 32)
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := c.Call(methodEcho, []byte("x"))
+				if err == nil && string(resp) != "x" {
+					err = errors.New("bad echo")
+				}
+				if err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInProcTransport(t *testing.T) {
+	srv := newEchoServer(t)
+	testClientBehavior(t, func(cb CallbackFn) Client {
+		return DialInProc(srv, cb, nil, nil)
+	})
+}
+
+func TestTCPTransport(t *testing.T) {
+	srv := newEchoServer(t)
+	ln, err := ListenTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	testClientBehavior(t, func(cb CallbackFn) Client {
+		c, err := DialTCP(ln.Addr(), cb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
+func TestDisconnectHookFires(t *testing.T) {
+	srv := newEchoServer(t)
+	c := DialInProc(srv, nil, nil, nil)
+	fired := false
+	srv.OnDisconnect(c.ClientID(), func() { fired = true })
+	c.Close()
+	if !fired {
+		t.Fatal("disconnect hook did not fire")
+	}
+}
+
+func TestCallbackToDepartedClientIsNoop(t *testing.T) {
+	srv := newEchoServer(t)
+	c := DialInProc(srv, func(uint32, []byte) { t.Fatal("callback after close") }, nil, nil)
+	id := c.ClientID()
+	c.Close()
+	srv.Callback(id, 99, nil) // must not panic or deliver
+}
+
+func TestRegisterMethodZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewServer().Register(0, nil)
+}
+
+func TestInProcCopiesBuffers(t *testing.T) {
+	srv := NewServer()
+	var seen []byte
+	srv.Register(1, func(_ uint64, req []byte) ([]byte, error) {
+		seen = req
+		return req, nil
+	})
+	c := DialInProc(srv, nil, nil, nil)
+	defer c.Close()
+	req := []byte("abc")
+	resp, err := c.Call(1, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req[0] = 'X'
+	if seen[0] == 'X' {
+		t.Fatal("handler aliases client request buffer")
+	}
+	seen[1] = 'Y'
+	if resp[1] == 'Y' {
+		t.Fatal("client response aliases handler buffer")
+	}
+}
+
+func BenchmarkInProcCall(b *testing.B) {
+	srv := NewServer()
+	srv.Register(1, func(_ uint64, req []byte) ([]byte, error) { return req, nil })
+	c := DialInProc(srv, nil, nil, nil)
+	defer c.Close()
+	payload := make([]byte, 128)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	srv := NewServer()
+	srv.Register(1, func(_ uint64, req []byte) ([]byte, error) { return req, nil })
+	ln, err := ListenTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := DialTCP(ln.Addr(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

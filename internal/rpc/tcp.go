@@ -1,0 +1,302 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/aerie-fs/aerie/internal/wire"
+)
+
+// TCP transport: the paper's loopback-socket RPC. Frames are
+// [u32 length][u32 tag][payload] where tag is the method number on requests
+// and callbacks, and the status code on responses.
+//
+// A client session may span several connections (so one thread blocked in a
+// long call — e.g. waiting for a lock — does not serialize the whole
+// process): the first connection performs a HELLO handshake that assigns
+// the client ID and optionally registers a callback dial-back address;
+// extra connections join the session by quoting the ID. The session ends
+// when the first connection closes.
+
+const (
+	methodHello = 0
+	maxFrame    = 64 << 20
+)
+
+func writeFrame(w io.Writer, tag uint32, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], tag)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (uint32, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	tag := binary.LittleEndian.Uint32(hdr[4:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return tag, payload, nil
+}
+
+// TCPListener serves a Server over TCP.
+type TCPListener struct {
+	srv *Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ListenTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
+// listener. Serving proceeds on background goroutines until Close.
+func ListenTCP(srv *Server, addr string) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &TCPListener{srv: srv, ln: ln}
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listening address.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting connections.
+func (l *TCPListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return l.ln.Close()
+}
+
+func (l *TCPListener) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		go l.serveConn(conn)
+	}
+}
+
+func (l *TCPListener) serveConn(conn net.Conn) {
+	defer conn.Close()
+	tag, payload, err := readFrame(conn)
+	if err != nil || tag != methodHello {
+		return
+	}
+	r := wire.NewReader(payload)
+	existing := r.U64()
+	cbAddr := r.Str()
+	if r.Finish() != nil {
+		return
+	}
+	var id uint64
+	primary := false
+	if existing != 0 {
+		id = existing
+	} else {
+		primary = true
+		var cbConn net.Conn
+		var cbMu sync.Mutex
+		if cbAddr != "" {
+			cbConn, err = net.Dial("tcp", cbAddr)
+			if err != nil {
+				return
+			}
+			defer cbConn.Close()
+		}
+		id = l.srv.connect(func(method uint32, p []byte) {
+			if cbConn == nil {
+				return
+			}
+			cbMu.Lock()
+			defer cbMu.Unlock()
+			_ = writeFrame(cbConn, method, p)
+		})
+		defer l.srv.disconnect(id)
+	}
+	_ = primary
+	w := wire.NewWriter(16)
+	w.U64(id)
+	if err := writeFrame(conn, statusOK, w.Bytes()); err != nil {
+		return
+	}
+	for {
+		method, req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp, err := l.srv.dispatch(id, method, req)
+		if err != nil {
+			if werr := writeFrame(conn, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeFrame(conn, statusOK, resp); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a client session over one or more TCP connections.
+type TCPClient struct {
+	addr string
+	id   uint64
+
+	mu      sync.Mutex
+	idle    []net.Conn
+	primary net.Conn
+	cbLn    net.Listener
+	closed  bool
+}
+
+// DialTCP connects to a TCPListener at addr. cb, if non-nil, receives
+// server callbacks via a dial-back connection.
+func DialTCP(addr string, cb CallbackFn) (*TCPClient, error) {
+	c := &TCPClient{addr: addr}
+	cbAddr := ""
+	if cb != nil {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		c.cbLn = ln
+		cbAddr = ln.Addr().String()
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			for {
+				method, payload, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				cb(method, payload)
+			}
+		}()
+	}
+	conn, id, err := c.dialConn(0, cbAddr)
+	if err != nil {
+		if c.cbLn != nil {
+			c.cbLn.Close()
+		}
+		return nil, err
+	}
+	c.id = id
+	c.primary = conn
+	c.idle = append(c.idle, conn)
+	return c, nil
+}
+
+func (c *TCPClient) dialConn(existing uint64, cbAddr string) (net.Conn, uint64, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := wire.NewWriter(32)
+	w.U64(existing)
+	w.String(cbAddr)
+	if err := writeFrame(conn, methodHello, w.Bytes()); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	status, payload, err := readFrame(conn)
+	if err != nil || status != statusOK {
+		conn.Close()
+		return nil, 0, fmt.Errorf("rpc: hello failed: %v", err)
+	}
+	r := wire.NewReader(payload)
+	id := r.U64()
+	if err := r.Finish(); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	return conn, id, nil
+}
+
+// Call implements Client. Each call uses a free connection from the pool,
+// dialing a new session connection when all are busy.
+func (c *TCPClient) Call(method uint32, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var conn net.Conn
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+	}
+	c.mu.Unlock()
+	if conn == nil {
+		var err error
+		conn, _, err = c.dialConn(c.id, "")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(conn, method, req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	status, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		conn.Close()
+	} else {
+		c.idle = append(c.idle, conn)
+	}
+	c.mu.Unlock()
+	if status != statusOK {
+		return nil, &RemoteError{Msg: string(payload)}
+	}
+	return payload, nil
+}
+
+// ClientID implements Client.
+func (c *TCPClient) ClientID() uint64 { return c.id }
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	if c.cbLn != nil {
+		c.cbLn.Close()
+	}
+	return nil
+}

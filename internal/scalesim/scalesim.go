@@ -1,0 +1,248 @@
+// Package scalesim regenerates the paper's thread- and client-scaling
+// results (Figure 5, Table 3) on a single-CPU host. Real single-threaded
+// runs record, for every workload operation, a phase trace: local compute
+// time and intervals spent holding shared resources (global locks via the
+// clerk, TFS service time via the RPC layer — see internal/costmodel). The
+// simulator replays N concurrent threads against those resources in virtual
+// time: exclusive phases serialize, shared phases overlap, multi-server
+// resources (the multithreaded TFS) admit up to their capacity.
+//
+// The scaling shape the paper reports is produced by exactly this
+// contention — the single-directory lock capping Webproxy on PXFS, bucket
+// locks freeing it on FlatFS, the allocator and TFS limiting Fileserver —
+// so replaying measured phases preserves it without multi-core hardware
+// (see DESIGN.md's substitution table).
+package scalesim
+
+import (
+	"container/heap"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+// Config controls a simulation.
+type Config struct {
+	// Threads is the simulated concurrency level.
+	Threads int
+	// OpsPerThread is how many operations each thread replays (cycling
+	// through the trace). Default 200. Ignored when Duration is set.
+	OpsPerThread int
+	// Duration, when nonzero, runs every thread until this much virtual
+	// time has elapsed instead of a fixed op count — the right mode when
+	// threads run different workloads (Table 3's client mixes), since a
+	// fast client should contribute more operations, not finish early.
+	Duration time.Duration
+	// Capacity overrides resource capacities by name (default 1; the
+	// "tfs" resource defaults to TFSThreads).
+	Capacity map[string]int
+	// TFSThreads is the TFS service-thread count (default 6, the paper's
+	// core count).
+	TFSThreads int
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	Threads    int
+	Ops        int64
+	Makespan   time.Duration
+	Throughput float64 // ops per second
+	// MeanLatency is the virtual mean per-op latency.
+	MeanLatency time.Duration
+}
+
+// resource is a reader-writer, capacity-K service point in virtual time.
+type resource struct {
+	capacity int
+	// servers holds each server slot's next-free time (capacity > 1).
+	servers []time.Duration
+	// writerFree / lastReaderEnd implement reader-writer semantics for
+	// capacity-1 lock resources.
+	writerFree    time.Duration
+	lastReaderEnd time.Duration
+}
+
+// acquire returns the completion time of a phase starting no earlier than
+// now, updating the resource state.
+func (r *resource) acquire(now time.Duration, mode costmodel.ResourceMode, dur time.Duration) time.Duration {
+	if r.capacity > 1 {
+		// Multi-server: earliest-free server (mode ignored; the TFS
+		// serializes internally per request).
+		best := 0
+		for i := 1; i < len(r.servers); i++ {
+			if r.servers[i] < r.servers[best] {
+				best = i
+			}
+		}
+		start := now
+		if r.servers[best] > start {
+			start = r.servers[best]
+		}
+		end := start + dur
+		r.servers[best] = end
+		return end
+	}
+	if mode == costmodel.Shared {
+		start := now
+		if r.writerFree > start {
+			start = r.writerFree
+		}
+		end := start + dur
+		if end > r.lastReaderEnd {
+			r.lastReaderEnd = end
+		}
+		return end
+	}
+	start := now
+	if r.writerFree > start {
+		start = r.writerFree
+	}
+	if r.lastReaderEnd > start {
+		start = r.lastReaderEnd
+	}
+	end := start + dur
+	r.writerFree = end
+	return end
+}
+
+// thread is one simulated workload thread.
+type thread struct {
+	now     time.Duration
+	trace   []costmodel.OpTrace
+	opIdx   int // position in the trace
+	done    int
+	latency time.Duration
+	index   int // heap bookkeeping
+}
+
+type threadHeap []*thread
+
+func (h threadHeap) Len() int            { return len(h) }
+func (h threadHeap) Less(i, j int) bool  { return h[i].now < h[j].now }
+func (h threadHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *threadHeap) Push(x interface{}) { t := x.(*thread); t.index = len(*h); *h = append(*h, t) }
+func (h *threadHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// Simulate replays the recorded operations with cfg.Threads virtual
+// threads sharing one trace (threads within one client process).
+func Simulate(ops []costmodel.OpTrace, cfg Config) Result {
+	if len(ops) == 0 || cfg.Threads <= 0 {
+		return Result{Threads: cfg.Threads}
+	}
+	traces := make([][]costmodel.OpTrace, cfg.Threads)
+	for i := range traces {
+		traces[i] = ops
+	}
+	return SimulateTraces(traces, cfg)
+}
+
+// SimulateTraces replays one trace per virtual thread — the
+// multiprogrammed-client experiments (Table 3) give each simulated client
+// its own trace with per-client lock resources and a shared TFS.
+func SimulateTraces(traces [][]costmodel.OpTrace, cfg Config) Result {
+	cfg.Threads = len(traces)
+	if cfg.Threads == 0 {
+		return Result{}
+	}
+	if cfg.OpsPerThread <= 0 {
+		cfg.OpsPerThread = 200
+	}
+	if cfg.TFSThreads <= 0 {
+		cfg.TFSThreads = 6
+	}
+	resources := make(map[string]*resource)
+	getRes := func(name string) *resource {
+		r := resources[name]
+		if r == nil {
+			capacity := 1
+			if name == "tfs" {
+				capacity = cfg.TFSThreads
+			}
+			if c, ok := cfg.Capacity[name]; ok {
+				capacity = c
+			}
+			r = &resource{capacity: capacity}
+			if capacity > 1 {
+				r.servers = make([]time.Duration, capacity)
+			}
+			resources[name] = r
+		}
+		return r
+	}
+	h := make(threadHeap, 0, cfg.Threads)
+	threads := make([]*thread, cfg.Threads)
+	for i := range threads {
+		if len(traces[i]) == 0 {
+			return Result{Threads: cfg.Threads}
+		}
+		threads[i] = &thread{trace: traces[i], opIdx: i * len(traces[i]) / cfg.Threads}
+		heap.Push(&h, threads[i])
+	}
+	var totalOps int64
+	var makespan time.Duration
+	finished := func(t *thread) bool {
+		if cfg.Duration > 0 {
+			return t.now >= cfg.Duration
+		}
+		return t.done >= cfg.OpsPerThread
+	}
+	for {
+		t := heap.Pop(&h).(*thread)
+		if finished(t) {
+			if t.now > makespan {
+				makespan = t.now
+			}
+			if h.Len() == 0 {
+				break
+			}
+			continue
+		}
+		op := t.trace[t.opIdx%len(t.trace)]
+		t.opIdx++
+		start := t.now
+		for _, ph := range op.Phases {
+			if ph.Resource == "" {
+				t.now += ph.Dur
+				continue
+			}
+			t.now = getRes(ph.Resource).acquire(t.now, ph.Mode, ph.Dur)
+		}
+		t.latency += t.now - start
+		t.done++
+		totalOps++
+		heap.Push(&h, t)
+	}
+	res := Result{Threads: cfg.Threads, Ops: totalOps, Makespan: makespan}
+	if cfg.Duration > 0 && makespan < cfg.Duration {
+		makespan = cfg.Duration
+		res.Makespan = makespan
+	}
+	if makespan > 0 {
+		res.Throughput = float64(totalOps) / makespan.Seconds()
+	}
+	if totalOps > 0 {
+		var lat time.Duration
+		for _, t := range threads {
+			lat += t.latency
+		}
+		res.MeanLatency = lat / time.Duration(totalOps)
+	}
+	return res
+}
+
+// Sweep runs the simulation across thread counts.
+func Sweep(ops []costmodel.OpTrace, threadCounts []int, cfg Config) []Result {
+	out := make([]Result, 0, len(threadCounts))
+	for _, n := range threadCounts {
+		c := cfg
+		c.Threads = n
+		out = append(out, Simulate(ops, c))
+	}
+	return out
+}

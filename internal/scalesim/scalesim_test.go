@@ -1,0 +1,114 @@
+package scalesim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+func op(phases ...costmodel.Phase) costmodel.OpTrace {
+	var total time.Duration
+	for _, p := range phases {
+		total += p.Dur
+	}
+	return costmodel.OpTrace{Name: "op", Phases: phases, Total: total}
+}
+
+func local(d time.Duration) costmodel.Phase { return costmodel.Phase{Dur: d} }
+
+func excl(res string, d time.Duration) costmodel.Phase {
+	return costmodel.Phase{Resource: res, Mode: costmodel.Exclusive, Dur: d}
+}
+
+func shared(res string, d time.Duration) costmodel.Phase {
+	return costmodel.Phase{Resource: res, Mode: costmodel.Shared, Dur: d}
+}
+
+func sweep(t *testing.T, ops []costmodel.OpTrace, counts []int) []Result {
+	t.Helper()
+	return Sweep(ops, counts, Config{OpsPerThread: 300})
+}
+
+func TestPureLocalWorkScalesLinearly(t *testing.T) {
+	ops := []costmodel.OpTrace{op(local(10 * time.Microsecond))}
+	rs := sweep(t, ops, []int{1, 4, 8})
+	if rs[1].Throughput < 3.5*rs[0].Throughput {
+		t.Fatalf("4 threads only %.1fx", rs[1].Throughput/rs[0].Throughput)
+	}
+	if rs[2].Throughput < 7*rs[0].Throughput {
+		t.Fatalf("8 threads only %.1fx", rs[2].Throughput/rs[0].Throughput)
+	}
+}
+
+func TestExclusiveResourceCapsThroughput(t *testing.T) {
+	// 80% of each op holds one exclusive lock: adding threads cannot beat
+	// 1/lockTime.
+	ops := []costmodel.OpTrace{op(local(2*time.Microsecond), excl("lock:dir", 8*time.Microsecond))}
+	rs := sweep(t, ops, []int{1, 2, 8})
+	limit := 1e9 / 8000.0 * 1000 // ops/sec bound by the 8µs lock hold
+	if rs[2].Throughput > limit*1.1 {
+		t.Fatalf("8 threads exceed the serial bound: %.0f > %.0f", rs[2].Throughput, limit)
+	}
+	if rs[2].Throughput > rs[0].Throughput*2 {
+		t.Fatalf("lock-bound workload scaled %.1fx", rs[2].Throughput/rs[0].Throughput)
+	}
+}
+
+func TestSharedPhasesOverlap(t *testing.T) {
+	// Read-mostly: shared lock phases should scale nearly linearly.
+	ops := []costmodel.OpTrace{op(local(time.Microsecond), shared("lock:dir", 9*time.Microsecond))}
+	rs := sweep(t, ops, []int{1, 8})
+	if rs[1].Throughput < 6*rs[0].Throughput {
+		t.Fatalf("shared workload scaled only %.1fx", rs[1].Throughput/rs[0].Throughput)
+	}
+}
+
+func TestMultiServerResource(t *testing.T) {
+	// Ops fully occupy the TFS: throughput scales with its capacity, then
+	// saturates.
+	ops := []costmodel.OpTrace{op(excl("tfs", 10*time.Microsecond))}
+	one := Simulate(ops, Config{Threads: 1, OpsPerThread: 200, TFSThreads: 4})
+	four := Simulate(ops, Config{Threads: 4, OpsPerThread: 200, TFSThreads: 4})
+	eight := Simulate(ops, Config{Threads: 8, OpsPerThread: 200, TFSThreads: 4})
+	if four.Throughput < 3.5*one.Throughput {
+		t.Fatalf("4 threads on 4 servers: %.1fx", four.Throughput/one.Throughput)
+	}
+	if eight.Throughput > four.Throughput*1.3 {
+		t.Fatalf("8 threads beat the 4-server capacity: %.0f vs %.0f", eight.Throughput, four.Throughput)
+	}
+}
+
+func TestMixedContention(t *testing.T) {
+	// The Webproxy-on-PXFS shape: writes serialize on a directory lock,
+	// reads share it. Throughput should rise a little then flatten.
+	ops := []costmodel.OpTrace{
+		op(local(time.Microsecond), shared("lock:dir", 4*time.Microsecond)),
+		op(local(time.Microsecond), shared("lock:dir", 4*time.Microsecond)),
+		op(local(time.Microsecond), excl("lock:dir", 6*time.Microsecond)),
+	}
+	rs := sweep(t, ops, []int{1, 2, 4, 10})
+	if rs[3].Throughput < rs[0].Throughput {
+		t.Fatal("throughput collapsed below single-thread")
+	}
+	// The exclusive third bounds scaling well below linear.
+	if rs[3].Throughput > 6*rs[0].Throughput {
+		t.Fatalf("contended mix scaled %.1fx", rs[3].Throughput/rs[0].Throughput)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := Simulate(nil, Config{Threads: 4})
+	if r.Ops != 0 || r.Throughput != 0 {
+		t.Fatalf("empty trace result: %+v", r)
+	}
+}
+
+func TestLatencyGrowsUnderContention(t *testing.T) {
+	ops := []costmodel.OpTrace{op(excl("lock:x", 5*time.Microsecond))}
+	one := Simulate(ops, Config{Threads: 1, OpsPerThread: 100})
+	eight := Simulate(ops, Config{Threads: 8, OpsPerThread: 100})
+	if eight.MeanLatency < 4*one.MeanLatency {
+		t.Fatalf("latency under contention: %v vs %v", eight.MeanLatency, one.MeanLatency)
+	}
+}

@@ -1,0 +1,96 @@
+package scm
+
+// Typed load/store helpers over any Space. All values are little-endian.
+// These are the only way higher layers read and write scalar fields of
+// structures stored in SCM, keeping every persistent layout explicit.
+
+// Read64 loads a little-endian uint64 at addr.
+func Read64(s Space, addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// Write64 stores a little-endian uint64 at addr (volatile until flushed).
+func Write64(s Space, addr uint64, v uint64) error {
+	var b [8]byte
+	putU64(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// Read32 loads a little-endian uint32 at addr.
+func Read32(s Space, addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// Write32 stores a little-endian uint32 at addr.
+func Write32(s Space, addr uint64, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return s.Write(addr, b[:])
+}
+
+// Read16 loads a little-endian uint16 at addr.
+func Read16(s Space, addr uint64) (uint16, error) {
+	var b [2]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+// Write16 stores a little-endian uint16 at addr.
+func Write16(s Space, addr uint64, v uint16) error {
+	b := [2]byte{byte(v), byte(v >> 8)}
+	return s.Write(addr, b[:])
+}
+
+// WriteFlush stores p at addr and flushes the covering lines — the paper's
+// wlflush primitive.
+func WriteFlush(s Space, addr uint64, p []byte) error {
+	if err := s.Write(addr, p); err != nil {
+		return err
+	}
+	return s.Flush(addr, len(p))
+}
+
+// Write64Flush stores a uint64 and flushes its line.
+func Write64Flush(s Space, addr uint64, v uint64) error {
+	if err := Write64(s, addr, v); err != nil {
+		return err
+	}
+	return s.Flush(addr, 8)
+}
+
+// AtomicFlush64 performs the paper's consistent-update commit step: an
+// atomic 8-byte store followed by a flush of its line, used to atomically
+// publish shadow-updated structures.
+func AtomicFlush64(s Space, addr uint64, v uint64) error {
+	if err := s.Atomic64(addr, v); err != nil {
+		return err
+	}
+	return s.Flush(addr, 8)
+}
+
+// Zero writes n zero bytes at addr.
+func Zero(s Space, addr uint64, n int) error {
+	var zeros [4096]byte
+	for n > 0 {
+		chunk := n
+		if chunk > len(zeros) {
+			chunk = len(zeros)
+		}
+		if err := s.Write(addr, zeros[:chunk]); err != nil {
+			return err
+		}
+		addr += uint64(chunk)
+		n -= chunk
+	}
+	return nil
+}

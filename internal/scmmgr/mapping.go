@@ -1,0 +1,210 @@
+package scmmgr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/aerie-fs/aerie/internal/scm"
+)
+
+// Process models a user process identity: a UID plus the user's group
+// memberships, kept in a hash set exactly as the paper's run-time GID table
+// (§5.2) so faults can decide access in O(1).
+type Process struct {
+	UID  uint32
+	gids map[uint32]bool
+}
+
+// NewProcess creates a process identity with the given UID and groups.
+// Every process is implicitly a member of the group equal to its UID.
+func NewProcess(uid uint32, gids ...uint32) *Process {
+	p := &Process{UID: uid, gids: make(map[uint32]bool, len(gids)+1)}
+	p.gids[uid] = true
+	for _, g := range gids {
+		p.gids[g] = true
+	}
+	return p
+}
+
+// InGroup reports whether the process belongs to gid.
+func (p *Process) InGroup(gid uint32) bool { return p.gids[gid] }
+
+// Mapping is a partition mapped into one process. It implements scm.Space
+// with hardware-style protection: each access consults a per-page soft TLB;
+// misses fault into the manager, which checks the page's extent ACL against
+// the process's groups. Mappings are safe for concurrent use by the
+// process's threads: the TLB bitmaps are read with atomics and faults
+// serialize on a mutex.
+type Mapping struct {
+	mgr       *Manager
+	proc      *Process
+	part      PartitionID
+	start     uint64
+	size      uint64
+	firstPage uint64
+
+	faultMu  sync.Mutex
+	readable []uint64 // atomic bitmaps indexed by page - firstPage
+	writable []uint64
+}
+
+func (mp *Mapping) bit(bm []uint64, rel uint64) bool {
+	return atomic.LoadUint64(&bm[rel/64])&(1<<(rel%64)) != 0
+}
+
+func (mp *Mapping) setBit(bm []uint64, rel uint64) {
+	for {
+		old := atomic.LoadUint64(&bm[rel/64])
+		if atomic.CompareAndSwapUint64(&bm[rel/64], old, old|1<<(rel%64)) {
+			return
+		}
+	}
+}
+
+func (mp *Mapping) clearBit(bm []uint64, rel uint64) bool {
+	for {
+		old := atomic.LoadUint64(&bm[rel/64])
+		if old&(1<<(rel%64)) == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&bm[rel/64], old, old&^(1<<(rel%64))) {
+			return true
+		}
+	}
+}
+
+// fault resolves access to a page not present in the soft TLB, as the
+// manager's page-fault handler does (§5.2): compute the entry from the
+// linear mapping and the extent tree's permissions.
+func (mp *Mapping) fault(rel uint64, write bool) error {
+	mp.faultMu.Lock()
+	defer mp.faultMu.Unlock()
+	// Re-check under the lock: another thread may have faulted it in.
+	if write && mp.bit(mp.writable, rel) || !write && mp.bit(mp.readable, rel) {
+		return nil
+	}
+	mp.mgr.Faults.Add(1)
+	acl, err := mp.mgr.pageACL(mp.part, mp.firstPage+rel)
+	if err != nil {
+		return err
+	}
+	if !mp.proc.InGroup(acl.GID()) {
+		return fmt.Errorf("%w: page %d gid %d not in process groups", ErrProtection, mp.firstPage+rel, acl.GID())
+	}
+	rights := acl.Rights()
+	need := uint32(RightRead)
+	if write {
+		need = RightWrite
+	}
+	if rights&need == 0 {
+		return fmt.Errorf("%w: page %d rights %#b, need %#b", ErrProtection, mp.firstPage+rel, rights, need)
+	}
+	if rights&RightRead != 0 {
+		mp.setBit(mp.readable, rel)
+	}
+	if rights&RightWrite != 0 {
+		mp.setBit(mp.writable, rel)
+	}
+	return nil
+}
+
+// access verifies rights over [addr, addr+n), faulting pages in as needed.
+func (mp *Mapping) access(addr uint64, n int, write bool) error {
+	if n < 0 || addr < mp.start || addr+uint64(n) > mp.start+mp.size || addr+uint64(n) < addr {
+		return fmt.Errorf("%w: [%#x,+%d) outside mapping", ErrProtection, addr, n)
+	}
+	if n == 0 {
+		return nil
+	}
+	first := (addr - mp.start) / scm.PageSize
+	last := (addr + uint64(n) - 1 - mp.start) / scm.PageSize
+	bm := mp.readable
+	if write {
+		bm = mp.writable
+	}
+	for rel := first; rel <= last; rel++ {
+		if !mp.bit(bm, rel) {
+			if err := mp.fault(rel, write); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invalidate clears soft-TLB entries for npages pages starting at absolute
+// page firstPage, returning how many entries were present (referenced), the
+// count the manager charges shootdown cost for.
+func (mp *Mapping) invalidate(firstPage uint64, npages int) int {
+	referenced := 0
+	for i := 0; i < npages; i++ {
+		page := firstPage + uint64(i)
+		if page < mp.firstPage || page >= mp.firstPage+mp.size/scm.PageSize {
+			continue
+		}
+		rel := page - mp.firstPage
+		r := mp.clearBit(mp.readable, rel)
+		w := mp.clearBit(mp.writable, rel)
+		if r || w {
+			referenced++
+		}
+	}
+	return referenced
+}
+
+// Read implements scm.Space with read-permission checks.
+func (mp *Mapping) Read(addr uint64, p []byte) error {
+	if err := mp.access(addr, len(p), false); err != nil {
+		return err
+	}
+	return mp.mgr.mem.Read(addr, p)
+}
+
+// Write implements scm.Space with write-permission checks.
+func (mp *Mapping) Write(addr uint64, p []byte) error {
+	if err := mp.access(addr, len(p), true); err != nil {
+		return err
+	}
+	return mp.mgr.mem.Write(addr, p)
+}
+
+// WriteStream implements scm.Space with write-permission checks.
+func (mp *Mapping) WriteStream(addr uint64, p []byte) error {
+	if err := mp.access(addr, len(p), true); err != nil {
+		return err
+	}
+	return mp.mgr.mem.WriteStream(addr, p)
+}
+
+// Flush implements scm.Space. Flushing requires no permission beyond the
+// write that dirtied the lines.
+func (mp *Mapping) Flush(addr uint64, n int) error { return mp.mgr.mem.Flush(addr, n) }
+
+// BFlush implements scm.Space.
+func (mp *Mapping) BFlush() { mp.mgr.mem.BFlush() }
+
+// Fence implements scm.Space.
+func (mp *Mapping) Fence() { mp.mgr.mem.Fence() }
+
+// Atomic64 implements scm.Space with write-permission checks.
+func (mp *Mapping) Atomic64(addr uint64, v uint64) error {
+	if err := mp.access(addr, 8, true); err != nil {
+		return err
+	}
+	return mp.mgr.mem.Atomic64(addr, v)
+}
+
+// Size implements scm.Space: the arena size (the mapping is linear, so
+// addresses are arena-absolute; accesses outside the partition still fail
+// the permission check).
+func (mp *Mapping) Size() uint64 { return mp.mgr.mem.Size() }
+
+// Partition returns the mapped partition's ID.
+func (mp *Mapping) Partition() PartitionID { return mp.part }
+
+// Base returns the first address of the mapped partition.
+func (mp *Mapping) Base() uint64 { return mp.start }
+
+// Proc returns the owning process identity.
+func (mp *Mapping) Proc() *Process { return mp.proc }

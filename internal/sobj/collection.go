@@ -1,0 +1,759 @@
+package sobj
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+
+	"github.com/aerie-fs/aerie/internal/scm"
+)
+
+// Collection is the associative storage object used to build naming
+// structures (§5.3.1): a linear hash table packed into extents, mapping
+// byte-string keys to 64-bit object IDs. Untrusted clients read collections
+// directly from SCM; all mutations run on the trusted side under the
+// collection's write lock.
+//
+// Layout. The head extent carries the common object header plus:
+//
+//	0x20 u64 tablePtr — address of the current table extent
+//	0x28 u32 count     — live entries
+//	0x2c u32 tombstones
+//
+// The table extent holds its own geometry so that growing the table swaps
+// a single pointer (the paper's shadow update, §5.3.1: populate new
+// extents, then publish with one atomic 64-bit write):
+//
+//	0x00 u32 table magic
+//	0x04 u32 nbuckets
+//	0x08 u64 allocBytes (for freeing)
+//	0x40 buckets, bucketSize each
+//
+// A bucket is a record heap: u16 used, then records (u16 tag | key | u64
+// value), with the last 8 bytes an overflow-extent pointer. The tag's high
+// bit marks a tombstone (§5.3.1: deletes mark a tombstone key; when
+// tombstones exceed a threshold the live pairs are rehashed into a new
+// table published with a single atomic write).
+const (
+	offColTable      = 0x20
+	offColCount      = 0x28
+	offColTombstones = 0x2c
+
+	colHeadSize = 64 // head extent allocation
+
+	tableMagic   = 0x7AB1E001
+	offTblMagic  = 0x00
+	offTblNB     = 0x04
+	offTblAlloc  = 0x08
+	tblHeaderLen = 0x40
+
+	bucketSize    = 512
+	ovfSize       = 4096 // overflow extents are one page
+	tombstoneBit  = 0x8000
+	recHeaderLen  = 2
+	recValueLen   = 8
+	chainPtrLen   = 8
+	maxChainDepth = 1024
+
+	// MaxKeyLen bounds collection keys so any record fits in a bucket.
+	MaxKeyLen = 400
+
+	// initialBuckets for a fresh collection.
+	initialBuckets = 8
+	// growFactor: the table doubles when count exceeds
+	// nbuckets*entriesPerBucketTarget.
+	entriesPerBucketTarget = 8
+)
+
+// Collection provides access to a collection object.
+type Collection struct {
+	mem scm.Space
+	oid OID
+}
+
+// CreateCollection allocates and initializes a collection (trusted side or
+// client staging into pre-allocated extents). perm is the FS-level
+// permission word.
+func CreateCollection(mem scm.Space, a Allocator, perm uint32) (*Collection, error) {
+	head, err := a.Alloc(colHeadSize)
+	if err != nil {
+		return nil, err
+	}
+	table, err := newTable(mem, a, initialBuckets)
+	if err != nil {
+		_ = a.Free(head, colHeadSize)
+		return nil, err
+	}
+	if err := writeHeader(mem, head, Header{Type: TypeCollection, Perm: perm}); err != nil {
+		return nil, err
+	}
+	if err := scm.Write64(mem, head+offColTable, table); err != nil {
+		return nil, err
+	}
+	if err := scm.Write32(mem, head+offColCount, 0); err != nil {
+		return nil, err
+	}
+	if err := scm.Write32(mem, head+offColTombstones, 0); err != nil {
+		return nil, err
+	}
+	if err := mem.Flush(head, colHeadSize); err != nil {
+		return nil, err
+	}
+	mem.Fence()
+	oid, err := MakeOID(head, TypeCollection)
+	if err != nil {
+		return nil, err
+	}
+	return &Collection{mem: mem, oid: oid}, nil
+}
+
+// newTable allocates and initializes an empty table extent.
+func newTable(mem scm.Space, a Allocator, nbuckets uint32) (uint64, error) {
+	size := uint64(tblHeaderLen) + uint64(nbuckets)*bucketSize
+	addr, err := a.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := scm.Zero(mem, addr, int(size)); err != nil {
+		return 0, err
+	}
+	if err := scm.Write32(mem, addr+offTblMagic, tableMagic); err != nil {
+		return 0, err
+	}
+	if err := scm.Write32(mem, addr+offTblNB, nbuckets); err != nil {
+		return 0, err
+	}
+	if err := scm.Write64(mem, addr+offTblAlloc, size); err != nil {
+		return 0, err
+	}
+	if err := mem.Flush(addr, int(size)); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// OpenCollection validates and opens an existing collection.
+func OpenCollection(mem scm.Space, oid OID) (*Collection, error) {
+	if oid.Type() != TypeCollection {
+		return nil, fmt.Errorf("%w: %v is not a collection", ErrBadObject, oid)
+	}
+	if _, err := ReadHeader(mem, oid); err != nil {
+		return nil, err
+	}
+	return &Collection{mem: mem, oid: oid}, nil
+}
+
+// OID returns the collection's object ID.
+func (c *Collection) OID() OID { return c.oid }
+
+// Count returns the number of live entries.
+func (c *Collection) Count() (uint32, error) {
+	return scm.Read32(c.mem, c.oid.Addr()+offColCount)
+}
+
+// Tombstones returns the current tombstone count.
+func (c *Collection) Tombstones() (uint32, error) {
+	return scm.Read32(c.mem, c.oid.Addr()+offColTombstones)
+}
+
+func (c *Collection) table() (addr uint64, nbuckets uint32, err error) {
+	addr, err = scm.Read64(c.mem, c.oid.Addr()+offColTable)
+	if err != nil {
+		return 0, 0, err
+	}
+	magic, err := scm.Read32(c.mem, addr+offTblMagic)
+	if err != nil {
+		return 0, 0, err
+	}
+	if magic != tableMagic {
+		return 0, 0, fmt.Errorf("%w: bad table magic %#x", ErrCorrupt, magic)
+	}
+	nbuckets, err = scm.Read32(c.mem, addr+offTblNB)
+	if err != nil {
+		return 0, 0, err
+	}
+	if nbuckets == 0 || nbuckets > 1<<22 {
+		return 0, 0, fmt.Errorf("%w: implausible bucket count %d", ErrCorrupt, nbuckets)
+	}
+	return addr, nbuckets, nil
+}
+
+func hashKey(key []byte) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return h.Sum32()
+}
+
+// bucketAddr returns the address of key's bucket in the given table.
+func bucketAddr(table uint64, nbuckets uint32, key []byte) uint64 {
+	return table + tblHeaderLen + uint64(hashKey(key)%nbuckets)*bucketSize
+}
+
+// NeedsGrow reports whether the next insert under the default policy would
+// rehash the table; FlatFS uses it to decide when to escalate from bucket
+// locks to the whole-collection write lock.
+func (c *Collection) NeedsGrow(headroom uint32) (bool, error) {
+	count, err := c.Count()
+	if err != nil {
+		return false, err
+	}
+	tombs, err := c.Tombstones()
+	if err != nil {
+		return false, err
+	}
+	_, nb, err := c.table()
+	if err != nil {
+		return false, err
+	}
+	return count+headroom >= nb*entriesPerBucketTarget || (tombs > 16 && tombs > count/2), nil
+}
+
+// BucketLock returns the lock-service ID covering the bucket that holds
+// key — FlatFS's fine-grained locks under the collection's intent lock
+// (§6.2). Bucket addresses are 64-byte aligned, so the ID is a valid OID
+// in the TypeBucket space.
+func (c *Collection) BucketLock(key []byte) (uint64, error) {
+	table, nb, err := c.table()
+	if err != nil {
+		return 0, err
+	}
+	return bucketAddr(table, nb, key) | uint64(TypeBucket), nil
+}
+
+// node describes one element of a bucket chain: the primary bucket or an
+// overflow extent.
+type node struct {
+	addr     uint64
+	areaLen  uint64 // record area capacity
+	chainOff uint64 // offset of the chain pointer
+}
+
+func primaryNode(addr uint64) node {
+	return node{addr: addr, areaLen: bucketSize - recHeaderLen - chainPtrLen, chainOff: bucketSize - chainPtrLen}
+}
+
+func overflowNode(addr uint64) node {
+	return node{addr: addr, areaLen: ovfSize - recHeaderLen - chainPtrLen, chainOff: ovfSize - chainPtrLen}
+}
+
+// used reads the node's used-bytes counter, validated against capacity.
+func (c *Collection) usedOf(n node) (uint64, error) {
+	u, err := scm.Read16(c.mem, n.addr)
+	if err != nil {
+		return 0, err
+	}
+	if uint64(u) > n.areaLen {
+		return 0, fmt.Errorf("%w: used %d exceeds area %d", ErrCorrupt, u, n.areaLen)
+	}
+	return uint64(u), nil
+}
+
+// record is a decoded record within a node.
+type record struct {
+	off  uint64 // offset of the tag within the node's record area
+	key  []byte
+	val  uint64
+	dead bool
+}
+
+// walkRecords decodes the records of one node, calling fn for each; fn
+// returning false stops the walk.
+func (c *Collection) walkRecords(n node, fn func(r record) (bool, error)) error {
+	used, err := c.usedOf(n)
+	if err != nil {
+		return err
+	}
+	area := make([]byte, used)
+	if err := c.mem.Read(n.addr+recHeaderLen, area); err != nil {
+		return err
+	}
+	off := uint64(0)
+	for off+recHeaderLen <= used {
+		tag := uint16(area[off]) | uint16(area[off+1])<<8
+		klen := uint64(tag &^ tombstoneBit)
+		if off+recHeaderLen+klen+recValueLen > used {
+			return fmt.Errorf("%w: record overruns used area", ErrCorrupt)
+		}
+		key := area[off+recHeaderLen : off+recHeaderLen+klen]
+		vb := area[off+recHeaderLen+klen : off+recHeaderLen+klen+recValueLen]
+		val := uint64(vb[0]) | uint64(vb[1])<<8 | uint64(vb[2])<<16 | uint64(vb[3])<<24 |
+			uint64(vb[4])<<32 | uint64(vb[5])<<40 | uint64(vb[6])<<48 | uint64(vb[7])<<56
+		cont, err := fn(record{off: off, key: key, val: val, dead: tag&tombstoneBit != 0})
+		if err != nil || !cont {
+			return err
+		}
+		off += recHeaderLen + klen + recValueLen
+	}
+	return nil
+}
+
+// chain iterates the nodes of key's bucket chain.
+func (c *Collection) chain(table uint64, nbuckets uint32, key []byte, fn func(n node) (bool, error)) error {
+	n := primaryNode(bucketAddr(table, nbuckets, key))
+	for depth := 0; ; depth++ {
+		if depth > maxChainDepth {
+			return fmt.Errorf("%w: bucket chain too long", ErrCorrupt)
+		}
+		cont, err := fn(n)
+		if err != nil || !cont {
+			return err
+		}
+		next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+		if err != nil {
+			return err
+		}
+		if next == 0 {
+			return nil
+		}
+		n = overflowNode(next)
+	}
+}
+
+// Lookup finds key, returning its value. Safe for untrusted, lock-protected
+// concurrent readers.
+func (c *Collection) Lookup(key []byte) (OID, error) {
+	table, nb, err := c.table()
+	if err != nil {
+		return 0, err
+	}
+	var found OID
+	ok := false
+	err = c.chain(table, nb, key, func(n node) (bool, error) {
+		werr := c.walkRecords(n, func(r record) (bool, error) {
+			if !r.dead && bytes.Equal(r.key, key) {
+				found = OID(r.val)
+				ok = true
+				return false, nil
+			}
+			return true, nil
+		})
+		return !ok, werr
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: key %q", ErrNotFound, key)
+	}
+	return found, nil
+}
+
+// Iterate calls fn for every live key/value pair. The key slice is only
+// valid during the call.
+func (c *Collection) Iterate(fn func(key []byte, val OID) error) error {
+	table, nb, err := c.table()
+	if err != nil {
+		return err
+	}
+	for b := uint32(0); b < nb; b++ {
+		n := primaryNode(table + tblHeaderLen + uint64(b)*bucketSize)
+		for depth := 0; ; depth++ {
+			if depth > maxChainDepth {
+				return fmt.Errorf("%w: bucket chain too long", ErrCorrupt)
+			}
+			if err := c.walkRecords(n, func(r record) (bool, error) {
+				if r.dead {
+					return true, nil
+				}
+				return true, fn(r.key, OID(r.val))
+			}); err != nil {
+				return err
+			}
+			next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+			if err != nil {
+				return err
+			}
+			if next == 0 {
+				break
+			}
+			n = overflowNode(next)
+		}
+	}
+	return nil
+}
+
+// Insert adds key -> val (trusted side; caller holds the collection write
+// lock). Fails with ErrExists when a live record has the same key. Grows
+// the table via shadow rehash when the load factor is exceeded.
+func (c *Collection) Insert(a Allocator, key []byte, val OID) error {
+	return c.insert(a, key, val, true)
+}
+
+// InsertNoGrow inserts without ever moving the table (overflow chaining
+// only). FlatFS operations covered by fine-grained bucket locks use it,
+// since a rehash would invalidate every bucket lock and requires the
+// whole-collection write lock (§6.2).
+func (c *Collection) InsertNoGrow(a Allocator, key []byte, val OID) error {
+	return c.insert(a, key, val, false)
+}
+
+func (c *Collection) insert(a Allocator, key []byte, val OID, allowGrow bool) error {
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w: key of %d bytes", ErrTooLarge, len(key))
+	}
+	count, err := c.Count()
+	if err != nil {
+		return err
+	}
+	_, nb, err := c.table()
+	if err != nil {
+		return err
+	}
+	if allowGrow && count >= nb*entriesPerBucketTarget {
+		if err := c.rehash(a, nb*2); err != nil {
+			return err
+		}
+	}
+	table, nb, err := c.table()
+	if err != nil {
+		return err
+	}
+	need := uint64(recHeaderLen + len(key) + recValueLen)
+	var target node
+	var targetUsed uint64
+	haveTarget := false
+	exists := false
+	var last node
+	err = c.chain(table, nb, key, func(n node) (bool, error) {
+		last = n
+		used, err := c.usedOf(n)
+		if err != nil {
+			return false, err
+		}
+		werr := c.walkRecords(n, func(r record) (bool, error) {
+			if !r.dead && bytes.Equal(r.key, key) {
+				exists = true
+				return false, nil
+			}
+			return true, nil
+		})
+		if werr != nil || exists {
+			return false, werr
+		}
+		if !haveTarget && used+need <= n.areaLen {
+			target, targetUsed, haveTarget = n, used, true
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	if exists {
+		return fmt.Errorf("%w: %q", ErrExists, key)
+	}
+	if !haveTarget {
+		// Chain a fresh overflow extent onto the last node: populate it,
+		// flush, then publish with a single atomic pointer write.
+		ovf, err := a.Alloc(ovfSize)
+		if err != nil {
+			return err
+		}
+		if err := scm.Zero(c.mem, ovf, ovfSize); err != nil {
+			return err
+		}
+		if err := c.mem.Flush(ovf, ovfSize); err != nil {
+			return err
+		}
+		c.mem.Fence()
+		if err := scm.AtomicFlush64(c.mem, last.addr+last.chainOff, ovf); err != nil {
+			return err
+		}
+		target, targetUsed = overflowNode(ovf), 0
+	}
+	// Write the record beyond the used mark, persist it, then publish by
+	// bumping the used counter (record contents are durable before they
+	// become reachable).
+	rec := make([]byte, need)
+	rec[0] = byte(len(key))
+	rec[1] = byte(len(key) >> 8)
+	copy(rec[recHeaderLen:], key)
+	putVal(rec[recHeaderLen+len(key):], uint64(val))
+	if err := scm.WriteFlush(c.mem, target.addr+recHeaderLen+targetUsed, rec); err != nil {
+		return err
+	}
+	c.mem.Fence()
+	if err := scm.Write16(c.mem, target.addr, uint16(targetUsed+need)); err != nil {
+		return err
+	}
+	if err := c.mem.Flush(target.addr, 2); err != nil {
+		return err
+	}
+	return c.bumpCounts(int32(1), 0)
+}
+
+// Remove tombstones key (trusted side; caller holds the write lock).
+// Rehashes away tombstones past the threshold.
+func (c *Collection) Remove(a Allocator, key []byte) error {
+	return c.remove(a, key, true)
+}
+
+// RemoveNoGC removes without ever rehashing the table (bucket-locked
+// FlatFS operations; see InsertNoGrow).
+func (c *Collection) RemoveNoGC(a Allocator, key []byte) error {
+	return c.remove(a, key, false)
+}
+
+func (c *Collection) remove(a Allocator, key []byte, allowGC bool) error {
+	table, nb, err := c.table()
+	if err != nil {
+		return err
+	}
+	removed := false
+	err = c.chain(table, nb, key, func(n node) (bool, error) {
+		werr := c.walkRecords(n, func(r record) (bool, error) {
+			if !r.dead && bytes.Equal(r.key, key) {
+				tag := uint16(len(r.key)) | tombstoneBit
+				if err := scm.Write16(c.mem, n.addr+recHeaderLen+r.off, tag); err != nil {
+					return false, err
+				}
+				if err := c.mem.Flush(n.addr+recHeaderLen+r.off, 2); err != nil {
+					return false, err
+				}
+				removed = true
+				return false, nil
+			}
+			return true, nil
+		})
+		return !removed, werr
+	})
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if err := c.bumpCounts(-1, 1); err != nil {
+		return err
+	}
+	count, err := c.Count()
+	if err != nil {
+		return err
+	}
+	tombs, err := c.Tombstones()
+	if err != nil {
+		return err
+	}
+	if allowGC && tombs > 16 && tombs > count/2 {
+		_, nb, err := c.table()
+		if err != nil {
+			return err
+		}
+		return c.rehash(a, nb)
+	}
+	return nil
+}
+
+func (c *Collection) bumpCounts(dCount, dTombs int32) error {
+	head := c.oid.Addr()
+	count, err := scm.Read32(c.mem, head+offColCount)
+	if err != nil {
+		return err
+	}
+	tombs, err := scm.Read32(c.mem, head+offColTombstones)
+	if err != nil {
+		return err
+	}
+	if err := scm.Write32(c.mem, head+offColCount, uint32(int32(count)+dCount)); err != nil {
+		return err
+	}
+	if err := scm.Write32(c.mem, head+offColTombstones, uint32(int32(tombs)+dTombs)); err != nil {
+		return err
+	}
+	return c.mem.Flush(head+offColCount, 8)
+}
+
+// rehash builds a new table of newNB buckets containing only live entries,
+// publishes it with one atomic pointer write, and frees the old table and
+// its overflow chain (§5.3.1's shadow update).
+func (c *Collection) rehash(a Allocator, newNB uint32) error {
+	oldTable, oldNB, err := c.table()
+	if err != nil {
+		return err
+	}
+	newTable, err := newTable(c.mem, a, newNB)
+	if err != nil {
+		return err
+	}
+	live := uint32(0)
+	insert := func(key []byte, val OID) error {
+		need := uint64(recHeaderLen + len(key) + recValueLen)
+		var target node
+		var targetUsed uint64
+		have := false
+		var last node
+		err := c.chain(newTable, newNB, key, func(n node) (bool, error) {
+			last = n
+			used, err := c.usedOf(n)
+			if err != nil {
+				return false, err
+			}
+			if used+need <= n.areaLen {
+				target, targetUsed, have = n, used, true
+				return false, nil
+			}
+			return true, nil
+		})
+		if err != nil {
+			return err
+		}
+		if !have {
+			ovf, err := a.Alloc(ovfSize)
+			if err != nil {
+				return err
+			}
+			if err := scm.Zero(c.mem, ovf, ovfSize); err != nil {
+				return err
+			}
+			if err := scm.Write64(c.mem, last.addr+last.chainOff, ovf); err != nil {
+				return err
+			}
+			target, targetUsed = overflowNode(ovf), 0
+		}
+		rec := make([]byte, need)
+		rec[0] = byte(len(key))
+		rec[1] = byte(len(key) >> 8)
+		copy(rec[recHeaderLen:], key)
+		putVal(rec[recHeaderLen+len(key):], uint64(val))
+		if err := c.mem.Write(target.addr+recHeaderLen+targetUsed, rec); err != nil {
+			return err
+		}
+		if err := scm.Write16(c.mem, target.addr, uint16(targetUsed+need)); err != nil {
+			return err
+		}
+		live++
+		return nil
+	}
+	// Copy live entries from the old table.
+	if err := c.iterateTable(oldTable, oldNB, func(key []byte, val OID) error {
+		return insert(key, val)
+	}); err != nil {
+		return err
+	}
+	// Persist the fully built shadow table, then publish.
+	if err := c.flushTableDeep(newTable, newNB); err != nil {
+		return err
+	}
+	c.mem.Fence()
+	if err := scm.AtomicFlush64(c.mem, c.oid.Addr()+offColTable, newTable); err != nil {
+		return err
+	}
+	// Reset counters: all tombstones are gone.
+	head := c.oid.Addr()
+	if err := scm.Write32(c.mem, head+offColCount, live); err != nil {
+		return err
+	}
+	if err := scm.Write32(c.mem, head+offColTombstones, 0); err != nil {
+		return err
+	}
+	if err := c.mem.Flush(head+offColCount, 8); err != nil {
+		return err
+	}
+	return c.freeTable(a, oldTable, oldNB)
+}
+
+// iterateTable walks live records of an arbitrary table.
+func (c *Collection) iterateTable(table uint64, nb uint32, fn func(key []byte, val OID) error) error {
+	for b := uint32(0); b < nb; b++ {
+		n := primaryNode(table + tblHeaderLen + uint64(b)*bucketSize)
+		for depth := 0; ; depth++ {
+			if depth > maxChainDepth {
+				return fmt.Errorf("%w: bucket chain too long", ErrCorrupt)
+			}
+			if err := c.walkRecords(n, func(r record) (bool, error) {
+				if r.dead {
+					return true, nil
+				}
+				return true, fn(r.key, OID(r.val))
+			}); err != nil {
+				return err
+			}
+			next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+			if err != nil {
+				return err
+			}
+			if next == 0 {
+				break
+			}
+			n = overflowNode(next)
+		}
+	}
+	return nil
+}
+
+// flushTableDeep flushes a table extent and all overflow extents.
+func (c *Collection) flushTableDeep(table uint64, nb uint32) error {
+	size, err := scm.Read64(c.mem, table+offTblAlloc)
+	if err != nil {
+		return err
+	}
+	if err := c.mem.Flush(table, int(size)); err != nil {
+		return err
+	}
+	for b := uint32(0); b < nb; b++ {
+		n := primaryNode(table + tblHeaderLen + uint64(b)*bucketSize)
+		for {
+			next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+			if err != nil {
+				return err
+			}
+			if next == 0 {
+				break
+			}
+			n = overflowNode(next)
+			if err := c.mem.Flush(n.addr, ovfSize); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// freeTable frees a table extent and its overflow chains. Each chain is
+// collected before freeing so no freed extent is read.
+func (c *Collection) freeTable(a Allocator, table uint64, nb uint32) error {
+	for b := uint32(0); b < nb; b++ {
+		var chain []uint64
+		n := primaryNode(table + tblHeaderLen + uint64(b)*bucketSize)
+		for depth := 0; ; depth++ {
+			if depth > maxChainDepth {
+				return fmt.Errorf("%w: bucket chain too long", ErrCorrupt)
+			}
+			next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+			if err != nil {
+				return err
+			}
+			if next == 0 {
+				break
+			}
+			chain = append(chain, next)
+			n = overflowNode(next)
+		}
+		for _, addr := range chain {
+			if err := a.Free(addr, ovfSize); err != nil {
+				return err
+			}
+		}
+	}
+	size, err := scm.Read64(c.mem, table+offTblAlloc)
+	if err != nil {
+		return err
+	}
+	return a.Free(table, size)
+}
+
+// Destroy frees the collection's storage (trusted side).
+func (c *Collection) Destroy(a Allocator) error {
+	table, nb, err := c.table()
+	if err != nil {
+		return err
+	}
+	if err := c.freeTable(a, table, nb); err != nil {
+		return err
+	}
+	return a.Free(c.oid.Addr(), colHeadSize)
+}
+
+func putVal(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

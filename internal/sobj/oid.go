@@ -1,0 +1,78 @@
+// Package sobj implements Aerie's file-system storage objects (§5.3): 64-bit
+// object IDs that encode type and location, collections (associative
+// key-value objects used to build directories and namespaces), and memory
+// files (mFiles, radix trees of extents used to build data files). Objects
+// live entirely in SCM; untrusted clients read them directly through their
+// protected mappings, while mutations run in the trusted service under the
+// redo journal.
+package sobj
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Type is a storage-object type code, encoded in the six least-significant
+// bits of an OID (§5.3.1: 6 bits of type, 58 bits of address, minimum
+// object size 64 bytes).
+type Type uint8
+
+// Object types. The paper reserves 64 codes; these are the ones Aerie's two
+// file systems use.
+const (
+	TypeNone       Type = 0
+	TypeCollection Type = 1
+	TypeMFile      Type = 2
+	// TypeBucket is not a stored object: it names the lock-ID space for
+	// hash-table extents of a collection (FlatFS's fine-grained locks).
+	TypeBucket Type = 3
+
+	typeMax = 63
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeNone:
+		return "none"
+	case TypeCollection:
+		return "collection"
+	case TypeMFile:
+		return "mfile"
+	case TypeBucket:
+		return "bucket"
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
+// OID is a storage-object ID. The encoding makes locating an object free:
+// the address of its head extent is the OID with the type bits cleared, so
+// no lookup structure is needed (at the cost of no relocation, which the
+// paper found acceptable).
+type OID uint64
+
+// ErrBadOID reports a malformed OID.
+var ErrBadOID = errors.New("sobj: bad OID")
+
+// MakeOID builds an OID for an object whose head extent is at addr.
+// addr must be 64-byte aligned (the minimum object size).
+func MakeOID(addr uint64, typ Type) (OID, error) {
+	if addr%64 != 0 {
+		return 0, fmt.Errorf("%w: address %#x not 64-byte aligned", ErrBadOID, addr)
+	}
+	if typ > typeMax {
+		return 0, fmt.Errorf("%w: type %d", ErrBadOID, typ)
+	}
+	return OID(addr | uint64(typ)), nil
+}
+
+// Addr returns the address of the object's head extent.
+func (o OID) Addr() uint64 { return uint64(o) &^ 63 }
+
+// Type returns the object's type code.
+func (o OID) Type() Type { return Type(uint64(o) & 63) }
+
+// Lock returns the 64-bit lock-service ID for this object. Objects are
+// locked by their OID.
+func (o OID) Lock() uint64 { return uint64(o) }
+
+func (o OID) String() string { return fmt.Sprintf("%v@%#x", o.Type(), o.Addr()) }

@@ -1,0 +1,45 @@
+package sobj
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOIDRoundTrip(t *testing.T) {
+	oid, err := MakeOID(0x1000, TypeCollection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid.Addr() != 0x1000 || oid.Type() != TypeCollection {
+		t.Fatalf("addr=%#x type=%v", oid.Addr(), oid.Type())
+	}
+	if oid.Lock() != uint64(oid) {
+		t.Fatal("lock id should equal the OID")
+	}
+}
+
+func TestOIDRejectsMisaligned(t *testing.T) {
+	if _, err := MakeOID(0x1001, TypeMFile); err == nil {
+		t.Fatal("want error for misaligned address")
+	}
+	if _, err := MakeOID(0x1000, Type(64)); err == nil {
+		t.Fatal("want error for out-of-range type")
+	}
+}
+
+// Property: encode/decode round-trips for all 64-byte-aligned addresses in
+// the 58-bit space and all valid types.
+func TestQuickOIDRoundTrip(t *testing.T) {
+	f := func(rawAddr uint64, rawType uint8) bool {
+		addr := rawAddr &^ 63 // align
+		typ := Type(rawType % 64)
+		oid, err := MakeOID(addr, typ)
+		if err != nil {
+			return false
+		}
+		return oid.Addr() == addr && oid.Type() == typ
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package tfs
+
+import (
+	"fmt"
+
+	"github.com/aerie-fs/aerie/internal/alloc"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// FsckReport summarizes an offline volume check.
+type FsckReport struct {
+	// Objects reachable from the root (collections + files).
+	Objects int
+	// ReachableBlocks is the number of minimum allocator blocks covered
+	// by reachable extents (including tracked pre-allocations).
+	ReachableBlocks int
+	// AllocatedBlocks is the number marked allocated in the bitmap.
+	AllocatedBlocks int
+	// LeakedBlocks were allocated but unreachable (e.g. structural
+	// maintenance interrupted by a crash between journal commit and
+	// checkpoint; see internal/tfs/apply.go).
+	LeakedBlocks int
+	// RepairedBlocks were returned to the allocator (repair mode).
+	RepairedBlocks int
+}
+
+func (r FsckReport) String() string {
+	return fmt.Sprintf("fsck: %d objects, %d/%d blocks reachable, %d leaked, %d repaired",
+		r.Objects, r.ReachableBlocks, r.AllocatedBlocks, r.LeakedBlocks, r.RepairedBlocks)
+}
+
+// Fsck runs a mark-and-sweep over the volume: every extent reachable from
+// the root namespace (plus tracked pre-allocations and open-but-unlinked
+// files) is marked, then the allocation bitmap is swept for unreachable
+// blocks. With repair set, leaked blocks are freed. The service must be
+// quiescent (no concurrent clients); run it right after recovery.
+func (s *Service) Fsck(repair bool) (FsckReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep FsckReport
+	reach := make(map[uint64]bool) // min-block addr -> reachable
+
+	markExtent := func(addr, size uint64) {
+		actual := alloc.BlockSize(alloc.OrderFor(size))
+		for a := addr; a < addr+actual; a += alloc.MinBlock {
+			reach[a&^uint64(alloc.MinBlock-1)] = true
+		}
+	}
+
+	var markObject func(oid sobj.OID, depth int) error
+	markObject = func(oid sobj.OID, depth int) error {
+		if depth > 64 {
+			return fmt.Errorf("tfs fsck: namespace deeper than 64 levels")
+		}
+		exts, err := s.objectExtents(oid)
+		if err != nil {
+			return err
+		}
+		rep.Objects++
+		for _, e := range exts {
+			markExtent(e.Addr, e.Size)
+		}
+		if oid.Type() == sobj.TypeCollection {
+			col, err := sobj.OpenCollection(s.mem, oid)
+			if err != nil {
+				return err
+			}
+			var children []sobj.OID
+			if err := col.Iterate(func(_ []byte, val sobj.OID) error {
+				children = append(children, val)
+				return nil
+			}); err != nil {
+				return err
+			}
+			for _, child := range children {
+				if err := markObject(child, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := markObject(s.root, 0); err != nil {
+		return rep, err
+	}
+	// The pre-allocation tracking collection (its values are extent sizes,
+	// not object IDs, so mark only its own extents) and every extent it
+	// tracks.
+	preExts, err := s.preCol.Extents()
+	if err != nil {
+		return rep, err
+	}
+	rep.Objects++
+	for _, e := range preExts {
+		markExtent(e.Addr, e.Size)
+	}
+	if err := s.preCol.Iterate(func(key []byte, val sobj.OID) error {
+		if len(key) == 8 {
+			addr := uint64(key[0]) | uint64(key[1])<<8 | uint64(key[2])<<16 | uint64(key[3])<<24 |
+				uint64(key[4])<<32 | uint64(key[5])<<40 | uint64(key[6])<<48 | uint64(key[7])<<56
+			markExtent(addr, uint64(val))
+		}
+		return nil
+	}); err != nil {
+		return rep, err
+	}
+	// Open-but-unlinked files are live until closed.
+	for oid := range s.openFiles {
+		if err := markObject(oid, 0); err != nil {
+			return rep, err
+		}
+	}
+	rep.ReachableBlocks = len(reach)
+
+	// Sweep.
+	var leaked []uint64
+	if err := s.bd.ForEachAllocated(func(addr uint64) error {
+		rep.AllocatedBlocks++
+		if !reach[addr] {
+			leaked = append(leaked, addr)
+		}
+		return nil
+	}); err != nil {
+		return rep, err
+	}
+	rep.LeakedBlocks = len(leaked)
+	if repair {
+		for _, addr := range leaked {
+			if err := s.bd.Free(addr, alloc.MinBlock); err != nil {
+				return rep, err
+			}
+			rep.RepairedBlocks++
+		}
+	}
+	return rep, nil
+}

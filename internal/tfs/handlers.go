@@ -1,0 +1,80 @@
+package tfs
+
+import (
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/journal"
+	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/sobj"
+	"github.com/aerie-fs/aerie/internal/wire"
+)
+
+// lockX aliases the exclusive lock class for validation checks.
+const (
+	lockX  = lockservice.X
+	lockIX = lockservice.IX
+)
+
+func journalErrFull() error { return journal.ErrFull }
+
+// registerHandlers wires the service's RPC methods.
+func (s *Service) registerHandlers() {
+	s.srv.Register(fsproto.MethodMount, func(client uint64, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		uid := r.U32()
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		reply := s.Mount(client, uid)
+		return fsproto.EncodeMountReply(&reply), nil
+	})
+	s.srv.Register(fsproto.MethodPrealloc, func(client uint64, req []byte) ([]byte, error) {
+		q, err := fsproto.DecodePrealloc(req)
+		if err != nil {
+			return nil, err
+		}
+		addrs, err := s.Prealloc(client, q.Size, q.Count)
+		if err != nil {
+			return nil, err
+		}
+		return fsproto.EncodeAddrs(addrs), nil
+	})
+	s.srv.Register(fsproto.MethodApplyLog, func(client uint64, req []byte) ([]byte, error) {
+		if err := s.ApplyLog(client, req); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+	s.srv.Register(fsproto.MethodChmod, func(client uint64, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		oid := sobj.OID(r.U64())
+		perm := r.U32()
+		hw := r.Bool()
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		return nil, s.Chmod(client, oid, perm, hw)
+	})
+	s.srv.Register(fsproto.MethodOpenFile, func(client uint64, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		oid := sobj.OID(r.U64())
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		s.OpenFile(client, oid)
+		return nil, nil
+	})
+	s.srv.Register(fsproto.MethodCloseFile, func(client uint64, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		oid := sobj.OID(r.U64())
+		if err := r.Finish(); err != nil {
+			return nil, err
+		}
+		return nil, s.CloseFile(client, oid)
+	})
+	s.srv.Register(fsproto.MethodStatVol, func(client uint64, _ []byte) ([]byte, error) {
+		w := wire.NewWriter(16)
+		w.U64(s.FreeBytes())
+		w.U64(uint64(s.BatchesApplied.Load()))
+		return w.Bytes(), nil
+	})
+}

@@ -1,0 +1,554 @@
+// Package tfs implements Aerie's Trusted File System service (§4.2, §5.3):
+// the user-mode process that enforces metadata integrity and concurrency
+// control for mutually distrustful clients. It owns the volume's buddy
+// allocator and redo journal, runs the distributed lock service, validates
+// client metadata-update batches (structure, locks held, allocations
+// legitimate, namespace invariants), applies them crash-consistently, and
+// tracks open-but-unlinked files and per-client pre-allocated objects
+// (WAFL-style leak prevention, §5.3.7).
+package tfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/alloc"
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/journal"
+	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/rpc"
+	"github.com/aerie-fs/aerie/internal/scm"
+	"github.com/aerie-fs/aerie/internal/scmmgr"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// Volume superblock, at the start of the partition:
+//
+//	0x00 u64 magic
+//	0x08 u64 root collection OID
+//	0x10 u64 journal base   0x18 u64 journal size
+//	0x20 u64 alloc bitmap address
+//	0x28 u64 heap start     0x30 u64 heap size
+//	0x38 u64 prealloc-tracking collection OID
+//	0x40 u32 volume GID
+const (
+	sbMagic       = 0xae81ef5000000001
+	offSBMagic    = 0x00
+	offSBRoot     = 0x08
+	offSBJBase    = 0x10
+	offSBJSize    = 0x18
+	offSBBitmap   = 0x20
+	offSBHeap     = 0x28
+	offSBHeapSize = 0x30
+	offSBPrealloc = 0x38
+	offSBGID      = 0x40
+)
+
+// Errors.
+var (
+	ErrNotFormatted = errors.New("tfs: volume not formatted")
+	ErrValidation   = errors.New("tfs: validation failed")
+	ErrLockCover    = errors.New("tfs: required lock not held")
+	ErrNotPrealloc  = errors.New("tfs: extent was not pre-allocated to client")
+	ErrCycle        = errors.New("tfs: rename would create a namespace cycle")
+)
+
+// Config tunes the service.
+type Config struct {
+	// JournalSize is the redo-log region size (default 4 MiB).
+	JournalSize uint64
+	// Lease and AcquireTimeout configure the lock service.
+	Lease          time.Duration
+	AcquireTimeout time.Duration
+	// VolumeGID is the extent ACL group for the whole volume (default 100).
+	VolumeGID uint32
+	// Costs injects modeled latencies (may be nil).
+	Costs *costmodel.Costs
+}
+
+// Service is a running TFS instance for one volume.
+type Service struct {
+	mgr  *scmmgr.Manager
+	proc *scmmgr.Process // the TFS's privileged identity (partition owner)
+	part scmmgr.PartitionID
+	mem  *scm.Memory // privileged access
+	cfg  Config
+
+	srv   *rpc.Server
+	Locks *lockservice.Service
+
+	// mu serializes metadata validation, journaling, and application.
+	mu     sync.Mutex
+	bd     *alloc.Buddy
+	jl     *journal.Log
+	root   sobj.OID
+	preCol *sobj.Collection // persistent pre-allocation tracking
+	gid    uint32
+	heap   [2]uint64 // start, size
+
+	clients map[uint64]*clientState
+	// openFiles tracks files kept alive while unlinked (§6.1).
+	openFiles map[sobj.OID]*openState
+
+	// Stats.
+	BatchesApplied costmodel.Counter
+	OpsApplied     costmodel.Counter
+	OpsRejected    costmodel.Counter
+}
+
+type clientState struct {
+	uid      uint32
+	prealloc map[uint64]uint64 // extent addr -> size
+}
+
+type openState struct {
+	opens    int
+	unlinked bool
+}
+
+// FormatVolume lays out a fresh volume in the partition: superblock, redo
+// journal, allocation bitmap, heap, root directory collection, and the
+// pre-allocation tracking collection. The whole partition gets a
+// volume-wide extent ACL so members of the volume group can read metadata
+// and read/write data directly (per-object protection changes go through
+// MethodChmod, which narrows extents).
+func FormatVolume(mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.PartitionID, cfg Config) error {
+	mem := mgr.Mem()
+	info, err := mgr.Partition(part)
+	if err != nil {
+		return err
+	}
+	if cfg.JournalSize == 0 {
+		cfg.JournalSize = 4 << 20
+	}
+	if cfg.VolumeGID == 0 {
+		cfg.VolumeGID = 100
+	}
+	base := info.Start
+	jBase := base + scm.PageSize
+	jSize := cfg.JournalSize
+	bitmapAddr := jBase + jSize
+	// Heap begins after the bitmap; compute with the final heap size.
+	heapStart := bitmapAddr
+	heapSize := uint64(0)
+	for {
+		// Iterate: bitmap size depends on heap size.
+		hs := info.Start + info.Size - heapStart
+		bm := alloc.BitmapBytes(hs)
+		newStart := (bitmapAddr + bm + scm.PageSize - 1) / scm.PageSize * scm.PageSize
+		if newStart == heapStart {
+			heapSize = info.Start + info.Size - heapStart
+			break
+		}
+		heapStart = newStart
+	}
+	heapSize = heapSize / alloc.MinBlock * alloc.MinBlock
+	if heapSize < 16*alloc.MinBlock {
+		return fmt.Errorf("tfs: partition too small for a volume")
+	}
+	// Volume-wide protection: group cfg.VolumeGID gets read/write.
+	npages := int(info.Size / scm.PageSize)
+	if err := mgr.CreateExtent(proc, part, info.Start, npages,
+		scmmgr.MakeACL(cfg.VolumeGID, scmmgr.RightRead|scmmgr.RightWrite)); err != nil {
+		return err
+	}
+	bd, err := alloc.Format(mem, bitmapAddr, heapStart, heapSize)
+	if err != nil {
+		return err
+	}
+	if _, err := journal.Format(mem, jBase, jSize); err != nil {
+		return err
+	}
+	root, err := sobj.CreateCollection(mem, bd, 0755)
+	if err != nil {
+		return err
+	}
+	pre, err := sobj.CreateCollection(mem, bd, 0)
+	if err != nil {
+		return err
+	}
+	// Superblock fields, magic last.
+	if err := scm.Write64(mem, base+offSBRoot, uint64(root.OID())); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBJBase, jBase); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBJSize, jSize); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBBitmap, bitmapAddr); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBHeap, heapStart); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBHeapSize, heapSize); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBPrealloc, uint64(pre.OID())); err != nil {
+		return err
+	}
+	if err := scm.Write32(mem, base+offSBGID, cfg.VolumeGID); err != nil {
+		return err
+	}
+	if err := mem.Flush(base, scm.PageSize); err != nil {
+		return err
+	}
+	mem.Fence()
+	return scm.Write64Flush(mem, base+offSBMagic, sbMagic)
+}
+
+// Serve attaches a TFS to a formatted volume, recovers from the journal,
+// scavenges pre-allocations orphaned by the restart, and registers RPC
+// handlers (its own and the lock service's) on srv.
+func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.PartitionID, cfg Config) (*Service, error) {
+	mem := mgr.Mem()
+	info, err := mgr.Partition(part)
+	if err != nil {
+		return nil, err
+	}
+	base := info.Start
+	magic, err := scm.Read64(mem, base+offSBMagic)
+	if err != nil {
+		return nil, err
+	}
+	if magic != sbMagic {
+		return nil, ErrNotFormatted
+	}
+	rootOID, _ := scm.Read64(mem, base+offSBRoot)
+	jBase, _ := scm.Read64(mem, base+offSBJBase)
+	bitmapAddr, _ := scm.Read64(mem, base+offSBBitmap)
+	heapStart, _ := scm.Read64(mem, base+offSBHeap)
+	heapSize, _ := scm.Read64(mem, base+offSBHeapSize)
+	preOID, _ := scm.Read64(mem, base+offSBPrealloc)
+	gid, _ := scm.Read32(mem, base+offSBGID)
+
+	bd, err := alloc.Attach(mem, bitmapAddr, heapStart, heapSize)
+	if err != nil {
+		return nil, err
+	}
+	jl, err := journal.Attach(mem, jBase)
+	if err != nil {
+		return nil, err
+	}
+	preCol, err := sobj.OpenCollection(mem, sobj.OID(preOID))
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		mgr: mgr, proc: proc, part: part, mem: mem, cfg: cfg,
+		srv: srv, bd: bd, jl: jl,
+		root: sobj.OID(rootOID), preCol: preCol, gid: gid,
+		heap:      [2]uint64{heapStart, heapSize},
+		clients:   make(map[uint64]*clientState),
+		openFiles: make(map[sobj.OID]*openState),
+	}
+	// Crash recovery (§5.3.6): replay committed, un-checkpointed batches.
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	// Scavenge: no client survives a TFS restart, so every tracked
+	// pre-allocation is an orphan; reclaim them (§5.3.7).
+	if err := s.scavengePreallocs(); err != nil {
+		return nil, err
+	}
+	s.Locks = lockservice.Serve(srv, lockservice.Config{
+		Lease:          cfg.Lease,
+		AcquireTimeout: cfg.AcquireTimeout,
+		OnExpire:       func(client uint64) { s.dropClient(client) },
+	})
+	s.registerHandlers()
+	return s, nil
+}
+
+// Root returns the volume's root collection OID.
+func (s *Service) Root() sobj.OID { return s.root }
+
+// VolumeGID returns the volume's extent ACL group.
+func (s *Service) VolumeGID() uint32 { return s.gid }
+
+// FreeBytes reports the allocator's free space.
+func (s *Service) FreeBytes() uint64 { return s.bd.FreeBytes() }
+
+// recover replays the redo journal after a crash.
+func (s *Service) recover() error {
+	if s.jl.Empty() {
+		return nil
+	}
+	if err := s.jl.Replay(func(payload []byte) error {
+		acts, err := decodeActions(payload)
+		if err != nil {
+			return err
+		}
+		for i := range acts {
+			if err := s.applyAction(&acts[i], true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return s.jl.Checkpoint()
+}
+
+// scavengePreallocs frees every tracked pre-allocated extent.
+func (s *Service) scavengePreallocs() error {
+	type ent struct {
+		addr, size uint64
+	}
+	var ents []ent
+	if err := s.preCol.Iterate(func(key []byte, val sobj.OID) error {
+		if len(key) != 8 {
+			return fmt.Errorf("tfs: corrupt prealloc key")
+		}
+		addr := uint64(key[0]) | uint64(key[1])<<8 | uint64(key[2])<<16 | uint64(key[3])<<24 |
+			uint64(key[4])<<32 | uint64(key[5])<<40 | uint64(key[6])<<48 | uint64(key[7])<<56
+		ents = append(ents, ent{addr, uint64(val)})
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if err := s.bd.Free(e.addr, e.size); err != nil && !errors.Is(err, alloc.ErrBadFree) {
+			return err
+		}
+		if err := s.preCol.Remove(s.bd, addrKey(e.addr)); err != nil && !errors.Is(err, sobj.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+func addrKey(addr uint64) []byte {
+	return []byte{byte(addr), byte(addr >> 8), byte(addr >> 16), byte(addr >> 24),
+		byte(addr >> 32), byte(addr >> 40), byte(addr >> 48), byte(addr >> 56)}
+}
+
+// dropClient discards a departed client's state. Its unshipped updates were
+// never seen; its pre-allocated extents are reclaimed (§4.3: lock
+// revocation implicitly discards outstanding updates).
+func (s *Service) dropClient(client uint64) {
+	s.mu.Lock()
+	st := s.clients[client]
+	delete(s.clients, client)
+	if st != nil {
+		for addr, size := range st.prealloc {
+			if err := s.bd.Free(addr, size); err == nil {
+				_ = s.preCol.Remove(s.bd, addrKey(addr))
+			}
+		}
+	}
+	s.mu.Unlock()
+	if s.Locks != nil {
+		s.Locks.ReleaseAll(client)
+	}
+}
+
+func (s *Service) client(id uint64) *clientState {
+	st := s.clients[id]
+	if st == nil {
+		st = &clientState{prealloc: make(map[uint64]uint64)}
+		s.clients[id] = st
+	}
+	return st
+}
+
+// Mount registers a client and returns volume geometry.
+func (s *Service) Mount(client uint64, uid uint32) fsproto.MountReply {
+	s.mu.Lock()
+	st := s.client(client)
+	st.uid = uid
+	s.mu.Unlock()
+	s.srv.OnDisconnect(client, func() { s.dropClient(client) })
+	return fsproto.MountReply{
+		Root:      s.root,
+		HeapStart: s.heap[0],
+		HeapSize:  s.heap[1],
+		Partition: uint32(s.part),
+		VolumeGID: s.gid,
+	}
+}
+
+// Prealloc allocates count extents of the given size for the client,
+// journaled with tracking entries so a crash cannot leak them.
+func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, error) {
+	if count == 0 || count > 4096 || size == 0 || size > 64<<20 {
+		return nil, fmt.Errorf("%w: prealloc %d x %d bytes", ErrValidation, count, size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.client(client)
+	addrs := make([]uint64, 0, count)
+	actual := alloc.BlockSize(alloc.OrderFor(size))
+	for i := uint32(0); i < count; i++ {
+		a, err := s.bd.Alloc(size)
+		if err != nil {
+			// Roll back this batch.
+			for _, got := range addrs {
+				_ = s.bd.Free(got, actual)
+			}
+			return nil, err
+		}
+		addrs = append(addrs, a)
+	}
+	// Journal and track.
+	var acts []action
+	for _, a := range addrs {
+		acts = append(acts, action{code: jPreallocAdd, a: a, b: actual})
+	}
+	if err := s.commitActions(acts); err != nil {
+		for _, got := range addrs {
+			_ = s.bd.Free(got, actual)
+		}
+		return nil, err
+	}
+	if err := s.applyAll(acts); err != nil {
+		return nil, err
+	}
+	for _, a := range addrs {
+		st.prealloc[a] = actual
+	}
+	return addrs, nil
+}
+
+// OpenFile notes that a client has the file open while releasing its lock
+// (§6.1): the file must survive unlink until closed.
+func (s *Service) OpenFile(client uint64, oid sobj.OID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.openFiles[oid]
+	if st == nil {
+		st = &openState{}
+		s.openFiles[oid] = st
+	}
+	st.opens++
+}
+
+// CloseFile ends an open-file registration; the last close of an unlinked
+// file reclaims its storage.
+func (s *Service) CloseFile(client uint64, oid sobj.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.openFiles[oid]
+	if st == nil {
+		return nil
+	}
+	st.opens--
+	if st.opens > 0 {
+		return nil
+	}
+	delete(s.openFiles, oid)
+	if st.unlinked {
+		return s.destroyObject(oid)
+	}
+	return nil
+}
+
+// Chmod updates FS-level permission bits; when hwProtect is set it also
+// narrows the memory protection of the object's extents (the expensive
+// path measured in §7.2.1).
+func (s *Service) Chmod(client uint64, oid sobj.OID, perm uint32, hwProtect bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := sobj.ReadHeader(s.mem, oid); err != nil {
+		return err
+	}
+	acts := []action{{code: jSetPerm, oid: oid, a: uint64(perm)}}
+	if err := s.commitActions(acts); err != nil {
+		return err
+	}
+	if err := s.applyAll(acts); err != nil {
+		return err
+	}
+	if hwProtect {
+		rights := uint32(0)
+		if perm&0444 != 0 {
+			rights |= scmmgr.RightRead
+		}
+		if perm&0222 != 0 {
+			rights |= scmmgr.RightWrite
+		}
+		newACL := scmmgr.MakeACL(s.gid, rights)
+		if err := s.protectObjectExtents(oid, newACL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protectObjectExtents applies acl to the pages of every extent of oid
+// (§5.3.3: the service propagates protection down to the object's extents).
+func (s *Service) protectObjectExtents(oid sobj.OID, acl scmmgr.ACL) error {
+	mprot := func(addr, size uint64) error {
+		npages := int((size + scm.PageSize - 1) / scm.PageSize)
+		pageAddr := addr &^ uint64(scm.PageSize-1)
+		return s.mgr.MProtectExtent(s.proc, s.part, pageAddr, npages, acl)
+	}
+	switch oid.Type() {
+	case sobj.TypeMFile:
+		m, err := sobj.OpenMFile(s.mem, oid)
+		if err != nil {
+			return err
+		}
+		size, err := m.Size()
+		if err != nil {
+			return err
+		}
+		bs, err := m.BlockSize()
+		if err != nil {
+			return err
+		}
+		if single, _ := m.IsSingle(); single {
+			ext, err := m.ExtentFor(0)
+			if err != nil {
+				return err
+			}
+			if ext != 0 {
+				return mprot(ext, size)
+			}
+			return nil
+		}
+		for off := uint64(0); off < size; off += bs {
+			ext, err := m.ExtentFor(off)
+			if err != nil {
+				return err
+			}
+			if ext != 0 {
+				if err := mprot(ext, bs); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case sobj.TypeCollection:
+		// Protect the head page; table extents keep the volume ACL so
+		// other readers can still traverse if FS-level perms allow.
+		return mprot(oid.Addr(), scm.PageSize)
+	default:
+		return fmt.Errorf("%w: chmod on %v", ErrValidation, oid)
+	}
+}
+
+// destroyObject frees an object's storage.
+func (s *Service) destroyObject(oid sobj.OID) error {
+	switch oid.Type() {
+	case sobj.TypeCollection:
+		c, err := sobj.OpenCollection(s.mem, oid)
+		if err != nil {
+			return err
+		}
+		return c.Destroy(s.bd)
+	case sobj.TypeMFile:
+		m, err := sobj.OpenMFile(s.mem, oid)
+		if err != nil {
+			return err
+		}
+		return m.Destroy(s.bd)
+	}
+	return fmt.Errorf("%w: destroy %v", ErrValidation, oid)
+}

@@ -1,0 +1,401 @@
+package vfs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Syscall-like operations. Every op charges the kernel-entry cost and
+// accounts its time into the Figure 1 categories.
+
+// allocFD installs a descriptor (file-descriptor cost).
+func (v *VFS) allocFD(sw *stopwatch, vn *vnode, flags int, off uint64) int {
+	v.fdmu.Lock()
+	var fd int
+	d := &fdesc{vn: vn, off: off, flags: flags}
+	if n := len(v.free); n > 0 {
+		fd = v.free[n-1]
+		v.free = v.free[:n-1]
+		v.fds[fd] = d
+	} else {
+		fd = len(v.fds)
+		v.fds = append(v.fds, d)
+	}
+	v.fdmu.Unlock()
+	sw.lap(CatFD)
+	return fd
+}
+
+func (v *VFS) fd(fd int) (*fdesc, error) {
+	v.fdmu.Lock()
+	defer v.fdmu.Unlock()
+	if fd < 0 || fd >= len(v.fds) || v.fds[fd] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return v.fds[fd], nil
+}
+
+// Open opens (or creates, with O_CREATE) path and returns a descriptor.
+func (v *VFS) Open(path string, flags int, mode uint32) (int, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	var vn *vnode
+	if flags&O_CREATE != 0 {
+		dir, leaf, err := v.walkParent(&sw, path)
+		if err != nil {
+			return -1, err
+		}
+		v.mu.Lock()
+		sw.lap(CatSync)
+		ino, err := v.fs.Lookup(dir.ino, leaf)
+		if err == nil {
+			sw.lap(CatNaming)
+			vn, err = v.vget(ino)
+			sw.lap(CatMemObj)
+		} else {
+			sw.lap(CatNaming)
+			ino, err = v.fs.Create(dir.ino, leaf, mode, false)
+			sw.lap(CatBackend)
+			if err == nil {
+				v.dcache[dkey{dir.ino, leaf}] = ino
+				vn, err = v.vget(ino)
+			}
+			sw.lap(CatMemObj)
+		}
+		v.vput(dir)
+		v.mu.Unlock()
+		sw.lap(CatSync)
+		if err != nil {
+			return -1, err
+		}
+	} else {
+		parts, err := splitPath(path)
+		if err != nil {
+			return -1, err
+		}
+		vn, err = v.walk(&sw, parts)
+		if err != nil {
+			return -1, err
+		}
+	}
+	if vn.attr.IsDir && flags&(O_RDWR|O_TRUNC) != 0 {
+		v.put(vn)
+		return -1, ErrIsDir
+	}
+	need := uint32(0444)
+	if flags&O_RDWR != 0 {
+		need = 0222
+	}
+	if vn.attr.Mode&need == 0 {
+		v.put(vn)
+		return -1, ErrPerm
+	}
+	off := uint64(0)
+	if flags&O_TRUNC != 0 {
+		vn.lock.Lock()
+		sw.lap(CatSync)
+		if err := v.fs.Truncate(vn.ino, 0); err != nil {
+			vn.lock.Unlock()
+			v.put(vn)
+			return -1, err
+		}
+		vn.attr.Size = 0
+		vn.lock.Unlock()
+		sw.lap(CatEntry)
+	}
+	if flags&O_APPEND != 0 {
+		off = vn.attr.Size
+	}
+	return v.allocFD(&sw, vn, flags, off), nil
+}
+
+// Close releases a descriptor.
+func (v *VFS) Close(fd int) error {
+	var sw stopwatch
+	v.enter(&sw)
+	v.fdmu.Lock()
+	if fd < 0 || fd >= len(v.fds) || v.fds[fd] == nil {
+		v.fdmu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	d := v.fds[fd]
+	v.fds[fd] = nil
+	v.free = append(v.free, fd)
+	v.fdmu.Unlock()
+	sw.lap(CatFD)
+	v.put(d.vn)
+	sw.lap(CatMemObj)
+	return nil
+}
+
+// Read reads from the descriptor's offset.
+func (v *VFS) Read(fd int, p []byte) (int, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	d, err := v.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	sw.lap(CatFD)
+	d.vn.lock.RLock()
+	sw.lap(CatSync)
+	n, err := v.fs.ReadAt(d.vn.ino, p, d.off)
+	d.vn.lock.RUnlock()
+	d.off += uint64(n)
+	return n, err
+}
+
+// Pread reads at an absolute offset.
+func (v *VFS) Pread(fd int, p []byte, off uint64) (int, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	d, err := v.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	sw.lap(CatFD)
+	d.vn.lock.RLock()
+	sw.lap(CatSync)
+	n, err := v.fs.ReadAt(d.vn.ino, p, off)
+	d.vn.lock.RUnlock()
+	return n, err
+}
+
+// Write writes at the descriptor's offset (or the end with O_APPEND).
+func (v *VFS) Write(fd int, p []byte) (int, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	d, err := v.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	sw.lap(CatFD)
+	d.vn.lock.Lock()
+	sw.lap(CatSync)
+	off := d.off
+	if d.flags&O_APPEND != 0 {
+		off = d.vn.attr.Size
+	}
+	n, err := v.fs.WriteAt(d.vn.ino, p, off)
+	if end := off + uint64(n); end > d.vn.attr.Size {
+		d.vn.attr.Size = end
+	}
+	d.vn.attr.Mtime = time.Now().UnixNano()
+	d.vn.lock.Unlock()
+	d.off = off + uint64(n)
+	return n, err
+}
+
+// Pwrite writes at an absolute offset.
+func (v *VFS) Pwrite(fd int, p []byte, off uint64) (int, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	d, err := v.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	sw.lap(CatFD)
+	d.vn.lock.Lock()
+	sw.lap(CatSync)
+	n, err := v.fs.WriteAt(d.vn.ino, p, off)
+	if end := off + uint64(n); end > d.vn.attr.Size {
+		d.vn.attr.Size = end
+	}
+	d.vn.lock.Unlock()
+	return n, err
+}
+
+// Stat returns path's attributes.
+func (v *VFS) Stat(path string) (Attr, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	parts, err := splitPath(path)
+	if err != nil {
+		return Attr{}, err
+	}
+	vn, err := v.walk(&sw, parts)
+	if err != nil {
+		return Attr{}, err
+	}
+	vn.lock.RLock()
+	sw.lap(CatSync)
+	// Refresh size from the FS (writes through other descriptors).
+	attr, aerr := v.fs.GetAttr(vn.ino)
+	if aerr == nil {
+		vn.attr = attr
+	}
+	a := vn.attr
+	vn.lock.RUnlock()
+	v.put(vn)
+	sw.lap(CatMemObj)
+	return a, nil
+}
+
+// Fstat returns the open file's attributes.
+func (v *VFS) Fstat(fd int) (Attr, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	d, err := v.fd(fd)
+	if err != nil {
+		return Attr{}, err
+	}
+	sw.lap(CatFD)
+	attr, err := v.fs.GetAttr(d.vn.ino)
+	if err == nil {
+		d.vn.attr = attr
+	}
+	return attr, err
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(path string, mode uint32) error {
+	var sw stopwatch
+	v.enter(&sw)
+	dir, leaf, err := v.walkParent(&sw, path)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	sw.lap(CatSync)
+	_, err = v.fs.Create(dir.ino, leaf, mode, true)
+	sw.lap(CatBackend)
+	v.vput(dir)
+	v.mu.Unlock()
+	sw.lap(CatSync)
+	return err
+}
+
+// Unlink removes a file.
+func (v *VFS) Unlink(path string) error { return v.remove(path, false) }
+
+// Rmdir removes an empty directory.
+func (v *VFS) Rmdir(path string) error { return v.remove(path, true) }
+
+func (v *VFS) remove(path string, rmdir bool) error {
+	var sw stopwatch
+	v.enter(&sw)
+	dir, leaf, err := v.walkParent(&sw, path)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	sw.lap(CatSync)
+	err = v.fs.Unlink(dir.ino, leaf, rmdir)
+	sw.lap(CatBackend)
+	if err == nil {
+		ino, ok := v.dcache[dkey{dir.ino, leaf}]
+		delete(v.dcache, dkey{dir.ino, leaf})
+		if ok {
+			delete(v.icache, ino)
+		}
+	}
+	sw.lap(CatMemObj)
+	v.vput(dir)
+	v.mu.Unlock()
+	sw.lap(CatSync)
+	return err
+}
+
+// Rename atomically moves src to dst.
+func (v *VFS) Rename(src, dst string) error {
+	var sw stopwatch
+	v.enter(&sw)
+	sdir, sleaf, err := v.walkParent(&sw, src)
+	if err != nil {
+		return err
+	}
+	ddir, dleaf, err := v.walkParent(&sw, dst)
+	if err != nil {
+		v.put(sdir)
+		return err
+	}
+	v.mu.Lock()
+	sw.lap(CatSync)
+	err = v.fs.Rename(sdir.ino, sleaf, ddir.ino, dleaf)
+	sw.lap(CatBackend)
+	delete(v.dcache, dkey{sdir.ino, sleaf})
+	delete(v.dcache, dkey{ddir.ino, dleaf})
+	sw.lap(CatMemObj)
+	v.vput(sdir)
+	v.vput(ddir)
+	v.mu.Unlock()
+	sw.lap(CatSync)
+	return err
+}
+
+// ReadDir lists a directory.
+func (v *VFS) ReadDir(path string) ([]NameIno, error) {
+	var sw stopwatch
+	v.enter(&sw)
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	vn, err := v.walk(&sw, parts)
+	if err != nil {
+		return nil, err
+	}
+	defer v.put(vn)
+	if !vn.attr.IsDir {
+		return nil, ErrNotDir
+	}
+	return v.fs.ReadDir(vn.ino)
+}
+
+// Chmod updates permission bits.
+func (v *VFS) Chmod(path string, mode uint32) error {
+	var sw stopwatch
+	v.enter(&sw)
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	vn, err := v.walk(&sw, parts)
+	if err != nil {
+		return err
+	}
+	defer v.put(vn)
+	vn.lock.Lock()
+	defer vn.lock.Unlock()
+	if err := v.fs.SetMode(vn.ino, mode); err != nil {
+		return err
+	}
+	vn.attr.Mode = mode
+	return nil
+}
+
+// Ftruncate resizes an open file.
+func (v *VFS) Ftruncate(fd int, size uint64) error {
+	var sw stopwatch
+	v.enter(&sw)
+	d, err := v.fd(fd)
+	if err != nil {
+		return err
+	}
+	sw.lap(CatFD)
+	d.vn.lock.Lock()
+	defer d.vn.lock.Unlock()
+	if err := v.fs.Truncate(d.vn.ino, size); err != nil {
+		return err
+	}
+	d.vn.attr.Size = size
+	return nil
+}
+
+// Fsync flushes the file system (journal commit + device flush).
+func (v *VFS) Fsync(fd int) error {
+	var sw stopwatch
+	v.enter(&sw)
+	if _, err := v.fd(fd); err != nil {
+		return err
+	}
+	sw.lap(CatFD)
+	return v.fs.Sync()
+}
+
+// Sync flushes the whole file system.
+func (v *VFS) Sync() error {
+	var sw stopwatch
+	v.enter(&sw)
+	return v.fs.Sync()
+}

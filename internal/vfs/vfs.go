@@ -1,0 +1,394 @@
+// Package vfs simulates the kernel Virtual File System layer that the
+// paper's baselines (RamFS, ext3, ext4) run under, including the costs §3
+// attributes to the file abstraction: kernel entry, file-descriptor
+// management, synchronization, in-memory objects (inodes and dentries), and
+// hierarchical naming. Each operation accounts its time into those five
+// categories, which is how the harness regenerates Figure 1.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+// Ino is an inode number; 0 is invalid.
+type Ino uint64
+
+// Attr is the stat-visible metadata of a file.
+type Attr struct {
+	Mode  uint32
+	Size  uint64
+	Nlink uint32
+	Mtime int64
+	IsDir bool
+}
+
+// NameIno is one directory entry.
+type NameIno struct {
+	Name string
+	Ino  Ino
+}
+
+// FileSystem is the concrete on-"disk" file system under the VFS (RamFS or
+// extfs). The VFS owns caching and synchronization; implementations may
+// assume calls are serialized by the VFS locks.
+type FileSystem interface {
+	Root() Ino
+	Lookup(dir Ino, name string) (Ino, error)
+	Create(dir Ino, name string, mode uint32, isDir bool) (Ino, error)
+	Unlink(dir Ino, name string, rmdir bool) error
+	Rename(sdir Ino, sname string, ddir Ino, dname string) error
+	GetAttr(ino Ino) (Attr, error)
+	SetMode(ino Ino, mode uint32) error
+	ReadDir(dir Ino) ([]NameIno, error)
+	ReadAt(ino Ino, p []byte, off uint64) (int, error)
+	WriteAt(ino Ino, p []byte, off uint64) (int, error)
+	Truncate(ino Ino, size uint64) error
+	Sync() error
+}
+
+// Errors shared by VFS file systems.
+var (
+	ErrNotExist = errors.New("vfs: no such file or directory")
+	ErrExist    = errors.New("vfs: file exists")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+	ErrBadFD    = errors.New("vfs: bad file descriptor")
+	ErrPerm     = errors.New("vfs: permission denied")
+)
+
+// Open flags (subset).
+const (
+	O_RDONLY = 0x0
+	O_RDWR   = 0x2
+	O_CREATE = 0x40
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+)
+
+// Category indexes the Figure 1 cost breakdown.
+type Category int
+
+// Categories, matching Figure 1's legend.
+const (
+	CatEntry  Category = iota // entry function + mode switch
+	CatFD                     // file-descriptor management
+	CatSync                   // synchronization (locks)
+	CatMemObj                 // in-memory inodes and dentries
+	CatNaming                 // hierarchical name resolution
+	// CatBackend is time inside the concrete file system (journal
+	// commits, block I/O). The paper's Figure 1 profiles the VFS layer
+	// only, so reports exclude this bucket.
+	CatBackend
+	numCategories
+)
+
+func (c Category) String() string {
+	return [...]string{"EntryFunction", "FileDescriptors", "Synchronization", "MemoryObjects", "Naming", "Backend"}[c]
+}
+
+// Accounting accumulates per-category time.
+type Accounting struct {
+	ns  [numCategories]atomic.Int64
+	ops atomic.Int64
+}
+
+// Add accumulates d into cat.
+func (a *Accounting) Add(cat Category, d time.Duration) {
+	if a == nil {
+		return
+	}
+	a.ns[cat].Add(int64(d))
+}
+
+// Snapshot returns per-category totals and the op count.
+func (a *Accounting) Snapshot() (totals [numCategories]time.Duration, ops int64) {
+	for i := range totals {
+		totals[i] = time.Duration(a.ns[i].Load())
+	}
+	return totals, a.ops.Load()
+}
+
+// Reset zeroes the accounting.
+func (a *Accounting) Reset() {
+	for i := range a.ns {
+		a.ns[i].Store(0)
+	}
+	a.ops.Store(0)
+}
+
+// Categories enumerates the category list for reporting.
+func Categories() []Category {
+	return []Category{CatEntry, CatFD, CatSync, CatMemObj, CatNaming}
+}
+
+// stopwatch attributes elapsed wall time to categories between laps.
+type stopwatch struct {
+	acct *Accounting
+	last time.Time
+}
+
+func (sw *stopwatch) start(a *Accounting) {
+	sw.acct = a
+	if a != nil {
+		sw.last = time.Now()
+	}
+}
+
+func (sw *stopwatch) lap(cat Category) {
+	if sw.acct == nil {
+		return
+	}
+	now := time.Now()
+	sw.acct.Add(cat, now.Sub(sw.last))
+	sw.last = now
+}
+
+// vnode is the in-memory inode object, with the lifecycle costs §3 charges
+// to "memory objects": allocation, initialization from the FS, reference
+// counting, and eviction.
+type vnode struct {
+	ino    Ino
+	attr   Attr
+	refcnt int32
+	lock   sync.RWMutex
+}
+
+type dkey struct {
+	parent Ino
+	name   string
+}
+
+type fdesc struct {
+	vn    *vnode
+	off   uint64
+	flags int
+}
+
+// VFS is the simulated kernel file-system layer.
+type VFS struct {
+	fs    FileSystem
+	costs *costmodel.Costs
+	acct  *Accounting
+
+	mu     sync.Mutex // the "big kernel lock" for namespace state
+	dcache map[dkey]Ino
+	icache map[Ino]*vnode
+	dmax   int
+	imax   int
+
+	fdmu sync.Mutex
+	fds  []*fdesc
+	free []int
+
+	// Stats.
+	DcacheHits   costmodel.Counter
+	DcacheMisses costmodel.Counter
+}
+
+// Config tunes the VFS.
+type Config struct {
+	// Costs injects the syscall-entry latency (may be nil).
+	Costs *costmodel.Costs
+	// DentryCacheSize and InodeCacheSize bound the caches (defaults
+	// 65536 / 16384).
+	DentryCacheSize int
+	InodeCacheSize  int
+	// Accounting enables the Figure 1 breakdown (small overhead).
+	Accounting bool
+}
+
+// New mounts fs under a fresh VFS.
+func New(fs FileSystem, cfg Config) *VFS {
+	if cfg.DentryCacheSize == 0 {
+		cfg.DentryCacheSize = 65536
+	}
+	if cfg.InodeCacheSize == 0 {
+		cfg.InodeCacheSize = 16384
+	}
+	v := &VFS{
+		fs:     fs,
+		costs:  cfg.Costs,
+		dcache: make(map[dkey]Ino),
+		icache: make(map[Ino]*vnode),
+		dmax:   cfg.DentryCacheSize,
+		imax:   cfg.InodeCacheSize,
+	}
+	if cfg.Accounting {
+		v.acct = &Accounting{}
+	}
+	return v
+}
+
+// Accounting returns the Figure 1 accounting (nil when disabled).
+func (v *VFS) Accounting() *Accounting { return v.acct }
+
+// DropCaches empties the dentry and inode caches (cold-cache experiments).
+func (v *VFS) DropCaches() {
+	v.mu.Lock()
+	v.dcache = make(map[dkey]Ino)
+	v.icache = make(map[Ino]*vnode)
+	v.mu.Unlock()
+}
+
+// enter charges the kernel-crossing cost.
+func (v *VFS) enter(sw *stopwatch) {
+	sw.start(v.acct)
+	if v.acct != nil {
+		v.acct.ops.Add(1)
+	}
+	if v.costs != nil {
+		costmodel.Spin(v.costs.SyscallEntry)
+	}
+	sw.lap(CatEntry)
+}
+
+// vget returns the vnode for ino, instantiating and caching it on miss
+// (memory-object cost). Caller holds v.mu.
+func (v *VFS) vget(ino Ino) (*vnode, error) {
+	if vn := v.icache[ino]; vn != nil {
+		atomic.AddInt32(&vn.refcnt, 1)
+		return vn, nil
+	}
+	attr, err := v.fs.GetAttr(ino)
+	if err != nil {
+		return nil, err
+	}
+	vn := &vnode{ino: ino, attr: attr, refcnt: 1}
+	if len(v.icache) >= v.imax {
+		// Evict an unreferenced vnode (simple sweep).
+		for k, cand := range v.icache {
+			if atomic.LoadInt32(&cand.refcnt) == 0 {
+				delete(v.icache, k)
+				break
+			}
+		}
+	}
+	v.icache[ino] = vn
+	return vn, nil
+}
+
+func (v *VFS) vput(vn *vnode) {
+	if vn != nil {
+		atomic.AddInt32(&vn.refcnt, -1)
+	}
+}
+
+// splitPath normalizes a path.
+func splitPath(path string) ([]string, error) {
+	if path == "" || !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("vfs: need absolute path, got %q", path)
+	}
+	raw := strings.Split(path, "/")
+	parts := raw[:0]
+	for _, p := range raw {
+		if p != "" && p != "." {
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// lookupComponent resolves one name under dir with the dentry cache
+// (naming cost) and returns its vnode (memory-object cost). Caller holds
+// v.mu; sw laps are attributed accordingly.
+func (v *VFS) lookupComponent(sw *stopwatch, dir Ino, name string) (*vnode, error) {
+	key := dkey{dir, name}
+	ino, ok := v.dcache[key]
+	if !ok {
+		v.DcacheMisses.Add(1)
+		sw.lap(CatNaming)
+		var err error
+		ino, err = v.fs.Lookup(dir, name)
+		sw.lap(CatBackend)
+		if err != nil {
+			return nil, err
+		}
+		if len(v.dcache) >= v.dmax {
+			for k := range v.dcache {
+				delete(v.dcache, k)
+				break
+			}
+		}
+		v.dcache[key] = ino
+	} else {
+		v.DcacheHits.Add(1)
+	}
+	sw.lap(CatNaming)
+	vn, err := v.vget(ino)
+	sw.lap(CatMemObj)
+	return vn, err
+}
+
+// walk resolves all of parts under root, returning the final vnode with a
+// reference held. Access (traverse) checks run per component, as the paper
+// counts under naming.
+func (v *VFS) walk(sw *stopwatch, parts []string) (*vnode, error) {
+	v.mu.Lock()
+	sw.lap(CatSync)
+	cur, err := v.vget(v.fs.Root())
+	sw.lap(CatMemObj)
+	if err != nil {
+		v.mu.Unlock()
+		return nil, err
+	}
+	for _, name := range parts {
+		if !cur.attr.IsDir {
+			v.vput(cur)
+			v.mu.Unlock()
+			return nil, ErrNotDir
+		}
+		if cur.attr.Mode&0555 == 0 {
+			v.vput(cur)
+			v.mu.Unlock()
+			return nil, ErrPerm
+		}
+		sw.lap(CatNaming)
+		next, err := v.lookupComponent(sw, cur.ino, name)
+		v.vput(cur)
+		if err != nil {
+			v.mu.Unlock()
+			return nil, err
+		}
+		cur = next
+	}
+	v.mu.Unlock()
+	sw.lap(CatSync)
+	return cur, nil
+}
+
+// walkParent resolves to the parent directory of path, returning it plus
+// the leaf name.
+func (v *VFS) walkParent(sw *stopwatch, path string) (*vnode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("vfs: %q names the root", path)
+	}
+	dir, err := v.walk(sw, parts[:len(parts)-1])
+	if err != nil {
+		return nil, "", err
+	}
+	if !dir.attr.IsDir {
+		v.mu.Lock()
+		v.vput(dir)
+		v.mu.Unlock()
+		return nil, "", ErrNotDir
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+func (v *VFS) put(vn *vnode) {
+	v.mu.Lock()
+	v.vput(vn)
+	v.mu.Unlock()
+}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xab)
+	w.U16(0xbeef)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes32([]byte("payload"))
+	w.String("name")
+
+	r := NewReader(w.Bytes())
+	if v := r.U8(); v != 0xab {
+		t.Errorf("u8 = %#x", v)
+	}
+	if v := r.U16(); v != 0xbeef {
+		t.Errorf("u16 = %#x", v)
+	}
+	if v := r.U32(); v != 0xdeadbeef {
+		t.Errorf("u32 = %#x", v)
+	}
+	if v := r.U64(); v != 0x0123456789abcdef {
+		t.Errorf("u64 = %#x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Errorf("i64 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools wrong")
+	}
+	if v := r.Bytes32(); !bytes.Equal(v, []byte("payload")) {
+		t.Errorf("bytes = %q", v)
+	}
+	if v := r.Str(); v != "name" {
+		t.Errorf("string = %q", v)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedMessageSticksError(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(7)
+	r := NewReader(w.Bytes()[:2])
+	if r.U32() != 0 {
+		t.Error("truncated u32 should be zero")
+	}
+	if r.Err() == nil {
+		t.Fatal("want error")
+	}
+	// Subsequent reads stay zero and don't panic.
+	if r.U64() != 0 || r.Str() != "" {
+		t.Error("reads after error should return zero values")
+	}
+	if r.Finish() == nil {
+		t.Error("Finish should report the sticky error")
+	}
+}
+
+func TestHostileLengthPrefixRejected(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(0xffffffff) // absurd length prefix with no body
+	r := NewReader(w.Bytes())
+	if r.Bytes32() != nil {
+		t.Fatal("want nil for hostile length")
+	}
+	if r.Err() == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestTrailingBytesDetected(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(1)
+	w.U8(9)
+	r := NewReader(w.Bytes())
+	_ = r.U32()
+	if err := r.Finish(); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.U64(1)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	w.U8(5)
+	if w.Len() != 1 {
+		t.Fatal("writer unusable after reset")
+	}
+}
+
+func TestQuickScalarAndBytesRoundTrip(t *testing.T) {
+	f := func(a uint64, b uint32, c uint16, d uint8, s []byte, str string, flag bool) bool {
+		w := NewWriter(32)
+		w.U64(a)
+		w.U32(b)
+		w.U16(c)
+		w.U8(d)
+		w.Bytes32(s)
+		w.String(str)
+		w.Bool(flag)
+		r := NewReader(w.Bytes())
+		ok := r.U64() == a && r.U32() == b && r.U16() == c && r.U8() == d &&
+			bytes.Equal(r.Bytes32(), s) && r.Str() == str && r.Bool() == flag
+		return ok && r.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a reader over any random byte soup never panics and always
+// terminates with a defined state.
+func TestQuickReaderNeverPanics(t *testing.T) {
+	f := func(soup []byte) bool {
+		r := NewReader(soup)
+		for i := 0; i < 16; i++ {
+			switch i % 5 {
+			case 0:
+				r.U64()
+			case 1:
+				r.Bytes32()
+			case 2:
+				r.U8()
+			case 3:
+				r.Str()
+			case 4:
+				r.U32()
+			}
+		}
+		_ = r.Finish()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
