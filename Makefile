@@ -1,0 +1,20 @@
+# Verification tiers. tier1 is the gate every change must keep green;
+# tier2 adds vet plus race-enabled runs of the packages on the zero-copy
+# read path (arena, SCM manager, storage objects, lock service).
+
+TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice
+
+.PHONY: all tier1 tier2 bench-readpath
+
+all: tier1
+
+tier1:
+	go build ./...
+	go test ./...
+
+tier2:
+	go vet ./...
+	go test -race $(TIER2_PKGS)
+
+bench-readpath:
+	go test -run xxx -bench BenchmarkReadPath -benchmem .

@@ -1,0 +1,218 @@
+// Read-path microbenchmarks for the zero-copy Slicer path. Each family
+// compares "slice" (the Slicer fast path the libFS direct readers use)
+// against "copy" (the Read fallback, which is also what the seed tree did
+// on every access), so one `-benchmem` run yields both the PR and the
+// pre-PR numbers. BENCH_readpath.json records a snapshot.
+package aerie_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/alloc"
+	"github.com/aerie-fs/aerie/internal/pxfs"
+	"github.com/aerie-fs/aerie/internal/scm"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// copyOnly hides the arena's Slice method, forcing the object layer down
+// the copying fallback — the seed tree's behavior.
+type copyOnly struct{ inner scm.Space }
+
+func (c copyOnly) Read(addr uint64, p []byte) error        { return c.inner.Read(addr, p) }
+func (c copyOnly) Write(addr uint64, p []byte) error       { return c.inner.Write(addr, p) }
+func (c copyOnly) WriteStream(addr uint64, p []byte) error { return c.inner.WriteStream(addr, p) }
+func (c copyOnly) Flush(addr uint64, n int) error          { return c.inner.Flush(addr, n) }
+func (c copyOnly) BFlush()                                 { c.inner.BFlush() }
+func (c copyOnly) Fence()                                  { c.inner.Fence() }
+func (c copyOnly) Atomic64(addr uint64, v uint64) error    { return c.inner.Atomic64(addr, v) }
+func (c copyOnly) Size() uint64                            { return c.inner.Size() }
+
+type readPathEnv struct {
+	mem *scm.Memory
+	bd  *alloc.Buddy
+}
+
+func newReadPathEnv(b *testing.B) *readPathEnv {
+	b.Helper()
+	// Benchmarks leave persistence tracking off, like the arena doc says.
+	mem := scm.New(scm.Config{Size: 64 << 20})
+	bd, err := alloc.Format(mem, scm.PageSize, 1<<20, 48<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &readPathEnv{mem: mem, bd: bd}
+}
+
+func benchCollection(b *testing.B, e *readPathEnv, nkeys int) (*sobj.Collection, [][]byte) {
+	b.Helper()
+	c, err := sobj.CreateCollection(e.mem, e.bd, 0644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("path-component-%05d", i))
+		oid, err := sobj.MakeOID(uint64(i+1)*scm.PageSize+1<<26, sobj.TypeMFile)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Insert(e.bd, keys[i], oid); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c, keys
+}
+
+func BenchmarkReadPathCollectionLookupHit(b *testing.B) {
+	e := newReadPathEnv(b)
+	c, keys := benchCollection(b, e, 4096)
+	cc, err := sobj.OpenCollection(copyOnly{e.mem}, c.OID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, coll := range map[string]*sobj.Collection{"slice": c, "copy": cc} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coll.Lookup(keys[i%len(keys)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadPathCollectionLookupMiss(b *testing.B) {
+	e := newReadPathEnv(b)
+	c, _ := benchCollection(b, e, 4096)
+	cc, err := sobj.OpenCollection(copyOnly{e.mem}, c.OID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	miss := []byte("no-such-component")
+	for name, coll := range map[string]*sobj.Collection{"slice": c, "copy": cc} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := coll.Lookup(miss); err == nil {
+					b.Fatal("expected miss")
+				}
+			}
+		})
+	}
+}
+
+func benchMFile(b *testing.B, e *readPathEnv, size uint64) *sobj.MFile {
+	b.Helper()
+	m, err := sobj.CreateMFile(e.mem, e.bd, 0644, sobj.DefaultExtentLog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := m.BlockSize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for blk := uint64(0); blk < size/bs; blk++ {
+		ext, err := e.bd.Alloc(bs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.AttachExtent(e.bd, blk, ext); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if _, err := m.WriteAt(payload, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetSize(size); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkReadPathMFileReadAtSeq(b *testing.B) {
+	const size = 1 << 20
+	e := newReadPathEnv(b)
+	m := benchMFile(b, e, size)
+	mc, err := sobj.OpenMFile(copyOnly{e.mem}, m.OID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for name, mf := range map[string]*sobj.MFile{"slice": m, "copy": mc} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(buf)))
+			off := uint64(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := mf.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+				off += uint64(len(buf))
+				if off >= size {
+					off = 0
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadPathMFileReadAtRand(b *testing.B) {
+	const size = 1 << 20
+	e := newReadPathEnv(b)
+	m := benchMFile(b, e, size)
+	mc, err := sobj.OpenMFile(copyOnly{e.mem}, m.OID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	for name, mf := range map[string]*sobj.MFile{"slice": m, "copy": mc} {
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			b.ReportAllocs()
+			b.SetBytes(int64(len(buf)))
+			for i := 0; i < b.N; i++ {
+				off := uint64(rng.Intn(size - len(buf)))
+				if _, err := mf.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadPathPXFSOpenRead(b *testing.B) {
+	fs := benchPXFS(b)
+	data := make([]byte, 16<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	f, err := fs.Create("/bench.dat", 0644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fs.Open("/bench.dat", pxfs.O_RDONLY)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Read(buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

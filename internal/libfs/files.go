@@ -324,6 +324,21 @@ func (s *Session) extentFor(m *sobj.MFile, oid sobj.OID, blockIdx uint64, bs uin
 	return m.ExtentFor(blockIdx * bs)
 }
 
+// readDirect copies len(dst) bytes at addr into dst through the protected
+// mapping: from the zero-copy window when the mapping slices (one copy, SCM
+// to application buffer), else via Read.
+func (s *Session) readDirect(addr uint64, dst []byte) error {
+	if s.sl != nil {
+		b, err := s.sl.Slice(addr, len(dst))
+		if err != nil {
+			return err
+		}
+		copy(dst, b)
+		return nil
+	}
+	return s.Mem.Read(addr, dst)
+}
+
 // FileRead reads through the shadow overlay: pending extents and pending
 // size are visible to this client before the batch ships.
 func (s *Session) FileRead(oid sobj.OID, p []byte, off uint64) (int, error) {
@@ -356,7 +371,7 @@ func (s *Session) FileRead(oid sobj.OID, p []byte, off uint64) (int, error) {
 			}
 			return len(p), nil
 		}
-		if err := s.Mem.Read(ext+off, p); err != nil {
+		if err := s.readDirect(ext+off, p); err != nil {
 			return 0, err
 		}
 		return len(p), nil
@@ -383,7 +398,7 @@ func (s *Session) FileRead(oid sobj.OID, p []byte, off uint64) (int, error) {
 			for i := range dst {
 				dst[i] = 0
 			}
-		} else if err := s.Mem.Read(ext+inBlock, dst); err != nil {
+		} else if err := s.readDirect(ext+inBlock, dst); err != nil {
 			return read, err
 		}
 		read += chunk

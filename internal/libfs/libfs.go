@@ -60,6 +60,10 @@ type Session struct {
 
 	// Mem is the session's protected view of SCM.
 	Mem scm.Space
+	// sl is Mem's zero-copy capability (resolved once at mount), used by
+	// the direct readers to copy file data straight from the mapped arena
+	// into application buffers.
+	sl scm.Slicer
 	// Root is the volume root collection.
 	Root sobj.OID
 
@@ -127,7 +131,7 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 	}
 	s := &Session{
 		rc: rc, mgr: mgr, proc: proc, mapping: mapping, cfg: cfg,
-		Mem: mapping, Root: reply.Root,
+		Mem: mapping, sl: scm.AsSlicer(mapping), Root: reply.Root,
 		shadows:    make(map[sobj.OID]*fileShadow),
 		colShadows: make(map[sobj.OID]*colShadow),
 		pool:       make(map[uint][]uint64),

@@ -83,9 +83,10 @@ type FS struct {
 	cwdPath   string
 
 	// Stats.
-	CacheHits   int64
-	CacheMisses int64
-	CacheFlush  int64
+	CacheHits    int64
+	CacheMisses  int64
+	CacheFlush   int64
+	CacheEvicted int64
 }
 
 type openEntry struct {
@@ -226,7 +227,22 @@ func (fs *FS) walk(abs bool, parts []string, prefix string) (sobj.OID, error) {
 func (fs *FS) cacheAdd(key string, oid sobj.OID) {
 	fs.mu.Lock()
 	if len(fs.nameCache) >= fs.opts.CacheLimit {
-		fs.nameCache = make(map[string]sobj.OID) // simple wholesale eviction
+		// Evict a bounded batch (1/8 of the limit, at least one) instead of
+		// the whole map, so a warm workload keeps most of its hit rate when
+		// the cache reaches the limit. Go's random map iteration order makes
+		// this random eviction.
+		evict := fs.opts.CacheLimit / 8
+		if evict < 1 {
+			evict = 1
+		}
+		for k := range fs.nameCache {
+			delete(fs.nameCache, k)
+			fs.CacheEvicted++
+			evict--
+			if evict == 0 {
+				break
+			}
+		}
 	}
 	fs.nameCache[key] = oid
 	fs.mu.Unlock()

@@ -4,14 +4,41 @@ package scm
 // These are the only way higher layers read and write scalar fields of
 // structures stored in SCM, keeping every persistent layout explicit.
 
-// Read64 loads a little-endian uint64 at addr.
+// U64 decodes a little-endian uint64 from a view obtained via Slice/View.
+func U64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// U32 decodes a little-endian uint32 from a view.
+func U32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U16 decodes a little-endian uint16 from a view.
+func U16(b []byte) uint16 {
+	_ = b[1]
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// Read64 loads a little-endian uint64 at addr. Spaces with zero-copy
+// support decode in place; the copying path's stack buffer escapes into the
+// interface call and costs one allocation per read.
 func Read64(s Space, addr uint64) (uint64, error) {
+	if sl, ok := s.(Slicer); ok {
+		b, err := sl.Slice(addr, 8)
+		if err != nil {
+			return 0, err
+		}
+		return U64(b), nil
+	}
 	var b [8]byte
 	if err := s.Read(addr, b[:]); err != nil {
 		return 0, err
 	}
-	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
-		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+	return U64(b[:]), nil
 }
 
 // Write64 stores a little-endian uint64 at addr (volatile until flushed).
@@ -23,11 +50,18 @@ func Write64(s Space, addr uint64, v uint64) error {
 
 // Read32 loads a little-endian uint32 at addr.
 func Read32(s Space, addr uint64) (uint32, error) {
+	if sl, ok := s.(Slicer); ok {
+		b, err := sl.Slice(addr, 4)
+		if err != nil {
+			return 0, err
+		}
+		return U32(b), nil
+	}
 	var b [4]byte
 	if err := s.Read(addr, b[:]); err != nil {
 		return 0, err
 	}
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+	return U32(b[:]), nil
 }
 
 // Write32 stores a little-endian uint32 at addr.
@@ -38,11 +72,18 @@ func Write32(s Space, addr uint64, v uint32) error {
 
 // Read16 loads a little-endian uint16 at addr.
 func Read16(s Space, addr uint64) (uint16, error) {
+	if sl, ok := s.(Slicer); ok {
+		b, err := sl.Slice(addr, 2)
+		if err != nil {
+			return 0, err
+		}
+		return U16(b), nil
+	}
 	var b [2]byte
 	if err := s.Read(addr, b[:]); err != nil {
 		return 0, err
 	}
-	return uint16(b[0]) | uint16(b[1])<<8, nil
+	return U16(b[:]), nil
 }
 
 // Write16 stores a little-endian uint16 at addr.

@@ -70,6 +70,46 @@ type Space interface {
 	Size() uint64
 }
 
+// Slicer is an optional capability of a Space: a zero-copy, read-only
+// window into the arena. Direct readers (collections, mFiles, libfs) use it
+// to walk structures in place instead of copying every byte out through
+// Read — the load/store direct access the paper's library file systems are
+// built on. The returned slice aliases the volatile image: it reflects
+// subsequent writes, exactly as a load through a real mapping would, and it
+// must never be written through (protection checks only covered reads).
+// Implementations bound the slice's capacity so it cannot be extended.
+type Slicer interface {
+	// Slice returns a read-only view of [addr, addr+n).
+	Slice(addr uint64, n int) ([]byte, error)
+}
+
+// AsSlicer returns s's zero-copy capability, or nil when s only supports
+// copying reads. Hot readers resolve this once and keep the result rather
+// than type-asserting per access.
+func AsSlicer(s Space) Slicer {
+	if sl, ok := s.(Slicer); ok {
+		return sl
+	}
+	return nil
+}
+
+// View returns the bytes at [addr, addr+n): a zero-copy slice when s
+// implements Slicer, otherwise a copy into buf (grown when too small).
+// Callers must treat the result as read-only either way.
+func View(s Space, addr uint64, n int, buf []byte) ([]byte, error) {
+	if sl, ok := s.(Slicer); ok {
+		return sl.Slice(addr, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if err := s.Read(addr, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // Stats counts SCM accesses.
 type Stats struct {
 	Reads        costmodel.Counter
@@ -154,6 +194,18 @@ func (m *Memory) Read(addr uint64, p []byte) error {
 	return nil
 }
 
+// Slice implements Slicer: a zero-copy window into the volatile image.
+// The capacity is clipped to n so the view cannot be extended by append,
+// and stat accounting is batched into one counter update per call.
+func (m *Memory) Slice(addr uint64, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	m.stats.Reads.Add(1)
+	m.stats.BytesRead.Add(int64(n))
+	return m.data[addr : addr+uint64(n) : addr+uint64(n)], nil
+}
+
 // Write stores p at addr into the volatile image.
 func (m *Memory) Write(addr uint64, p []byte) error {
 	if err := m.check(addr, len(p)); err != nil {
@@ -185,9 +237,11 @@ func (m *Memory) WriteStream(addr uint64, p []byte) error {
 			m.pending = append(m.pending, l)
 		}
 		m.mu.Unlock()
-	} else {
+	} else if m.costs != nil && m.costs.SCMWriteLine > 0 {
 		// Latency accounting without tracking: charge at BFlush via a
-		// pending count only.
+		// pending count only. When no write latency is configured either,
+		// skip the bookkeeping entirely — otherwise pending grows without
+		// bound for streaming writers that never BFlush.
 		m.mu.Lock()
 		first, last := addr/LineSize, (addr+uint64(len(p))-1)/LineSize
 		for l := first; l <= last; l++ {
@@ -196,6 +250,14 @@ func (m *Memory) WriteStream(addr uint64, p []byte) error {
 		m.mu.Unlock()
 	}
 	return nil
+}
+
+// PendingLines reports how many streaming-write lines await BFlush (test
+// hook for the pending-bookkeeping regression).
+func (m *Memory) PendingLines() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
 }
 
 func (m *Memory) markDirty(addr uint64, n int) {

@@ -1,0 +1,220 @@
+package scm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+)
+
+func TestSliceAliasesVolatileImage(t *testing.T) {
+	m := New(Config{Size: 2 * PageSize, TrackPersistence: true})
+	if err := m.Write(100, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Slice(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("slice = %q", b)
+	}
+	// The window is a live view of the volatile image, like a load through
+	// a real mapping: later stores show through it.
+	if err := m.Write(100, []byte("HELLO")); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "HELLO" {
+		t.Fatalf("slice after write = %q", b)
+	}
+	// Capacity is clipped so the window cannot be extended past n.
+	if cap(b) != 5 {
+		t.Fatalf("cap = %d, want 5", cap(b))
+	}
+	if _, err := m.Slice(m.Size()-2, 4); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range slice: %v", err)
+	}
+}
+
+func TestSliceCountsReads(t *testing.T) {
+	m := New(Config{Size: PageSize})
+	before := m.Stats().Reads.Load()
+	beforeBytes := m.Stats().BytesRead.Load()
+	if _, err := m.Slice(0, 128); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Reads.Load() - before; got != 1 {
+		t.Fatalf("Reads delta = %d, want 1", got)
+	}
+	if got := m.Stats().BytesRead.Load() - beforeBytes; got != 128 {
+		t.Fatalf("BytesRead delta = %d, want 128", got)
+	}
+}
+
+// TestSliceReadEquivalence drives a random mix of writes, flushes and
+// adversarial evictions and checks that Slice and Read observe identical
+// bytes at every step: slices come from the volatile image, exactly like
+// copying reads, regardless of what the persistence machinery is doing.
+func TestSliceReadEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(Config{Size: 4 * PageSize, TrackPersistence: true})
+		for step := 0; step < 200; step++ {
+			addr := uint64(rng.Intn(3 * PageSize))
+			n := 1 + rng.Intn(300)
+			switch rng.Intn(5) {
+			case 0:
+				p := make([]byte, n)
+				rng.Read(p)
+				if err := m.Write(addr, p); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				p := make([]byte, n)
+				rng.Read(p)
+				if err := m.WriteStream(addr, p); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := m.Flush(addr, n); err != nil {
+					t.Fatal(err)
+				}
+			case 3:
+				m.EvictRandom(rng, 0.3)
+			case 4:
+				m.BFlush()
+			}
+			got, err := m.Slice(addr, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, n)
+			if err := m.Read(addr, want); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Logf("seed %d step %d: slice != read at %#x+%d", seed, step, addr, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteStreamPendingBookkeeping is the regression test for the pending
+// slice growing without bound: with persistence tracking off and no
+// injected write latency, streaming writers that never BFlush must not
+// accumulate pending lines.
+func TestWriteStreamPendingBookkeeping(t *testing.T) {
+	buf := make([]byte, 256)
+
+	t.Run("untracked no costs", func(t *testing.T) {
+		m := New(Config{Size: PageSize})
+		for i := 0; i < 100; i++ {
+			if err := m.WriteStream(0, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := m.PendingLines(); got != 0 {
+			t.Fatalf("pending = %d, want 0", got)
+		}
+	})
+
+	t.Run("untracked zero write latency", func(t *testing.T) {
+		m := New(Config{Size: PageSize, Costs: &costmodel.Costs{}})
+		for i := 0; i < 100; i++ {
+			if err := m.WriteStream(0, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := m.PendingLines(); got != 0 {
+			t.Fatalf("pending = %d, want 0", got)
+		}
+	})
+
+	t.Run("untracked with write latency", func(t *testing.T) {
+		m := New(Config{Size: PageSize, Costs: &costmodel.Costs{SCMWriteLine: time.Nanosecond}})
+		if err := m.WriteStream(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.PendingLines(); got != len(buf)/LineSize {
+			t.Fatalf("pending = %d, want %d", got, len(buf)/LineSize)
+		}
+		m.BFlush()
+		if got := m.PendingLines(); got != 0 {
+			t.Fatalf("pending after BFlush = %d, want 0", got)
+		}
+	})
+
+	t.Run("tracked", func(t *testing.T) {
+		m := New(Config{Size: PageSize, TrackPersistence: true})
+		if err := m.WriteStream(0, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.PendingLines(); got != len(buf)/LineSize {
+			t.Fatalf("pending = %d, want %d", got, len(buf)/LineSize)
+		}
+		m.BFlush()
+		if got := m.PendingLines(); got != 0 {
+			t.Fatalf("pending after BFlush = %d, want 0", got)
+		}
+	})
+}
+
+// nonSlicer wraps a Space and hides its Slice method, forcing View and
+// AsSlicer down the copying path.
+type nonSlicer struct{ inner Space }
+
+func (n nonSlicer) Read(addr uint64, p []byte) error        { return n.inner.Read(addr, p) }
+func (n nonSlicer) Write(addr uint64, p []byte) error       { return n.inner.Write(addr, p) }
+func (n nonSlicer) WriteStream(addr uint64, p []byte) error { return n.inner.WriteStream(addr, p) }
+func (n nonSlicer) Flush(addr uint64, nb int) error         { return n.inner.Flush(addr, nb) }
+func (n nonSlicer) BFlush()                                 { n.inner.BFlush() }
+func (n nonSlicer) Fence()                                  { n.inner.Fence() }
+func (n nonSlicer) Atomic64(addr uint64, v uint64) error    { return n.inner.Atomic64(addr, v) }
+func (n nonSlicer) Size() uint64                            { return n.inner.Size() }
+
+func TestViewAndAsSlicer(t *testing.T) {
+	m := New(Config{Size: PageSize})
+	if err := m.Write(64, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if AsSlicer(m) == nil {
+		t.Fatal("Memory should be a Slicer")
+	}
+	if AsSlicer(nonSlicer{m}) != nil {
+		t.Fatal("nonSlicer wrapper should not be a Slicer")
+	}
+	var buf [4]byte
+	b, err := View(m, 64, 6, buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "abcdef" {
+		t.Fatalf("View (slice) = %q", b)
+	}
+	c, err := View(nonSlicer{m}, 64, 6, buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c) != "abcdef" {
+		t.Fatalf("View (copy) = %q", c)
+	}
+	// The copying view must be a snapshot, not an alias.
+	if err := m.Write(64, []byte("ABCDEF")); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "ABCDEF" {
+		t.Fatalf("sliced view should alias: %q", b)
+	}
+	if string(c) != "abcdef" {
+		t.Fatalf("copied view should not alias: %q", c)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"github.com/aerie-fs/aerie/internal/scm"
 )
 
+var _ scm.Slicer = (*Mapping)(nil)
+
 // Process models a user process identity: a UID plus the user's group
 // memberships, kept in a hash set exactly as the paper's run-time GID table
 // (§5.2) so faults can decide access in O(1).
@@ -47,6 +49,13 @@ type Mapping struct {
 	faultMu  sync.Mutex
 	readable []uint64 // atomic bitmaps indexed by page - firstPage
 	writable []uint64
+
+	// lastRead caches the relative page (plus one; zero means empty) of the
+	// most recent successful read-permission check, so a sequential scan
+	// consults the TLB bitmap once per page instead of once per access. It
+	// is cleared on shootdown (invalidate) before the bitmap bits drop, so
+	// a stale hit can never outlive its bitmap entry.
+	lastRead atomic.Uint64
 }
 
 func (mp *Mapping) bit(bm []uint64, rel uint64) bool {
@@ -119,6 +128,9 @@ func (mp *Mapping) access(addr uint64, n int, write bool) error {
 	}
 	first := (addr - mp.start) / scm.PageSize
 	last := (addr + uint64(n) - 1 - mp.start) / scm.PageSize
+	if !write && first == last && mp.lastRead.Load() == first+1 {
+		return nil
+	}
 	bm := mp.readable
 	if write {
 		bm = mp.writable
@@ -129,6 +141,9 @@ func (mp *Mapping) access(addr uint64, n int, write bool) error {
 				return err
 			}
 		}
+	}
+	if !write {
+		mp.lastRead.Store(last + 1)
 	}
 	return nil
 }
@@ -150,6 +165,10 @@ func (mp *Mapping) invalidate(firstPage uint64, npages int) int {
 			referenced++
 		}
 	}
+	// Drop the last-page hit cache after the bitmap bits: an access racing
+	// the shootdown may still complete with the old permission (as a real
+	// TLB allows until the shootdown IPI lands), but no later access can.
+	mp.lastRead.Store(0)
 	return referenced
 }
 
@@ -159,6 +178,17 @@ func (mp *Mapping) Read(addr uint64, p []byte) error {
 		return err
 	}
 	return mp.mgr.mem.Read(addr, p)
+}
+
+// Slice implements scm.Slicer with the same read-permission checks as Read:
+// the soft TLB is consulted (or faulted) for every covered page before the
+// zero-copy window is handed out. The window aliases the volatile image and
+// must not be written through.
+func (mp *Mapping) Slice(addr uint64, n int) ([]byte, error) {
+	if err := mp.access(addr, n, false); err != nil {
+		return nil, err
+	}
+	return mp.mgr.mem.Slice(addr, n)
 }
 
 // Write implements scm.Space with write-permission checks.

@@ -1,0 +1,184 @@
+package scmmgr
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/scm"
+)
+
+// TestMappingSliceEquivalence checks that Slice and Read through a mapping
+// return the same bytes and enforce the same ACL failures.
+func TestMappingSliceEquivalence(t *testing.T) {
+	mgr := newMgr(t, 16<<20)
+	tfs := NewProcess(1)
+	part, err := mgr.CreatePartition(1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := mgr.Partition(part)
+	// First half readable by group 7, second half not.
+	half := int(info.Size / scm.PageSize / 2)
+	if err := mgr.CreateExtent(tfs, part, info.Start, half, MakeACL(7, RightRead|RightWrite)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.CreateExtent(tfs, part, info.Start+uint64(half)*scm.PageSize, half, MakeACL(8, RightRead)); err != nil {
+		t.Fatal(err)
+	}
+	proc := NewProcess(100, 7)
+	mp, err := mgr.Mount(proc, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := bytes.Repeat([]byte{0xa5, 0x5a}, scm.PageSize)
+	if err := mgr.Mem().Write(info.Start, pattern); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := mp.Slice(info.Start, len(pattern))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(pattern))
+	if err := mp.Read(info.Start, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) || !bytes.Equal(got, pattern) {
+		t.Fatal("slice != read through mapping")
+	}
+
+	denied := info.Start + uint64(half)*scm.PageSize
+	if _, err := mp.Slice(denied, 8); !errors.Is(err, ErrProtection) {
+		t.Fatalf("slice of unreadable extent: %v", err)
+	}
+	if err := mp.Read(denied, make([]byte, 8)); !errors.Is(err, ErrProtection) {
+		t.Fatalf("read of unreadable extent: %v", err)
+	}
+	// A slice spanning the permission boundary must fail as a whole.
+	if _, err := mp.Slice(denied-4, 8); !errors.Is(err, ErrProtection) {
+		t.Fatalf("boundary-spanning slice: %v", err)
+	}
+}
+
+// TestMappingLastReadCache checks the single-page hit cache: repeated reads
+// of one page fault once, and a shootdown drops the cached page so revoked
+// permissions are enforced on the next access.
+func TestMappingLastReadCache(t *testing.T) {
+	mgr := newMgr(t, 16<<20)
+	tfs := NewProcess(1)
+	part, _ := mgr.CreatePartition(1<<20, 1)
+	info, _ := mgr.Partition(part)
+	if err := mgr.CreateExtent(tfs, part, info.Start, 2, MakeACL(7, RightRead)); err != nil {
+		t.Fatal(err)
+	}
+	proc := NewProcess(100, 7)
+	mp, _ := mgr.Mount(proc, part)
+
+	before := mgr.Faults.Load()
+	for i := 0; i < 64; i++ {
+		if _, err := mp.Slice(info.Start+uint64(i)*8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mgr.Faults.Load() - before; got != 1 {
+		t.Fatalf("faults for repeated same-page slices = %d, want 1", got)
+	}
+
+	if err := mgr.MProtectExtent(tfs, part, info.Start, 2, MakeACL(8, RightRead)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.Slice(info.Start, 8); !errors.Is(err, ErrProtection) {
+		t.Fatalf("slice after revoke: %v", err)
+	}
+}
+
+// TestMappingSliceConcurrentFaults runs many readers slicing random ranges
+// of a shared mapping while the trusted side repeatedly fires TLB
+// shootdowns (MProtectExtent with unchanged rights). Run with -race: the
+// soft-TLB bitmaps, the lastRead hit cache, and the fault path must be safe
+// for concurrent threads of one process.
+func TestMappingSliceConcurrentFaults(t *testing.T) {
+	mgr := newMgr(t, 32<<20)
+	tfs := NewProcess(1)
+	part, err := mgr.CreatePartition(2<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := mgr.Partition(part)
+	npages := int(info.Size / scm.PageSize)
+	acl := MakeACL(7, RightRead|RightWrite)
+	if err := mgr.CreateExtent(tfs, part, info.Start, npages, acl); err != nil {
+		t.Fatal(err)
+	}
+	proc := NewProcess(100, 7)
+	mp, err := mgr.Mount(proc, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic content so readers can validate what they slice.
+	fill := make([]byte, info.Size)
+	for i := range fill {
+		fill[i] = byte(i * 7)
+	}
+	if err := mgr.Mem().Write(info.Start, fill); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-fault every page so the first shootdown finds referenced TLB
+	// entries regardless of reader scheduling.
+	for p := 0; p < npages; p++ {
+		if _, err := mp.Slice(info.Start+uint64(p)*scm.PageSize, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := uint64(rng.Intn(int(info.Size) - 512))
+				n := 1 + rng.Intn(512)
+				b, err := mp.Slice(info.Start+off, n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(b, fill[off:off+uint64(n)]) {
+					errs <- errors.New("sliced bytes differ from written pattern")
+					return
+				}
+			}
+		}(int64(r))
+	}
+	// The shootdown side: protection rewrites with identical rights, so
+	// readers never lose access but their TLB entries are invalidated.
+	for i := 0; i < 200; i++ {
+		page := uint64(i % npages)
+		if err := mgr.MProtectExtent(tfs, part, info.Start+page*scm.PageSize, 1, acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if mgr.Shootdowns.Load() == 0 {
+		t.Fatal("expected shootdowns during concurrent slicing")
+	}
+}

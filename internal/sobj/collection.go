@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"github.com/aerie-fs/aerie/internal/scm"
 )
@@ -65,10 +66,29 @@ const (
 	entriesPerBucketTarget = 8
 )
 
-// Collection provides access to a collection object.
+// tblHdr is the decoded table header of a collection, cached per instance.
+type tblHdr struct {
+	addr uint64
+	nb   uint32
+	gen  uint64
+}
+
+// Collection provides access to a collection object. An instance caches the
+// zero-copy capability of its space and the decoded table header; instances
+// are cheap to create, and callers follow the lock protocol (one instance
+// per locked operation, or a trusted-side instance that performs its own
+// rehashes), so the cache can only go stale together with the lock that
+// made reading safe in the first place.
 type Collection struct {
 	mem scm.Space
+	sl  scm.Slicer
 	oid OID
+
+	// gen invalidates the table-header cache: bumped whenever this instance
+	// rehashes (the table extent moves). Atomics keep lock-protected
+	// concurrent readers of a shared instance race-free.
+	gen atomic.Uint64
+	tbl atomic.Pointer[tblHdr]
 }
 
 // CreateCollection allocates and initializes a collection (trusted side or
@@ -104,7 +124,7 @@ func CreateCollection(mem scm.Space, a Allocator, perm uint32) (*Collection, err
 	if err != nil {
 		return nil, err
 	}
-	return &Collection{mem: mem, oid: oid}, nil
+	return &Collection{mem: mem, sl: scm.AsSlicer(mem), oid: oid}, nil
 }
 
 // newTable allocates and initializes an empty table extent.
@@ -140,7 +160,7 @@ func OpenCollection(mem scm.Space, oid OID) (*Collection, error) {
 	if _, err := ReadHeader(mem, oid); err != nil {
 		return nil, err
 	}
-	return &Collection{mem: mem, oid: oid}, nil
+	return &Collection{mem: mem, sl: scm.AsSlicer(mem), oid: oid}, nil
 }
 
 // OID returns the collection's object ID.
@@ -157,6 +177,13 @@ func (c *Collection) Tombstones() (uint32, error) {
 }
 
 func (c *Collection) table() (addr uint64, nbuckets uint32, err error) {
+	// Fast path: the decoded header from a previous operation, valid until
+	// this instance rehashes (which bumps gen). Skips the superblock read,
+	// the magic check, and the geometry validation entirely.
+	gen := c.gen.Load()
+	if h := c.tbl.Load(); h != nil && h.gen == gen {
+		return h.addr, h.nb, nil
+	}
 	addr, err = scm.Read64(c.mem, c.oid.Addr()+offColTable)
 	if err != nil {
 		return 0, 0, err
@@ -175,8 +202,14 @@ func (c *Collection) table() (addr uint64, nbuckets uint32, err error) {
 	if nbuckets == 0 || nbuckets > 1<<22 {
 		return 0, 0, fmt.Errorf("%w: implausible bucket count %d", ErrCorrupt, nbuckets)
 	}
+	c.tbl.Store(&tblHdr{addr: addr, nb: nbuckets, gen: gen})
 	return addr, nbuckets, nil
 }
+
+// InvalidateTable drops the cached table header. Call after the table may
+// have moved underneath this instance — a remount, or trusted-side changes
+// applied through a different instance while no lock covered this one.
+func (c *Collection) InvalidateTable() { c.gen.Add(1) }
 
 func hashKey(key []byte) uint32 {
 	h := fnv.New32a()
@@ -238,7 +271,7 @@ func overflowNode(addr uint64) node {
 
 // used reads the node's used-bytes counter, validated against capacity.
 func (c *Collection) usedOf(n node) (uint64, error) {
-	u, err := scm.Read16(c.mem, n.addr)
+	u, err := read16(c.mem, c.sl, n.addr)
 	if err != nil {
 		return 0, err
 	}
@@ -257,15 +290,24 @@ type record struct {
 }
 
 // walkRecords decodes the records of one node, calling fn for each; fn
-// returning false stops the walk.
+// returning false stops the walk. On a slicing space the record area is
+// walked in place — no per-node allocation or copy; the keys handed to fn
+// alias SCM and are only valid during the call (as documented on Iterate).
 func (c *Collection) walkRecords(n node, fn func(r record) (bool, error)) error {
 	used, err := c.usedOf(n)
 	if err != nil {
 		return err
 	}
-	area := make([]byte, used)
-	if err := c.mem.Read(n.addr+recHeaderLen, area); err != nil {
-		return err
+	var area []byte
+	if c.sl != nil {
+		if area, err = c.sl.Slice(n.addr+recHeaderLen, int(used)); err != nil {
+			return err
+		}
+	} else {
+		area = make([]byte, used)
+		if err := c.mem.Read(n.addr+recHeaderLen, area); err != nil {
+			return err
+		}
 	}
 	off := uint64(0)
 	for off+recHeaderLen <= used {
@@ -275,9 +317,7 @@ func (c *Collection) walkRecords(n node, fn func(r record) (bool, error)) error 
 			return fmt.Errorf("%w: record overruns used area", ErrCorrupt)
 		}
 		key := area[off+recHeaderLen : off+recHeaderLen+klen]
-		vb := area[off+recHeaderLen+klen : off+recHeaderLen+klen+recValueLen]
-		val := uint64(vb[0]) | uint64(vb[1])<<8 | uint64(vb[2])<<16 | uint64(vb[3])<<24 |
-			uint64(vb[4])<<32 | uint64(vb[5])<<40 | uint64(vb[6])<<48 | uint64(vb[7])<<56
+		val := scm.U64(area[off+recHeaderLen+klen:])
 		cont, err := fn(record{off: off, key: key, val: val, dead: tag&tombstoneBit != 0})
 		if err != nil || !cont {
 			return err
@@ -298,7 +338,7 @@ func (c *Collection) chain(table uint64, nbuckets uint32, key []byte, fn func(n 
 		if err != nil || !cont {
 			return err
 		}
-		next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+		next, err := read64(c.mem, c.sl, n.addr+n.chainOff)
 		if err != nil {
 			return err
 		}
@@ -359,7 +399,7 @@ func (c *Collection) Iterate(fn func(key []byte, val OID) error) error {
 			}); err != nil {
 				return err
 			}
-			next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+			next, err := read64(c.mem, c.sl, n.addr+n.chainOff)
 			if err != nil {
 				return err
 			}
@@ -637,6 +677,8 @@ func (c *Collection) rehash(a Allocator, newNB uint32) error {
 	if err := scm.AtomicFlush64(c.mem, c.oid.Addr()+offColTable, newTable); err != nil {
 		return err
 	}
+	// The table moved: invalidate the cached header.
+	c.InvalidateTable()
 	// Reset counters: all tombstones are gone.
 	head := c.oid.Addr()
 	if err := scm.Write32(c.mem, head+offColCount, live); err != nil {
@@ -667,7 +709,7 @@ func (c *Collection) iterateTable(table uint64, nb uint32, fn func(key []byte, v
 			}); err != nil {
 				return err
 			}
-			next, err := scm.Read64(c.mem, n.addr+n.chainOff)
+			next, err := read64(c.mem, c.sl, n.addr+n.chainOff)
 			if err != nil {
 				return err
 			}

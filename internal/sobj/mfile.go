@@ -45,10 +45,70 @@ const (
 	DefaultExtentLog = 12
 )
 
-// MFile provides access to an mFile object.
+// MFile provides access to an mFile object. The zero-copy capability of the
+// space is resolved once at open so the read path can locate data extents
+// and copy them straight into the caller's buffer.
 type MFile struct {
 	mem scm.Space
+	sl  scm.Slicer
 	oid OID
+}
+
+// mfHead is the decoded head extent, fetched as a single view on the read
+// path instead of one scalar read (and, on non-slicing spaces, one
+// allocation) per field.
+type mfHead struct {
+	size      uint64
+	root      uint64
+	depth     uint
+	extentLog uint32
+	flags     uint32
+	single    uint64
+	singleCap uint64
+}
+
+func (h *mfHead) isSingle() bool { return h.flags&mfFlagSingle != 0 }
+
+func (h *mfHead) blockSize() (uint64, error) {
+	if h.extentLog < 6 || h.extentLog > 26 {
+		return 0, fmt.Errorf("%w: extent log %d", ErrCorrupt, h.extentLog)
+	}
+	return 1 << h.extentLog, nil
+}
+
+// head decodes the whole head extent in one view. The slicing and copying
+// paths are kept separate so the scratch buffer does not escape through an
+// interface call and cost the zero-copy path a heap allocation.
+func (m *MFile) head() (mfHead, error) {
+	if m.sl != nil {
+		b, err := m.sl.Slice(m.oid.Addr(), mfHeadSize)
+		if err != nil {
+			return mfHead{}, err
+		}
+		return decodeMFHead(b)
+	}
+	var buf [mfHeadSize]byte
+	if err := m.mem.Read(m.oid.Addr(), buf[:]); err != nil {
+		return mfHead{}, err
+	}
+	return decodeMFHead(buf[:])
+}
+
+func decodeMFHead(b []byte) (mfHead, error) {
+	rd := scm.U64(b[offMFRoot:])
+	h := mfHead{
+		size:      scm.U64(b[offMFSize:]),
+		root:      rd &^ 63,
+		depth:     uint(rd & 63),
+		extentLog: scm.U32(b[offMFExtentLog:]),
+		flags:     scm.U32(b[offMFFlags:]),
+		single:    scm.U64(b[offMFSingle:]),
+		singleCap: scm.U64(b[offMFSingleCap:]),
+	}
+	if h.depth > maxDepth {
+		return mfHead{}, fmt.Errorf("%w: radix depth %d", ErrCorrupt, h.depth)
+	}
+	return h, nil
 }
 
 // CreateMFile allocates an empty radix-tree mFile with 2^extentLog-byte
@@ -68,7 +128,7 @@ func CreateMFile(mem scm.Space, a Allocator, perm uint32, extentLog uint32) (*MF
 	if err != nil {
 		return nil, err
 	}
-	return &MFile{mem: mem, oid: oid}, nil
+	return &MFile{mem: mem, sl: scm.AsSlicer(mem), oid: oid}, nil
 }
 
 // CreateMFileSingle allocates a single-extent mFile with the given capacity
@@ -102,7 +162,7 @@ func CreateMFileSingle(mem scm.Space, a Allocator, perm uint32, capacity uint64)
 	if err != nil {
 		return nil, err
 	}
-	return &MFile{mem: mem, oid: oid}, nil
+	return &MFile{mem: mem, sl: scm.AsSlicer(mem), oid: oid}, nil
 }
 
 func initMFileHead(mem scm.Space, head uint64, perm, extentLog, flags uint32) error {
@@ -133,7 +193,7 @@ func OpenMFile(mem scm.Space, oid OID) (*MFile, error) {
 	if _, err := ReadHeader(mem, oid); err != nil {
 		return nil, err
 	}
-	return &MFile{mem: mem, oid: oid}, nil
+	return &MFile{mem: mem, sl: scm.AsSlicer(mem), oid: oid}, nil
 }
 
 // OID returns the mFile's object ID.
@@ -231,13 +291,19 @@ func (m *MFile) lookupBlock(blockIdx uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return m.lookupBlockIn(root, depth, blockIdx)
+}
+
+// lookupBlockIn walks a known radix root, so readers that already decoded
+// the head extent do not re-read it per block.
+func (m *MFile) lookupBlockIn(root uint64, depth uint, blockIdx uint64) (uint64, error) {
 	if depth == 0 || blockIdx >= capacityBlocks(depth) || root == 0 {
 		return 0, nil
 	}
 	cur := root
 	for level := depth - 1; level > 0; level-- {
 		slot := (blockIdx >> (9 * level)) & (radixSlots - 1)
-		next, err := scm.Read64(m.mem, cur+slot*8)
+		next, err := read64(m.mem, m.sl, cur+slot*8)
 		if err != nil {
 			return 0, err
 		}
@@ -246,37 +312,45 @@ func (m *MFile) lookupBlock(blockIdx uint64) (uint64, error) {
 		}
 		cur = next
 	}
-	return scm.Read64(m.mem, cur+(blockIdx&(radixSlots-1))*8)
+	return read64(m.mem, m.sl, cur+(blockIdx&(radixSlots-1))*8)
+}
+
+// copyOut copies n bytes at addr into dst: straight from the zero-copy
+// window when available (one copy, SCM to caller), else through Read.
+func (m *MFile) copyOut(addr uint64, dst []byte) error {
+	if m.sl != nil {
+		b, err := m.sl.Slice(addr, len(dst))
+		if err != nil {
+			return err
+		}
+		copy(dst, b)
+		return nil
+	}
+	return m.mem.Read(addr, dst)
 }
 
 // ReadAt reads into p starting at off, stopping at the file size. Holes
-// read as zeros. Returns the number of bytes read.
+// read as zeros. Returns the number of bytes read. The whole head extent is
+// decoded from a single view, and on a slicing space each data extent is
+// copied straight into p — the direct load path, no intermediate buffer.
 func (m *MFile) ReadAt(p []byte, off uint64) (int, error) {
-	size, err := m.Size()
+	h, err := m.head()
 	if err != nil {
 		return 0, err
 	}
-	if off >= size {
+	if off >= h.size {
 		return 0, nil
 	}
-	if off+uint64(len(p)) > size {
-		p = p[:size-off]
+	if off+uint64(len(p)) > h.size {
+		p = p[:h.size-off]
 	}
-	single, err := m.IsSingle()
-	if err != nil {
-		return 0, err
-	}
-	if single {
-		data, err := scm.Read64(m.mem, m.oid.Addr()+offMFSingle)
-		if err != nil {
-			return 0, err
-		}
-		if err := m.mem.Read(data+off, p); err != nil {
+	if h.isSingle() {
+		if err := m.copyOut(h.single+off, p); err != nil {
 			return 0, err
 		}
 		return len(p), nil
 	}
-	bs, err := m.BlockSize()
+	bs, err := h.blockSize()
 	if err != nil {
 		return 0, err
 	}
@@ -289,7 +363,7 @@ func (m *MFile) ReadAt(p []byte, off uint64) (int, error) {
 		if chunk > len(p)-read {
 			chunk = len(p) - read
 		}
-		ext, err := m.lookupBlock(blockIdx)
+		ext, err := m.lookupBlockIn(h.root, h.depth, blockIdx)
 		if err != nil {
 			return read, err
 		}
@@ -298,7 +372,7 @@ func (m *MFile) ReadAt(p []byte, off uint64) (int, error) {
 			for i := range dst {
 				dst[i] = 0
 			}
-		} else if err := m.mem.Read(ext+inBlock, dst); err != nil {
+		} else if err := m.copyOut(ext+inBlock, dst); err != nil {
 			return read, err
 		}
 		read += chunk
@@ -544,7 +618,7 @@ func (m *MFile) pruneNode(a Allocator, node uint64, level uint, base uint64, kee
 					return false, err
 				}
 			} else {
-				sub := &MFile{mem: m.mem, oid: m.oid}
+				sub := &MFile{mem: m.mem, sl: m.sl, oid: m.oid}
 				if _, err := sub.freeSubtree(a, ptr, level-1, bs); err != nil {
 					return false, err
 				}

@@ -87,33 +87,51 @@ func writeHeader(mem scm.Space, addr uint64, h Header) error {
 	return scm.Write64(mem, addr+offHdrAttrs, h.Attrs)
 }
 
-// ReadHeader reads and validates the common header of oid.
+// ReadHeader reads and validates the common header of oid. The header is
+// fetched as one view — zero-copy on slicing spaces — instead of five
+// separate scalar reads.
 func ReadHeader(mem scm.Space, oid OID) (Header, error) {
 	addr := oid.Addr()
-	magic, err := scm.Read32(mem, addr+offHdrMagic)
+	var buf [HeaderSize]byte
+	b, err := scm.View(mem, addr, HeaderSize, buf[:])
 	if err != nil {
 		return Header{}, err
 	}
+	magic := scm.U32(b[offHdrMagic:])
 	if magic != magicFor(oid.Type()) {
 		return Header{}, fmt.Errorf("%w: %v has magic %#x", ErrBadObject, oid, magic)
 	}
-	refcnt, err := scm.Read32(mem, addr+offHdrRefcnt)
-	if err != nil {
-		return Header{}, err
+	return Header{
+		Type:   oid.Type(),
+		Refcnt: scm.U32(b[offHdrRefcnt:]),
+		Perm:   scm.U32(b[offHdrPerm:]),
+		Parent: OID(scm.U64(b[offHdrParent:])),
+		Attrs:  scm.U64(b[offHdrAttrs:]),
+	}, nil
+}
+
+// read64/read32/read16 are the direct readers' scalar loads: sl, resolved
+// once at object open, keeps the per-access type assertion off hot loops.
+func read64(mem scm.Space, sl scm.Slicer, addr uint64) (uint64, error) {
+	if sl != nil {
+		b, err := sl.Slice(addr, 8)
+		if err != nil {
+			return 0, err
+		}
+		return scm.U64(b), nil
 	}
-	perm, err := scm.Read32(mem, addr+offHdrPerm)
-	if err != nil {
-		return Header{}, err
+	return scm.Read64(mem, addr)
+}
+
+func read16(mem scm.Space, sl scm.Slicer, addr uint64) (uint16, error) {
+	if sl != nil {
+		b, err := sl.Slice(addr, 2)
+		if err != nil {
+			return 0, err
+		}
+		return scm.U16(b), nil
 	}
-	parent, err := scm.Read64(mem, addr+offHdrParent)
-	if err != nil {
-		return Header{}, err
-	}
-	attrs, err := scm.Read64(mem, addr+offHdrAttrs)
-	if err != nil {
-		return Header{}, err
-	}
-	return Header{Type: oid.Type(), Refcnt: refcnt, Perm: perm, Parent: OID(parent), Attrs: attrs}, nil
+	return scm.Read16(mem, addr)
 }
 
 // SetRefcnt updates the membership count (trusted side).
