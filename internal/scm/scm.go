@@ -132,6 +132,13 @@ type Config struct {
 	// simulation. It costs a second copy of the arena plus per-write
 	// dirty-line bookkeeping, so benchmarks leave it off.
 	TrackPersistence bool
+	// ParanoidSlices is a debug mode for the read-only Slicer contract,
+	// which is otherwise comment-only: Slice hands out defensive copies
+	// instead of live windows, so a consumer that writes through a view
+	// cannot corrupt the arena, and one that depends on mutating or
+	// long-lived aliased views diverges visibly under the Slice/Read
+	// equivalence tests. Defeats the zero-copy benefit; tests only.
+	ParanoidSlices bool
 }
 
 // Memory is an emulated SCM arena. Data accesses are not internally
@@ -140,14 +147,16 @@ type Config struct {
 // the persistence bookkeeping is synchronized so flushes from multiple
 // goroutines are safe.
 type Memory struct {
-	data  []byte
-	costs *costmodel.Costs
-	track bool
+	data     []byte
+	costs    *costmodel.Costs
+	track    bool
+	paranoid bool
 
-	mu      sync.Mutex
-	shadow  []byte
-	dirty   []uint64 // bitmap, one bit per line; valid iff track
-	pending []uint64 // line indices of streaming writes awaiting BFlush
+	mu           sync.Mutex
+	shadow       []byte
+	dirty        []uint64 // bitmap, one bit per line; valid iff track
+	pending      []uint64 // line indices of streaming writes awaiting BFlush; used iff track
+	pendingCount int      // lines awaiting BFlush when not tracking (identities not needed)
 
 	stats Stats
 }
@@ -159,9 +168,10 @@ func New(cfg Config) *Memory {
 		size = PageSize
 	}
 	m := &Memory{
-		data:  make([]byte, size),
-		costs: cfg.Costs,
-		track: cfg.TrackPersistence,
+		data:     make([]byte, size),
+		costs:    cfg.Costs,
+		track:    cfg.TrackPersistence,
+		paranoid: cfg.ParanoidSlices,
 	}
 	if m.track {
 		m.shadow = make([]byte, size)
@@ -196,13 +206,20 @@ func (m *Memory) Read(addr uint64, p []byte) error {
 
 // Slice implements Slicer: a zero-copy window into the volatile image.
 // The capacity is clipped to n so the view cannot be extended by append,
-// and stat accounting is batched into one counter update per call.
+// and stat accounting is batched into one counter update per call. Under
+// Config.ParanoidSlices the window is a defensive copy instead (see the
+// field doc).
 func (m *Memory) Slice(addr uint64, n int) ([]byte, error) {
 	if err := m.check(addr, n); err != nil {
 		return nil, err
 	}
 	m.stats.Reads.Add(1)
 	m.stats.BytesRead.Add(int64(n))
+	if m.paranoid {
+		p := make([]byte, n)
+		copy(p, m.data[addr:])
+		return p, nil
+	}
 	return m.data[addr : addr+uint64(n) : addr+uint64(n)], nil
 }
 
@@ -229,24 +246,24 @@ func (m *Memory) WriteStream(addr uint64, p []byte) error {
 	copy(m.data[addr:], p)
 	m.stats.Writes.Add(1)
 	m.stats.BytesWritten.Add(int64(len(p)))
+	first, last := addr/LineSize, (addr+uint64(len(p))-1)/LineSize
 	if m.track {
 		m.mu.Lock()
-		first, last := addr/LineSize, (addr+uint64(len(p))-1)/LineSize
 		for l := first; l <= last; l++ {
 			m.setDirtyLocked(l)
 			m.pending = append(m.pending, l)
 		}
 		m.mu.Unlock()
-	} else if m.costs != nil && m.costs.SCMWriteLine > 0 {
-		// Latency accounting without tracking: charge at BFlush via a
-		// pending count only. When no write latency is configured either,
-		// skip the bookkeeping entirely — otherwise pending grows without
-		// bound for streaming writers that never BFlush.
+	} else {
+		// Without tracking, BFlush needs only how many lines are pending
+		// (for LinesFlushed and latency accounting), not which ones — so
+		// keep an O(1) count instead of a slice that grows without bound
+		// when a streaming writer never calls BFlush. The count is kept
+		// even when no write latency is configured: Costs is a shared
+		// pointer that experiments sweep mid-run, so lines streamed while
+		// the latency was zero must still be charged by a later BFlush.
 		m.mu.Lock()
-		first, last := addr/LineSize, (addr+uint64(len(p))-1)/LineSize
-		for l := first; l <= last; l++ {
-			m.pending = append(m.pending, l)
-		}
+		m.pendingCount += int(last-first) + 1
 		m.mu.Unlock()
 	}
 	return nil
@@ -257,7 +274,7 @@ func (m *Memory) WriteStream(addr uint64, p []byte) error {
 func (m *Memory) PendingLines() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.pending)
+	return len(m.pending) + m.pendingCount
 }
 
 func (m *Memory) markDirty(addr uint64, n int) {
@@ -315,13 +332,15 @@ func (m *Memory) BFlush() {
 	m.mu.Lock()
 	pending := m.pending
 	m.pending = nil
+	lines := int64(len(pending)) + int64(m.pendingCount)
+	m.pendingCount = 0
 	m.mu.Unlock()
-	if len(pending) == 0 {
+	if lines == 0 {
 		return
 	}
-	m.stats.LinesFlushed.Add(int64(len(pending)))
+	m.stats.LinesFlushed.Add(lines)
 	if m.costs != nil && m.costs.SCMWriteLine > 0 {
-		costmodel.Spin(time.Duration(len(pending)) * m.costs.SCMWriteLine)
+		costmodel.Spin(time.Duration(lines) * m.costs.SCMWriteLine)
 	}
 	if m.track {
 		m.mu.Lock()

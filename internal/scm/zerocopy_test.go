@@ -109,11 +109,14 @@ func TestSliceReadEquivalence(t *testing.T) {
 }
 
 // TestWriteStreamPendingBookkeeping is the regression test for the pending
-// slice growing without bound: with persistence tracking off and no
-// injected write latency, streaming writers that never BFlush must not
-// accumulate pending lines.
+// slice growing without bound: with persistence tracking off, streaming
+// writers keep only an O(1) count of pending lines (the slice stays empty no
+// matter how many lines are streamed), while BFlush still credits every line
+// to LinesFlushed — including lines streamed while the shared Costs had zero
+// write latency, which a later sweep may make chargeable.
 func TestWriteStreamPendingBookkeeping(t *testing.T) {
 	buf := make([]byte, 256)
+	lines := len(buf) / LineSize
 
 	t.Run("untracked no costs", func(t *testing.T) {
 		m := New(Config{Size: PageSize})
@@ -122,8 +125,19 @@ func TestWriteStreamPendingBookkeeping(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		if got := m.PendingLines(); got != 100*lines {
+			t.Fatalf("pending = %d, want %d", got, 100*lines)
+		}
+		if len(m.pending) != 0 {
+			t.Fatalf("pending slice holds %d entries untracked, want 0 (O(1) count only)", len(m.pending))
+		}
+		before := m.Stats().LinesFlushed.Load()
+		m.BFlush()
+		if got := m.Stats().LinesFlushed.Load() - before; got != int64(100*lines) {
+			t.Fatalf("LinesFlushed delta = %d, want %d", got, 100*lines)
+		}
 		if got := m.PendingLines(); got != 0 {
-			t.Fatalf("pending = %d, want 0", got)
+			t.Fatalf("pending after BFlush = %d, want 0", got)
 		}
 	})
 
@@ -134,8 +148,16 @@ func TestWriteStreamPendingBookkeeping(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if got := m.PendingLines(); got != 0 {
-			t.Fatalf("pending = %d, want 0", got)
+		if got := m.PendingLines(); got != 100*lines {
+			t.Fatalf("pending = %d, want %d", got, 100*lines)
+		}
+		if len(m.pending) != 0 {
+			t.Fatalf("pending slice holds %d entries untracked, want 0 (O(1) count only)", len(m.pending))
+		}
+		before := m.Stats().LinesFlushed.Load()
+		m.BFlush()
+		if got := m.Stats().LinesFlushed.Load() - before; got != int64(100*lines) {
+			t.Fatalf("LinesFlushed delta = %d, want %d", got, 100*lines)
 		}
 	})
 
@@ -144,8 +166,11 @@ func TestWriteStreamPendingBookkeeping(t *testing.T) {
 		if err := m.WriteStream(0, buf); err != nil {
 			t.Fatal(err)
 		}
-		if got := m.PendingLines(); got != len(buf)/LineSize {
-			t.Fatalf("pending = %d, want %d", got, len(buf)/LineSize)
+		if got := m.PendingLines(); got != lines {
+			t.Fatalf("pending = %d, want %d", got, lines)
+		}
+		if len(m.pending) != 0 {
+			t.Fatalf("pending slice holds %d entries untracked, want 0 (O(1) count only)", len(m.pending))
 		}
 		m.BFlush()
 		if got := m.PendingLines(); got != 0 {
@@ -166,6 +191,30 @@ func TestWriteStreamPendingBookkeeping(t *testing.T) {
 			t.Fatalf("pending after BFlush = %d, want 0", got)
 		}
 	})
+}
+
+// TestParanoidSlices checks the debug mode: slices are defensive copies, so
+// a consumer writing through a view cannot corrupt the arena.
+func TestParanoidSlices(t *testing.T) {
+	m := New(Config{Size: PageSize, ParanoidSlices: true})
+	if err := m.Write(0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Slice(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("slice = %q", b)
+	}
+	copy(b, "XXXXX") // illegal write through the view
+	got := make([]byte, 5)
+	if err := m.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("arena after write through paranoid view = %q, want unchanged", got)
+	}
 }
 
 // nonSlicer wraps a Space and hides its Slice method, forcing View and

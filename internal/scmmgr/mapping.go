@@ -50,12 +50,16 @@ type Mapping struct {
 	readable []uint64 // atomic bitmaps indexed by page - firstPage
 	writable []uint64
 
-	// lastRead caches the relative page (plus one; zero means empty) of the
-	// most recent successful read-permission check, so a sequential scan
-	// consults the TLB bitmap once per page instead of once per access. It
-	// is cleared on shootdown (invalidate) before the bitmap bits drop, so
-	// a stale hit can never outlive its bitmap entry.
-	lastRead atomic.Uint64
+	// lastRead caches the most recent successful read-permission check so a
+	// sequential scan consults the TLB bitmap once per page instead of once
+	// per access. It packs readEpoch<<32 | rel+1 (zero means empty): a hit
+	// counts only when tagged with the current epoch, and invalidate()
+	// bumps the epoch, so an entry seeded by a check that raced a shootdown
+	// (it loaded the pre-bump epoch) can never be consulted afterwards —
+	// clearing alone cannot guarantee that, because the racing reader could
+	// store after the clear.
+	lastRead  atomic.Uint64
+	readEpoch atomic.Uint64
 }
 
 func (mp *Mapping) bit(bm []uint64, rel uint64) bool {
@@ -128,8 +132,16 @@ func (mp *Mapping) access(addr uint64, n int, write bool) error {
 	}
 	first := (addr - mp.start) / scm.PageSize
 	last := (addr + uint64(n) - 1 - mp.start) / scm.PageSize
-	if !write && first == last && mp.lastRead.Load() == first+1 {
-		return nil
+	var epoch uint64
+	if !write {
+		// Load the epoch BEFORE consulting the bitmap. The store below is
+		// tagged with this value, so if an invalidate() lands anywhere
+		// between here and the store, the bumped epoch makes the entry
+		// unconsultable — the cache can never outlive a shootdown.
+		epoch = mp.readEpoch.Load()
+		if first == last && mp.lastRead.Load() == epoch<<32|(first+1) {
+			return nil
+		}
 	}
 	bm := mp.readable
 	if write {
@@ -142,8 +154,8 @@ func (mp *Mapping) access(addr uint64, n int, write bool) error {
 			}
 		}
 	}
-	if !write {
-		mp.lastRead.Store(last + 1)
+	if !write && last+1 < 1<<32 {
+		mp.lastRead.Store(epoch<<32 | (last + 1))
 	}
 	return nil
 }
@@ -165,10 +177,14 @@ func (mp *Mapping) invalidate(firstPage uint64, npages int) int {
 			referenced++
 		}
 	}
-	// Drop the last-page hit cache after the bitmap bits: an access racing
-	// the shootdown may still complete with the old permission (as a real
-	// TLB allows until the shootdown IPI lands), but no later access can.
-	mp.lastRead.Store(0)
+	// Bump the read-cache epoch after dropping the bitmap bits. Hits are
+	// honored only when tagged with the current epoch, so any cache entry
+	// stored by an access racing this shootdown (it loaded the pre-bump
+	// epoch) is dead the moment the bump lands, even if the store happens
+	// after this line. An in-flight access may still complete with the old
+	// permission — as a real TLB allows until the shootdown IPI is
+	// acknowledged — but no access that starts afterwards can.
+	mp.readEpoch.Add(1)
 	return referenced
 }
 

@@ -95,6 +95,45 @@ func TestMappingLastReadCache(t *testing.T) {
 	}
 }
 
+// TestMappingLastReadCacheShootdownRace reproduces the interleaving where a
+// reader passes the bitmap check, a shootdown then clears the bits, and the
+// reader stores its cache entry afterwards. With a plain cleared-on-shootdown
+// cache that stale entry would serve hits indefinitely, bypassing the revoked
+// bitmap; the epoch tag must make it unconsultable.
+func TestMappingLastReadCacheShootdownRace(t *testing.T) {
+	mgr := newMgr(t, 16<<20)
+	tfs := NewProcess(1)
+	part, _ := mgr.CreatePartition(1<<20, 1)
+	info, _ := mgr.Partition(part)
+	if err := mgr.CreateExtent(tfs, part, info.Start, 2, MakeACL(7, RightRead)); err != nil {
+		t.Fatal(err)
+	}
+	proc := NewProcess(100, 7)
+	mp, _ := mgr.Mount(proc, part)
+
+	// The racing reader loads the epoch and passes the bitmap check...
+	if _, err := mp.Slice(info.Start, 8); err != nil {
+		t.Fatal(err)
+	}
+	staleEpoch := mp.readEpoch.Load()
+	// ...then the shootdown revokes the page and bumps the epoch...
+	if err := mgr.MProtectExtent(tfs, part, info.Start, 2, MakeACL(8, RightRead)); err != nil {
+		t.Fatal(err)
+	}
+	// ...and only now does the reader's cache store land, tagged with the
+	// pre-shootdown epoch (exactly what access() would store).
+	rel := (info.Start - mp.start) / scm.PageSize
+	mp.lastRead.Store(staleEpoch<<32 | (rel + 1))
+
+	// Every later single-page read of the revoked page must miss the cache
+	// and fail the bitmap/ACL check, not hit the stale entry.
+	for i := 0; i < 3; i++ {
+		if _, err := mp.Slice(info.Start, 8); !errors.Is(err, ErrProtection) {
+			t.Fatalf("read %d after raced shootdown: %v, want ErrProtection", i, err)
+		}
+	}
+}
+
 // TestMappingSliceConcurrentFaults runs many readers slicing random ranges
 // of a shared mapping while the trusted side repeatedly fires TLB
 // shootdowns (MProtectExtent with unchanged rights). Run with -race: the
