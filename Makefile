@@ -1,20 +1,30 @@
-# Verification tiers. tier1 is the gate every change must keep green;
-# tier2 adds vet plus race-enabled runs of the packages on the zero-copy
-# read path (arena, SCM manager, storage objects, lock service).
+# Verification tiers. tier1 is the gate every change must keep green; it
+# now also vets the tree and race-tests the fault-injection and locking
+# packages, whose tests are specifically about interleavings. tier2 adds
+# race-enabled runs of the packages on the zero-copy read path; tier2-crash
+# runs the exhaustive crash sweep (every ordinal of every fault point) plus
+# race-enabled RPC/libFS fault-injection tests.
 
 TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice
+RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 
-.PHONY: all tier1 tier2 bench-readpath
+.PHONY: all tier1 tier2 tier2-crash bench-readpath
 
 all: tier1
 
 tier1:
 	go build ./...
+	go vet ./...
 	go test ./...
+	go test -race $(RACE_FAULT_PKGS)
 
 tier2:
 	go vet ./...
 	go test -race $(TIER2_PKGS)
+
+tier2-crash:
+	AERIE_CRASHSWEEP_ORDINALS=-1 go test -v -timeout 60m -run TestSweepAllPoints ./internal/crashsweep
+	go test -race ./internal/rpc ./internal/libfs ./internal/crashsweep
 
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .

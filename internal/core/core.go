@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/rpc"
 	"github.com/aerie-fs/aerie/internal/scm"
@@ -33,6 +34,10 @@ type Options struct {
 	VolumeGID uint32
 	// Tracer records client phase traces (single-threaded capture runs).
 	Tracer *costmodel.Tracer
+	// Faults, when non-nil, arms fault points across every layer of the
+	// machine: the SCM arena, the TFS and its journal, the RPC fabric, and
+	// (by default) client sessions. Nil in production.
+	Faults *faultinject.Injector
 }
 
 // tfsUID is the trusted service's identity; it owns the partition.
@@ -62,6 +67,7 @@ func New(opts Options) (*System, error) {
 		Size:             opts.ArenaSize,
 		Costs:            sys.Costs,
 		TrackPersistence: opts.TrackPersistence,
+		Faults:           opts.Faults,
 	})
 	mgr, err := scmmgr.FormatAndAttach(sys.Mem, sys.Costs)
 	if err != nil {
@@ -101,11 +107,13 @@ func (sys *System) tfsConfig() tfs.Config {
 		AcquireTimeout: sys.opts.AcquireTimeout,
 		VolumeGID:      sys.opts.VolumeGID,
 		Costs:          sys.Costs,
+		Faults:         sys.opts.Faults,
 	}
 }
 
 func (sys *System) serve() error {
 	sys.Srv = rpc.NewServer()
+	sys.Srv.SetFaults(sys.opts.Faults)
 	svc, err := tfs.Serve(sys.Srv, sys.Mgr, sys.proc, sys.Part, sys.tfsConfig())
 	if err != nil {
 		return err
@@ -130,6 +138,9 @@ func (sys *System) NewSession(cfg libfs.Config) (*libfs.Session, error) {
 			lease = 2 * time.Second // the lock service's default
 		}
 		cfg.RenewEvery = lease / 3
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = sys.opts.Faults
 	}
 	return libfs.MountInProc(sys.Srv, sys.Mgr, cfg)
 }

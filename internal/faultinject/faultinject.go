@@ -1,0 +1,287 @@
+// Package faultinject is a deterministic fault-injection framework for the
+// crash-recovery and robustness tests. Mutation paths across the stack —
+// SCM flushes, journal append/commit/checkpoint, TFS validation/apply,
+// libFS staging, and the RPC transports — are threaded with named fault
+// points. A test arms an Injector with rules that fire at a chosen hit of a
+// point (the Nth time that point is reached, or the Nth fault-point hit
+// overall) and inject one of three faults:
+//
+//   - an error, returned to the caller as if the operation failed,
+//   - a delay, stretching the window of in-flight state that races and
+//     lease expiry must tolerate,
+//   - a crash, unwinding the simulated process at exactly that instant
+//     (a panic with a Crash value that Run recovers), after which the
+//     harness discards the volatile image and drives recovery.
+//
+// Every hit is counted whether or not a rule fires, so a fault-free
+// baseline run doubles as an enumeration of all crash ordinals: the
+// crash-sweep harness (internal/crashsweep) replays the same workload once
+// per ordinal, crashing at each in turn.
+//
+// A nil *Injector is valid and inert: production paths carry a nil field
+// and pay one pointer comparison per fault point.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by error-kind rules.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Crash is the panic value thrown when a crash rule fires. The harness
+// recovers it with Run, then simulates the consequences (drop the volatile
+// image, expire leases, disconnect the session) and drives recovery.
+type Crash struct {
+	// Point is the fault point that crashed.
+	Point string
+	// Seq is the global fault-point hit ordinal at which the crash fired.
+	Seq uint64
+	// PointHit is the per-point hit ordinal.
+	PointHit uint64
+}
+
+func (c Crash) Error() string {
+	return fmt.Sprintf("faultinject: crash at %s (hit %d, global %d)", c.Point, c.PointHit, c.Seq)
+}
+
+// Kind selects what a rule injects when it fires.
+type Kind uint8
+
+// Rule kinds.
+const (
+	// KindError makes Hit return the rule's error. Fault points on paths
+	// without an error return (e.g. BFlush) ignore it.
+	KindError Kind = iota
+	// KindDelay makes Hit sleep for the rule's duration.
+	KindDelay
+	// KindCrash makes Hit panic with a Crash value.
+	KindCrash
+)
+
+type rule struct {
+	kind  Kind
+	point string // "" matches every point (global-ordinal rules)
+	at    uint64 // ordinal to fire at; 0 = every hit
+	prob  float64
+	err   error
+	delay time.Duration
+}
+
+// Injector counts fault-point hits and fires armed rules. All methods are
+// safe for concurrent use; a nil Injector is valid and never fires.
+type Injector struct {
+	disabled atomic.Bool
+
+	mu     sync.Mutex
+	seq    uint64
+	counts map[string]uint64
+	trace  []string
+	record bool
+	rules  []rule
+	rng    *rand.Rand
+	sleep  func(time.Duration)
+}
+
+// New returns an empty injector: all points counted, no rules armed.
+func New() *Injector {
+	return &Injector{counts: make(map[string]uint64), sleep: time.Sleep}
+}
+
+// Hit reports that execution reached the named fault point. It returns a
+// non-nil error when an error rule fires, sleeps when a delay rule fires,
+// and panics with a Crash when a crash rule fires. On a nil or disabled
+// injector it returns nil without counting.
+func (i *Injector) Hit(point string) error {
+	if i == nil || i.disabled.Load() {
+		return nil
+	}
+	i.mu.Lock()
+	i.seq++
+	seq := i.seq
+	i.counts[point]++
+	cnt := i.counts[point]
+	if i.record {
+		i.trace = append(i.trace, point)
+	}
+	var fired *rule
+	for idx := range i.rules {
+		r := &i.rules[idx]
+		if r.point != "" && r.point != point {
+			continue
+		}
+		ord := cnt
+		if r.point == "" {
+			ord = seq
+		}
+		if r.at != 0 && ord != r.at {
+			continue
+		}
+		if r.prob > 0 && (i.rng == nil || i.rng.Float64() >= r.prob) {
+			continue
+		}
+		fired = r
+		break
+	}
+	if fired == nil {
+		i.mu.Unlock()
+		return nil
+	}
+	kind, err, delay := fired.kind, fired.err, fired.delay
+	sleep := i.sleep
+	i.mu.Unlock()
+	switch kind {
+	case KindDelay:
+		sleep(delay)
+		return nil
+	case KindError:
+		if err == nil {
+			err = ErrInjected
+		}
+		return fmt.Errorf("%w at %s", err, point)
+	case KindCrash:
+		panic(Crash{Point: point, Seq: seq, PointHit: cnt})
+	}
+	return nil
+}
+
+// FailAt arms an error rule: the nth hit of point returns err (every hit
+// when n is 0; ErrInjected when err is nil).
+func (i *Injector) FailAt(point string, n uint64, err error) {
+	i.mu.Lock()
+	i.rules = append(i.rules, rule{kind: KindError, point: point, at: n, err: err})
+	i.mu.Unlock()
+}
+
+// DelayAt arms a delay rule: the nth hit of point sleeps d (every hit when
+// n is 0).
+func (i *Injector) DelayAt(point string, n uint64, d time.Duration) {
+	i.mu.Lock()
+	i.rules = append(i.rules, rule{kind: KindDelay, point: point, at: n, delay: d})
+	i.mu.Unlock()
+}
+
+// CrashAt arms a crash rule: the nth hit of point panics with a Crash.
+func (i *Injector) CrashAt(point string, n uint64) {
+	i.mu.Lock()
+	i.rules = append(i.rules, rule{kind: KindCrash, point: point, at: n})
+	i.mu.Unlock()
+}
+
+// CrashAtGlobal arms a crash at the nth fault-point hit overall, whatever
+// point that turns out to be.
+func (i *Injector) CrashAtGlobal(n uint64) {
+	i.mu.Lock()
+	i.rules = append(i.rules, rule{kind: KindCrash, at: n})
+	i.mu.Unlock()
+}
+
+// SeedDelays arms a seeded random-delay schedule: each hit of each point
+// sleeps a duration in [0, max) with probability p. The firing pattern and
+// durations are drawn from one seeded stream under the injector lock, so a
+// given seed yields the same schedule for the same hit sequence; used to
+// shake out interleavings in -race stress tests.
+func (i *Injector) SeedDelays(seed int64, p float64, max time.Duration) {
+	i.mu.Lock()
+	rng := rand.New(rand.NewSource(seed))
+	i.rng = rng
+	i.sleep = func(time.Duration) {
+		i.mu.Lock()
+		d := time.Duration(rng.Int63n(int64(max)))
+		i.mu.Unlock()
+		time.Sleep(d)
+	}
+	i.rules = append(i.rules, rule{kind: KindDelay, prob: p})
+	i.mu.Unlock()
+}
+
+// Disable turns the injector off: hits stop counting and rules stop firing.
+// The crash-sweep harness disables injection before driving recovery so the
+// recovery path runs fault-free.
+func (i *Injector) Disable() {
+	if i != nil {
+		i.disabled.Store(true)
+	}
+}
+
+// Enable turns a disabled injector back on.
+func (i *Injector) Enable() {
+	if i != nil {
+		i.disabled.Store(false)
+	}
+}
+
+// ClearRules disarms all rules, keeping counters.
+func (i *Injector) ClearRules() {
+	i.mu.Lock()
+	i.rules = nil
+	i.mu.Unlock()
+}
+
+// Record starts appending every hit's point name to the trace.
+func (i *Injector) Record() {
+	i.mu.Lock()
+	i.record = true
+	i.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded hit sequence.
+func (i *Injector) Trace() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.trace...)
+}
+
+// TotalHits returns the global hit count.
+func (i *Injector) TotalHits() uint64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.seq
+}
+
+// Counts returns a copy of the per-point hit counts.
+func (i *Injector) Counts() map[string]uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[string]uint64, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Points returns the sorted names of every point hit so far.
+func (i *Injector) Points() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]string, 0, len(i.counts))
+	for k := range i.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes fn, recovering a crash-rule panic into a *Crash. Other
+// panics propagate. The returned error is fn's error when no crash fired.
+func Run(fn func() error) (crash *Crash, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if c, ok := r.(Crash); ok {
+				crash = &c
+				return
+			}
+			panic(r)
+		}
+	}()
+	return nil, fn()
+}

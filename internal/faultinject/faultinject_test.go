@@ -1,0 +1,253 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hit("x"); err != nil {
+		t.Fatalf("nil injector Hit = %v", err)
+	}
+	if got := inj.TotalHits(); got != 0 {
+		t.Fatalf("nil injector TotalHits = %d", got)
+	}
+	inj.Disable()
+	inj.Enable()
+}
+
+func TestCountsAndPoints(t *testing.T) {
+	inj := New()
+	for i := 0; i < 3; i++ {
+		if err := inj.Hit("a"); err != nil {
+			t.Fatalf("Hit(a) = %v", err)
+		}
+	}
+	if err := inj.Hit("b"); err != nil {
+		t.Fatalf("Hit(b) = %v", err)
+	}
+	if got := inj.TotalHits(); got != 4 {
+		t.Fatalf("TotalHits = %d, want 4", got)
+	}
+	c := inj.Counts()
+	if c["a"] != 3 || c["b"] != 1 {
+		t.Fatalf("Counts = %v", c)
+	}
+	pts := inj.Points()
+	if len(pts) != 2 || pts[0] != "a" || pts[1] != "b" {
+		t.Fatalf("Points = %v", pts)
+	}
+}
+
+func TestFailAtNthHit(t *testing.T) {
+	boom := errors.New("boom")
+	inj := New()
+	inj.FailAt("p", 3, boom)
+	for n := 1; n <= 5; n++ {
+		err := inj.Hit("p")
+		if n == 3 {
+			if !errors.Is(err, boom) {
+				t.Fatalf("hit %d: err = %v, want boom", n, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: err = %v, want nil", n, err)
+		}
+	}
+}
+
+func TestFailEveryHitDefaultsErrInjected(t *testing.T) {
+	inj := New()
+	inj.FailAt("p", 0, nil)
+	for n := 0; n < 3; n++ {
+		if err := inj.Hit("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", n, err)
+		}
+	}
+	if err := inj.Hit("other"); err != nil {
+		t.Fatalf("other point: err = %v", err)
+	}
+}
+
+func TestCrashAtRecoveredByRun(t *testing.T) {
+	inj := New()
+	inj.CrashAt("p", 2)
+	var reached int
+	crash, err := Run(func() error {
+		for n := 0; n < 10; n++ {
+			if e := inj.Hit("p"); e != nil {
+				return e
+			}
+			reached++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run err = %v", err)
+	}
+	if crash == nil {
+		t.Fatal("Run crash = nil, want crash")
+	}
+	if crash.Point != "p" || crash.PointHit != 2 || crash.Seq != 2 {
+		t.Fatalf("crash = %+v", crash)
+	}
+	if reached != 1 {
+		t.Fatalf("reached = %d, want 1 (second hit crashed)", reached)
+	}
+	if crash.Error() == "" {
+		t.Fatal("crash.Error empty")
+	}
+}
+
+func TestCrashAtGlobalOrdinal(t *testing.T) {
+	inj := New()
+	inj.CrashAtGlobal(3)
+	var seen []string
+	crash, err := Run(func() error {
+		for _, p := range []string{"a", "b", "c", "d"} {
+			if e := inj.Hit(p); e != nil {
+				return e
+			}
+			seen = append(seen, p)
+		}
+		return nil
+	})
+	if err != nil || crash == nil {
+		t.Fatalf("crash=%v err=%v", crash, err)
+	}
+	if crash.Point != "c" || crash.Seq != 3 {
+		t.Fatalf("crash = %+v, want point c at global 3", crash)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestRunPropagatesForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	_, _ = Run(func() error { panic("unrelated") })
+}
+
+func TestRunPassesThroughError(t *testing.T) {
+	boom := errors.New("boom")
+	crash, err := Run(func() error { return boom })
+	if crash != nil || !errors.Is(err, boom) {
+		t.Fatalf("crash=%v err=%v", crash, err)
+	}
+}
+
+func TestDisableStopsCountingAndFiring(t *testing.T) {
+	inj := New()
+	inj.CrashAt("p", 1)
+	inj.Disable()
+	if err := inj.Hit("p"); err != nil {
+		t.Fatalf("disabled Hit = %v", err)
+	}
+	if inj.TotalHits() != 0 {
+		t.Fatalf("disabled hit counted: %d", inj.TotalHits())
+	}
+	inj.Enable()
+	crash, _ := Run(func() error { return inj.Hit("p") })
+	if crash == nil {
+		t.Fatal("re-enabled injector did not crash")
+	}
+}
+
+func TestClearRulesKeepsCounters(t *testing.T) {
+	inj := New()
+	inj.FailAt("p", 0, nil)
+	if err := inj.Hit("p"); err == nil {
+		t.Fatal("armed rule did not fire")
+	}
+	inj.ClearRules()
+	if err := inj.Hit("p"); err != nil {
+		t.Fatalf("cleared rule still fires: %v", err)
+	}
+	if inj.Counts()["p"] != 2 {
+		t.Fatalf("counters reset by ClearRules: %v", inj.Counts())
+	}
+}
+
+func TestDelayAt(t *testing.T) {
+	inj := New()
+	inj.DelayAt("p", 1, 20*time.Millisecond)
+	start := time.Now()
+	if err := inj.Hit("p"); err != nil {
+		t.Fatalf("Hit = %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	inj := New()
+	inj.Record()
+	_ = inj.Hit("a")
+	_ = inj.Hit("b")
+	_ = inj.Hit("a")
+	tr := inj.Trace()
+	want := []string{"a", "b", "a"}
+	if len(tr) != len(want) {
+		t.Fatalf("trace = %v", tr)
+	}
+	for i := range want {
+		if tr[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", tr, want)
+		}
+	}
+}
+
+func TestSeedDelaysDeterministicFiring(t *testing.T) {
+	// Sub-microsecond sleeps are unobservable; assert determinism
+	// indirectly: two injectors with the same seed consume the RNG
+	// identically across the same hit sequence without error or panic.
+	a, b := New(), New()
+	a.SeedDelays(7, 0.5, time.Nanosecond)
+	b.SeedDelays(7, 0.5, time.Nanosecond)
+	for n := 0; n < 128; n++ {
+		if err := a.Hit("p"); err != nil {
+			t.Fatalf("a hit %d: %v", n, err)
+		}
+		if err := b.Hit("p"); err != nil {
+			t.Fatalf("b hit %d: %v", n, err)
+		}
+	}
+	if a.TotalHits() != b.TotalHits() {
+		t.Fatalf("hits diverge: %d vs %d", a.TotalHits(), b.TotalHits())
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	inj := New()
+	inj.FailAt("p", 500, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failures int
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 125; n++ {
+				if err := inj.Hit("p"); err != nil {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if inj.TotalHits() != 1000 {
+		t.Fatalf("TotalHits = %d, want 1000", inj.TotalHits())
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want exactly 1", failures)
+	}
+}

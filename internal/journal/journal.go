@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/scm"
 )
 
@@ -66,7 +67,14 @@ type Log struct {
 	tail uint64
 	// staged is the in-flight (appended but uncommitted) tail.
 	staged uint64
+
+	faults *faultinject.Injector
 }
+
+// SetFaults arms fault points on the log's mutation paths (journal.append,
+// journal.commit, journal.commit.publish, journal.commit.published,
+// journal.checkpoint, journal.replay.record). A nil injector is inert.
+func (l *Log) SetFaults(inj *faultinject.Injector) { l.faults = inj }
 
 // Format initializes an empty log over region [base, base+size).
 func Format(mem scm.Space, base, size uint64) (*Log, error) {
@@ -141,6 +149,9 @@ func (l *Log) Append(payload []byte) error {
 	if need > l.size/2 {
 		return fmt.Errorf("%w: %d bytes", ErrTooBig, len(payload))
 	}
+	if err := l.faults.Hit("journal.append"); err != nil {
+		return err
+	}
 	pos := l.staged
 	// If the record would cross the ring end, a pad record fills the
 	// space to the end and the record starts at offset 0. Account for
@@ -180,11 +191,21 @@ func (l *Log) Commit() error {
 	if l.staged == l.tail {
 		return nil
 	}
+	if err := l.faults.Hit("journal.commit"); err != nil {
+		return err
+	}
 	l.mem.BFlush()
 	l.mem.Fence()
+	// A crash between the drain and the tail publish is the classic
+	// torn-commit window: records are persistent but unreachable.
+	if err := l.faults.Hit("journal.commit.publish"); err != nil {
+		return err
+	}
 	if err := scm.AtomicFlush64(l.mem, l.base+offTail, l.staged); err != nil {
 		return err
 	}
+	// ... and a crash immediately after the publish must replay the batch.
+	_ = l.faults.Hit("journal.commit.published")
 	l.tail = l.staged
 	return nil
 }
@@ -216,6 +237,11 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 		if crc32.ChecksumIEEE(payload) != getU32(hdr[4:]) {
 			return fmt.Errorf("%w: CRC mismatch at %d", ErrCorrupt, pos)
 		}
+		// Crash mid-recovery: some records redone, head not yet advanced.
+		// Replay after the next attach re-delivers them (idempotent redo).
+		if err := l.faults.Hit("journal.replay.record"); err != nil {
+			return err
+		}
 		if err := fn(payload); err != nil {
 			return err
 		}
@@ -230,6 +256,9 @@ func align8(n uint64) uint64 { return (n + 7) &^ 7 }
 // locations: the caller must have flushed those home locations first. The
 // head pointer advances to the tail with an atomic flushed store.
 func (l *Log) Checkpoint() error {
+	if err := l.faults.Hit("journal.checkpoint"); err != nil {
+		return err
+	}
 	l.mem.Fence()
 	if err := scm.AtomicFlush64(l.mem, l.base+offHead, l.tail); err != nil {
 		return err

@@ -109,6 +109,11 @@ func (s *Session) DirInsert(dir sobj.OID, key []byte, child sobj.OID, coverLock 
 
 // DirRemove stages removal of key from dir under coverLock.
 func (s *Session) DirRemove(dir sobj.OID, key []byte, coverLock uint64) error {
+	// Crash between shadow update and LogOp: the unlink is observed
+	// locally but never ships — it must vanish cleanly with the client.
+	if err := s.cfg.Faults.Hit("libfs.unlink"); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	cs := s.colShadow(dir)
 	delete(cs.ins, string(key))
@@ -150,6 +155,11 @@ func (s *Session) DirRemoveFlat(dir sobj.OID, key []byte, bucketLock uint64) err
 
 // DirRename stages an atomic move.
 func (s *Session) DirRename(srcDir sobj.OID, srcKey []byte, dstDir sobj.OID, dstKey []byte, child sobj.OID, coverSrc, coverDst uint64) error {
+	// The rename is one op in the local log, so a crash can only lose it
+	// whole — the sweep asserts the entry is at exactly one of the names.
+	if err := s.cfg.Faults.Hit("libfs.rename"); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	css := s.colShadow(srcDir)
 	delete(css.ins, string(srcKey))
@@ -417,6 +427,12 @@ func (s *Session) FileWrite(oid sobj.OID, p []byte, off uint64, coverLock uint64
 
 // FileWriteKeyed is FileWrite for bucket-locked FlatFS files.
 func (s *Session) FileWriteKeyed(oid sobj.OID, p []byte, off uint64, coverLock uint64, key []byte) (int, error) {
+	// A crash anywhere in the write sequence (before/between extent
+	// staging, data flush, and the size op) leaves staged extents and a
+	// partial local log the TFS never sees; scavenging reclaims them.
+	if err := s.cfg.Faults.Hit("libfs.write"); err != nil {
+		return 0, err
+	}
 	m, err := sobj.OpenMFile(s.Mem, oid)
 	if err != nil {
 		return 0, err
@@ -472,6 +488,9 @@ func (s *Session) FileWriteKeyed(oid sobj.OID, p []byte, off uint64, coverLock u
 // stageExtent allocates, zeroes (when partially covered), and stages an
 // extent for blockIdx.
 func (s *Session) stageExtent(oid sobj.OID, blockIdx, bs uint64, fullCover bool, coverLock uint64, key []byte) (uint64, error) {
+	if err := s.cfg.Faults.Hit("libfs.stage.extent"); err != nil {
+		return 0, err
+	}
 	ext, err := s.AllocStaged(bs)
 	if err != nil {
 		return 0, err

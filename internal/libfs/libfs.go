@@ -16,6 +16,7 @@ import (
 
 	"github.com/aerie-fs/aerie/internal/alloc"
 	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/lockservice"
 	"github.com/aerie-fs/aerie/internal/rpc"
@@ -41,12 +42,21 @@ type Config struct {
 	Tracer *costmodel.Tracer
 	// Costs injects the RPC round-trip latency (may be nil).
 	Costs *costmodel.Costs
+	// Faults, when non-nil, arms fault points on the client's mutation
+	// sequences (libfs.*). Nil in production.
+	Faults *faultinject.Injector
 }
 
 // ErrStaleBatch reports that the TFS rejected a batch; the client's buffered
 // updates were discarded (§4.3: integrity is preserved, client data may be
 // lost).
 var ErrStaleBatch = errors.New("libfs: update batch rejected and discarded")
+
+// ErrTFSUnreachable reports that a batch could not be shipped because the
+// transport failed (timeout, reconnect exhausted). Unlike ErrStaleBatch the
+// updates are NOT discarded: the batch is requeued and the shadow state
+// kept, so a later Sync retries once the TFS is back.
+var ErrTFSUnreachable = errors.New("libfs: TFS unreachable, updates requeued")
 
 // Session is a mounted client. All methods are safe for concurrent use by
 // the process's threads.
@@ -70,6 +80,7 @@ type Session struct {
 	mu           sync.Mutex
 	batch        []fsproto.Op
 	batchBytes   int
+	pendingShip  *shipState
 	shadows      map[sobj.OID]*fileShadow
 	colShadows   map[sobj.OID]*colShadow
 	pool         map[uint][]uint64 // buddy order -> staged extents
@@ -102,6 +113,17 @@ type fileShadow struct {
 type colShadow struct {
 	ins map[string]sobj.OID
 	del map[string]bool
+}
+
+// shipState is a batch whose ship to the TFS failed at the transport level:
+// the encoded payload and its reserved RPC request ID are kept so the retry
+// replays the identical request — the server's dedup cache then guarantees
+// the batch applies at most once even if the original did reach it.
+type shipState struct {
+	ops     []fsproto.Op
+	bytes   int
+	payload []byte
+	reqID   uint64 // 0 when the transport lacks IdempotentCaller
 }
 
 // Mount connects a session: RPC mount, kernel partition mapping, clerk.
@@ -236,6 +258,10 @@ func (s *Session) Close() error {
 	return err
 }
 
+// ClientID returns the RPC identity the TFS knows this session by. The
+// crash-sweep harness uses it to force-expire a "crashed" session's leases.
+func (s *Session) ClientID() uint64 { return s.rc.ClientID() }
+
 // Abandon simulates a client crash: buffered updates and staged objects are
 // dropped on the floor, locks are left to lease expiry. Used by tests and
 // the sharing example.
@@ -309,6 +335,11 @@ func (s *Session) StagingAllocator() sobj.Allocator { return poolAllocator{s} }
 // LogOp buffers one metadata update, shipping the batch if it crossed the
 // size threshold.
 func (s *Session) LogOp(op fsproto.Op) error {
+	// A crash here loses the op before it reaches the local log — the
+	// "client dies with unshipped updates" case lease expiry cleans up.
+	if err := s.cfg.Faults.Hit("libfs.logop"); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.batch = append(s.batch, op)
 	s.batchBytes += 64 + len(op.Key) + len(op.Key2)
@@ -323,42 +354,87 @@ func (s *Session) LogOp(op fsproto.Op) error {
 
 // FlushUpdates ships all buffered metadata updates to the TFS (§4.3's
 // libfs sync). On validation failure the batch is discarded: metadata
-// integrity is preserved, the client's unshipped changes are lost.
+// integrity is preserved, the client's unshipped changes are lost. On a
+// transport failure the fate of the batch is unknown, so the updates are
+// NOT discarded — the encoded batch is parked with its RPC request ID and
+// the shadows are kept, and the call returns ErrTFSUnreachable. A later
+// Sync replays the identical request first: the server's dedup cache
+// guarantees it applies at most once whether or not the original arrived.
 func (s *Session) FlushUpdates() error {
-	s.mu.Lock()
-	if len(s.batch) == 0 {
+	for {
+		s.mu.Lock()
+		ship := s.pendingShip
+		if ship == nil {
+			if len(s.batch) == 0 {
+				s.mu.Unlock()
+				return nil
+			}
+			ship = &shipState{ops: s.batch, bytes: s.batchBytes}
+			ship.payload = fsproto.EncodeOps(ship.ops)
+			if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
+				ship.reqID = ic.NextReqID()
+			}
+			s.pendingShip = ship
+			s.batch = nil
+			s.batchBytes = 0
+		}
 		s.mu.Unlock()
-		return nil
-	}
-	batch := s.batch
-	s.batch = nil
-	s.batchBytes = 0
-	s.mu.Unlock()
 
-	payload := fsproto.EncodeOps(batch)
-	_, err := s.rc.Call(fsproto.MethodApplyLog, payload)
+		if err := s.cfg.Faults.Hit("libfs.flush.preship"); err != nil {
+			return fmt.Errorf("%w: %v", ErrTFSUnreachable, err)
+		}
+		var err error
+		if ic, ok := s.rc.(rpc.IdempotentCaller); ok && ship.reqID != 0 {
+			_, err = ic.CallWithReqID(fsproto.MethodApplyLog, ship.reqID, ship.payload)
+		} else {
+			_, err = s.rc.Call(fsproto.MethodApplyLog, ship.payload)
+		}
+		if ferr := s.cfg.Faults.Hit("libfs.flush.postship"); ferr != nil && err == nil {
+			err = fmt.Errorf("%w: %v", rpc.ErrUnreachable, ferr)
+		}
+		if err != nil && rpc.IsTransport(err) {
+			// The TFS may or may not have applied the batch; pendingShip
+			// stays parked for an identical retry, and the shadows still
+			// describe the pending updates either way.
+			return fmt.Errorf("%w: %v", ErrTFSUnreachable, err)
+		}
 
-	s.mu.Lock()
-	// Whether applied or rejected, the staged state is no longer pending:
-	// applied updates are visible in SCM, rejected ones are gone.
-	s.shadows = make(map[sobj.OID]*fileShadow)
-	s.colShadows = make(map[sobj.OID]*colShadow)
-	s.mu.Unlock()
-	s.Flushes.Add(1)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrStaleBatch, err)
+		s.mu.Lock()
+		s.pendingShip = nil
+		more := len(s.batch) > 0
+		if !more {
+			// Whether applied or rejected, no staged state is pending
+			// anymore: applied updates are visible in SCM, rejected ones
+			// are gone.
+			s.shadows = make(map[sobj.OID]*fileShadow)
+			s.colShadows = make(map[sobj.OID]*colShadow)
+		}
+		s.mu.Unlock()
+		s.Flushes.Add(1)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrStaleBatch, err)
+		}
+		if !more {
+			return nil
+		}
+		// Ops logged while the ship was in flight: ship them too before
+		// declaring the sync complete.
 	}
-	return nil
 }
 
 // Sync ships buffered updates, the library equivalent of fsync (§4.3).
 func (s *Session) Sync() error { return s.FlushUpdates() }
 
-// PendingOps reports the number of buffered, unshipped updates.
+// PendingOps reports the number of buffered, unshipped updates, including
+// a batch parked by a transport failure.
 func (s *Session) PendingOps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.batch)
+	n := len(s.batch)
+	if s.pendingShip != nil {
+		n += len(s.pendingShip.ops)
+	}
+	return n
 }
 
 // ---- Open-file and protection RPCs ----

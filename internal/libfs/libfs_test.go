@@ -2,8 +2,11 @@ package libfs_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"time"
+
+	"github.com/aerie-fs/aerie/internal/faultinject"
 
 	"github.com/aerie-fs/aerie/internal/core"
 	"github.com/aerie-fs/aerie/internal/libfs"
@@ -260,5 +263,73 @@ func TestMountOverTCP(t *testing.T) {
 	}
 	if string(buf) != "over tcp" {
 		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestFlushRequeuesOnTransportFailure(t *testing.T) {
+	inj := faultinject.New()
+	sys, err := core.New(core.Options{
+		ArenaSize:      64 << 20,
+		AcquireTimeout: 10 * time.Second,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RenewEvery is huge so no background renewal RPC races the armed
+	// fault ordinal below.
+	s, err := sys.NewSession(libfs.Config{UID: 1, BatchLimit: 16 << 20, RenewEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	lock := s.Root.Lock()
+	if err := s.Clerk.Acquire(lock, lockservice.X, true); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Clerk.Release(lock, lockservice.X)
+	oid, err := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DirInsert(s.Root, []byte("file"), oid, lock); err != nil {
+		t.Fatal(err)
+	}
+	pending := s.PendingOps()
+	if pending == 0 {
+		t.Fatal("no pending ops staged")
+	}
+
+	// First ship: the response is lost after the TFS applied the batch.
+	// (Ordinals count from injector creation, so arm relative to now.)
+	inj.FailAt("rpc.reply", inj.Counts()["rpc.reply"]+1, nil)
+	err = s.Sync()
+	if !errors.Is(err, libfs.ErrTFSUnreachable) {
+		t.Fatalf("Sync err = %v, want ErrTFSUnreachable", err)
+	}
+	if got := s.PendingOps(); got != pending {
+		t.Fatalf("pending = %d after transport failure, want %d (requeued)", got, pending)
+	}
+	// The shadows survived, so the client still sees its pending updates.
+	if _, ok, err := s.DirLookup(s.Root, []byte("file")); err != nil || !ok {
+		t.Fatalf("shadow lookup after requeue: ok=%v err=%v", ok, err)
+	}
+
+	applied := sys.TFS.BatchesApplied.Load()
+
+	// Retry once the transport recovers: the parked batch replays under
+	// its original request ID, so the server's dedup cache returns the
+	// first execution's result instead of applying it twice.
+	if err := s.Sync(); err != nil {
+		t.Fatalf("retry Sync: %v", err)
+	}
+	if got := s.PendingOps(); got != 0 {
+		t.Fatalf("pending = %d after successful retry", got)
+	}
+	if got := sys.TFS.BatchesApplied.Load(); got != applied {
+		t.Fatalf("retry re-applied the batch (applied %d -> %d), want at-most-once", applied, got)
+	}
+	if _, ok, err := s.DirLookup(s.Root, []byte("file")); err != nil || !ok {
+		t.Fatalf("lookup after retry: ok=%v err=%v", ok, err)
 	}
 }

@@ -140,13 +140,24 @@ type lockState struct {
 	waiters []chan struct{}
 }
 
+// clientExpiry tracks a client's grants across all locks so lease expiry
+// fires the OnExpire hook exactly once per expiry episode — not once per
+// lock, and not concurrently from racing Acquires.
+type clientExpiry struct {
+	grants int
+	// fired marks that OnExpire was claimed for the current episode; a
+	// new grant opens a new episode.
+	fired bool
+}
+
 // Service is the lock server. All methods are safe for concurrent use.
 type Service struct {
 	cfg Config
 
-	mu    sync.Mutex
-	locks map[uint64]*lockState
-	down  bool
+	mu       sync.Mutex
+	locks    map[uint64]*lockState
+	byClient map[uint64]*clientExpiry
+	down     bool
 
 	// Stats.
 	Acquires    int64
@@ -162,7 +173,11 @@ func New(cfg Config) *Service {
 	if cfg.AcquireTimeout == 0 {
 		cfg.AcquireTimeout = 10 * time.Second
 	}
-	return &Service{cfg: cfg, locks: make(map[uint64]*lockState)}
+	return &Service{
+		cfg:      cfg,
+		locks:    make(map[uint64]*lockState),
+		byClient: make(map[uint64]*clientExpiry),
+	}
 }
 
 func (s *Service) state(id uint64) *lockState {
@@ -174,21 +189,79 @@ func (s *Service) state(id uint64) *lockState {
 	return st
 }
 
-// reapExpiredLocked removes holders with expired leases, firing the expiry
-// hook for each (after the caller releases s.mu). Returns the hooks to run.
+// reapExpiredLocked scans st for holders with expired leases. Each one
+// triggers a service-wide sweep of that client's expired grants (a client
+// that stopped renewing loses all its leases together, not just the ones
+// on locks somebody happens to touch). Returns the clients whose OnExpire
+// hook the caller must fire after releasing s.mu; the exactly-once claim
+// happens here, under the mutex, so racing Acquires can never both fire
+// for the same client.
 func (s *Service) reapExpiredLocked(st *lockState, now time.Time) []uint64 {
-	var expired []uint64
+	var fire []uint64
 	for client, g := range st.holders {
 		if now.After(g.expiry) {
-			delete(st.holders, client)
-			s.Expirations++
-			expired = append(expired, client)
+			if s.sweepClientLocked(client, now, st) {
+				fire = append(fire, client)
+			}
 		}
 	}
-	if len(expired) > 0 {
+	return fire
+}
+
+// sweepClientLocked removes every expired grant client holds, on any lock,
+// and reports whether the expiry hook should fire. keep (may be nil) is a
+// lockState the caller still references; it is never deleted from s.locks
+// even if emptied. The hook is claimed at most once per expiry episode: a
+// new grant after the claim opens a new episode.
+func (s *Service) sweepClientLocked(client uint64, now time.Time, keep *lockState) bool {
+	removed := 0
+	for id, st := range s.locks {
+		g := st.holders[client]
+		if g == nil || !now.After(g.expiry) {
+			continue
+		}
+		delete(st.holders, client)
+		removed++
+		s.Expirations++
 		s.wakeLocked(st)
+		if st != keep && len(st.holders) == 0 && len(st.waiters) == 0 {
+			delete(s.locks, id)
+		}
 	}
-	return expired
+	if removed == 0 {
+		return false
+	}
+	ce := s.byClient[client]
+	if ce == nil {
+		return false
+	}
+	ce.grants -= removed
+	fire := !ce.fired
+	ce.fired = true
+	if ce.grants <= 0 {
+		delete(s.byClient, client)
+	}
+	return fire
+}
+
+// ExpireClient force-expires every grant held by client, as if its lease
+// had lapsed, firing OnExpire (at most once) if it held anything. The
+// crash-simulation harness uses it to model a crashed client whose lease
+// runs out without waiting wall-clock lease time.
+func (s *Service) ExpireClient(client uint64) {
+	s.mu.Lock()
+	var fire []uint64
+	// A force-expiry treats every grant as already past its lease.
+	for _, st := range s.locks {
+		if g := st.holders[client]; g != nil {
+			g.expiry = time.Time{}
+		}
+	}
+	if s.sweepClientLocked(client, time.Now(), nil) {
+		fire = append(fire, client)
+	}
+	s.mu.Unlock()
+	s.fireExpiry(fire)
 }
 
 func (s *Service) wakeLocked(st *lockState) {
@@ -246,6 +319,16 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 			if g == nil {
 				g = &grant{}
 				st.holders[client] = g
+				ce := s.byClient[client]
+				if ce == nil {
+					ce = &clientExpiry{}
+					s.byClient[client] = ce
+				}
+				ce.grants++
+				ce.fired = false
+			} else if ce := s.byClient[client]; ce != nil {
+				// A live re-acquire opens a new expiry episode.
+				ce.fired = false
 			}
 			g.class = want
 			g.hier = g.hier || hier
@@ -318,6 +401,7 @@ func (s *Service) Release(client uint64, id uint64) error {
 		return fmt.Errorf("%w: client %d lock %#x", ErrNotHeld, client, id)
 	}
 	delete(st.holders, client)
+	s.dropGrantLocked(client, 1)
 	s.wakeLocked(st)
 	if len(st.holders) == 0 && len(st.waiters) == 0 {
 		delete(s.locks, id)
@@ -325,18 +409,36 @@ func (s *Service) Release(client uint64, id uint64) error {
 	return nil
 }
 
+// dropGrantLocked decrements client's tracked grant count after n voluntary
+// releases (no expiry hook involved).
+func (s *Service) dropGrantLocked(client uint64, n int) {
+	ce := s.byClient[client]
+	if ce == nil {
+		return
+	}
+	ce.grants -= n
+	if ce.grants <= 0 {
+		delete(s.byClient, client)
+	}
+}
+
 // ReleaseAll drops every grant held by client (disconnect path).
 func (s *Service) ReleaseAll(client uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dropped := 0
 	for id, st := range s.locks {
 		if st.holders[client] != nil {
 			delete(st.holders, client)
+			dropped++
 			s.wakeLocked(st)
 			if len(st.holders) == 0 && len(st.waiters) == 0 {
 				delete(s.locks, id)
 			}
 		}
+	}
+	if dropped > 0 {
+		s.dropGrantLocked(client, dropped)
 	}
 }
 

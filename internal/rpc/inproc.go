@@ -1,7 +1,9 @@
 package rpc
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
 )
@@ -12,11 +14,16 @@ import (
 // transport for tests and the benchmark harness. A per-call copy of the
 // request and response preserves the no-shared-memory semantics of a real
 // socket transport, so handlers cannot accidentally alias client buffers.
+//
+// Fault points rpc.call and rpc.reply bracket the dispatch: a fault at
+// rpc.call loses the request before the server sees it, one at rpc.reply
+// loses only the response — the asymmetry retried mutations must survive.
 type InProcClient struct {
 	srv    *Server
 	id     uint64
 	costs  *costmodel.Costs
 	tracer *costmodel.Tracer
+	reqSeq atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -32,6 +39,14 @@ func DialInProc(srv *Server, cb CallbackFn, costs *costmodel.Costs, tracer *cost
 
 // Call implements Client.
 func (c *InProcClient) Call(method uint32, req []byte) ([]byte, error) {
+	return c.CallWithReqID(method, c.reqSeq.Add(1), req)
+}
+
+// NextReqID implements IdempotentCaller.
+func (c *InProcClient) NextReqID() uint64 { return c.reqSeq.Add(1) }
+
+// CallWithReqID implements IdempotentCaller.
+func (c *InProcClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
@@ -41,15 +56,24 @@ func (c *InProcClient) Call(method uint32, req []byte) ([]byte, error) {
 	if c.costs != nil {
 		costmodel.Spin(c.costs.RPCRoundTrip)
 	}
+	faults := c.srv.injector()
+	if err := faults.Hit("rpc.call"); err != nil {
+		// The request never reached the server.
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
 	reqCopy := make([]byte, len(req))
 	copy(reqCopy, req)
 	c.tracer.EnterResource("tfs", costmodel.Exclusive)
-	resp, err := c.srv.dispatch(c.id, method, reqCopy)
+	resp, err := c.srv.dispatchDedup(c.id, reqID, method, reqCopy)
 	c.tracer.ExitResource("tfs")
 	if err != nil {
 		// Errors cross the transport as strings, as they would over a
 		// socket.
 		return nil, &RemoteError{Msg: err.Error()}
+	}
+	// The server executed the call; a fault here loses the response.
+	if ferr := faults.Hit("rpc.reply"); ferr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, ferr)
 	}
 	respCopy := make([]byte, len(resp))
 	copy(respCopy, resp)

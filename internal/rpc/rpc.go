@@ -8,12 +8,24 @@
 //
 // The server supports a callback channel from the server to each client,
 // used by the distributed lock service to revoke locks.
+//
+// Fault tolerance: each call carries a per-session request ID, and the
+// server keeps a bounded per-session cache of completed results, so a
+// mutation retried across a reconnect (the client could not tell whether
+// the server executed it) is applied at most once — the retry returns the
+// cached result instead of re-dispatching. Transport failures surface as
+// typed errors: ErrTimeout when a per-call deadline expires, ErrUnreachable
+// when retries are exhausted; IsTransport distinguishes both (and any other
+// connection failure) from application errors, which cross the transport as
+// *RemoteError.
 package rpc
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"github.com/aerie-fs/aerie/internal/faultinject"
 )
 
 // Status codes carried on responses.
@@ -26,6 +38,14 @@ const (
 var (
 	ErrNoHandler = errors.New("rpc: no handler for method")
 	ErrClosed    = errors.New("rpc: connection closed")
+	// ErrTimeout reports that a call's deadline expired before the response
+	// arrived. The request may or may not have executed on the server; the
+	// request-ID dedup cache makes a retry safe, but Call does not retry
+	// after a deadline on its own — the caller decides.
+	ErrTimeout = errors.New("rpc: call deadline exceeded")
+	// ErrUnreachable reports that the transport failed and bounded retries
+	// with backoff did not restore it.
+	ErrUnreachable = errors.New("rpc: server unreachable")
 )
 
 // RemoteError is an application error returned by a handler, reconstructed
@@ -33,6 +53,19 @@ var (
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// IsTransport reports whether err is a transport-level failure (timeout,
+// unreachable, dropped connection, closed client) rather than an
+// application error returned by the remote handler. Application errors
+// always cross the transport as *RemoteError; everything else means the
+// request's fate is unknown to the caller.
+func IsTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
+}
 
 // Handler processes one request from the identified client.
 type Handler func(client uint64, req []byte) ([]byte, error)
@@ -50,15 +83,50 @@ type Client interface {
 	Close() error
 }
 
+// IdempotentCaller is the optional client capability for caller-managed
+// retries: the caller reserves a request ID once, then replays the same
+// call under it after transport failures — across however many connections
+// it takes — and the server's dedup cache guarantees at most one execution.
+// Both built-in transports implement it.
+type IdempotentCaller interface {
+	// NextReqID reserves a fresh request ID.
+	NextReqID() uint64
+	// CallWithReqID is Call under a caller-chosen request ID. Calls with
+	// the same ID return the first execution's result.
+	CallWithReqID(method uint32, reqID uint64, req []byte) ([]byte, error)
+}
+
+// dedupCap bounds the per-session result cache. Retries arrive promptly
+// (within the client's backoff schedule), so only a small window of recent
+// results is ever consulted; older entries are evicted FIFO.
+const dedupCap = 1024
+
+// dedupEntry is one cached (or in-flight) request result.
+type dedupEntry struct {
+	done chan struct{} // closed when resp/err are valid
+	resp []byte
+	err  error
+}
+
+// session holds the per-client at-most-once state.
+type session struct {
+	mu    sync.Mutex
+	cache map[uint64]*dedupEntry
+	order []uint64 // insertion order for FIFO eviction
+}
+
 // Server dispatches requests to registered handlers and can push callbacks
 // to connected clients. It serves both transports simultaneously.
 type Server struct {
 	mu        sync.RWMutex
 	handlers  map[uint32]Handler
 	callbacks map[uint64]CallbackFn
+	sessions  map[uint64]*session
 	onClose   map[uint64]func()
 	nextID    uint64
 	closed    bool
+
+	faults *faultinject.Injector
 }
 
 // NewServer returns an empty server.
@@ -66,8 +134,23 @@ func NewServer() *Server {
 	return &Server{
 		handlers:  make(map[uint32]Handler),
 		callbacks: make(map[uint64]CallbackFn),
+		sessions:  make(map[uint64]*session),
 		onClose:   make(map[uint64]func()),
 	}
+}
+
+// SetFaults arms fault points on the server's transports (rpc.call,
+// rpc.reply, rpc.tcp.respond). A nil injector is inert.
+func (s *Server) SetFaults(inj *faultinject.Injector) {
+	s.mu.Lock()
+	s.faults = inj
+	s.mu.Unlock()
+}
+
+func (s *Server) injector() *faultinject.Injector {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults
 }
 
 // Register installs the handler for a method. Method 0 is reserved.
@@ -98,6 +181,55 @@ func (s *Server) dispatch(client uint64, method uint32, req []byte) ([]byte, err
 	return h(client, req)
 }
 
+// dispatchDedup runs the handler for one request at most once per (client,
+// reqID): a duplicate — a retry of a call whose response was lost — returns
+// the cached result of the original execution, and a duplicate racing the
+// original waits for it instead of re-executing. reqID 0 opts out (used by
+// the handshake and non-idempotent-unaware legacy callers).
+func (s *Server) dispatchDedup(client uint64, reqID uint64, method uint32, req []byte) ([]byte, error) {
+	if reqID == 0 {
+		return s.dispatch(client, method, req)
+	}
+	s.mu.RLock()
+	sess := s.sessions[client]
+	s.mu.RUnlock()
+	if sess == nil {
+		return s.dispatch(client, method, req)
+	}
+	sess.mu.Lock()
+	if e, ok := sess.cache[reqID]; ok {
+		sess.mu.Unlock()
+		<-e.done
+		return e.resp, e.err
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	sess.cache[reqID] = e
+	sess.order = append(sess.order, reqID)
+	for len(sess.order) > dedupCap {
+		old := sess.cache[sess.order[0]]
+		// Never evict an in-flight entry: a racing duplicate may be
+		// parked on its done channel.
+		if !entryDone(old) {
+			break
+		}
+		delete(sess.cache, sess.order[0])
+		sess.order = sess.order[1:]
+	}
+	sess.mu.Unlock()
+	e.resp, e.err = s.dispatch(client, method, req)
+	close(e.done)
+	return e.resp, e.err
+}
+
+func entryDone(e *dedupEntry) bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Callback pushes a one-way notification to a client. It is a no-op for
 // unknown (already departed) clients.
 func (s *Server) Callback(client uint64, method uint32, payload []byte) {
@@ -116,6 +248,7 @@ func (s *Server) connect(cb CallbackFn) uint64 {
 	s.nextID++
 	id := s.nextID
 	s.callbacks[id] = cb
+	s.sessions[id] = &session{cache: make(map[uint64]*dedupEntry)}
 	return id
 }
 
@@ -123,6 +256,7 @@ func (s *Server) connect(cb CallbackFn) uint64 {
 func (s *Server) disconnect(client uint64) {
 	s.mu.Lock()
 	delete(s.callbacks, client)
+	delete(s.sessions, client)
 	fn := s.onClose[client]
 	delete(s.onClose, client)
 	s.mu.Unlock()

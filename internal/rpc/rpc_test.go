@@ -4,9 +4,11 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/wire"
 )
 
@@ -256,5 +258,177 @@ func BenchmarkTCPCall(b *testing.B) {
 		if _, err := c.Call(1, payload); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestTCPCallDeadline(t *testing.T) {
+	srv := NewServer()
+	release := make(chan struct{})
+	srv.Register(1, func(_ uint64, _ []byte) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	ln, err := ListenTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := DialTCPOpts(ln.Addr(), nil, ClientOptions{
+		CallTimeout: 150 * time.Millisecond,
+		MaxRetries:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Call(1, nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !IsTransport(err) {
+		t.Fatal("ErrTimeout must classify as transport failure")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("call blocked for %v despite deadline", elapsed)
+	}
+}
+
+func TestTCPAtMostOnceAcrossReconnect(t *testing.T) {
+	srv := NewServer()
+	var execs atomic.Int64
+	srv.Register(1, func(_ uint64, req []byte) ([]byte, error) {
+		execs.Add(1)
+		return req, nil
+	})
+	// Drop the connection after the first dispatch, before the response
+	// leaves: the client cannot tell whether the mutation applied.
+	inj := faultinject.New()
+	inj.FailAt("rpc.tcp.respond", 1, nil)
+	srv.SetFaults(inj)
+	ln, err := ListenTCP(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c, err := DialTCPOpts(ln.Addr(), nil, ClientOptions{
+		CallTimeout: 5 * time.Second,
+		MaxRetries:  3,
+		RetryBase:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(1, []byte("mutate"))
+	if err != nil {
+		t.Fatalf("retried call failed: %v", err)
+	}
+	if string(resp) != "mutate" {
+		t.Fatalf("resp = %q (retry must return the original result)", resp)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("handler executed %d times, want exactly 1", n)
+	}
+	// The session survived the broken connection: same identity, and a
+	// fresh request ID executes normally.
+	if _, err := c.Call(1, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Fatalf("handler executed %d times after second call, want 2", n)
+	}
+}
+
+func TestTCPSessionGraceExpiryRejectsRejoin(t *testing.T) {
+	srv := newEchoServer(t)
+	ln, err := ListenTCPGrace(srv, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	inj := faultinject.New()
+	inj.FailAt("rpc.tcp.respond", 1, nil)
+	srv.SetFaults(inj)
+	disconnected := make(chan struct{})
+	c, err := DialTCPOpts(ln.Addr(), nil, ClientOptions{
+		CallTimeout: 2 * time.Second,
+		MaxRetries:  2,
+		RetryBase:   10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.OnDisconnect(c.ClientID(), func() { close(disconnected) })
+	// With zero grace, losing the only connection ends the session
+	// immediately; the retry's rejoin must be rejected, not silently
+	// accepted as a ghost of the dead session.
+	_, err = c.Call(methodEcho, []byte("x"))
+	if err == nil {
+		t.Fatal("want failure: session died with the connection")
+	}
+	if !IsTransport(err) {
+		t.Fatalf("err = %v, want transport classification", err)
+	}
+	select {
+	case <-disconnected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disconnect hook never fired")
+	}
+}
+
+func TestIsTransportClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&RemoteError{Msg: "validation"}, false},
+		{ErrTimeout, true},
+		{ErrUnreachable, true},
+		{ErrClosed, true},
+		{errors.New("connection reset"), true},
+	}
+	for _, tc := range cases {
+		if got := IsTransport(tc.err); got != tc.want {
+			t.Errorf("IsTransport(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestDedupConcurrentDuplicateWaits(t *testing.T) {
+	srv := NewServer()
+	var execs atomic.Int64
+	gate := make(chan struct{})
+	srv.Register(1, func(_ uint64, req []byte) ([]byte, error) {
+		execs.Add(1)
+		<-gate
+		return req, nil
+	})
+	id := srv.connect(nil)
+	defer srv.disconnect(id)
+	var wg sync.WaitGroup
+	results := make([][]byte, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := srv.dispatchDedup(id, 7, 1, []byte("x"))
+			if err != nil {
+				t.Errorf("dispatch: %v", err)
+			}
+			results[i] = resp
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let both goroutines reach the cache
+	close(gate)
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("handler executed %d times for duplicate reqID, want 1", n)
+	}
+	if string(results[0]) != "x" || string(results[1]) != "x" {
+		t.Fatalf("results = %q, %q", results[0], results[1])
 	}
 }

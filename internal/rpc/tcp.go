@@ -4,26 +4,46 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/aerie-fs/aerie/internal/wire"
 )
 
-// TCP transport: the paper's loopback-socket RPC. Frames are
-// [u32 length][u32 tag][payload] where tag is the method number on requests
-// and callbacks, and the status code on responses.
+// TCP transport: the paper's loopback-socket RPC. Request frames are
+// [u32 length][u32 tag][u64 reqID][payload] where tag is the method number
+// and reqID identifies the call for at-most-once dedup (0 opts out, used by
+// the handshake). Response and callback frames are [u32 length][u32 tag]
+// [payload] with the status code or callback method as the tag.
 //
 // A client session may span several connections (so one thread blocked in a
 // long call — e.g. waiting for a lock — does not serialize the whole
 // process): the first connection performs a HELLO handshake that assigns
 // the client ID and optionally registers a callback dial-back address;
-// extra connections join the session by quoting the ID. The session ends
-// when the first connection closes.
-
+// extra connections join the session by quoting the ID. The session is
+// refcounted by its live connections and survives losing all of them for a
+// grace period, so a client that retries a call across a broken connection
+// rejoins the same session (and its dedup cache) instead of being treated
+// as a new identity. Only when the grace expires with no connection does
+// the server disconnect the session, firing lease/lock cleanup.
 const (
 	methodHello = 0
 	maxFrame    = 64 << 20
+
+	// DefaultSessionGrace is how long a TCP session outlives its last
+	// connection before the server declares the client dead.
+	DefaultSessionGrace = 2 * time.Second
+)
+
+// Default client fault-tolerance parameters (see ClientOptions).
+const (
+	DefaultCallTimeout = 30 * time.Second
+	DefaultMaxRetries  = 3
+	DefaultRetryBase   = 25 * time.Millisecond
+	DefaultRetryMax    = time.Second
 )
 
 func writeFrame(w io.Writer, tag uint32, payload []byte) error {
@@ -54,23 +74,74 @@ func readFrame(r io.Reader) (uint32, []byte, error) {
 	return tag, payload, nil
 }
 
+func writeRequestFrame(w io.Writer, method uint32, reqID uint64, payload []byte) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], method)
+	binary.LittleEndian.PutUint64(hdr[8:], reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readRequestFrame(r io.Reader) (uint32, uint64, []byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	method := binary.LittleEndian.Uint32(hdr[4:8])
+	reqID := binary.LittleEndian.Uint64(hdr[8:])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return method, reqID, payload, nil
+}
+
+// tcpSession is the server-side state of one client session, shared by all
+// of its connections.
+type tcpSession struct {
+	id   uint64
+	refs int // live connections; guarded by the listener's mu
+
+	cbMu sync.Mutex
+	cb   net.Conn
+
+	graceTimer *time.Timer
+}
+
 // TCPListener serves a Server over TCP.
 type TCPListener struct {
-	srv *Server
-	ln  net.Listener
+	srv   *Server
+	ln    net.Listener
+	grace time.Duration
 
-	mu     sync.Mutex
-	closed bool
+	mu       sync.Mutex
+	sessions map[uint64]*tcpSession
+	closed   bool
 }
 
 // ListenTCP starts serving srv on addr (e.g. "127.0.0.1:0") and returns the
 // listener. Serving proceeds on background goroutines until Close.
 func ListenTCP(srv *Server, addr string) (*TCPListener, error) {
+	return ListenTCPGrace(srv, addr, DefaultSessionGrace)
+}
+
+// ListenTCPGrace is ListenTCP with an explicit session grace period: how
+// long a session with no live connections waits for a rejoin before the
+// server treats the client as dead. Zero disconnects immediately.
+func ListenTCPGrace(srv *Server, addr string, grace time.Duration) (*TCPListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	l := &TCPListener{srv: srv, ln: ln}
+	l := &TCPListener{srv: srv, ln: ln, grace: grace, sessions: make(map[uint64]*tcpSession)}
 	go l.acceptLoop()
 	return l, nil
 }
@@ -96,10 +167,68 @@ func (l *TCPListener) acceptLoop() {
 	}
 }
 
+// joinSession attaches a new connection to an existing session, cancelling
+// any pending grace expiry. It returns nil if the session is unknown (never
+// existed, or its grace already expired — the client must re-HELLO as a new
+// identity).
+func (l *TCPListener) joinSession(id uint64) *tcpSession {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sess := l.sessions[id]
+	if sess == nil {
+		return nil
+	}
+	sess.refs++
+	if sess.graceTimer != nil {
+		sess.graceTimer.Stop()
+		sess.graceTimer = nil
+	}
+	return sess
+}
+
+// releaseSession drops one connection's reference. When the last reference
+// goes, the session lingers for the grace period (a retrying client rejoins
+// within it), then disconnects.
+func (l *TCPListener) releaseSession(sess *tcpSession) {
+	l.mu.Lock()
+	sess.refs--
+	if sess.refs > 0 {
+		l.mu.Unlock()
+		return
+	}
+	if l.grace <= 0 {
+		delete(l.sessions, sess.id)
+		l.mu.Unlock()
+		l.endSession(sess)
+		return
+	}
+	sess.graceTimer = time.AfterFunc(l.grace, func() {
+		l.mu.Lock()
+		if sess.refs > 0 || l.sessions[sess.id] != sess {
+			l.mu.Unlock()
+			return
+		}
+		delete(l.sessions, sess.id)
+		l.mu.Unlock()
+		l.endSession(sess)
+	})
+	l.mu.Unlock()
+}
+
+func (l *TCPListener) endSession(sess *tcpSession) {
+	l.srv.disconnect(sess.id)
+	sess.cbMu.Lock()
+	if sess.cb != nil {
+		sess.cb.Close()
+		sess.cb = nil
+	}
+	sess.cbMu.Unlock()
+}
+
 func (l *TCPListener) serveConn(conn net.Conn) {
 	defer conn.Close()
-	tag, payload, err := readFrame(conn)
-	if err != nil || tag != methodHello {
+	method, _, payload, err := readRequestFrame(conn)
+	if err != nil || method != methodHello {
 		return
 	}
 	r := wire.NewReader(payload)
@@ -108,43 +237,55 @@ func (l *TCPListener) serveConn(conn net.Conn) {
 	if r.Finish() != nil {
 		return
 	}
-	var id uint64
-	primary := false
+	var sess *tcpSession
 	if existing != 0 {
-		id = existing
+		if sess = l.joinSession(existing); sess == nil {
+			_ = writeFrame(conn, statusErr, []byte("rpc: unknown session"))
+			return
+		}
 	} else {
-		primary = true
 		var cbConn net.Conn
-		var cbMu sync.Mutex
 		if cbAddr != "" {
 			cbConn, err = net.Dial("tcp", cbAddr)
 			if err != nil {
 				return
 			}
-			defer cbConn.Close()
 		}
-		id = l.srv.connect(func(method uint32, p []byte) {
-			if cbConn == nil {
-				return
+		sess = &tcpSession{refs: 1, cb: cbConn}
+		sess.id = l.srv.connect(func(cbMethod uint32, p []byte) {
+			sess.cbMu.Lock()
+			defer sess.cbMu.Unlock()
+			if sess.cb != nil {
+				_ = writeFrame(sess.cb, cbMethod, p)
 			}
-			cbMu.Lock()
-			defer cbMu.Unlock()
-			_ = writeFrame(cbConn, method, p)
 		})
-		defer l.srv.disconnect(id)
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			l.endSession(sess)
+			return
+		}
+		l.sessions[sess.id] = sess
+		l.mu.Unlock()
 	}
-	_ = primary
+	defer l.releaseSession(sess)
 	w := wire.NewWriter(16)
-	w.U64(id)
+	w.U64(sess.id)
 	if err := writeFrame(conn, statusOK, w.Bytes()); err != nil {
 		return
 	}
 	for {
-		method, req, err := readFrame(conn)
+		method, reqID, req, err := readRequestFrame(conn)
 		if err != nil {
 			return
 		}
-		resp, err := l.srv.dispatch(id, method, req)
+		resp, err := l.srv.dispatchDedup(sess.id, reqID, method, req)
+		// Fault point: the server executed the request but the connection
+		// dies before the response leaves — the client must retry over a
+		// fresh connection and the dedup cache must absorb the duplicate.
+		if l.srv.injector().Hit("rpc.tcp.respond") != nil {
+			return
+		}
 		if err != nil {
 			if werr := writeFrame(conn, statusErr, []byte(err.Error())); werr != nil {
 				return
@@ -157,22 +298,66 @@ func (l *TCPListener) serveConn(conn net.Conn) {
 	}
 }
 
-// TCPClient is a client session over one or more TCP connections.
-type TCPClient struct {
-	addr string
-	id   uint64
-
-	mu      sync.Mutex
-	idle    []net.Conn
-	primary net.Conn
-	cbLn    net.Listener
-	closed  bool
+// ClientOptions tunes the TCP client's fault tolerance.
+type ClientOptions struct {
+	// CallTimeout bounds each call attempt (write + response). On expiry
+	// the attempt's connection is torn down and Call returns ErrTimeout.
+	// 0 selects DefaultCallTimeout; negative disables the deadline.
+	CallTimeout time.Duration
+	// MaxRetries is how many times a call is retried after a transient
+	// connection failure (broken pipe, reset, refused dial). Retries reuse
+	// the call's request ID, so the server applies the mutation at most
+	// once. Negative disables retries.
+	MaxRetries int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// retries; the delay doubles from RetryBase and each step is jittered
+	// in [delay/2, delay). 0 selects the defaults.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
-// DialTCP connects to a TCPListener at addr. cb, if non-nil, receives
-// server callbacks via a dial-back connection.
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.CallTimeout == 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = DefaultMaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = DefaultRetryBase
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = DefaultRetryMax
+	}
+	return o
+}
+
+// TCPClient is a client session over one or more TCP connections.
+type TCPClient struct {
+	addr   string
+	id     uint64
+	opts   ClientOptions
+	reqSeq atomic.Uint64
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	cbLn   net.Listener
+	closed bool
+}
+
+// DialTCP connects to a TCPListener at addr with default fault-tolerance
+// options. cb, if non-nil, receives server callbacks via a dial-back
+// connection.
 func DialTCP(addr string, cb CallbackFn) (*TCPClient, error) {
-	c := &TCPClient{addr: addr}
+	return DialTCPOpts(addr, cb, ClientOptions{})
+}
+
+// DialTCPOpts is DialTCP with explicit fault-tolerance options.
+func DialTCPOpts(addr string, cb CallbackFn, opts ClientOptions) (*TCPClient, error) {
+	c := &TCPClient{addr: addr, opts: opts.withDefaults()}
 	cbAddr := ""
 	if cb != nil {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -204,7 +389,6 @@ func DialTCP(addr string, cb CallbackFn) (*TCPClient, error) {
 		return nil, err
 	}
 	c.id = id
-	c.primary = conn
 	c.idle = append(c.idle, conn)
 	return c, nil
 }
@@ -214,17 +398,27 @@ func (c *TCPClient) dialConn(existing uint64, cbAddr string) (net.Conn, uint64, 
 	if err != nil {
 		return nil, 0, err
 	}
+	if c.opts.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+	}
 	w := wire.NewWriter(32)
 	w.U64(existing)
 	w.String(cbAddr)
-	if err := writeFrame(conn, methodHello, w.Bytes()); err != nil {
+	if err := writeRequestFrame(conn, methodHello, 0, w.Bytes()); err != nil {
 		conn.Close()
 		return nil, 0, err
 	}
 	status, payload, err := readFrame(conn)
-	if err != nil || status != statusOK {
+	if err != nil {
 		conn.Close()
 		return nil, 0, fmt.Errorf("rpc: hello failed: %v", err)
+	}
+	if status != statusOK {
+		conn.Close()
+		return nil, 0, fmt.Errorf("rpc: hello rejected: %s", payload)
+	}
+	if c.opts.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
 	}
 	r := wire.NewReader(payload)
 	id := r.U64()
@@ -235,13 +429,67 @@ func (c *TCPClient) dialConn(existing uint64, cbAddr string) (net.Conn, uint64, 
 	return conn, id, nil
 }
 
+// backoff returns the jittered exponential delay before retry attempt n
+// (0-based): doubling from RetryBase, capped at RetryMax, jittered into
+// [d/2, d) so a herd of retrying clients decorrelates.
+func (c *TCPClient) backoff(n int) time.Duration {
+	d := c.opts.RetryBase << uint(n)
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
+}
+
 // Call implements Client. Each call uses a free connection from the pool,
-// dialing a new session connection when all are busy.
+// dialing a new session connection when all are busy. A per-attempt
+// deadline bounds the wait for the response (ErrTimeout on expiry — the
+// server may still execute the request); transient connection failures are
+// retried with jittered exponential backoff under the same request ID, so
+// the server's dedup cache applies a retried mutation at most once. When
+// retries are exhausted Call returns ErrUnreachable wrapping the last
+// failure.
 func (c *TCPClient) Call(method uint32, req []byte) ([]byte, error) {
+	return c.CallWithReqID(method, c.reqSeq.Add(1), req)
+}
+
+// NextReqID implements IdempotentCaller.
+func (c *TCPClient) NextReqID() uint64 { return c.reqSeq.Add(1) }
+
+// CallWithReqID implements IdempotentCaller.
+func (c *TCPClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err, final := c.tryCall(method, reqID, req)
+		if final {
+			return resp, err
+		}
+		lastErr = err
+		if attempt >= c.opts.MaxRetries {
+			break
+		}
+		time.Sleep(c.backoff(attempt))
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+	}
+	return nil, fmt.Errorf("%w: %d attempts: %v", ErrUnreachable, c.opts.MaxRetries+1, lastErr)
+}
+
+// tryCall makes one attempt. final reports that the result should be
+// returned as-is (success, application error, timeout, or client closed)
+// rather than retried.
+func (c *TCPClient) tryCall(method uint32, reqID uint64, req []byte) (resp []byte, err error, final bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, ErrClosed, true
 	}
 	var conn net.Conn
 	if n := len(c.idle); n > 0 {
@@ -250,20 +498,31 @@ func (c *TCPClient) Call(method uint32, req []byte) ([]byte, error) {
 	}
 	c.mu.Unlock()
 	if conn == nil {
-		var err error
 		conn, _, err = c.dialConn(c.id, "")
 		if err != nil {
-			return nil, err
+			return nil, err, false
 		}
 	}
-	if err := writeFrame(conn, method, req); err != nil {
+	if c.opts.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+	}
+	if err := writeRequestFrame(conn, method, reqID, req); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, err, false
 	}
 	status, payload, err := readFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+			// The request may be executing; surface the deadline rather
+			// than silently waiting forever. The caller may retry — the
+			// dedup cache makes that safe — but that is its decision.
+			return nil, fmt.Errorf("%w: %v", ErrTimeout, err), true
+		}
+		return nil, err, false
+	}
+	if c.opts.CallTimeout > 0 {
+		_ = conn.SetDeadline(time.Time{})
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -273,9 +532,9 @@ func (c *TCPClient) Call(method uint32, req []byte) ([]byte, error) {
 	}
 	c.mu.Unlock()
 	if status != statusOK {
-		return nil, &RemoteError{Msg: string(payload)}
+		return nil, &RemoteError{Msg: string(payload)}, true
 	}
-	return payload, nil
+	return payload, nil, true
 }
 
 // ClientID implements Client.

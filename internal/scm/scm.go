@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/faultinject"
 )
 
 const (
@@ -139,6 +140,11 @@ type Config struct {
 	// long-lived aliased views diverges visibly under the Slice/Read
 	// equivalence tests. Defeats the zero-copy benefit; tests only.
 	ParanoidSlices bool
+	// Faults, when non-nil, arms fault points on the persistence paths
+	// (scm.flush, scm.bflush, scm.stream). Points fire before the effect
+	// they guard, so a crash there loses exactly the lines the operation
+	// was about to persist.
+	Faults *faultinject.Injector
 }
 
 // Memory is an emulated SCM arena. Data accesses are not internally
@@ -151,6 +157,7 @@ type Memory struct {
 	costs    *costmodel.Costs
 	track    bool
 	paranoid bool
+	faults   *faultinject.Injector
 
 	mu           sync.Mutex
 	shadow       []byte
@@ -172,6 +179,7 @@ func New(cfg Config) *Memory {
 		costs:    cfg.Costs,
 		track:    cfg.TrackPersistence,
 		paranoid: cfg.ParanoidSlices,
+		faults:   cfg.Faults,
 	}
 	if m.track {
 		m.shadow = make([]byte, size)
@@ -243,6 +251,9 @@ func (m *Memory) WriteStream(addr uint64, p []byte) error {
 	if err := m.check(addr, len(p)); err != nil {
 		return err
 	}
+	if err := m.faults.Hit("scm.stream"); err != nil {
+		return err
+	}
 	copy(m.data[addr:], p)
 	m.stats.Writes.Add(1)
 	m.stats.BytesWritten.Add(int64(len(p)))
@@ -304,6 +315,9 @@ func (m *Memory) Flush(addr uint64, n int) error {
 	if err := m.check(addr, n); err != nil {
 		return err
 	}
+	if err := m.faults.Hit("scm.flush"); err != nil {
+		return err
+	}
 	first, last := addr/LineSize, (addr+uint64(n)-1)/LineSize
 	lines := int64(last - first + 1)
 	m.stats.LinesFlushed.Add(lines)
@@ -329,6 +343,9 @@ func (m *Memory) persistLineLocked(line uint64) {
 // BFlush drains the write-combining buffers, persisting all streaming writes
 // issued since the previous BFlush.
 func (m *Memory) BFlush() {
+	// BFlush has no error return (real hardware cannot fail a drain), so
+	// only delay and crash rules are meaningful here.
+	_ = m.faults.Hit("scm.bflush")
 	m.mu.Lock()
 	pending := m.pending
 	m.pending = nil

@@ -127,10 +127,21 @@ var journalFull = journalErrFull()
 // the journal (upholding the one-batch recovery invariant). Callers hold
 // s.mu.
 func (s *Service) applyAll(acts []action) error {
+	// The batch is committed; a crash anywhere between here and the
+	// checkpoint replays it from the journal.
+	if err := s.faults.Hit("tfs.apply.postcommit"); err != nil {
+		return err
+	}
 	for i := range acts {
+		if err := s.faults.Hit("tfs.apply.action"); err != nil {
+			return err
+		}
 		if err := s.applyAction(&acts[i], false); err != nil {
 			return err
 		}
+	}
+	if err := s.faults.Hit("tfs.apply.checkpoint"); err != nil {
+		return err
 	}
 	return s.jl.Checkpoint()
 }

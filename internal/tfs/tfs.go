@@ -16,6 +16,7 @@ import (
 
 	"github.com/aerie-fs/aerie/internal/alloc"
 	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/journal"
 	"github.com/aerie-fs/aerie/internal/lockservice"
@@ -67,6 +68,9 @@ type Config struct {
 	VolumeGID uint32
 	// Costs injects modeled latencies (may be nil).
 	Costs *costmodel.Costs
+	// Faults, when non-nil, arms fault points on the service's mutation
+	// paths (tfs.*) and its journal (journal.*). Nil in production.
+	Faults *faultinject.Injector
 }
 
 // Service is a running TFS instance for one volume.
@@ -92,6 +96,8 @@ type Service struct {
 	clients map[uint64]*clientState
 	// openFiles tracks files kept alive while unlinked (§6.1).
 	openFiles map[sobj.OID]*openState
+
+	faults *faultinject.Injector
 
 	// Stats.
 	BatchesApplied costmodel.Counter
@@ -246,7 +252,9 @@ func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmm
 		heap:      [2]uint64{heapStart, heapSize},
 		clients:   make(map[uint64]*clientState),
 		openFiles: make(map[sobj.OID]*openState),
+		faults:    cfg.Faults,
 	}
+	jl.SetFaults(cfg.Faults)
 	// Crash recovery (§5.3.6): replay committed, un-checkpointed batches.
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -276,6 +284,11 @@ func (s *Service) FreeBytes() uint64 { return s.bd.FreeBytes() }
 
 // recover replays the redo journal after a crash.
 func (s *Service) recover() error {
+	// The fault point fires before the empty check so "crash at recovery
+	// entry" is reachable even when there is nothing to replay.
+	if err := s.faults.Hit("tfs.recover"); err != nil {
+		return err
+	}
 	if s.jl.Empty() {
 		return nil
 	}
@@ -314,6 +327,11 @@ func (s *Service) scavengePreallocs() error {
 		return err
 	}
 	for _, e := range ents {
+		// A crash here leaves some orphans freed and some still tracked;
+		// the next restart's scavenge must finish the job.
+		if err := s.faults.Hit("tfs.scavenge"); err != nil {
+			return err
+		}
 		if err := s.bd.Free(e.addr, e.size); err != nil && !errors.Is(err, alloc.ErrBadFree) {
 			return err
 		}
@@ -407,6 +425,11 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 		}
 		return nil, err
 	}
+	// Tracking entries are committed but not yet applied; a crash here
+	// must still reclaim the extents via replay + scavenge.
+	if err := s.faults.Hit("tfs.prealloc.postcommit"); err != nil {
+		return nil, err
+	}
 	if err := s.applyAll(acts); err != nil {
 		return nil, err
 	}
@@ -462,6 +485,9 @@ func (s *Service) Chmod(client uint64, oid sobj.OID, perm uint32, hwProtect bool
 	if err := s.commitActions(acts); err != nil {
 		return err
 	}
+	if err := s.faults.Hit("tfs.chmod.postcommit"); err != nil {
+		return err
+	}
 	if err := s.applyAll(acts); err != nil {
 		return err
 	}
@@ -474,6 +500,12 @@ func (s *Service) Chmod(client uint64, oid sobj.OID, perm uint32, hwProtect bool
 			rights |= scmmgr.RightWrite
 		}
 		newACL := scmmgr.MakeACL(s.gid, rights)
+		// FS perm bits are durable but the extent ACLs are not yet
+		// narrowed — the window the paper closes by redoing protection
+		// from the journaled perm on recovery.
+		if err := s.faults.Hit("tfs.chmod.protect"); err != nil {
+			return err
+		}
 		if err := s.protectObjectExtents(oid, newACL); err != nil {
 			return err
 		}
