@@ -1,14 +1,16 @@
 # Verification tiers. tier1 is the gate every change must keep green; it
 # now also vets the tree and race-tests the fault-injection and locking
 # packages, whose tests are specifically about interleavings. tier2 adds
-# race-enabled runs of the packages on the zero-copy read path; tier2-crash
-# runs the exhaustive crash sweep (every ordinal of every fault point) plus
-# race-enabled RPC/libFS fault-injection tests.
+# race-enabled runs of the packages on the zero-copy read path plus a short
+# fuzz pass over the wire/protocol decoders; tier2-crash runs the exhaustive
+# crash sweep (every ordinal of every fault point) plus race-enabled
+# RPC/libFS fault-injection tests.
 
-TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice
+TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice ./internal/alloc
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
+FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash bench-readpath
+.PHONY: all tier1 tier2 tier2-crash bench-readpath fuzz-short
 
 all: tier1
 
@@ -18,9 +20,20 @@ tier1:
 	go test ./...
 	go test -race $(RACE_FAULT_PKGS)
 
-tier2:
+tier2: fuzz-short
 	go vet ./...
 	go test -race $(TIER2_PKGS)
+
+# Short fuzz pass over every decoder that parses client-controlled bytes
+# (untrusted input crossing the libFS -> TFS boundary) and the PXFS path
+# normalizer. Each target gets $(FUZZTIME); seed corpora live in each
+# package's testdata/fuzz/.
+fuzz-short:
+	go test -fuzz='^FuzzDecodeOps$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
+	go test -fuzz='^FuzzDecodeReplies$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
+	go test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
+	go test -fuzz='^FuzzWriterReaderRoundTrip$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
+	go test -fuzz='^FuzzSplitPath$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pxfs
 
 tier2-crash:
 	AERIE_CRASHSWEEP_ORDINALS=-1 go test -v -timeout 60m -run TestSweepAllPoints ./internal/crashsweep

@@ -32,6 +32,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/costmodel"
 	"github.com/aerie-fs/aerie/internal/flatfs"
 	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/pxfs"
 	"github.com/aerie-fs/aerie/internal/sobj"
 )
@@ -68,6 +69,18 @@ type Session = libfs.Session
 
 // SessionConfig tunes a client session (batch limit, pool size, tracer).
 type SessionConfig = libfs.Config
+
+// ObsSink is the per-layer observability sink (counters, latency
+// histograms, trace ring). Create one with NewObs, pass it in
+// Options.Obs, and read it back with System.Obs().Snapshot().
+type ObsSink = obs.Sink
+
+// ObsSnapshot is a deterministic point-in-time copy of a sink.
+type ObsSnapshot = obs.Snapshot
+
+// NewObs creates a live observability sink with the default trace-ring
+// size.
+func NewObs() *ObsSink { return obs.New() }
 
 // PXFS open flags.
 const (

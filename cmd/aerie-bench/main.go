@@ -7,9 +7,11 @@
 //
 //	aerie-bench -experiment all                 # everything (slow)
 //	aerie-bench -experiment table1 -scale 0.1   # one experiment, bigger working set
+//	aerie-bench -breakdown                      # per-layer latency attribution
+//	aerie-bench -breakdown -json                # same, machine-readable
 //
 // Experiments: fig1, table1, table2, table3, fig5, fig6, mprotect,
-// batchsweep, all.
+// batchsweep, breakdown, all.
 package main
 
 import (
@@ -26,10 +28,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "which experiment to run (fig1|table1|table2|table3|fig5|fig6|mprotect|batchsweep|all)")
-		scale = flag.Float64("scale", 0.05, "working-set scale relative to the paper (1.0 = full size)")
-		iters = flag.Int("iters", 0, "iterations per measurement (0 = per-experiment default)")
-		nocal = flag.Bool("no-costs", false, "disable injected hardware cost calibration")
+		exp       = flag.String("experiment", "all", "which experiment to run (fig1|table1|table2|table3|fig5|fig6|mprotect|batchsweep|breakdown|all)")
+		scale     = flag.Float64("scale", 0.05, "working-set scale relative to the paper (1.0 = full size)")
+		iters     = flag.Int("iters", 0, "iterations per measurement (0 = per-experiment default)")
+		nocal     = flag.Bool("no-costs", false, "disable injected hardware cost calibration")
+		breakdown = flag.Bool("breakdown", false, "run the per-layer latency breakdown (shorthand for -experiment breakdown)")
+		asJSON    = flag.Bool("json", false, "with -breakdown, emit deterministic JSON instead of text")
 	)
 	flag.Parse()
 
@@ -43,6 +47,18 @@ func main() {
 		cfg.Costs = costmodel.Costs{}
 	}
 
+	if *breakdown {
+		fn := experiments.Breakdown
+		if *asJSON {
+			fn = experiments.BreakdownJSON
+		}
+		if err := fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "breakdown failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	all := map[string]func(experiments.Config) error{
 		"fig1":       experiments.Figure1,
 		"table1":     experiments.Table1,
@@ -52,8 +68,9 @@ func main() {
 		"fig6":       experiments.Figure6,
 		"mprotect":   experiments.MProtect,
 		"batchsweep": experiments.BatchSweep,
+		"breakdown":  experiments.Breakdown,
 	}
-	order := []string{"fig1", "table1", "table2", "table3", "fig5", "fig6", "mprotect", "batchsweep"}
+	order := []string{"fig1", "table1", "table2", "table3", "fig5", "fig6", "mprotect", "batchsweep", "breakdown"}
 
 	run := func(name string) {
 		fn, ok := all[name]

@@ -16,7 +16,8 @@ import (
 )
 
 func main() {
-	sys, err := aerie.New(aerie.Options{ArenaSize: 256 << 20})
+	sink := aerie.NewObs()
+	sys, err := aerie.New(aerie.Options{ArenaSize: 256 << 20, Obs: sink})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -44,14 +45,14 @@ func main() {
 		if cmd == "quit" || cmd == "exit" {
 			break
 		}
-		if err := dispatch(px, flat, cmd, args); err != nil {
+		if err := dispatch(px, flat, sink, cmd, args); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
 	_ = sess.Close()
 }
 
-func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, cmd string, args []string) error {
+func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, sink *aerie.ObsSink, cmd string, args []string) error {
 	need := func(n int) error {
 		if len(args) < n {
 			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
@@ -63,7 +64,7 @@ func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, cmd string, args []string) err
 		fmt.Print(`POSIX (PXFS):  ls [dir] | cat <file> | write <file> <text...> | append <file> <text...>
                mkdir <dir> | rm <file> | rmdir <dir> | mv <src> <dst> | stat <path> | chmod <octal> <path>
 Key/value (FlatFS): put <key> <text...> | get <key> | erase <key> | keys
-Other:         sync | help | quit
+Other:         sync | stats [reset] | help | quit
 `)
 		return nil
 	case "ls":
@@ -191,6 +192,13 @@ Other:         sync | help | quit
 		return nil
 	case "sync":
 		return px.Sync()
+	case "stats":
+		if len(args) > 0 && args[0] == "reset" {
+			sink.Reset()
+			fmt.Println("stats reset")
+			return nil
+		}
+		return sink.Snapshot().WriteText(os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q (try help)", cmd)
 }

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"github.com/aerie-fs/aerie/internal/core"
 	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/obs"
 )
 
 func main() {
@@ -26,9 +28,11 @@ func main() {
 	)
 	flag.Parse()
 
+	sink := obs.New()
 	sys, err := core.New(core.Options{
 		ArenaSize: *arena << 20,
 		Costs:     costmodel.DefaultCosts(),
+		Obs:       sink,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "boot: %v\n", err)
@@ -42,10 +46,19 @@ func main() {
 	fmt.Printf("aerie-tfsd: %d MiB volume, root %v, serving on %s\n",
 		*arena, sys.TFS.Root(), ln.Addr())
 	fmt.Printf("free space: %d bytes\n", sys.TFS.FreeBytes())
+	fmt.Println("SIGUSR1 dumps per-layer stats; SIGINT exits (with a final dump)")
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("\nshutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGUSR1)
+	for s := range sig {
+		if s == syscall.SIGUSR1 {
+			fmt.Println("---- stats ----")
+			_ = sink.Snapshot().WriteText(os.Stdout)
+			continue
+		}
+		break
+	}
+	fmt.Println("\nshutting down; final stats:")
+	_ = sink.Snapshot().WriteText(os.Stdout)
 	_ = ln.Close()
 }

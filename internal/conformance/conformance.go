@@ -1,0 +1,213 @@
+// Package conformance checks that every file-system implementation in the
+// repository agrees on observable state. A deterministic FileBench-flavored
+// operation trace is replayed against PXFS, FlatFS, RamFS, and the ext-like
+// file system; after every sync point the harness captures each system's
+// visible state (paths, sizes, content hashes) and demands that all four
+// match. The paper's claim that one storage layout serves both a POSIX and
+// a key-value interface (§6.2) only holds if the interfaces agree on what
+// the data is — this package is that claim as a test.
+//
+// FlatFS has no directories and whole-file put/get/erase semantics, so the
+// adapter maps paths to flat keys and synthesizes partial writes with
+// read-modify-write; the harness compares files across all systems but
+// directory trees only among the hierarchical ones (HasDirs).
+package conformance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// FileState is one file's observable state.
+type FileState struct {
+	Path string
+	Size int64
+	// Hash is the hex SHA-256 of the content.
+	Hash string
+}
+
+// FS is the surface the differential harness drives. Adapters translate
+// these calls into each implementation's native API.
+type FS interface {
+	Name() string
+	// HasDirs reports whether the implementation has a real directory
+	// tree (false for FlatFS).
+	HasDirs() bool
+	Mkdir(path string) error
+	// PutWhole creates or fully replaces a file.
+	PutWhole(path string, data []byte) error
+	// WriteAt overwrites/extends an existing file at off.
+	WriteAt(path string, off int64, data []byte) error
+	Append(path string, data []byte) error
+	Truncate(path string, size int64) error
+	Delete(path string) error
+	Rename(oldPath, newPath string) error
+	Sync() error
+	// Files returns every file's state, sorted by path.
+	Files() ([]FileState, error)
+	// Dirs returns every directory path, sorted (nil when !HasDirs).
+	Dirs() ([]string, error)
+}
+
+func hashBytes(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// DivergenceError describes the first observed disagreement between two
+// file systems.
+type DivergenceError struct {
+	A, B   string // FS names
+	AtOp   int    // index of the sync op where the divergence was seen
+	Detail string
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("conformance: %s and %s diverged at op %d: %s", e.A, e.B, e.AtOp, e.Detail)
+}
+
+// compareFiles diffs two sorted file listings.
+func compareFiles(a, b []FileState) string {
+	av := map[string]FileState{}
+	for _, f := range a {
+		av[f.Path] = f
+	}
+	bv := map[string]FileState{}
+	for _, f := range b {
+		bv[f.Path] = f
+	}
+	var paths []string
+	for p := range av {
+		paths = append(paths, p)
+	}
+	for p := range bv {
+		if _, ok := av[p]; !ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fa, oka := av[p]
+		fb, okb := bv[p]
+		switch {
+		case !oka:
+			return fmt.Sprintf("file %q missing from first", p)
+		case !okb:
+			return fmt.Sprintf("file %q missing from second", p)
+		case fa.Size != fb.Size:
+			return fmt.Sprintf("file %q size %d vs %d", p, fa.Size, fb.Size)
+		case fa.Hash != fb.Hash:
+			return fmt.Sprintf("file %q content differs (size %d)", p, fa.Size)
+		}
+	}
+	return ""
+}
+
+func compareDirs(a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d dirs vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("dir %q vs %q", a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// checkAgreement syncs every FS and compares observable state against the
+// first one. atOp annotates errors with the trace position.
+func checkAgreement(fses []FS, atOp int) error {
+	type capture struct {
+		files []FileState
+		dirs  []string
+	}
+	caps := make([]capture, len(fses))
+	for i, f := range fses {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("%s sync at op %d: %w", f.Name(), atOp, err)
+		}
+		files, err := f.Files()
+		if err != nil {
+			return fmt.Errorf("%s capture at op %d: %w", f.Name(), atOp, err)
+		}
+		caps[i].files = files
+		if f.HasDirs() {
+			dirs, err := f.Dirs()
+			if err != nil {
+				return fmt.Errorf("%s dirs at op %d: %w", f.Name(), atOp, err)
+			}
+			caps[i].dirs = dirs
+		}
+	}
+	// Baseline is the first FS; dir baseline is the first hierarchical one.
+	dirBase := -1
+	for i, f := range fses {
+		if f.HasDirs() {
+			dirBase = i
+			break
+		}
+	}
+	for i := 1; i < len(fses); i++ {
+		if d := compareFiles(caps[0].files, caps[i].files); d != "" {
+			return &DivergenceError{A: fses[0].Name(), B: fses[i].Name(), AtOp: atOp, Detail: d}
+		}
+	}
+	if dirBase >= 0 {
+		for i := dirBase + 1; i < len(fses); i++ {
+			if !fses[i].HasDirs() {
+				continue
+			}
+			if d := compareDirs(caps[dirBase].dirs, caps[i].dirs); d != "" {
+				return &DivergenceError{A: fses[dirBase].Name(), B: fses[i].Name(), AtOp: atOp, Detail: d}
+			}
+		}
+	}
+	return nil
+}
+
+// RunDifferential replays the trace against every FS in lockstep, checking
+// agreement at each sync point and once more at the end.
+func RunDifferential(fses []FS, ops []Op) error {
+	if len(fses) < 2 {
+		return fmt.Errorf("conformance: need at least two file systems, got %d", len(fses))
+	}
+	for i, op := range ops {
+		if op.Kind == OpSync {
+			if err := checkAgreement(fses, i); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, f := range fses {
+			if err := applyOp(f, op); err != nil {
+				return fmt.Errorf("%s op %d (%s %s): %w", f.Name(), i, op.Kind, op.Path, err)
+			}
+		}
+	}
+	return checkAgreement(fses, len(ops))
+}
+
+// applyOp translates one trace op into adapter calls.
+func applyOp(f FS, op Op) error {
+	switch op.Kind {
+	case OpMkdir:
+		return f.Mkdir(op.Path)
+	case OpPut:
+		return f.PutWhole(op.Path, op.Data)
+	case OpWriteAt:
+		return f.WriteAt(op.Path, op.Off, op.Data)
+	case OpAppend:
+		return f.Append(op.Path, op.Data)
+	case OpTruncate:
+		return f.Truncate(op.Path, op.Size)
+	case OpDelete:
+		return f.Delete(op.Path)
+	case OpRename:
+		return f.Rename(op.Path, op.Path2)
+	default:
+		return fmt.Errorf("conformance: unknown op kind %d", op.Kind)
+	}
+}

@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind enumerates trace operations.
+type OpKind int
+
+const (
+	OpMkdir OpKind = iota
+	OpPut
+	OpWriteAt
+	OpAppend
+	OpTruncate
+	OpDelete
+	OpRename
+	OpSync
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpMkdir:
+		return "mkdir"
+	case OpPut:
+		return "put"
+	case OpWriteAt:
+		return "writeat"
+	case OpAppend:
+		return "append"
+	case OpTruncate:
+		return "truncate"
+	case OpDelete:
+		return "delete"
+	case OpRename:
+		return "rename"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one trace operation. Only the fields the kind needs are set.
+type Op struct {
+	Kind  OpKind
+	Path  string
+	Path2 string // rename destination
+	Off   int64  // writeat offset
+	Size  int64  // truncate size
+	Data  []byte
+}
+
+// GenerateTrace builds a deterministic operation trace in the FileBench
+// style (create/whole-write, append, partial overwrite, truncate, delete,
+// rename, periodic sync). The same seed always yields the same trace. The
+// generator tracks live file sizes so every op is valid on every target:
+// partial writes and truncates only hit existing files, truncates only
+// shrink (grow-with-zero-fill semantics differ between put/get stores and
+// byte-addressed files), and renames never collide.
+func GenerateTrace(seed int64, nOps int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []Op
+
+	dirs := []string{"/ct", "/ct/d0", "/ct/d1", "/ct/d2"}
+	for _, d := range dirs {
+		ops = append(ops, Op{Kind: OpMkdir, Path: d})
+	}
+
+	sizes := map[string]int64{} // live files -> size
+	var live []string           // deterministic iteration order
+	nextFile := 0
+
+	pick := func() string { return live[rng.Intn(len(live))] }
+	remove := func(path string) {
+		delete(sizes, path)
+		for i, p := range live {
+			if p == path {
+				live = append(live[:i], live[i+1:]...)
+				return
+			}
+		}
+	}
+	randData := func(max int) []byte {
+		n := 1 + rng.Intn(max)
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+
+	sinceSync := 0
+	for len(ops) < nOps {
+		sinceSync++
+		if sinceSync >= 12 {
+			ops = append(ops, Op{Kind: OpSync})
+			sinceSync = 0
+			continue
+		}
+		r := rng.Intn(100)
+		switch {
+		case r < 30 || len(live) == 0: // create or replace whole file
+			var path string
+			if len(live) > 0 && rng.Intn(4) == 0 {
+				path = pick() // replace
+			} else {
+				path = fmt.Sprintf("%s/f%04d", dirs[1+rng.Intn(len(dirs)-1)], nextFile)
+				nextFile++
+				live = append(live, path)
+			}
+			data := randData(8 << 10)
+			sizes[path] = int64(len(data))
+			ops = append(ops, Op{Kind: OpPut, Path: path, Data: data})
+		case r < 50: // append
+			path := pick()
+			data := randData(2 << 10)
+			sizes[path] += int64(len(data))
+			ops = append(ops, Op{Kind: OpAppend, Path: path, Data: data})
+		case r < 68: // partial overwrite (may extend past EOF)
+			path := pick()
+			size := sizes[path]
+			off := rng.Int63n(size + 1)
+			data := randData(2 << 10)
+			if end := off + int64(len(data)); end > size {
+				sizes[path] = end
+			}
+			ops = append(ops, Op{Kind: OpWriteAt, Path: path, Off: off, Data: data})
+		case r < 78: // shrink
+			path := pick()
+			to := rng.Int63n(sizes[path] + 1)
+			sizes[path] = to
+			ops = append(ops, Op{Kind: OpTruncate, Path: path, Size: to})
+		case r < 90: // delete
+			path := pick()
+			remove(path)
+			ops = append(ops, Op{Kind: OpDelete, Path: path})
+		default: // rename to a fresh name (possibly another directory)
+			path := pick()
+			dst := fmt.Sprintf("%s/f%04d", dirs[1+rng.Intn(len(dirs)-1)], nextFile)
+			nextFile++
+			sizes[dst] = sizes[path]
+			remove(path)
+			live = append(live, dst)
+			ops = append(ops, Op{Kind: OpRename, Path: path, Path2: dst})
+		}
+	}
+	ops = append(ops, Op{Kind: OpSync})
+	return ops
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/costmodel"
 	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/rpc"
 	"github.com/aerie-fs/aerie/internal/scm"
 	"github.com/aerie-fs/aerie/internal/scmmgr"
@@ -38,6 +39,11 @@ type Options struct {
 	// machine: the SCM arena, the TFS and its journal, the RPC fabric, and
 	// (by default) client sessions. Nil in production.
 	Faults *faultinject.Injector
+	// Obs, when non-nil, wires per-layer observability through the whole
+	// machine — SCM, RPC, lock service, journal, TFS — and is inherited
+	// (by default) by client sessions. Nil keeps every hot path at its
+	// uninstrumented cost.
+	Obs *obs.Sink
 }
 
 // tfsUID is the trusted service's identity; it owns the partition.
@@ -68,6 +74,7 @@ func New(opts Options) (*System, error) {
 		Costs:            sys.Costs,
 		TrackPersistence: opts.TrackPersistence,
 		Faults:           opts.Faults,
+		Obs:              opts.Obs,
 	})
 	mgr, err := scmmgr.FormatAndAttach(sys.Mem, sys.Costs)
 	if err != nil {
@@ -108,12 +115,16 @@ func (sys *System) tfsConfig() tfs.Config {
 		VolumeGID:      sys.opts.VolumeGID,
 		Costs:          sys.Costs,
 		Faults:         sys.opts.Faults,
+		Obs:            sys.opts.Obs,
 	}
 }
 
 func (sys *System) serve() error {
 	sys.Srv = rpc.NewServer()
 	sys.Srv.SetFaults(sys.opts.Faults)
+	if sys.opts.Obs != nil {
+		sys.Srv.SetObs(sys.opts.Obs)
+	}
 	svc, err := tfs.Serve(sys.Srv, sys.Mgr, sys.proc, sys.Part, sys.tfsConfig())
 	if err != nil {
 		return err
@@ -142,8 +153,14 @@ func (sys *System) NewSession(cfg libfs.Config) (*libfs.Session, error) {
 	if cfg.Faults == nil {
 		cfg.Faults = sys.opts.Faults
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = sys.opts.Obs
+	}
 	return libfs.MountInProc(sys.Srv, sys.Mgr, cfg)
 }
+
+// Obs returns the machine's observability sink (nil when disabled).
+func (sys *System) Obs() *obs.Sink { return sys.opts.Obs }
 
 // CrashAndRecover simulates machine power loss: the volatile image is
 // discarded, then the SCM manager re-attaches and the TFS recovers from

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// syntheticReport builds a fixed report so the golden test pins the JSON
+// shape (field names, ordering, indentation) without depending on measured
+// latencies, which vary run to run.
+func syntheticReport() *BreakdownReport {
+	snap := obs.Snapshot{
+		Counters: []obs.CounterSnap{
+			{Name: "journal.commit.scm_ns", Value: 2_000},
+			{Name: "lock.acquires", Value: 12},
+			{Name: "rpc.calls", Value: 7},
+			{Name: "scm.charged_ns", Value: 30_000},
+			{Name: "scm.client.charged_ns", Value: 20_000},
+			{Name: "scm.fences", Value: 40},
+			{Name: "scm.lines_flushed", Value: 333},
+		},
+		Histograms: []obs.HistogramSnap{
+			{Name: "journal.commit", SumNS: 9_000, Count: 3},
+			{Name: "lock.wait", SumNS: 5_000, Count: 12},
+			{Name: "rpc.call", SumNS: 70_000, Count: 7},
+			{Name: "rpc.dispatch", SumNS: 50_000, Count: 7},
+		},
+	}
+	const total = int64(200_000)
+	return &BreakdownReport{
+		Scale:      0.05,
+		Iterations: 60,
+		Workloads: []WorkloadBreakdown{{
+			Workload: "fileserver",
+			FS:       "PXFS",
+			Ops:      100,
+			TotalNS:  total,
+			MeanOpNS: total / 100,
+			Layers:   computeLayers(total, snap),
+			Counters: selectCounters(snap),
+		}},
+	}
+}
+
+// TestBreakdownGolden locks the -json output format: structs and fixed-order
+// slices only, so the encoding is byte-for-byte reproducible.
+func TestBreakdownGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := syntheticReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "breakdown_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestBreakdownDeterministicEncoding encodes the same report twice and a
+// second, structurally identical copy, and demands identical bytes: no map
+// iteration order can leak into the output.
+func TestBreakdownDeterministicEncoding(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := syntheticReport().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := syntheticReport().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of identical reports differ")
+	}
+}
+
+// TestComputeLayersInvariants checks the attribution identity on synthetic
+// numbers: six rows in fixed order, none negative, summing to the op total.
+func TestComputeLayersInvariants(t *testing.T) {
+	snap := obs.Snapshot{
+		Counters: []obs.CounterSnap{
+			{Name: "journal.commit.scm_ns", Value: 2_000},
+			{Name: "scm.charged_ns", Value: 30_000},
+			{Name: "scm.client.charged_ns", Value: 20_000},
+		},
+		Histograms: []obs.HistogramSnap{
+			{Name: "journal.commit", SumNS: 9_000},
+			{Name: "lock.wait", SumNS: 5_000},
+			{Name: "rpc.call", SumNS: 70_000},
+			{Name: "rpc.dispatch", SumNS: 50_000},
+		},
+	}
+	const total = int64(200_000)
+	rows := computeLayers(total, snap)
+	if len(rows) != len(breakdownLayers) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(breakdownLayers))
+	}
+	var sum int64
+	for i, lc := range rows {
+		if lc.Layer != breakdownLayers[i] {
+			t.Errorf("row %d is %q, want %q", i, lc.Layer, breakdownLayers[i])
+		}
+		if lc.NS < 0 {
+			t.Errorf("layer %s negative: %d", lc.Layer, lc.NS)
+		}
+		sum += lc.NS
+	}
+	if sum != total {
+		t.Errorf("rows sum to %d, want %d", sum, total)
+	}
+	// Spot-check the identity on these inputs (no clamping triggers):
+	// client = 200k - 70k - 20k, rpc = 70k - 50k, journal = 9k - 2k,
+	// tfs = 50k - 5k - 9k - (10k - 2k), scm = 30k.
+	want := map[string]int64{
+		"client": 110_000, "rpc": 20_000, "lock": 5_000,
+		"journal": 7_000, "tfs": 28_000, "scm": 30_000,
+	}
+	for _, lc := range rows {
+		if lc.NS != want[lc.Layer] {
+			t.Errorf("layer %s = %d, want %d", lc.Layer, lc.NS, want[lc.Layer])
+		}
+	}
+}
+
+// TestComputeLayersClampsNegatives feeds inconsistent inputs (dispatch sum
+// exceeding everything) and checks the clamp: no negative rows, total
+// preserved when the client row can absorb the residual.
+func TestComputeLayersClampsNegatives(t *testing.T) {
+	snap := obs.Snapshot{
+		Histograms: []obs.HistogramSnap{
+			{Name: "rpc.call", SumNS: 10_000},
+			{Name: "rpc.dispatch", SumNS: 40_000}, // > rpc.call: rpc row would be negative
+		},
+	}
+	rows := computeLayers(100_000, snap)
+	var sum int64
+	for _, lc := range rows {
+		if lc.NS < 0 {
+			t.Errorf("layer %s negative after clamp: %d", lc.Layer, lc.NS)
+		}
+		sum += lc.NS
+	}
+	if sum != 100_000 {
+		t.Errorf("rows sum to %d, want 100000", sum)
+	}
+}
+
+// TestRunBreakdownLive does a tiny real run and checks structural
+// invariants (exact latencies vary): three workloads in fixed order, ops
+// counted, rows non-negative and summing to the total.
+func TestRunBreakdownLive(t *testing.T) {
+	rep, err := RunBreakdown(Config{Scale: 0.02, Iterations: 5, Out: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []struct{ workload, fs string }{
+		{"fileserver", "PXFS"}, {"webserver", "PXFS"}, {"webproxy", "FlatFS"},
+	}
+	if len(rep.Workloads) != len(wantOrder) {
+		t.Fatalf("got %d workloads, want %d", len(rep.Workloads), len(wantOrder))
+	}
+	for i, wb := range rep.Workloads {
+		if wb.Workload != wantOrder[i].workload || wb.FS != wantOrder[i].fs {
+			t.Errorf("workload %d is %s/%s, want %s/%s",
+				i, wb.Workload, wb.FS, wantOrder[i].workload, wantOrder[i].fs)
+		}
+		if wb.Ops <= 0 {
+			t.Errorf("%s: no ops recorded", wb.Workload)
+		}
+		if wb.TotalNS <= 0 {
+			t.Errorf("%s: zero total", wb.Workload)
+		}
+		var sum int64
+		for _, lc := range wb.Layers {
+			if lc.NS < 0 {
+				t.Errorf("%s/%s negative: %d", wb.Workload, lc.Layer, lc.NS)
+			}
+			sum += lc.NS
+		}
+		if sum != wb.TotalNS {
+			t.Errorf("%s: layers sum to %d, want total %d", wb.Workload, sum, wb.TotalNS)
+		}
+		if len(wb.Counters) != len(breakdownCounters) {
+			t.Errorf("%s: %d counters, want %d", wb.Workload, len(wb.Counters), len(breakdownCounters))
+		}
+		// The workload must actually have exercised the stack.
+		var lines int64
+		for _, c := range wb.Counters {
+			if c.Name == "scm.lines_flushed" {
+				lines = c.Value
+			}
+		}
+		if lines == 0 {
+			t.Errorf("%s: no SCM lines flushed during run", wb.Workload)
+		}
+	}
+	// Text rendering must not fail on a live report.
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty text report")
+	}
+}

@@ -23,9 +23,11 @@ package flatfs
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/sobj"
 )
 
@@ -55,6 +57,13 @@ type FS struct {
 
 	// Stats.
 	Escalations int64
+
+	// Metrics resolved once in New; all nil when observability is off.
+	obsSink  *obs.Sink
+	obsOp    *obs.Histogram
+	obsPut   *obs.Histogram
+	obsGet   *obs.Histogram
+	obsErase *obs.Histogram
 }
 
 // New creates a FlatFS view over session s.
@@ -68,7 +77,26 @@ func New(s *libfs.Session, opts Options) *FS {
 	if opts.GrowHeadroom == 0 {
 		opts.GrowHeadroom = 8
 	}
-	return &FS{s: s, ns: opts.Namespace, opts: opts}
+	fs := &FS{s: s, ns: opts.Namespace, opts: opts}
+	sink := s.Obs()
+	fs.obsSink = sink
+	fs.obsOp = sink.Histogram("flatfs.op")
+	fs.obsPut = sink.Histogram("flatfs.op.put")
+	fs.obsGet = sink.Histogram("flatfs.op.get")
+	fs.obsErase = sink.Histogram("flatfs.op.erase")
+	return fs
+}
+
+// observe records one completed operation (see pxfs.FS.observe for the
+// defer idiom; disabled observability makes this a single branch).
+func (fs *FS) observe(op string, h *obs.Histogram, t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	d := time.Since(t0)
+	h.Observe(int64(d))
+	fs.obsOp.Observe(int64(d))
+	fs.obsSink.Trace("flatfs", op, t0, d)
 }
 
 // Session returns the underlying libFS session.
@@ -128,6 +156,7 @@ func (fs *FS) lockWrite(key []byte) (cover uint64, keyArg []byte, unlock func(),
 // Put stores data under key, creating or overwriting the file in a single
 // operation.
 func (fs *FS) Put(key string, data []byte) error {
+	defer fs.observe("put", fs.obsPut, fs.obsOp.StartTimer())
 	if err := checkKey(key); err != nil {
 		return err
 	}
@@ -181,6 +210,7 @@ func (fs *FS) Get(key string) ([]byte, error) {
 // it is large enough: locate the file in memory and copy it to the
 // application's buffer in one operation (§6.2).
 func (fs *FS) GetInto(key string, buf []byte) ([]byte, error) {
+	defer fs.observe("get", fs.obsGet, fs.obsOp.StartTimer())
 	if err := checkKey(key); err != nil {
 		return nil, err
 	}
@@ -225,6 +255,7 @@ func (fs *FS) GetInto(key string, buf []byte) ([]byte, error) {
 
 // Erase removes key and reclaims its file's storage.
 func (fs *FS) Erase(key string) error {
+	defer fs.observe("erase", fs.obsErase, fs.obsOp.StartTimer())
 	if err := checkKey(key); err != nil {
 		return err
 	}

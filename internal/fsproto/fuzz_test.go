@@ -1,0 +1,79 @@
+package fsproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeOps throws arbitrary bytes at the batch decoder. The TFS runs
+// this decoder on every ApplyLog payload a client ships, so it must never
+// panic, and anything it accepts must survive a re-encode/re-decode round
+// trip unchanged (otherwise the validated batch and the applied batch could
+// differ).
+func FuzzDecodeOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeOps(nil))
+	f.Add(EncodeOps([]Op{{Code: OpInsert, Target: 0x4001, Child: 0x8002, Key: []byte("file.txt"), CoverLock: 7}}))
+	f.Add(EncodeOps([]Op{
+		{Code: OpCreateObject, Target: 0x4001},
+		{Code: OpRename, Target: 0x4001, Child: 0x8002, Key: []byte("a"), Key2: []byte("b"), Dir2: 0x4003, CoverLock: 1, Cover2: 2},
+		{Code: OpTruncate, Target: 0x8002, Val: 4096},
+	}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f}) // hostile count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := DecodeOps(data)
+		if err != nil {
+			return
+		}
+		back := EncodeOps(ops)
+		ops2, err := DecodeOps(back)
+		if err != nil {
+			t.Fatalf("re-decode of accepted batch failed: %v", err)
+		}
+		if len(ops) != len(ops2) {
+			t.Fatalf("round trip changed op count: %d -> %d", len(ops), len(ops2))
+		}
+		for i := range ops {
+			a, b := ops[i], ops2[i]
+			if a.Code != b.Code || a.Target != b.Target || a.Child != b.Child ||
+				!bytes.Equal(a.Key, b.Key) || !bytes.Equal(a.Key2, b.Key2) ||
+				a.Dir2 != b.Dir2 || a.Val != b.Val || a.Val2 != b.Val2 ||
+				a.CoverLock != b.CoverLock || a.Cover2 != b.Cover2 {
+				t.Fatalf("round trip changed op %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzDecodeReplies covers the remaining fixed-shape decoders (mount
+// reply, prealloc request, address list): no panics, and accepted inputs
+// round-trip.
+func FuzzDecodeReplies(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeMountReply(&MountReply{Root: 0x4001, HeapStart: 1 << 20, HeapSize: 7 << 20, Partition: 2, VolumeGID: 100}))
+	f.Add(EncodePrealloc(PreallocRequest{Size: 8192, Count: 17}))
+	f.Add(EncodeAddrs([]uint64{1, 4096, 1 << 40}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeMountReply(data); err == nil {
+			if got, err := DecodeMountReply(EncodeMountReply(&m)); err != nil || got != m {
+				t.Fatalf("mount reply round trip: %+v %v", got, err)
+			}
+		}
+		if q, err := DecodePrealloc(data); err == nil {
+			if got, err := DecodePrealloc(EncodePrealloc(q)); err != nil || got != q {
+				t.Fatalf("prealloc round trip: %+v %v", got, err)
+			}
+		}
+		if addrs, err := DecodeAddrs(data); err == nil {
+			got, err := DecodeAddrs(EncodeAddrs(addrs))
+			if err != nil || len(got) != len(addrs) {
+				t.Fatalf("addrs round trip: %v %v", got, err)
+			}
+			for i := range addrs {
+				if got[i] != addrs[i] {
+					t.Fatalf("addrs[%d] changed: %d -> %d", i, addrs[i], got[i])
+				}
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"hash/crc32"
 
 	"github.com/aerie-fs/aerie/internal/faultinject"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/scm"
 )
 
@@ -69,12 +70,39 @@ type Log struct {
 	staged uint64
 
 	faults *faultinject.Injector
+
+	// Metrics resolved by SetObs; all nil (free no-ops) until then.
+	obsRecords     *obs.Counter
+	obsRecordBytes *obs.Counter
+	obsReplayed    *obs.Counter
+	obsCheckpoints *obs.Counter
+	obsCommit      *obs.Histogram
+	obsCommitSCM   *obs.Counter // scm.charged_ns consumed inside Commit
+	obsSCMCharged  *obs.Counter // the shared scm.charged_ns counter itself
 }
 
 // SetFaults arms fault points on the log's mutation paths (journal.append,
 // journal.commit, journal.commit.publish, journal.commit.published,
 // journal.checkpoint, journal.replay.record). A nil injector is inert.
 func (l *Log) SetFaults(inj *faultinject.Injector) { l.faults = inj }
+
+// SetObs attaches an observability sink: journal.records / record_bytes
+// count appends, journal.commit times Commit, journal.replayed counts
+// redelivered records, journal.checkpoints counts head advances. When the
+// sink is shared with the underlying scm.Memory, journal.commit.scm_ns
+// accumulates the slice of injected SCM latency charged during commits
+// (read as a before/after delta of scm.charged_ns — exact because the TFS
+// is the single committer), letting the breakdown separate "journal logic"
+// from "media wait inside the journal".
+func (l *Log) SetObs(sink *obs.Sink) {
+	l.obsRecords = sink.Counter("journal.records")
+	l.obsRecordBytes = sink.Counter("journal.record_bytes")
+	l.obsReplayed = sink.Counter("journal.replayed")
+	l.obsCheckpoints = sink.Counter("journal.checkpoints")
+	l.obsCommit = sink.Histogram("journal.commit")
+	l.obsCommitSCM = sink.Counter("journal.commit.scm_ns")
+	l.obsSCMCharged = sink.Counter("scm.charged_ns")
+}
 
 // Format initializes an empty log over region [base, base+size).
 func Format(mem scm.Space, base, size uint64) (*Log, error) {
@@ -182,6 +210,8 @@ func (l *Log) Append(payload []byte) error {
 		return err
 	}
 	l.staged = pos + need
+	l.obsRecords.Inc()
+	l.obsRecordBytes.Add(int64(len(payload)))
 	return nil
 }
 
@@ -191,6 +221,12 @@ func (l *Log) Commit() error {
 	if l.staged == l.tail {
 		return nil
 	}
+	obsT0 := l.obsCommit.StartTimer()
+	scmBefore := l.obsSCMCharged.Load()
+	defer func() {
+		l.obsCommitSCM.Add(l.obsSCMCharged.Load() - scmBefore)
+		l.obsCommit.ObserveSince(obsT0)
+	}()
 	if err := l.faults.Hit("journal.commit"); err != nil {
 		return err
 	}
@@ -245,6 +281,7 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 		if err := fn(payload); err != nil {
 			return err
 		}
+		l.obsReplayed.Inc()
 		pos += recHeader + align8(uint64(length))
 	}
 	return nil
@@ -264,6 +301,7 @@ func (l *Log) Checkpoint() error {
 		return err
 	}
 	l.head = l.tail
+	l.obsCheckpoints.Inc()
 	return nil
 }
 

@@ -275,6 +275,18 @@ func (s *Session) FileSetSizeKeyed(oid sobj.OID, n uint64, coverLock uint64, key
 // client's shadow: the extents currently mapped there (pending or applied)
 // will be freed when the TFS applies the truncate, so later writes must
 // stage fresh extents rather than write through soon-to-be-freed storage.
+//
+// When the cut lands mid-block, the bytes beyond it in the kept block must
+// read as zeros afterwards. Zeroing has to happen on the client and under
+// the batch's ordering: the TFS cannot zero at apply time, because a later
+// write in the same batch may already have refilled those bytes in place
+// (data writes never go through the op log). Nor may the client zero
+// committed storage directly — an unshipped truncate must not destroy
+// durable data. So: an extent staged in this batch (invisible until
+// commit) is zeroed in place; a committed extent gets a copy-on-truncate
+// replacement — the truncate is staged down to the block boundary, a fresh
+// extent carrying the head bytes with a zeroed tail is attached in its
+// place, and the logical size is set last.
 func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
 	m, err := sobj.OpenMFile(s.Mem, oid)
 	if err != nil {
@@ -288,6 +300,55 @@ func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
 	if !single {
 		if bs, err = m.BlockSize(); err != nil {
 			return err
+		}
+	}
+	cur, err := s.FileSize(oid)
+	if err != nil {
+		return err
+	}
+	truncTo := n
+	var freshExt, freshBlk uint64
+	hasFresh := false
+	if tail := n % bs; !single && n < cur && tail != 0 {
+		blk := n / bs
+		ext, err := s.extentFor(m, oid, blk, bs)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		pending := ext != 0 && s.shadows[oid] != nil && s.shadows[oid].pendingExtents[blk] == ext
+		s.mu.Unlock()
+		switch {
+		case ext == 0:
+			// Hole: already reads as zeros.
+		case pending:
+			if err := scm.Zero(s.Mem, ext+tail, int(bs-tail)); err != nil {
+				return err
+			}
+			if err := s.Mem.Flush(ext+tail, int(bs-tail)); err != nil {
+				return err
+			}
+		default:
+			head := make([]byte, tail)
+			if _, err := s.FileRead(oid, head, blk*bs); err != nil {
+				return err
+			}
+			fresh, err := s.AllocStaged(bs)
+			if err != nil {
+				return err
+			}
+			if err := scm.Zero(s.Mem, fresh, int(bs)); err != nil {
+				return err
+			}
+			if err := s.Mem.Write(fresh, head); err != nil {
+				return err
+			}
+			if err := s.Mem.Flush(fresh, int(bs)); err != nil {
+				return err
+			}
+			truncTo = blk * bs
+			freshExt, freshBlk = fresh, blk
+			hasFresh = true
 		}
 	}
 	s.mu.Lock()
@@ -305,9 +366,24 @@ func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
 				delete(sh.pendingExtents, blk)
 			}
 		}
+		if hasFresh {
+			sh.pendingExtents[freshBlk] = freshExt
+		}
 	}
 	s.mu.Unlock()
-	return s.LogOp(fsproto.Op{Code: fsproto.OpTruncate, Target: oid, Val: n, CoverLock: coverLock})
+	if err := s.LogOp(fsproto.Op{Code: fsproto.OpTruncate, Target: oid, Val: truncTo, CoverLock: coverLock}); err != nil {
+		return err
+	}
+	if !hasFresh {
+		return nil
+	}
+	if err := s.LogOp(fsproto.Op{
+		Code: fsproto.OpAttachExtent, Target: oid,
+		Val: freshBlk, Val2: freshExt, CoverLock: coverLock,
+	}); err != nil {
+		return err
+	}
+	return s.FileSetSize(oid, n, coverLock)
 }
 
 // extentFor resolves a block through the shadow first, then the mFile.

@@ -19,6 +19,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/rpc"
 	"github.com/aerie-fs/aerie/internal/scm"
 	"github.com/aerie-fs/aerie/internal/scmmgr"
@@ -45,6 +46,11 @@ type Config struct {
 	// Faults, when non-nil, arms fault points on the client's mutation
 	// sequences (libfs.*). Nil in production.
 	Faults *faultinject.Injector
+	// Obs, when non-nil, receives client-side metrics (libfs.ship.ops /
+	// libfs.ship.bytes batch-size histograms, clerk cache counters) and is
+	// inherited by the interface layers (PXFS, FlatFS) mounted on this
+	// session.
+	Obs *obs.Sink
 }
 
 // ErrStaleBatch reports that the TFS rejected a batch; the client's buffered
@@ -91,6 +97,10 @@ type Session struct {
 	Flushes     costmodel.Counter
 	OpsLogged   costmodel.Counter
 	PoolRefills costmodel.Counter
+
+	// Metrics resolved once at mount; all nil when cfg.Obs is nil.
+	obsShipOps   *obs.Histogram
+	obsShipBytes *obs.Histogram
 }
 
 // fileShadow is volatile per-file state covering not-yet-shipped updates:
@@ -158,8 +168,11 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 		colShadows: make(map[sobj.OID]*colShadow),
 		pool:       make(map[uint][]uint64),
 	}
+	s.obsShipOps = cfg.Obs.Histogram("libfs.ship.ops")
+	s.obsShipBytes = cfg.Obs.Histogram("libfs.ship.bytes")
 	s.Clerk = lockservice.NewClerk(rc, lockservice.ClerkConfig{RenewEvery: cfg.RenewEvery})
 	s.Clerk.SetTracer(cfg.Tracer)
+	s.Clerk.SetObs(cfg.Obs)
 	// Ship buffered updates whenever a global lock leaves this client
 	// (voluntary release or revocation) so other clients observe a
 	// consistent view (§5.3.5). Interface layers add their own hooks
@@ -261,6 +274,10 @@ func (s *Session) Close() error {
 // ClientID returns the RPC identity the TFS knows this session by. The
 // crash-sweep harness uses it to force-expire a "crashed" session's leases.
 func (s *Session) ClientID() uint64 { return s.rc.ClientID() }
+
+// Obs returns the session's observability sink (nil when disabled). The
+// interface layers mounted on this session resolve their metrics from it.
+func (s *Session) Obs() *obs.Sink { return s.cfg.Obs }
 
 // Abandon simulates a client crash: buffered updates and staged objects are
 // dropped on the floor, locks are left to lease expiry. Used by tests and
@@ -371,6 +388,8 @@ func (s *Session) FlushUpdates() error {
 			}
 			ship = &shipState{ops: s.batch, bytes: s.batchBytes}
 			ship.payload = fsproto.EncodeOps(ship.ops)
+			s.obsShipOps.Observe(int64(len(ship.ops)))
+			s.obsShipBytes.Observe(int64(ship.bytes))
 			if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
 				ship.reqID = ic.NextReqID()
 			}

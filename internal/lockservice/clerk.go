@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/rpc"
 	"github.com/aerie-fs/aerie/internal/wire"
 )
@@ -28,6 +29,10 @@ type Clerk struct {
 
 	onRelease func(lockID uint64)
 	tracer    *costmodel.Tracer
+
+	// Metrics resolved by SetObs; nil (free no-ops) until then.
+	obsLocalHits   *obs.Counter
+	obsGlobalCalls *obs.Counter
 
 	renewStop chan struct{}
 	renewWG   sync.WaitGroup
@@ -104,6 +109,14 @@ func (c *Clerk) OnRelease(fn func(lockID uint64)) { c.onRelease = fn }
 // scalability simulator (single-threaded capture runs only).
 func (c *Clerk) SetTracer(t *costmodel.Tracer) { c.tracer = t }
 
+// SetObs attaches an observability sink: lock.clerk.local_hits counts
+// acquires satisfied by the local grant cache, lock.clerk.global_calls
+// counts round-trips to the lock service. Call before first use.
+func (c *Clerk) SetObs(sink *obs.Sink) {
+	c.obsLocalHits = sink.Counter("lock.clerk.local_hits")
+	c.obsGlobalCalls = sink.Counter("lock.clerk.global_calls")
+}
+
 func lockResource(id uint64) string { return fmt.Sprintf("lock:%x", id) }
 
 func traceMode(class Class) costmodel.ResourceMode {
@@ -171,6 +184,7 @@ func (c *Clerk) tryAcquire(id uint64, class Class, hier bool) (bool, error) {
 		w.U8(uint8(want))
 		w.Bool(hier || e.hier)
 		c.GlobalCalls++
+		c.obsGlobalCalls.Inc()
 		if _, err := c.rc.Call(MethodAcquire, w.Bytes()); err != nil {
 			return false, fmt.Errorf("clerk: acquire %#x %v: %w", id, class, err)
 		}
@@ -179,6 +193,7 @@ func (c *Clerk) tryAcquire(id uint64, class Class, hier bool) (bool, error) {
 		e.hier = e.hier || hier
 	} else {
 		c.LocalHits++
+		c.obsLocalHits.Inc()
 	}
 	// Local admission.
 	if class == X {

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/aerie-fs/aerie/internal/obs"
 )
 
 // Class is a lock class in the granular-locking lattice.
@@ -126,6 +128,10 @@ type Config struct {
 	// may be nil. The TFS uses it to discard the client's unshipped
 	// batched updates.
 	OnExpire func(client uint64)
+	// Obs, when non-nil, receives the lock.wait histogram (time spent in
+	// Acquire) and lock.acquires / lock.contended / lock.revocations /
+	// lock.expirations counters.
+	Obs *obs.Sink
 }
 
 type grant struct {
@@ -163,6 +169,13 @@ type Service struct {
 	Acquires    int64
 	Revocations int64
 	Expirations int64
+
+	// Metrics resolved once at construction; all nil when cfg.Obs is nil.
+	obsWait        *obs.Histogram
+	obsAcquires    *obs.Counter
+	obsContended   *obs.Counter
+	obsRevocations *obs.Counter
+	obsExpirations *obs.Counter
 }
 
 // New creates a lock service.
@@ -174,9 +187,14 @@ func New(cfg Config) *Service {
 		cfg.AcquireTimeout = 10 * time.Second
 	}
 	return &Service{
-		cfg:      cfg,
-		locks:    make(map[uint64]*lockState),
-		byClient: make(map[uint64]*clientExpiry),
+		cfg:            cfg,
+		locks:          make(map[uint64]*lockState),
+		byClient:       make(map[uint64]*clientExpiry),
+		obsWait:        cfg.Obs.Histogram("lock.wait"),
+		obsAcquires:    cfg.Obs.Counter("lock.acquires"),
+		obsContended:   cfg.Obs.Counter("lock.contended"),
+		obsRevocations: cfg.Obs.Counter("lock.revocations"),
+		obsExpirations: cfg.Obs.Counter("lock.expirations"),
 	}
 }
 
@@ -223,6 +241,7 @@ func (s *Service) sweepClientLocked(client uint64, now time.Time, keep *lockStat
 		delete(st.holders, client)
 		removed++
 		s.Expirations++
+		s.obsExpirations.Inc()
 		s.wakeLocked(st)
 		if st != keep && len(st.holders) == 0 && len(st.waiters) == 0 {
 			delete(s.locks, id)
@@ -278,6 +297,8 @@ func (s *Service) wakeLocked(st *lockState) {
 // granted, the configured timeout elapses, or the service shuts down.
 // Re-acquiring merges classes (upgrade), renewing the lease.
 func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) error {
+	obsT0 := s.obsWait.StartTimer()
+	defer func() { s.obsWait.ObserveSince(obsT0) }()
 	deadline := time.Now().Add(s.cfg.AcquireTimeout)
 	var waiter chan struct{}
 	defer func() {
@@ -335,12 +356,14 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 			g.expiry = now.Add(s.cfg.Lease)
 			g.revoking = false
 			s.Acquires++
+			s.obsAcquires.Inc()
 			s.mu.Unlock()
 			s.fireExpiry(expired)
 			return nil
 		}
 		if waiter == nil {
 			waiter = make(chan struct{}, 1)
+			s.obsContended.Inc()
 		}
 		st.waiters = append(st.waiters, waiter)
 		s.mu.Unlock()
@@ -348,6 +371,7 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 		for _, holder := range conflicts {
 			if holder != 0 && s.cfg.Revoke != nil {
 				s.Revocations++
+				s.obsRevocations.Inc()
 				s.cfg.Revoke(holder, id, want)
 			}
 		}

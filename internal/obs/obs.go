@@ -1,0 +1,444 @@
+// Package obs is the zero-dependency observability layer: named counters,
+// latency histograms with fixed log-spaced buckets, and a bounded per-op
+// trace ring, all hanging off a Sink that every layer of the stack shares.
+//
+// The design constraint is that observability must cost ~nothing when it is
+// off. Every metric type is a pointer whose methods are nil-safe, and layers
+// resolve their metrics once at construction time:
+//
+//	flushes := sink.Counter("scm.lines_flushed") // nil sink -> nil counter
+//	...
+//	flushes.Add(n) // nil receiver -> single predictable branch, no work
+//
+// so the disabled hot path pays one nil check per metric touch and never a
+// map lookup, allocation, or time.Now call. The enabled hot path is
+// lock-free: counters and histogram buckets are atomics; only the trace
+// ring takes a mutex, and it is bounded so tracing a long run cannot grow
+// memory without limit.
+//
+// Snapshots are deterministic: metrics come out as slices sorted by name
+// and serialize through structs (never maps), so two snapshots of the same
+// state always render byte-identically — a requirement for the golden-file
+// tests and for reviewable breakdown diffs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjusted atomic counter. A nil *Counter is a
+// valid no-op receiver for every method.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value, 0 for a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// bit length is i, i.e. values in [2^(i-1), 2^i). Values are nanoseconds,
+// so 64 power-of-two buckets span sub-ns to ~292 years with zero
+// configuration and an indexing cost of one bits.Len64.
+const histBuckets = 64
+
+// Histogram is a lock-free latency histogram with log-spaced buckets.
+// A nil *Histogram is a valid no-op receiver for every method.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records a single value (nanoseconds). Negative values clamp to 0.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// StartTimer returns a wall-clock reading when the histogram is live and
+// the zero Time otherwise, so the disabled path never calls time.Now.
+// Pair with ObserveSince.
+func (h *Histogram) StartTimer() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the elapsed time since t0. It is a no-op on a nil
+// histogram or a zero t0 (the StartTimer disabled sentinel).
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil || t0.IsZero() {
+		return
+	}
+	h.Observe(int64(time.Since(t0)))
+}
+
+// Count returns the number of observations, 0 for nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations in nanoseconds, 0 for nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// population. The estimate is the upper bound of the bucket containing the
+// target rank, so it over-reports by at most 2x — adequate for spotting
+// regressions, not for sub-bucket precision.
+func (h *Histogram) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			hi := (uint64(1) << uint(i)) - 1
+			if mx := h.max.Load(); uint64(mx) < hi {
+				return mx
+			}
+			return int64(hi)
+		}
+	}
+	return h.max.Load()
+}
+
+// Span is one completed trace-ring entry. Start is nanoseconds since the
+// sink's epoch so spans order totally and serialize compactly.
+type Span struct {
+	Layer   string `json:"layer"`
+	Op      string `json:"op"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// DefaultRingSize bounds the trace ring when no explicit size is given.
+const DefaultRingSize = 512
+
+// Sink is the registry all layers share. A nil *Sink is valid: Counter and
+// Histogram return nil metrics (which are themselves no-ops) and Trace does
+// nothing, so callers never need to guard sink access.
+type Sink struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	ring     []Span
+	ringNext int
+	ringLen  int
+}
+
+// New returns a live sink with the default trace-ring size.
+func New() *Sink { return NewWithRing(DefaultRingSize) }
+
+// NewWithRing returns a live sink whose trace ring holds up to ringSize
+// spans (0 disables tracing entirely).
+func NewWithRing(ringSize int) *Sink {
+	if ringSize < 0 {
+		ringSize = 0
+	}
+	return &Sink{
+		epoch:    time.Now(),
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		ring:     make([]Span, ringSize),
+	}
+}
+
+// Counter resolves (creating on first use) the named counter. Nil-safe:
+// a nil sink yields a nil counter.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Histogram resolves (creating on first use) the named histogram. Nil-safe:
+// a nil sink yields a nil histogram.
+func (s *Sink) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Trace appends a completed span to the bounded ring, evicting the oldest
+// entry when full. Nil-safe; a zero start (disabled-timer sentinel) is
+// dropped.
+func (s *Sink) Trace(layer, op string, start time.Time, d time.Duration) {
+	if s == nil || start.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) == 0 {
+		return
+	}
+	s.ring[s.ringNext] = Span{
+		Layer:   layer,
+		Op:      op,
+		StartNS: start.Sub(s.epoch).Nanoseconds(),
+		DurNS:   d.Nanoseconds(),
+	}
+	s.ringNext = (s.ringNext + 1) % len(s.ring)
+	if s.ringLen < len(s.ring) {
+		s.ringLen++
+	}
+}
+
+// Reset zeroes every registered metric in place and empties the trace ring.
+// Resolved *Counter/*Histogram pointers held by layers stay valid — this is
+// how the breakdown harness discards setup-phase noise without re-wiring
+// the whole stack.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.counters {
+		c.reset()
+	}
+	for _, h := range s.hists {
+		h.reset()
+	}
+	s.ringNext = 0
+	s.ringLen = 0
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramSnap is one histogram in a snapshot. Latencies are nanoseconds;
+// quantiles are bucket-upper-bound estimates.
+type HistogramSnap struct {
+	Name   string `json:"name"`
+	Count  int64  `json:"count"`
+	SumNS  int64  `json:"sum_ns"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P95NS  int64  `json:"p95_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+// Snapshot is a point-in-time copy of a sink, sorted by metric name (spans
+// in ring order, oldest first) so rendering is deterministic.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters"`
+	Histograms []HistogramSnap `json:"histograms"`
+	Spans      []Span          `json:"spans,omitempty"`
+}
+
+// Snapshot captures the sink. A nil sink yields an empty snapshot.
+func (s *Sink) Snapshot() Snapshot {
+	var snap Snapshot
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap.Counters = make([]CounterSnap, 0, len(s.counters))
+	for name, c := range s.counters {
+		snap.Counters = append(snap.Counters, CounterSnap{Name: name, Value: c.Load()})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	snap.Histograms = make([]HistogramSnap, 0, len(s.hists))
+	for name, h := range s.hists {
+		hs := HistogramSnap{
+			Name:  name,
+			Count: h.Count(),
+			SumNS: h.Sum(),
+			P50NS: h.quantile(0.50),
+			P95NS: h.quantile(0.95),
+			P99NS: h.quantile(0.99),
+			MaxNS: h.max.Load(),
+		}
+		if hs.Count > 0 {
+			hs.MeanNS = hs.SumNS / hs.Count
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	if s.ringLen > 0 {
+		snap.Spans = make([]Span, 0, s.ringLen)
+		// Oldest-first: the ring's next slot is the oldest once it has
+		// wrapped.
+		start := 0
+		if s.ringLen == len(s.ring) {
+			start = s.ringNext
+		}
+		for i := 0; i < s.ringLen; i++ {
+			snap.Spans = append(snap.Spans, s.ring[(start+i)%len(s.ring)])
+		}
+	}
+	return snap
+}
+
+// Counter returns the value of the named counter in the snapshot (0 if
+// absent).
+func (snap Snapshot) Counter(name string) int64 {
+	for _, c := range snap.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram snapshot and whether it exists.
+func (snap Snapshot) Histogram(name string) (HistogramSnap, bool) {
+	for _, h := range snap.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
+
+// HistSum returns the sum in nanoseconds of the named histogram (0 if
+// absent).
+func (snap Snapshot) HistSum(name string) int64 {
+	h, _ := snap.Histogram(name)
+	return h.SumNS
+}
+
+// WriteText renders the snapshot as aligned human-readable tables.
+func (snap Snapshot) WriteText(w io.Writer) error {
+	if len(snap.Counters) > 0 {
+		nameW := len("counter")
+		for _, c := range snap.Counters {
+			if len(c.Name) > nameW {
+				nameW = len(c.Name)
+			}
+		}
+		fmt.Fprintf(w, "%-*s  %12s\n", nameW, "counter", "value")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(w, "%-*s  %12d\n", nameW, c.Name, c.Value)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		if len(snap.Counters) > 0 {
+			fmt.Fprintln(w)
+		}
+		nameW := len("histogram")
+		for _, h := range snap.Histograms {
+			if len(h.Name) > nameW {
+				nameW = len(h.Name)
+			}
+		}
+		fmt.Fprintf(w, "%-*s  %10s  %12s  %10s  %10s  %10s  %10s\n",
+			nameW, "histogram", "count", "sum", "mean", "p50", "p95", "max")
+		for _, h := range snap.Histograms {
+			fmt.Fprintf(w, "%-*s  %10d  %12s  %10s  %10s  %10s  %10s\n",
+				nameW, h.Name, h.Count,
+				FormatNS(h.SumNS), FormatNS(h.MeanNS),
+				FormatNS(h.P50NS), FormatNS(h.P95NS), FormatNS(h.MaxNS))
+		}
+	}
+	if len(snap.Spans) > 0 {
+		fmt.Fprintf(w, "\ntrace (%d spans, oldest first)\n", len(snap.Spans))
+		for _, sp := range snap.Spans {
+			fmt.Fprintf(w, "  %12d  %-10s %-12s %s\n", sp.StartNS, sp.Layer, sp.Op, FormatNS(sp.DurNS))
+		}
+	}
+	return nil
+}
+
+// FormatNS renders nanoseconds with a human-scale unit and fixed precision
+// so text tables stay aligned.
+func FormatNS(ns int64) string {
+	switch {
+	case ns >= int64(time.Second):
+		return fmt.Sprintf("%.2fs", float64(ns)/float64(time.Second))
+	case ns >= int64(time.Millisecond):
+		return fmt.Sprintf("%.2fms", float64(ns)/float64(time.Millisecond))
+	case ns >= int64(time.Microsecond):
+		return fmt.Sprintf("%.2fµs", float64(ns)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

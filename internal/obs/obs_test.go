@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil sink and nil metrics must be safe for every operation — this is the
+// contract the whole stack relies on when observability is disabled.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	c := s.Counter("x")
+	h := s.Histogram("y")
+	if c != nil || h != nil {
+		t.Fatalf("nil sink must resolve nil metrics, got %v %v", c, h)
+	}
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", got)
+	}
+	h.Observe(100)
+	t0 := h.StartTimer()
+	if !t0.IsZero() {
+		t.Fatalf("nil histogram StartTimer must return zero time")
+	}
+	h.ObserveSince(t0)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram must stay empty")
+	}
+	s.Trace("l", "op", time.Now(), time.Millisecond)
+	s.Reset()
+	snap := s.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 || len(snap.Spans) != 0 {
+		t.Fatalf("nil sink snapshot must be empty: %+v", snap)
+	}
+}
+
+func TestCounterAndResolveIdentity(t *testing.T) {
+	s := New()
+	a := s.Counter("c")
+	b := s.Counter("c")
+	if a != b {
+		t.Fatalf("same name must resolve the same counter")
+	}
+	a.Add(3)
+	b.Inc()
+	if got := s.Counter("c").Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	s := New()
+	h := s.Histogram("h")
+	// Exercise bucket boundaries: 0, 1, powers of two and their neighbors.
+	vals := []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 20, -5}
+	var wantSum int64
+	for _, v := range vals {
+		h.Observe(v)
+		if v > 0 {
+			wantSum += v
+		}
+	}
+	if got := h.Count(); got != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", got, len(vals))
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %d, want %d (negatives clamp to 0)", got, wantSum)
+	}
+	snap := s.Snapshot()
+	hs, ok := snap.Histogram("h")
+	if !ok {
+		t.Fatalf("histogram missing from snapshot")
+	}
+	if hs.MaxNS != 1<<20 {
+		t.Fatalf("max = %d, want %d", hs.MaxNS, 1<<20)
+	}
+	// p50 of 11 values: rank 5 lands among the small values; the estimate
+	// is a bucket upper bound so it must be < 8.
+	if hs.P50NS >= 8 {
+		t.Fatalf("p50 = %d, want < 8", hs.P50NS)
+	}
+	// p99 of 11 values targets rank 10 (the 1024 observation): the
+	// bucket-upper-bound estimate must cover it without reaching max.
+	if hs.P99NS < 1024 || hs.P99NS > 2047 {
+		t.Fatalf("p99 = %d, want in [1024,2047]", hs.P99NS)
+	}
+	if got := h.quantile(1.0); got != 1<<20 {
+		t.Fatalf("p100 = %d, want max %d", got, 1<<20)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	s := New()
+	h := s.Histogram("h")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	q50, q95, q99 := h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)
+	if !(q50 <= q95 && q95 <= q99) {
+		t.Fatalf("quantiles not monotone: %d %d %d", q50, q95, q99)
+	}
+	// The true p50 is 500_000; a bucket-upper-bound estimate may over-report
+	// by at most 2x and never under-report below the bucket's lower bound.
+	if q50 < 250_000 || q50 > 1_000_000 {
+		t.Fatalf("p50 estimate %d outside [250000,1000000]", q50)
+	}
+}
+
+func TestTraceRingBounded(t *testing.T) {
+	s := NewWithRing(4)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		s.Trace("pxfs", "op", base.Add(time.Duration(i)*time.Millisecond), time.Microsecond)
+	}
+	snap := s.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("ring must cap at 4 spans, got %d", len(snap.Spans))
+	}
+	for i := 1; i < len(snap.Spans); i++ {
+		if snap.Spans[i].StartNS < snap.Spans[i-1].StartNS {
+			t.Fatalf("spans not oldest-first: %+v", snap.Spans)
+		}
+	}
+	// Zero ring disables tracing.
+	z := NewWithRing(0)
+	z.Trace("l", "op", time.Now(), time.Second)
+	if n := len(z.Snapshot().Spans); n != 0 {
+		t.Fatalf("zero ring recorded %d spans", n)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	s := New()
+	s.Counter("b.two").Add(2)
+	s.Counter("a.one").Add(1)
+	s.Counter("c.three").Add(3)
+	s.Histogram("z.h").Observe(10)
+	s.Histogram("a.h").Observe(20)
+	var buf1, buf2 bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&buf1, &buf2} {
+		enc, err := json.Marshal(s.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(enc)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", buf1.String(), buf2.String())
+	}
+	snap := s.Snapshot()
+	if snap.Counters[0].Name != "a.one" || snap.Counters[2].Name != "c.three" {
+		t.Fatalf("counters not sorted: %+v", snap.Counters)
+	}
+	if snap.Histograms[0].Name != "a.h" {
+		t.Fatalf("histograms not sorted: %+v", snap.Histograms)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New()
+	c := s.Counter("c")
+	h := s.Histogram("h")
+	c.Add(10)
+	h.Observe(100)
+	s.Trace("l", "op", time.Now(), time.Second)
+	s.Reset()
+	// Resolved pointers must stay live after Reset.
+	if c != s.Counter("c") {
+		t.Fatalf("Reset must not replace counters")
+	}
+	if c.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset must zero metrics")
+	}
+	if n := len(s.Snapshot().Spans); n != 0 {
+		t.Fatalf("Reset must empty the ring, got %d spans", n)
+	}
+	c.Add(1)
+	if s.Counter("c").Load() != 1 {
+		t.Fatalf("counter dead after Reset")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := s.Counter("shared")
+			h := s.Histogram("lat")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				if i%100 == 0 {
+					s.Trace("t", "op", time.Now(), time.Duration(i))
+					_ = s.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := s.Histogram("lat").Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotHelpers(t *testing.T) {
+	s := New()
+	s.Counter("c").Add(7)
+	s.Histogram("h").Observe(9)
+	snap := s.Snapshot()
+	if snap.Counter("c") != 7 || snap.Counter("missing") != 0 {
+		t.Fatalf("Counter helper wrong")
+	}
+	if snap.HistSum("h") != 9 || snap.HistSum("missing") != 0 {
+		t.Fatalf("HistSum helper wrong")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	s := New()
+	s.Counter("scm.fences").Add(3)
+	s.Histogram("pxfs.op").Observe(1500)
+	var buf bytes.Buffer
+	if err := s.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"scm.fences", "pxfs.op", "counter", "histogram"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkDisabled measures the nil-sink hot path: this is what every
+// layer pays per metric touch when observability is off.
+func BenchmarkDisabled(b *testing.B) {
+	var s *Sink
+	c := s.Counter("c")
+	h := s.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		t0 := h.StartTimer()
+		h.ObserveSince(t0)
+	}
+}
+
+// BenchmarkEnabled measures the live hot path for comparison.
+func BenchmarkEnabled(b *testing.B) {
+	s := New()
+	c := s.Counter("c")
+	h := s.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+		t0 := h.StartTimer()
+		h.ObserveSince(t0)
+	}
+}

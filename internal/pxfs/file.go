@@ -39,6 +39,7 @@ func (fs *FS) Open(path string, flags int) (*File, error) {
 // O_CREATE is set and it is absent, acquires the file lock in the mode the
 // flags demand, and registers the open locally.
 func (fs *FS) OpenFile(path string, flags int, perm uint32) (*File, error) {
+	defer fs.observe("open", fs.obsOpen, fs.obsOp.StartTimer())
 	writing := flags&O_RDWR != 0
 	var oid sobj.OID
 	if flags&O_CREATE != 0 {
@@ -127,6 +128,7 @@ func (f *File) OID() sobj.OID { return f.oid }
 
 // Read reads from the current offset.
 func (f *File) Read(p []byte) (int, error) {
+	defer f.fs.observe("read", f.fs.obsRead, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return 0, ErrClosed
 	}
@@ -140,6 +142,7 @@ func (f *File) Read(p []byte) (int, error) {
 
 // ReadAt reads at an absolute offset.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	defer f.fs.observe("read", f.fs.obsRead, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return 0, ErrClosed
 	}
@@ -152,6 +155,7 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 
 // Write writes at the current offset, extending the file as needed.
 func (f *File) Write(p []byte) (int, error) {
+	defer f.fs.observe("write", f.fs.obsWrite, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return 0, ErrClosed
 	}
@@ -166,6 +170,7 @@ func (f *File) Write(p []byte) (int, error) {
 
 // WriteAt writes at an absolute offset.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	defer f.fs.observe("write", f.fs.obsWrite, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return 0, ErrClosed
 	}
@@ -206,6 +211,7 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 
 // Truncate shrinks or logically extends the file.
 func (f *File) Truncate(n uint64) error {
+	defer f.fs.observe("truncate", f.fs.obsTruncate, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return ErrClosed
 	}
@@ -233,6 +239,7 @@ func (f *File) Stat() (FileInfo, error) {
 
 // Sync ships the client's buffered metadata updates (libfs sync, §4.3).
 func (f *File) Sync() error {
+	defer f.fs.observe("sync", f.fs.obsSync, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return ErrClosed
 	}
@@ -251,6 +258,7 @@ func (f *File) Size() (uint64, error) {
 // open-file table, sends the close notification (which reclaims storage of
 // unlinked files).
 func (f *File) Close() error {
+	defer f.fs.observe("close", f.fs.obsClose, f.fs.obsOp.StartTimer())
 	if f.closed {
 		return nil
 	}

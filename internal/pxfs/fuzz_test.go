@@ -1,0 +1,56 @@
+package pxfs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// FuzzSplitPath feeds arbitrary strings to the path normalizer that fronts
+// every PXFS name lookup. Accepted paths must produce only clean components
+// (non-empty, no "." or "..", within the key-length cap), the abs flag must
+// match a leading "/", and normalization must be idempotent: re-splitting
+// the joined result yields the same components.
+func FuzzSplitPath(f *testing.F) {
+	f.Add("/a/b/c")
+	f.Add("a//b/./c/")
+	f.Add("/")
+	f.Add("../escape")
+	f.Add("/a/../b")
+	f.Add(strings.Repeat("x", sobj.MaxKeyLen+1))
+	f.Add("/mnt/\x00weird\xff/name")
+	f.Fuzz(func(t *testing.T, path string) {
+		parts, abs, err := splitPath(path)
+		if err != nil {
+			return
+		}
+		if abs != strings.HasPrefix(path, "/") {
+			t.Fatalf("abs=%v for %q", abs, path)
+		}
+		for _, p := range parts {
+			if p == "" || p == "." || p == ".." {
+				t.Fatalf("dirty component %q survived in %q", p, path)
+			}
+			if len(p) > sobj.MaxKeyLen {
+				t.Fatalf("over-long component (%d bytes) survived in %q", len(p), path)
+			}
+			if strings.Contains(p, "/") {
+				t.Fatalf("separator survived in component %q", p)
+			}
+		}
+		rejoined := "/" + strings.Join(parts, "/")
+		parts2, abs2, err := splitPath(rejoined)
+		if err != nil || !abs2 {
+			t.Fatalf("re-split of %q failed: %v abs=%v", rejoined, err, abs2)
+		}
+		if len(parts2) != len(parts) {
+			t.Fatalf("normalization not idempotent for %q: %v vs %v", path, parts, parts2)
+		}
+		for i := range parts {
+			if parts[i] != parts2[i] {
+				t.Fatalf("component %d changed on re-split: %q vs %q", i, parts[i], parts2[i])
+			}
+		}
+	})
+}

@@ -29,6 +29,7 @@ import (
 
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/sobj"
 )
 
@@ -87,6 +88,25 @@ type FS struct {
 	CacheMisses  int64
 	CacheFlush   int64
 	CacheEvicted int64
+
+	// Metrics resolved once in New from the session's sink; all nil (free
+	// no-ops) when observability is off. obsOp aggregates every operation;
+	// the per-op histograms split it for the breakdown tables.
+	obsSink     *obs.Sink
+	obsOp       *obs.Histogram
+	obsOpen     *obs.Histogram
+	obsClose    *obs.Histogram
+	obsRead     *obs.Histogram
+	obsWrite    *obs.Histogram
+	obsTruncate *obs.Histogram
+	obsMkdir    *obs.Histogram
+	obsRmdir    *obs.Histogram
+	obsUnlink   *obs.Histogram
+	obsRename   *obs.Histogram
+	obsStat     *obs.Histogram
+	obsReadDir  *obs.Histogram
+	obsChmod    *obs.Histogram
+	obsSync     *obs.Histogram
 }
 
 type openEntry struct {
@@ -110,6 +130,22 @@ func New(s *libfs.Session, opts Options) *FS {
 		cwd:       s.Root,
 		cwdPath:   "/",
 	}
+	sink := s.Obs()
+	fs.obsSink = sink
+	fs.obsOp = sink.Histogram("pxfs.op")
+	fs.obsOpen = sink.Histogram("pxfs.op.open")
+	fs.obsClose = sink.Histogram("pxfs.op.close")
+	fs.obsRead = sink.Histogram("pxfs.op.read")
+	fs.obsWrite = sink.Histogram("pxfs.op.write")
+	fs.obsTruncate = sink.Histogram("pxfs.op.truncate")
+	fs.obsMkdir = sink.Histogram("pxfs.op.mkdir")
+	fs.obsRmdir = sink.Histogram("pxfs.op.rmdir")
+	fs.obsUnlink = sink.Histogram("pxfs.op.unlink")
+	fs.obsRename = sink.Histogram("pxfs.op.rename")
+	fs.obsStat = sink.Histogram("pxfs.op.stat")
+	fs.obsReadDir = sink.Histogram("pxfs.op.readdir")
+	fs.obsChmod = sink.Histogram("pxfs.op.chmod")
+	fs.obsSync = sink.Histogram("pxfs.op.sync")
 	// The cache is flushed whenever the client releases a global lock or
 	// the TFS revokes one (§6.1).
 	s.AddReleaseHook(func(uint64) { fs.flushNameCache() })
@@ -118,6 +154,24 @@ func New(s *libfs.Session, opts Options) *FS {
 
 // Session returns the underlying libFS session.
 func (fs *FS) Session() *libfs.Session { return fs.s }
+
+// observe records one completed operation: its duration lands in the per-op
+// histogram, the pxfs.op aggregate, and the trace ring. Use as
+//
+//	defer fs.observe("mkdir", fs.obsMkdir, fs.obsOp.StartTimer())
+//
+// — the timer argument is evaluated at the defer statement, the body at
+// return. With observability off the timer is the zero Time and the whole
+// call is one branch.
+func (fs *FS) observe(op string, h *obs.Histogram, t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	d := time.Since(t0)
+	h.Observe(int64(d))
+	fs.obsOp.Observe(int64(d))
+	fs.obsSink.Trace("pxfs", op, t0, d)
+}
 
 func (fs *FS) flushNameCache() {
 	fs.mu.Lock()
@@ -313,6 +367,7 @@ func (fs *FS) Chdir(path string) error {
 
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(path string, perm uint32) error {
+	defer fs.observe("mkdir", fs.obsMkdir, fs.obsOp.StartTimer())
 	dir, leaf, err := fs.resolveDir(path)
 	if err != nil {
 		return err
@@ -339,6 +394,7 @@ func (fs *FS) Mkdir(path string, perm uint32) error {
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(path string) error {
+	defer fs.observe("rmdir", fs.obsRmdir, fs.obsOp.StartTimer())
 	dir, leaf, err := fs.resolveDir(path)
 	if err != nil {
 		return err
@@ -385,6 +441,7 @@ func cleanAbs(path string) string {
 // Unlink removes a file. Files open in this client survive via the TFS
 // open-file table (§6.1).
 func (fs *FS) Unlink(path string) error {
+	defer fs.observe("unlink", fs.obsUnlink, fs.obsOp.StartTimer())
 	dir, leaf, err := fs.resolveDir(path)
 	if err != nil {
 		return err
@@ -428,6 +485,7 @@ func (fs *FS) Unlink(path string) error {
 // file (§6.1: write locks on both directory collections, acquired in a
 // fixed order to avoid deadlock).
 func (fs *FS) Rename(src, dst string) error {
+	defer fs.observe("rename", fs.obsRename, fs.obsOp.StartTimer())
 	sdir, sleaf, err := fs.resolveDir(src)
 	if err != nil {
 		return err
@@ -475,6 +533,7 @@ type FileInfo struct {
 
 // Stat returns metadata for path.
 func (fs *FS) Stat(path string) (FileInfo, error) {
+	defer fs.observe("stat", fs.obsStat, fs.obsOp.StartTimer())
 	oid, err := fs.resolve(path)
 	if err != nil {
 		return FileInfo{}, err
@@ -522,6 +581,7 @@ type DirEntry struct {
 
 // ReadDir lists a directory, sorted by name.
 func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
+	defer fs.observe("readdir", fs.obsReadDir, fs.obsOp.StartTimer())
 	oid, err := fs.resolve(path)
 	if err != nil {
 		return nil, err
@@ -550,6 +610,7 @@ func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
 // Chmod changes permission bits; hwProtect also narrows extent protection
 // through the SCM manager (the §7.2.1 path).
 func (fs *FS) Chmod(path string, perm uint32, hwProtect bool) error {
+	defer fs.observe("chmod", fs.obsChmod, fs.obsOp.StartTimer())
 	oid, err := fs.resolve(path)
 	if err != nil {
 		return err
@@ -562,7 +623,10 @@ func (fs *FS) Chmod(path string, perm uint32, hwProtect bool) error {
 }
 
 // Sync ships buffered metadata updates (fsync-equivalent for the volume).
-func (fs *FS) Sync() error { return fs.s.Sync() }
+func (fs *FS) Sync() error {
+	defer fs.observe("sync", fs.obsSync, fs.obsOp.StartTimer())
+	return fs.s.Sync()
+}
 
 // Root returns the root directory OID.
 func (fs *FS) Root() sobj.OID { return fs.s.Root }

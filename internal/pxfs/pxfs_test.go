@@ -469,3 +469,88 @@ func TestLargeExtentOption(t *testing.T) {
 	}
 	_ = f.Close()
 }
+
+// TestTruncateThenWriteThenSync is a regression test for a batched-update
+// ordering bug: a staged truncate used to zero the kept block's tail when
+// the TFS applied the batch, destroying bytes that a later write in the
+// same batch had already put there in place. Found by the differential
+// conformance suite (internal/conformance).
+func TestTruncateThenWriteThenSync(t *testing.T) {
+	fs, _ := newFS(t, Options{})
+	data := make([]byte, 6455)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	writeFile(t, fs, "/t.bin", data)
+
+	f, err := fs.OpenFile("/t.bin", O_RDWR, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(741); err != nil {
+		t.Fatal(err)
+	}
+	over := bytes.Repeat([]byte{0xAA}, 597)
+	if _, err := f.WriteAt(over, 398); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := readFile(t, fs, "/t.bin")
+	want := make([]byte, 995)
+	copy(want, data[:741])
+	copy(want[398:], over)
+	if !bytes.Equal(got, want) {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("content diverged at byte %d after sync: got %#02x want %#02x", i, got[i], want[i])
+			}
+		}
+		t.Fatalf("length mismatch: got %d want %d", len(got), len(want))
+	}
+}
+
+// TestTruncateGrowExposesZeros pins POSIX grow semantics across a sync:
+// shrinking then extending must expose zeros between the old and new EOF.
+func TestTruncateGrowExposesZeros(t *testing.T) {
+	fs, _ := newFS(t, Options{})
+	data := bytes.Repeat([]byte{0xEE}, 5000)
+	writeFile(t, fs, "/g.bin", data)
+	f, err := fs.OpenFile("/g.bin", O_RDWR, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f, err = fs.OpenFile("/g.bin", O_RDWR, 0644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := readFile(t, fs, "/g.bin")
+	want := make([]byte, 3000)
+	copy(want, data[:100])
+	if !bytes.Equal(got, want) {
+		t.Fatal("grow after shrink exposed stale bytes")
+	}
+}

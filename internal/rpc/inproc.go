@@ -53,6 +53,9 @@ func (c *InProcClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([
 	if closed {
 		return nil, ErrClosed
 	}
+	callHist := c.srv.callHist()
+	t0 := callHist.StartTimer()
+	defer func() { callHist.ObserveSince(t0) }()
 	if c.costs != nil {
 		costmodel.Spin(c.costs.RPCRoundTrip)
 	}

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"github.com/aerie-fs/aerie/internal/faultinject"
+	"github.com/aerie-fs/aerie/internal/obs"
 )
 
 // Status codes carried on responses.
@@ -127,6 +128,12 @@ type Server struct {
 	closed    bool
 
 	faults *faultinject.Injector
+
+	// Metrics resolved by SetObs; all nil (free no-ops) until then.
+	obsDispatch  *obs.Histogram // server-side handler time, per request
+	obsCall      *obs.Histogram // client-observed call time (in-proc transport)
+	obsCalls     *obs.Counter
+	obsCrossings *obs.Counter
 }
 
 // NewServer returns an empty server.
@@ -137,6 +144,35 @@ func NewServer() *Server {
 		sessions:  make(map[uint64]*session),
 		onClose:   make(map[uint64]func()),
 	}
+}
+
+// SetObs wires an observability sink: rpc.dispatch times every handler
+// execution server-side, rpc.calls counts requests, and rpc.crossings
+// counts simulated protection-domain crossings (each RPC models one
+// user→TFS crossing and back, the kernel-crossing analogue this emulation
+// charges via costmodel.RPCRoundTrip). A nil sink is inert.
+func (s *Server) SetObs(sink *obs.Sink) {
+	s.mu.Lock()
+	s.obsDispatch = sink.Histogram("rpc.dispatch")
+	s.obsCall = sink.Histogram("rpc.call")
+	s.obsCalls = sink.Counter("rpc.calls")
+	s.obsCrossings = sink.Counter("rpc.crossings")
+	s.mu.Unlock()
+}
+
+// callHist returns the client-observed call histogram (may be nil). The
+// in-proc transport shares the server's sink, as both live in one process.
+func (s *Server) callHist() *obs.Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obsCall
+}
+
+// obsMetrics returns the resolved metrics (any may be nil).
+func (s *Server) obsMetrics() (*obs.Histogram, *obs.Counter, *obs.Counter) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obsDispatch, s.obsCalls, s.obsCrossings
 }
 
 // SetFaults arms fault points on the server's transports (rpc.call,
@@ -174,11 +210,15 @@ func (s *Server) OnDisconnect(client uint64, fn func()) {
 func (s *Server) dispatch(client uint64, method uint32, req []byte) ([]byte, error) {
 	s.mu.RLock()
 	h, ok := s.handlers[method]
+	hist := s.obsDispatch
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w %d", ErrNoHandler, method)
 	}
-	return h(client, req)
+	t0 := hist.StartTimer()
+	resp, err := h(client, req)
+	hist.ObserveSince(t0)
+	return resp, err
 }
 
 // dispatchDedup runs the handler for one request at most once per (client,
@@ -187,6 +227,10 @@ func (s *Server) dispatch(client uint64, method uint32, req []byte) ([]byte, err
 // original waits for it instead of re-executing. reqID 0 opts out (used by
 // the handshake and non-idempotent-unaware legacy callers).
 func (s *Server) dispatchDedup(client uint64, reqID uint64, method uint32, req []byte) ([]byte, error) {
+	_, calls, crossings := s.obsMetrics()
+	calls.Inc()
+	// One request = one user→service protection crossing and its return.
+	crossings.Add(2)
 	if reqID == 0 {
 		return s.dispatch(client, method, req)
 	}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/wire"
 )
 
@@ -314,6 +316,11 @@ type ClientOptions struct {
 	// in [delay/2, delay). 0 selects the defaults.
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Obs, when non-nil, receives client-side call metrics: the rpc.call
+	// latency histogram plus rpc.client.calls / rpc.retries / rpc.timeouts
+	// counters. (The server publishes its own rpc.calls / rpc.dispatch on
+	// its sink; over TCP the two sinks are different processes' views.)
+	Obs *obs.Sink
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -461,16 +468,23 @@ func (c *TCPClient) NextReqID() uint64 { return c.reqSeq.Add(1) }
 
 // CallWithReqID implements IdempotentCaller.
 func (c *TCPClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([]byte, error) {
+	c.opts.Obs.Counter("rpc.client.calls").Inc()
+	t0 := c.opts.Obs.Histogram("rpc.call").StartTimer()
+	defer func() { c.opts.Obs.Histogram("rpc.call").ObserveSince(t0) }()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		resp, err, final := c.tryCall(method, reqID, req)
 		if final {
+			if errors.Is(err, ErrTimeout) {
+				c.opts.Obs.Counter("rpc.timeouts").Inc()
+			}
 			return resp, err
 		}
 		lastErr = err
 		if attempt >= c.opts.MaxRetries {
 			break
 		}
+		c.opts.Obs.Counter("rpc.retries").Inc()
 		time.Sleep(c.backoff(attempt))
 		c.mu.Lock()
 		closed := c.closed

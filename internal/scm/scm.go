@@ -31,6 +31,7 @@ import (
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
 	"github.com/aerie-fs/aerie/internal/faultinject"
+	"github.com/aerie-fs/aerie/internal/obs"
 )
 
 const (
@@ -145,6 +146,10 @@ type Config struct {
 	// they guard, so a crash there loses exactly the lines the operation
 	// was about to persist.
 	Faults *faultinject.Injector
+	// Obs, when non-nil, receives scm.lines_flushed / scm.fences counts
+	// and scm.charged_ns, the injected SCM write latency actually charged
+	// — the raw-media component of every breakdown table.
+	Obs *obs.Sink
 }
 
 // Memory is an emulated SCM arena. Data accesses are not internally
@@ -166,6 +171,13 @@ type Memory struct {
 	pendingCount int      // lines awaiting BFlush when not tracking (identities not needed)
 
 	stats Stats
+
+	// Metrics resolved once at construction; all nil (free no-ops) when
+	// cfg.Obs is nil.
+	obsLines   *obs.Counter
+	obsFences  *obs.Counter
+	obsCharged *obs.Counter // injected write latency actually spun, ns
+	obsClient  *obs.Counter // portion of obsCharged incurred through client mappings
 }
 
 // New creates an arena per cfg.
@@ -175,11 +187,15 @@ func New(cfg Config) *Memory {
 		size = PageSize
 	}
 	m := &Memory{
-		data:     make([]byte, size),
-		costs:    cfg.Costs,
-		track:    cfg.TrackPersistence,
-		paranoid: cfg.ParanoidSlices,
-		faults:   cfg.Faults,
+		data:       make([]byte, size),
+		costs:      cfg.Costs,
+		track:      cfg.TrackPersistence,
+		paranoid:   cfg.ParanoidSlices,
+		faults:     cfg.Faults,
+		obsLines:   cfg.Obs.Counter("scm.lines_flushed"),
+		obsFences:  cfg.Obs.Counter("scm.fences"),
+		obsCharged: cfg.Obs.Counter("scm.charged_ns"),
+		obsClient:  cfg.Obs.Counter("scm.client.charged_ns"),
 	}
 	if m.track {
 		m.shadow = make([]byte, size)
@@ -321,8 +337,10 @@ func (m *Memory) Flush(addr uint64, n int) error {
 	first, last := addr/LineSize, (addr+uint64(n)-1)/LineSize
 	lines := int64(last - first + 1)
 	m.stats.LinesFlushed.Add(lines)
+	m.obsLines.Add(lines)
 	if m.costs != nil && m.costs.SCMWriteLine > 0 {
 		costmodel.Spin(time.Duration(lines) * m.costs.SCMWriteLine)
+		m.obsCharged.Add(lines * int64(m.costs.SCMWriteLine))
 	}
 	if m.track {
 		m.mu.Lock()
@@ -356,8 +374,10 @@ func (m *Memory) BFlush() {
 		return
 	}
 	m.stats.LinesFlushed.Add(lines)
+	m.obsLines.Add(lines)
 	if m.costs != nil && m.costs.SCMWriteLine > 0 {
 		costmodel.Spin(time.Duration(lines) * m.costs.SCMWriteLine)
+		m.obsCharged.Add(lines * int64(m.costs.SCMWriteLine))
 	}
 	if m.track {
 		m.mu.Lock()
@@ -371,7 +391,25 @@ func (m *Memory) BFlush() {
 // Fence orders preceding writes before subsequent ones. In this emulation
 // flushes apply to the persistent image immediately and in program order, so
 // Fence only counts the event.
-func (m *Memory) Fence() { m.stats.Fences.Add(1) }
+func (m *Memory) Fence() {
+	m.stats.Fences.Add(1)
+	m.obsFences.Inc()
+}
+
+// ChargedNS returns the injected SCM write latency charged so far in
+// nanoseconds (0 when observability is off). Callers that bracket a
+// client-side operation read it before and after to attribute the delta.
+func (m *Memory) ChargedNS() int64 { return m.obsCharged.Load() }
+
+// AddClientChargedNS attributes d nanoseconds of already-charged SCM write
+// latency to the client side of the stack (writes issued through a
+// protected mapping rather than by the trusted service). The breakdown
+// derives server-side SCM time as charged - client.
+func (m *Memory) AddClientChargedNS(d int64) {
+	if d > 0 {
+		m.obsClient.Add(d)
+	}
+}
 
 // Atomic64 performs an 8-byte atomic store. The store is never torn across
 // a crash once flushed; an unflushed store is lost whole.

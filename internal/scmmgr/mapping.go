@@ -224,11 +224,22 @@ func (mp *Mapping) WriteStream(addr uint64, p []byte) error {
 }
 
 // Flush implements scm.Space. Flushing requires no permission beyond the
-// write that dirtied the lines.
-func (mp *Mapping) Flush(addr uint64, n int) error { return mp.mgr.mem.Flush(addr, n) }
+// write that dirtied the lines. The charged-latency delta is attributed to
+// the client side: a mapping is by construction a user-process window, so
+// everything flushed through it is library-file-system work, not TFS work.
+func (mp *Mapping) Flush(addr uint64, n int) error {
+	before := mp.mgr.mem.ChargedNS()
+	err := mp.mgr.mem.Flush(addr, n)
+	mp.mgr.mem.AddClientChargedNS(mp.mgr.mem.ChargedNS() - before)
+	return err
+}
 
 // BFlush implements scm.Space.
-func (mp *Mapping) BFlush() { mp.mgr.mem.BFlush() }
+func (mp *Mapping) BFlush() {
+	before := mp.mgr.mem.ChargedNS()
+	mp.mgr.mem.BFlush()
+	mp.mgr.mem.AddClientChargedNS(mp.mgr.mem.ChargedNS() - before)
+}
 
 // Fence implements scm.Space.
 func (mp *Mapping) Fence() { mp.mgr.mem.Fence() }

@@ -207,7 +207,7 @@ func (s *Service) applyAction(ac *action, replay bool) error {
 		if err != nil {
 			return err
 		}
-		return m.Truncate(allocator, ac.a)
+		return m.TruncatePruneOnly(allocator, ac.a)
 	case jSetPerm:
 		return sobj.SetPerm(s.mem, ac.oid, uint32(ac.a))
 	case jSetAttrs:
@@ -468,6 +468,7 @@ func (s *Service) ApplyLog(client uint64, payload []byte) error {
 	}
 	s.BatchesApplied.Add(1)
 	s.OpsApplied.Add(int64(len(ops)))
+	s.obsBatchOps.Observe(int64(len(ops)))
 	return nil
 }
 

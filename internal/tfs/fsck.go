@@ -130,6 +130,7 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 				return rep, err
 			}
 			rep.RepairedBlocks++
+			s.obsFsckRepairs.Inc()
 		}
 	}
 	return rep, nil

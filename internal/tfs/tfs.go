@@ -20,6 +20,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/journal"
 	"github.com/aerie-fs/aerie/internal/lockservice"
+	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/rpc"
 	"github.com/aerie-fs/aerie/internal/scm"
 	"github.com/aerie-fs/aerie/internal/scmmgr"
@@ -71,6 +72,11 @@ type Config struct {
 	// Faults, when non-nil, arms fault points on the service's mutation
 	// paths (tfs.*) and its journal (journal.*). Nil in production.
 	Faults *faultinject.Injector
+	// Obs, when non-nil, wires per-layer observability: the service's
+	// tfs.batch.ops histogram and tfs.fsck.repairs counter, plus the
+	// journal and lock-service metrics (the sink is shared down the
+	// stack so the breakdown can relate them).
+	Obs *obs.Sink
 }
 
 // Service is a running TFS instance for one volume.
@@ -103,6 +109,10 @@ type Service struct {
 	BatchesApplied costmodel.Counter
 	OpsApplied     costmodel.Counter
 	OpsRejected    costmodel.Counter
+
+	// Metrics resolved once in Serve; all nil when cfg.Obs is nil.
+	obsBatchOps    *obs.Histogram // ops per applied batch
+	obsFsckRepairs *obs.Counter
 }
 
 type clientState struct {
@@ -254,7 +264,10 @@ func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmm
 		openFiles: make(map[sobj.OID]*openState),
 		faults:    cfg.Faults,
 	}
+	s.obsBatchOps = cfg.Obs.Histogram("tfs.batch.ops")
+	s.obsFsckRepairs = cfg.Obs.Counter("tfs.fsck.repairs")
 	jl.SetFaults(cfg.Faults)
+	jl.SetObs(cfg.Obs)
 	// Crash recovery (§5.3.6): replay committed, un-checkpointed batches.
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -268,6 +281,7 @@ func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmm
 		Lease:          cfg.Lease,
 		AcquireTimeout: cfg.AcquireTimeout,
 		OnExpire:       func(client uint64) { s.dropClient(client) },
+		Obs:            cfg.Obs,
 	})
 	s.registerHandlers()
 	return s, nil
