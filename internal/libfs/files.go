@@ -371,19 +371,19 @@ func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
 		}
 	}
 	s.mu.Unlock()
-	if err := s.LogOp(fsproto.Op{Code: fsproto.OpTruncate, Target: oid, Val: truncTo, CoverLock: coverLock}); err != nil {
-		return err
-	}
 	if !hasFresh {
-		return nil
+		return s.LogOp(fsproto.Op{Code: fsproto.OpTruncate, Target: oid, Val: truncTo, CoverLock: coverLock})
 	}
-	if err := s.LogOp(fsproto.Op{
-		Code: fsproto.OpAttachExtent, Target: oid,
-		Val: freshBlk, Val2: freshExt, CoverLock: coverLock,
-	}); err != nil {
-		return err
-	}
-	return s.FileSetSize(oid, n, coverLock)
+	// The copy-on-truncate triple must land in one batch: an auto-ship
+	// between the boundary truncate and the attach would apply the
+	// destructive truncate alone and clear the shadows, losing the kept
+	// block's head bytes for readers now and, on a crash before the next
+	// ship, durably.
+	return s.LogOps([]fsproto.Op{
+		{Code: fsproto.OpTruncate, Target: oid, Val: truncTo, CoverLock: coverLock},
+		{Code: fsproto.OpAttachExtent, Target: oid, Val: freshBlk, Val2: freshExt, CoverLock: coverLock},
+		{Code: fsproto.OpSetSize, Target: oid, Val: n, CoverLock: coverLock},
+	})
 }
 
 // extentFor resolves a block through the shadow first, then the mFile.

@@ -352,15 +352,43 @@ func (s *Session) StagingAllocator() sobj.Allocator { return poolAllocator{s} }
 // LogOp buffers one metadata update, shipping the batch if it crossed the
 // size threshold.
 func (s *Session) LogOp(op fsproto.Op) error {
-	// A crash here loses the op before it reaches the local log — the
+	return s.logOps(&op, nil)
+}
+
+// LogOps buffers several metadata updates as one indivisible unit: all ops
+// join the batch under a single mutex hold and the ship threshold is only
+// checked after the last one, so an auto-ship can never apply a prefix of
+// the sequence alone. Sequences whose intermediate states are destructive
+// (copy-on-truncate's truncate/attach/set-size triple) must stage this way
+// — shipping just the boundary truncate would free the kept block's extent
+// and drop its shadow, losing the head bytes on crash.
+func (s *Session) LogOps(ops []fsproto.Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return s.logOps(nil, ops)
+}
+
+// logOps appends one op (single != nil) or a non-empty slice atomically.
+// The two parameters exist so the hot single-op path allocates no slice.
+func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
+	// A crash here loses the ops before they reach the local log — the
 	// "client dies with unshipped updates" case lease expiry cleans up.
 	if err := s.cfg.Faults.Hit("libfs.logop"); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.batch = append(s.batch, op)
-	s.batchBytes += 64 + len(op.Key) + len(op.Key2)
-	s.OpsLogged.Add(1)
+	if single != nil {
+		s.batch = append(s.batch, *single)
+		s.batchBytes += 64 + len(single.Key) + len(single.Key2)
+		s.OpsLogged.Add(1)
+	} else {
+		for _, op := range ops {
+			s.batch = append(s.batch, op)
+			s.batchBytes += 64 + len(op.Key) + len(op.Key2)
+		}
+		s.OpsLogged.Add(int64(len(ops)))
+	}
 	over := s.batchBytes >= s.cfg.BatchLimit
 	s.mu.Unlock()
 	if over {

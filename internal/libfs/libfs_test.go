@@ -168,6 +168,77 @@ func TestStagedInsertsCounter(t *testing.T) {
 	}
 }
 
+// TestTruncateMidBlockSurvivesAutoShip is a regression test: the
+// copy-on-truncate triple (truncate to the block boundary, attach the
+// fresh head-carrying extent, set the logical size) used to be staged by
+// three separate LogOp calls, so when the batch limit tripped on the first
+// of them the TFS applied the destructive boundary truncate alone and the
+// ship cleared the fresh extent's shadow — the kept block's head bytes
+// then read as zeros until the rest shipped, and a crash in between lost
+// them durably. The triple is now staged atomically via LogOps.
+func TestTruncateMidBlockSurvivesAutoShip(t *testing.T) {
+	const limit = 1000
+	s, _ := newSess(t, libfs.Config{UID: 1, BatchLimit: limit})
+	lock := s.Root.Lock()
+	if err := s.Clerk.Acquire(lock, lockservice.X, true); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Clerk.Release(lock, lockservice.X)
+	oid, err := s.CreateMFileStaged(0644, sobj.DefaultExtentLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DirInsert(s.Root, []byte("t.bin"), oid, lock); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 3*4096)
+	for i := range data {
+		data[i] = byte(i%251 + 1)
+	}
+	if _, err := s.FileWrite(oid, data, 0, lock); err != nil {
+		t.Fatal(err)
+	}
+	// Commit, so the truncate below hits an applied extent and takes the
+	// copy-on-truncate path rather than zeroing a pending extent in place.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Prefill the batch with no-op size sets (64 bytes each) to just under
+	// the limit, so the next staged op crosses it: with a split triple the
+	// auto-ship would apply the boundary truncate alone.
+	for i := 0; i < (limit-64+63)/64; i++ {
+		if err := s.FileSetSize(oid, uint64(len(data)), lock); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushes := s.Flushes.Load()
+	n := uint64(4096 + 100) // mid-block cut: block 1 keeps 100 head bytes
+	if err := s.FileTruncate(oid, n, lock); err != nil {
+		t.Fatal(err)
+	}
+	if s.Flushes.Load() == flushes {
+		t.Fatal("truncate did not trip the batch limit; the test no longer exercises the auto-ship")
+	}
+	check := func(when string) {
+		size, err := s.FileSize(oid)
+		if err != nil || size != n {
+			t.Fatalf("%s: size = %d, %v; want %d", when, size, err, n)
+		}
+		got := make([]byte, n)
+		if _, err := s.FileRead(oid, got, 0); err != nil {
+			t.Fatalf("%s: read: %v", when, err)
+		}
+		if !bytes.Equal(got, data[:n]) {
+			t.Fatalf("%s: kept bytes corrupted by mid-block truncate", when)
+		}
+	}
+	check("after truncate")
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	check("after sync")
+}
+
 func TestSingleExtentGrowthAcrossSync(t *testing.T) {
 	s, _ := newSess(t, libfs.Config{UID: 1})
 	lock := s.Root.Lock()

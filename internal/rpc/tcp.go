@@ -349,6 +349,13 @@ type TCPClient struct {
 	opts   ClientOptions
 	reqSeq atomic.Uint64
 
+	// Metrics resolved once at construction; all nil (free no-ops) when
+	// opts.Obs is nil.
+	obsCalls    *obs.Counter
+	obsRetries  *obs.Counter
+	obsTimeouts *obs.Counter
+	obsCall     *obs.Histogram
+
 	mu     sync.Mutex
 	idle   []net.Conn
 	cbLn   net.Listener
@@ -365,6 +372,10 @@ func DialTCP(addr string, cb CallbackFn) (*TCPClient, error) {
 // DialTCPOpts is DialTCP with explicit fault-tolerance options.
 func DialTCPOpts(addr string, cb CallbackFn, opts ClientOptions) (*TCPClient, error) {
 	c := &TCPClient{addr: addr, opts: opts.withDefaults()}
+	c.obsCalls = c.opts.Obs.Counter("rpc.client.calls")
+	c.obsRetries = c.opts.Obs.Counter("rpc.retries")
+	c.obsTimeouts = c.opts.Obs.Counter("rpc.timeouts")
+	c.obsCall = c.opts.Obs.Histogram("rpc.call")
 	cbAddr := ""
 	if cb != nil {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -468,15 +479,15 @@ func (c *TCPClient) NextReqID() uint64 { return c.reqSeq.Add(1) }
 
 // CallWithReqID implements IdempotentCaller.
 func (c *TCPClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([]byte, error) {
-	c.opts.Obs.Counter("rpc.client.calls").Inc()
-	t0 := c.opts.Obs.Histogram("rpc.call").StartTimer()
-	defer func() { c.opts.Obs.Histogram("rpc.call").ObserveSince(t0) }()
+	c.obsCalls.Inc()
+	t0 := c.obsCall.StartTimer()
+	defer c.obsCall.ObserveSince(t0)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		resp, err, final := c.tryCall(method, reqID, req)
 		if final {
 			if errors.Is(err, ErrTimeout) {
-				c.opts.Obs.Counter("rpc.timeouts").Inc()
+				c.obsTimeouts.Inc()
 			}
 			return resp, err
 		}
@@ -484,7 +495,7 @@ func (c *TCPClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([]by
 		if attempt >= c.opts.MaxRetries {
 			break
 		}
-		c.opts.Obs.Counter("rpc.retries").Inc()
+		c.obsRetries.Inc()
 		time.Sleep(c.backoff(attempt))
 		c.mu.Lock()
 		closed := c.closed

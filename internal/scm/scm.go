@@ -325,22 +325,34 @@ func (m *Memory) isDirtyLocked(line uint64) bool { return m.dirty[line/64]&(1<<(
 // Flush persists the cache lines covering [addr, addr+n), charging the
 // configured per-line SCM write latency.
 func (m *Memory) Flush(addr uint64, n int) error {
+	_, err := m.FlushCharged(addr, n)
+	return err
+}
+
+// FlushCharged is Flush, additionally returning the injected SCM write
+// latency this call charged, in nanoseconds. Callers attributing latency to
+// a side of the stack (e.g. a client mapping) use the per-call return; a
+// before/after diff of the shared scm.charged_ns counter would fold in
+// concurrent flushers' charges.
+func (m *Memory) FlushCharged(addr uint64, n int) (int64, error) {
 	if n <= 0 {
-		return nil
+		return 0, nil
 	}
 	if err := m.check(addr, n); err != nil {
-		return err
+		return 0, err
 	}
 	if err := m.faults.Hit("scm.flush"); err != nil {
-		return err
+		return 0, err
 	}
 	first, last := addr/LineSize, (addr+uint64(n)-1)/LineSize
 	lines := int64(last - first + 1)
 	m.stats.LinesFlushed.Add(lines)
 	m.obsLines.Add(lines)
+	var charged int64
 	if m.costs != nil && m.costs.SCMWriteLine > 0 {
 		costmodel.Spin(time.Duration(lines) * m.costs.SCMWriteLine)
-		m.obsCharged.Add(lines * int64(m.costs.SCMWriteLine))
+		charged = lines * int64(m.costs.SCMWriteLine)
+		m.obsCharged.Add(charged)
 	}
 	if m.track {
 		m.mu.Lock()
@@ -349,7 +361,7 @@ func (m *Memory) Flush(addr uint64, n int) error {
 		}
 		m.mu.Unlock()
 	}
-	return nil
+	return charged, nil
 }
 
 func (m *Memory) persistLineLocked(line uint64) {
@@ -360,7 +372,11 @@ func (m *Memory) persistLineLocked(line uint64) {
 
 // BFlush drains the write-combining buffers, persisting all streaming writes
 // issued since the previous BFlush.
-func (m *Memory) BFlush() {
+func (m *Memory) BFlush() { m.BFlushCharged() }
+
+// BFlushCharged is BFlush, additionally returning the injected SCM write
+// latency this call charged, in nanoseconds (see FlushCharged).
+func (m *Memory) BFlushCharged() int64 {
 	// BFlush has no error return (real hardware cannot fail a drain), so
 	// only delay and crash rules are meaningful here.
 	_ = m.faults.Hit("scm.bflush")
@@ -371,13 +387,15 @@ func (m *Memory) BFlush() {
 	m.pendingCount = 0
 	m.mu.Unlock()
 	if lines == 0 {
-		return
+		return 0
 	}
 	m.stats.LinesFlushed.Add(lines)
 	m.obsLines.Add(lines)
+	var charged int64
 	if m.costs != nil && m.costs.SCMWriteLine > 0 {
 		costmodel.Spin(time.Duration(lines) * m.costs.SCMWriteLine)
-		m.obsCharged.Add(lines * int64(m.costs.SCMWriteLine))
+		charged = lines * int64(m.costs.SCMWriteLine)
+		m.obsCharged.Add(charged)
 	}
 	if m.track {
 		m.mu.Lock()
@@ -386,6 +404,7 @@ func (m *Memory) BFlush() {
 		}
 		m.mu.Unlock()
 	}
+	return charged
 }
 
 // Fence orders preceding writes before subsequent ones. In this emulation
@@ -396,15 +415,11 @@ func (m *Memory) Fence() {
 	m.obsFences.Inc()
 }
 
-// ChargedNS returns the injected SCM write latency charged so far in
-// nanoseconds (0 when observability is off). Callers that bracket a
-// client-side operation read it before and after to attribute the delta.
-func (m *Memory) ChargedNS() int64 { return m.obsCharged.Load() }
-
 // AddClientChargedNS attributes d nanoseconds of already-charged SCM write
-// latency to the client side of the stack (writes issued through a
-// protected mapping rather than by the trusted service). The breakdown
-// derives server-side SCM time as charged - client.
+// latency (a FlushCharged/BFlushCharged return value) to the client side of
+// the stack (writes issued through a protected mapping rather than by the
+// trusted service). The breakdown derives server-side SCM time as
+// charged - client.
 func (m *Memory) AddClientChargedNS(d int64) {
 	if d > 0 {
 		m.obsClient.Add(d)

@@ -5,6 +5,10 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/obs"
 )
 
 func newTracked(t *testing.T, size uint64) *Memory {
@@ -24,6 +28,47 @@ func TestReadWriteRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+// TestFlushChargedPerCallReturn pins the per-call charge accounting that
+// client mappings use for attribution: the return value must equal this
+// call's lines × SCMWriteLine, independent of the shared scm.charged_ns
+// counter (a before/after diff of that counter folds in concurrent
+// flushers' charges).
+func TestFlushChargedPerCallReturn(t *testing.T) {
+	sink := obs.New()
+	m := New(Config{
+		Size:  2 * PageSize,
+		Costs: &costmodel.Costs{SCMWriteLine: time.Nanosecond},
+		Obs:   sink,
+	})
+	global := sink.Counter("scm.charged_ns")
+
+	charged, err := m.FlushCharged(0, 3*int(LineSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3); charged != want {
+		t.Fatalf("FlushCharged = %dns, want %dns", charged, want)
+	}
+	if global.Load() != charged {
+		t.Fatalf("global charged = %dns, want %dns", global.Load(), charged)
+	}
+
+	if err := m.WriteStream(0, make([]byte, 2*LineSize)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BFlushCharged(); got != 2 {
+		t.Fatalf("BFlushCharged = %dns, want 2ns", got)
+	}
+	if m.BFlushCharged() != 0 {
+		t.Fatal("second BFlush with nothing pending should charge 0")
+	}
+	// Flush with no configured latency charges nothing.
+	m2 := New(Config{Size: PageSize, Obs: obs.New()})
+	if c, err := m2.FlushCharged(0, int(LineSize)); err != nil || c != 0 {
+		t.Fatalf("uncosted FlushCharged = %dns, %v; want 0", c, err)
 	}
 }
 

@@ -224,21 +224,20 @@ func (mp *Mapping) WriteStream(addr uint64, p []byte) error {
 }
 
 // Flush implements scm.Space. Flushing requires no permission beyond the
-// write that dirtied the lines. The charged-latency delta is attributed to
-// the client side: a mapping is by construction a user-process window, so
-// everything flushed through it is library-file-system work, not TFS work.
+// write that dirtied the lines. This call's charged latency is attributed
+// to the client side: a mapping is by construction a user-process window,
+// so everything flushed through it is library-file-system work, not TFS
+// work. The per-call return is used rather than diffing the shared
+// scm.charged_ns counter, which would misattribute concurrent flushers.
 func (mp *Mapping) Flush(addr uint64, n int) error {
-	before := mp.mgr.mem.ChargedNS()
-	err := mp.mgr.mem.Flush(addr, n)
-	mp.mgr.mem.AddClientChargedNS(mp.mgr.mem.ChargedNS() - before)
+	charged, err := mp.mgr.mem.FlushCharged(addr, n)
+	mp.mgr.mem.AddClientChargedNS(charged)
 	return err
 }
 
 // BFlush implements scm.Space.
 func (mp *Mapping) BFlush() {
-	before := mp.mgr.mem.ChargedNS()
-	mp.mgr.mem.BFlush()
-	mp.mgr.mem.AddClientChargedNS(mp.mgr.mem.ChargedNS() - before)
+	mp.mgr.mem.AddClientChargedNS(mp.mgr.mem.BFlushCharged())
 }
 
 // Fence implements scm.Space.
