@@ -4,13 +4,15 @@
 # race-enabled runs of the packages on the zero-copy read path plus a short
 # fuzz pass over the wire/protocol decoders; tier2-crash runs the exhaustive
 # crash sweep (every ordinal of every fault point) plus race-enabled
-# RPC/libFS fault-injection tests.
+# RPC/libFS fault-injection tests; tier2-exhaust runs the full
+# resource-exhaustion sweep (natural fill + every sampled ordinal of every
+# allocation/journal failure point).
 
 TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice ./internal/alloc
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash bench-readpath fuzz-short
+.PHONY: all tier1 tier2 tier2-crash tier2-exhaust bench-readpath fuzz-short
 
 all: tier1
 
@@ -34,10 +36,18 @@ fuzz-short:
 	go test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzWriterReaderRoundTrip$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzSplitPath$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pxfs
+	go test -fuzz='^FuzzDecodeActions$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/tfs
 
 tier2-crash:
 	AERIE_CRASHSWEEP_ORDINALS=-1 go test -v -timeout 60m -run TestSweepAllPoints ./internal/crashsweep
 	go test -race ./internal/rpc ./internal/libfs ./internal/crashsweep
+
+# Full exhaustion sweep: natural fill of a tiny volume plus an injected
+# failure at every sampled ordinal of alloc.alloc / alloc.reserve /
+# journal.append, asserting typed errors, clean volumes, and forward
+# progress after frees.
+tier2-exhaust:
+	go test -v -timeout 30m -run TestSweepFull ./internal/exhaustsweep
 
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .

@@ -31,10 +31,31 @@ import (
 	"github.com/aerie-fs/aerie/internal/core"
 	"github.com/aerie-fs/aerie/internal/costmodel"
 	"github.com/aerie-fs/aerie/internal/flatfs"
+	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/pxfs"
 	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// StatfsInfo is the volume-wide space and object accounting returned by
+// PXFS.Statfs / FlatFS.Statfs / Session.Statfs (statvfs/df).
+type StatfsInfo = fsproto.StatfsReply
+
+// Typed resource-exhaustion errors surfaced by Sync/FlushUpdates and the
+// interface layers. Test with errors.Is.
+var (
+	// ErrNoSpace: the TFS could not reserve worst-case space for a batch
+	// (or an allocation ran dry). The rejected batch's staged extents were
+	// reclaimed and the session reconverged with committed state; freeing
+	// space lets it continue.
+	ErrNoSpace = fsproto.ErrNoSpace
+	// ErrBatchTooLarge: a single indivisible logged group exceeds what the
+	// journal can ever hold.
+	ErrBatchTooLarge = fsproto.ErrBatchTooLarge
+	// ErrBusy: the TFS shed the batch under load and in-call retries were
+	// exhausted; the batch stays parked and a later Sync re-ships it.
+	ErrBusy = fsproto.ErrBusy
 )
 
 // Options configures a machine (see core.Options for field docs).

@@ -64,7 +64,7 @@ func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, sink *aerie.ObsSink, cmd strin
 		fmt.Print(`POSIX (PXFS):  ls [dir] | cat <file> | write <file> <text...> | append <file> <text...>
                mkdir <dir> | rm <file> | rmdir <dir> | mv <src> <dst> | stat <path> | chmod <octal> <path>
 Key/value (FlatFS): put <key> <text...> | get <key> | erase <key> | keys
-Other:         sync | stats [reset] | help | quit
+Other:         df | sync | stats [reset] | help | quit
 `)
 		return nil
 	case "ls":
@@ -189,6 +189,15 @@ Other:         sync | stats [reset] | help | quit
 		for _, k := range keys {
 			fmt.Println(k)
 		}
+		return nil
+	case "df":
+		st, err := px.Statfs()
+		if err != nil {
+			return err
+		}
+		used := st.TotalBytes - st.FreeBytes - st.ReservedBytes
+		fmt.Printf("total %d  used %d  free %d  reserved %d  objects %d  batches %d\n",
+			st.TotalBytes, used, st.FreeBytes, st.ReservedBytes, st.Objects, st.BatchesApplied)
 		return nil
 	case "sync":
 		return px.Sync()

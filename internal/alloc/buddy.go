@@ -12,6 +12,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"github.com/aerie-fs/aerie/internal/faultinject"
 	"github.com/aerie-fs/aerie/internal/scm"
 )
 
@@ -44,10 +45,17 @@ type Buddy struct {
 	heapSize   uint64
 	maxOrder   uint
 
-	mu    sync.Mutex
-	free  map[uint][]uint64 // order -> free block addresses (volatile)
-	freeB uint64            // free bytes
+	mu        sync.Mutex
+	free      map[uint][]uint64 // order -> free block addresses (volatile)
+	freeB     uint64            // free bytes
+	reservedB uint64            // bytes held by open reservations
+
+	faults *faultinject.Injector
 }
+
+// SetFaults installs a fault injector (nil-safe) hit on the allocation
+// paths: "alloc.alloc" and "alloc.reserve".
+func (b *Buddy) SetFaults(inj *faultinject.Injector) { b.faults = inj }
 
 // Format zeroes the bitmap (everything free) and returns an attached
 // allocator.
@@ -180,9 +188,35 @@ func (b *Buddy) Alloc(size uint64) (uint64, error) {
 	if order > b.maxOrder {
 		return 0, fmt.Errorf("%w: %d bytes (order %d > max %d)", ErrTooLarge, size, order, b.maxOrder)
 	}
+	if err := b.faults.Hit("alloc.alloc"); err != nil {
+		return 0, err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	// Find the smallest order with a free block, splitting down.
+	return b.allocLocked(order)
+}
+
+// allocLocked pops a block of the given order and commits it to the bitmap.
+func (b *Buddy) allocLocked(order uint) (uint64, error) {
+	addr, err := b.popLocked(order)
+	if err != nil {
+		return 0, err
+	}
+	blk := (addr - b.heapStart) / MinBlock
+	n := BlockSize(order) / MinBlock
+	if err := b.setBits(blk, n, true); err != nil {
+		// Roll the block back onto the free list.
+		b.free[order] = append(b.free[order], addr)
+		return 0, err
+	}
+	b.freeB -= BlockSize(order)
+	return addr, nil
+}
+
+// popLocked removes a free block of exactly the given order from the free
+// lists, splitting a larger block if needed. No bitmap writes: the block
+// stays free in persistent state until the caller commits it.
+func (b *Buddy) popLocked(order uint) (uint64, error) {
 	o := order
 	for o <= b.maxOrder && len(b.free[o]) == 0 {
 		o++
@@ -197,15 +231,23 @@ func (b *Buddy) Alloc(size uint64) (uint64, error) {
 		buddy := addr + BlockSize(o)
 		b.free[o] = append(b.free[o], buddy)
 	}
-	blk := (addr - b.heapStart) / MinBlock
-	n := BlockSize(order) / MinBlock
-	if err := b.setBits(blk, n, true); err != nil {
-		// Roll the block back onto the free list.
-		b.free[order] = append(b.free[order], addr)
-		return 0, err
-	}
-	b.freeB -= BlockSize(order)
 	return addr, nil
+}
+
+// pushLocked returns a block to the free lists, coalescing with free
+// buddies. It does not touch the bitmap or the byte counters.
+func (b *Buddy) pushLocked(addr uint64, order uint) {
+	for order < b.maxOrder {
+		buddy := b.heapStart + ((addr - b.heapStart) ^ BlockSize(order))
+		if !b.removeFree(order, buddy) {
+			break
+		}
+		if buddy < addr {
+			addr = buddy
+		}
+		order++
+	}
+	b.free[order] = append(b.free[order], addr)
 }
 
 // Free returns an extent previously allocated with size bytes (the original
@@ -233,18 +275,7 @@ func (b *Buddy) Free(addr, size uint64) error {
 		return err
 	}
 	b.freeB += BlockSize(order)
-	// Coalesce with free buddies.
-	for order < b.maxOrder {
-		buddy := b.heapStart + ((addr - b.heapStart) ^ BlockSize(order))
-		if !b.removeFree(order, buddy) {
-			break
-		}
-		if buddy < addr {
-			addr = buddy
-		}
-		order++
-	}
-	b.free[order] = append(b.free[order], addr)
+	b.pushLocked(addr, order)
 	return nil
 }
 
@@ -260,11 +291,19 @@ func (b *Buddy) removeFree(order uint, addr uint64) bool {
 	return false
 }
 
-// FreeBytes returns the total free space.
+// FreeBytes returns the total free space, excluding bytes held by open
+// reservations.
 func (b *Buddy) FreeBytes() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.freeB
+}
+
+// ReservedBytes returns the bytes currently held by open reservations.
+func (b *Buddy) ReservedBytes() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reservedB
 }
 
 // HeapSize returns the managed heap size.
@@ -288,4 +327,132 @@ func (b *Buddy) ForEachAllocated(fn func(addr uint64) error) error {
 		}
 	}
 	return nil
+}
+
+// Reservation holds concrete blocks taken off the volatile free lists
+// without any bitmap writes: persistent state still records them free, so a
+// crash releases every open reservation for free (the free lists are rebuilt
+// from the bitmap at attach). The TFS reserves a batch's worst-case demand
+// before journaling it, then serves apply-time allocations from the
+// reservation, guaranteeing a committed batch can never fail on space.
+//
+// A Reservation implements the same Alloc/Free contract as Buddy and is not
+// safe for concurrent use with itself, matching the TFS's serialized apply.
+type Reservation struct {
+	b        *Buddy
+	blocks   map[uint][]uint64 // order -> held block addresses
+	held     uint64            // bytes currently held (not yet consumed)
+	fallback uint64            // allocs that fell through to the shared pool
+}
+
+// Reserve takes one block per requested size off the free lists. It either
+// reserves the whole demand or nothing: on failure everything is returned
+// and ErrNoSpace (or ErrTooLarge) is reported.
+func (b *Buddy) Reserve(sizes []uint64) (*Reservation, error) {
+	if err := b.faults.Hit("alloc.reserve"); err != nil {
+		return nil, err
+	}
+	r := &Reservation{b: b, blocks: make(map[uint][]uint64)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, size := range sizes {
+		order := OrderFor(size)
+		var err error
+		if order > b.maxOrder {
+			err = fmt.Errorf("%w: %d bytes (order %d > max %d)", ErrTooLarge, size, order, b.maxOrder)
+		} else {
+			var addr uint64
+			addr, err = b.popLocked(order)
+			if err == nil {
+				r.blocks[order] = append(r.blocks[order], addr)
+				sz := BlockSize(order)
+				b.freeB -= sz
+				b.reservedB += sz
+				r.held += sz
+				continue
+			}
+		}
+		b.releaseLocked(r)
+		return nil, err
+	}
+	return r, nil
+}
+
+// releaseLocked returns every held block to the free lists.
+func (b *Buddy) releaseLocked(r *Reservation) {
+	for order, list := range r.blocks {
+		for _, addr := range list {
+			b.pushLocked(addr, order)
+			sz := BlockSize(order)
+			b.freeB += sz
+			b.reservedB -= sz
+		}
+	}
+	r.blocks = make(map[uint][]uint64)
+	r.held = 0
+}
+
+// Alloc serves an allocation from the reservation: the block's bitmap bits
+// are committed only now. If the reservation cannot cover the request (the
+// worst-case estimate was wrong), it falls through to the shared pool; the
+// Fallbacks counter records how often that happened.
+func (r *Reservation) Alloc(size uint64) (uint64, error) {
+	b := r.b
+	order := OrderFor(size)
+	if order > b.maxOrder {
+		return 0, fmt.Errorf("%w: %d bytes (order %d > max %d)", ErrTooLarge, size, order, b.maxOrder)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	o := order
+	for o <= b.maxOrder && len(r.blocks[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		r.fallback++
+		return b.allocLocked(order)
+	}
+	addr := r.blocks[o][len(r.blocks[o])-1]
+	r.blocks[o] = r.blocks[o][:len(r.blocks[o])-1]
+	for o > order {
+		o--
+		r.blocks[o] = append(r.blocks[o], addr+BlockSize(o))
+	}
+	blk := (addr - b.heapStart) / MinBlock
+	n := BlockSize(order) / MinBlock
+	if err := b.setBits(blk, n, true); err != nil {
+		r.blocks[order] = append(r.blocks[order], addr)
+		return 0, err
+	}
+	sz := BlockSize(order)
+	b.reservedB -= sz
+	r.held -= sz
+	return addr, nil
+}
+
+// Free returns an extent to the shared pool (frees during apply — truncates,
+// unlinks, table rehashes — are real frees, not reservation refills).
+func (r *Reservation) Free(addr, size uint64) error { return r.b.Free(addr, size) }
+
+// Release returns all unconsumed blocks to the free lists. Idempotent.
+func (r *Reservation) Release() {
+	b := r.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.releaseLocked(r)
+}
+
+// HeldBytes returns the bytes still held (reserved but not consumed).
+func (r *Reservation) HeldBytes() uint64 {
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.held
+}
+
+// Fallbacks returns how many allocations bypassed the reservation because it
+// could not cover them.
+func (r *Reservation) Fallbacks() uint64 {
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.fallback
 }

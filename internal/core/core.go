@@ -31,6 +31,11 @@ type Options struct {
 	// Lease and AcquireTimeout for the lock service.
 	Lease          time.Duration
 	AcquireTimeout time.Duration
+	// MaxInflightBytes, MaxClientInflight, and RetryAfterHint tune the
+	// TFS's admission control (see tfs.Config); zero keeps its defaults.
+	MaxInflightBytes  int64
+	MaxClientInflight int
+	RetryAfterHint    time.Duration
 	// VolumeGID for the volume-wide extent ACL.
 	VolumeGID uint32
 	// Tracer records client phase traces (single-threaded capture runs).
@@ -109,13 +114,16 @@ func New(opts Options) (*System, error) {
 
 func (sys *System) tfsConfig() tfs.Config {
 	return tfs.Config{
-		JournalSize:    sys.opts.JournalSize,
-		Lease:          sys.opts.Lease,
-		AcquireTimeout: sys.opts.AcquireTimeout,
-		VolumeGID:      sys.opts.VolumeGID,
-		Costs:          sys.Costs,
-		Faults:         sys.opts.Faults,
-		Obs:            sys.opts.Obs,
+		JournalSize:       sys.opts.JournalSize,
+		Lease:             sys.opts.Lease,
+		AcquireTimeout:    sys.opts.AcquireTimeout,
+		VolumeGID:         sys.opts.VolumeGID,
+		MaxInflightBytes:  sys.opts.MaxInflightBytes,
+		MaxClientInflight: sys.opts.MaxClientInflight,
+		RetryAfterHint:    sys.opts.RetryAfterHint,
+		Costs:             sys.Costs,
+		Faults:            sys.opts.Faults,
+		Obs:               sys.opts.Obs,
 	}
 }
 

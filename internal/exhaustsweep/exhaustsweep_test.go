@@ -1,0 +1,51 @@
+package exhaustsweep
+
+import (
+	"testing"
+)
+
+// TestSweepQuick is the tier-1 smoke: the natural fill plus one ordinal per
+// injected point.
+func TestSweepQuick(t *testing.T) {
+	res, err := Sweep(Config{
+		Seed:                1,
+		Steps:               10,
+		MaxOrdinalsPerPoint: 1,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("\n%s", res)
+	if fails := res.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			t.Errorf("violation: %s", f)
+		}
+	}
+	if res.FillFiles == 0 {
+		t.Fatalf("natural fill committed no files")
+	}
+}
+
+// TestSweepFull is the tier-2 exhaustive run (make tier2-exhaust): denser
+// ordinal sampling across every injected point.
+func TestSweepFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2 sweep; run via make tier2-exhaust")
+	}
+	res, err := Sweep(Config{
+		Seed:                7,
+		Steps:               24,
+		MaxOrdinalsPerPoint: 6,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	t.Logf("\n%s", res)
+	if fails := res.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			t.Errorf("violation: %s", f)
+		}
+	}
+}

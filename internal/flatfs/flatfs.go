@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/lockservice"
 	"github.com/aerie-fs/aerie/internal/obs"
@@ -319,3 +320,8 @@ func (fs *FS) Count() (int, error) {
 
 // Sync ships buffered metadata updates.
 func (fs *FS) Sync() error { return fs.s.Sync() }
+
+// Statfs reports volume-wide space and object accounting: total and free
+// bytes, bytes held by in-flight admission reservations, and the live
+// object count.
+func (fs *FS) Statfs() (fsproto.StatfsReply, error) { return fs.s.Statfs() }

@@ -1,0 +1,45 @@
+package fsproto
+
+import (
+	"errors"
+
+	"github.com/aerie-fs/aerie/internal/rpc"
+)
+
+// Typed resource-exhaustion errors. These are protocol-level: both sides of
+// the wire agree on their stable codes (registered below), so a client-side
+// errors.Is against the sentinel holds after a round trip while
+// rpc.IsTransport stays false — exhaustion is an application outcome, not a
+// transport failure, and must never trigger the transport's retry storm.
+var (
+	// ErrNoSpace is the ENOSPC of the protocol: the volume cannot cover
+	// the request's worst-case space demand.
+	ErrNoSpace = errors.New("fsproto: out of space")
+	// ErrBatchTooLarge rejects a batch whose journal payload exceeds the
+	// journal's capacity even after a checkpoint; the client must split or
+	// abandon it.
+	ErrBatchTooLarge = errors.New("fsproto: batch exceeds journal capacity")
+	// ErrBusy sheds a request under admission control; the RemoteError's
+	// RetryAfterMs carries the server's backpressure hint.
+	ErrBusy = errors.New("fsproto: service busy")
+)
+
+// Stable wire codes for the exhaustion errors. Codes are protocol constants
+// like method numbers: never renumber.
+const (
+	CodeNoSpace       uint32 = 1
+	CodeBatchTooLarge uint32 = 2
+	CodeBusy          uint32 = 3
+)
+
+func init() {
+	rpc.RegisterErrorCode(CodeNoSpace, ErrNoSpace)
+	rpc.RegisterErrorCode(CodeBatchTooLarge, ErrBatchTooLarge)
+	rpc.RegisterErrorCode(CodeBusy, ErrBusy)
+}
+
+// IsExhaustion reports whether err is one of the typed resource-exhaustion
+// outcomes (possibly after an RPC round trip).
+func IsExhaustion(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, ErrBatchTooLarge) || errors.Is(err, ErrBusy)
+}

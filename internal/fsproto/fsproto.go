@@ -27,6 +27,7 @@ const (
 	MethodCloseFile = 0x206
 	MethodSync      = 0x207
 	MethodStatVol   = 0x208
+	MethodStatfs    = 0x209
 )
 
 // Op codes in a metadata-update batch.
@@ -82,7 +83,15 @@ func DecodeOps(payload []byte) ([]Op, error) {
 	if n > 1<<20 {
 		return nil, fmt.Errorf("fsproto: implausible op count %d", n)
 	}
-	ops := make([]Op, 0, n)
+	// Bound the preallocation by what the payload could possibly hold (an
+	// encoded op is at least 65 bytes): the payload is client-controlled,
+	// and a forged count must not make the trusted service allocate big
+	// slabs before the first field read fails.
+	capHint := n
+	if most := uint32(len(payload)/65) + 1; most < capHint {
+		capHint = most
+	}
+	ops := make([]Op, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		var op Op
 		op.Code = r.U8()
@@ -150,6 +159,42 @@ func DecodeMountReply(p []byte) (MountReply, error) {
 	m.VolumeGID = r.U32()
 	if err := r.Finish(); err != nil {
 		return MountReply{}, err
+	}
+	return m, nil
+}
+
+// StatfsReply is the response to MethodStatfs: volume-wide space and object
+// accounting, including bytes held by open admission reservations.
+type StatfsReply struct {
+	TotalBytes     uint64 // managed heap size
+	FreeBytes      uint64 // allocatable now (excludes reserved)
+	ReservedBytes  uint64 // held by in-flight batch reservations
+	Objects        uint64 // objects reachable from the root namespace
+	BatchesApplied uint64
+}
+
+// EncodeStatfsReply serializes r.
+func EncodeStatfsReply(m *StatfsReply) []byte {
+	w := wire.NewWriter(40)
+	w.U64(m.TotalBytes)
+	w.U64(m.FreeBytes)
+	w.U64(m.ReservedBytes)
+	w.U64(m.Objects)
+	w.U64(m.BatchesApplied)
+	return w.Bytes()
+}
+
+// DecodeStatfsReply parses a MethodStatfs response.
+func DecodeStatfsReply(p []byte) (StatfsReply, error) {
+	r := wire.NewReader(p)
+	var m StatfsReply
+	m.TotalBytes = r.U64()
+	m.FreeBytes = r.U64()
+	m.ReservedBytes = r.U64()
+	m.Objects = r.U64()
+	m.BatchesApplied = r.U64()
+	if err := r.Finish(); err != nil {
+		return StatfsReply{}, err
 	}
 	return m, nil
 }

@@ -1,0 +1,120 @@
+package fsproto_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/obs"
+	"github.com/aerie-fs/aerie/internal/rpc"
+)
+
+// shedError mimics the TFS's admission-control error: it unwraps to ErrBusy
+// and carries a retry-after hint for the transport to stamp on the wire.
+type shedError struct{ hintMs uint32 }
+
+func (e shedError) Error() string        { return fmt.Sprintf("shed, retry in %dms", e.hintMs) }
+func (e shedError) Unwrap() error        { return fsproto.ErrBusy }
+func (e shedError) RetryAfterMs() uint32 { return e.hintMs }
+
+const methodFail = 77
+
+// newFailServer returns a server whose handler fails with the error named
+// by the request payload.
+func newFailServer() *rpc.Server {
+	srv := rpc.NewServer()
+	srv.Register(methodFail, func(_ uint64, req []byte) ([]byte, error) {
+		switch string(req) {
+		case "nospace":
+			return nil, fmt.Errorf("volume full: %w", fsproto.ErrNoSpace)
+		case "toolarge":
+			return nil, fsproto.ErrBatchTooLarge
+		case "busy":
+			return nil, shedError{hintMs: 17}
+		case "untyped":
+			return nil, errors.New("some validation failure")
+		}
+		return []byte("ok"), nil
+	})
+	return srv
+}
+
+// checkTyped asserts the typed-exhaustion contract on a client, whatever
+// the transport: the sentinel survives errors.Is, the stable code arrives,
+// IsTransport stays false (an ENOSPC must never look like "server gone",
+// which would requeue the batch forever), and the shed hint is carried.
+func checkTyped(t *testing.T, c rpc.Client) {
+	t.Helper()
+	cases := []struct {
+		req      string
+		sentinel error
+		code     uint32
+		hintMs   uint32
+	}{
+		{"nospace", fsproto.ErrNoSpace, fsproto.CodeNoSpace, 0},
+		{"toolarge", fsproto.ErrBatchTooLarge, fsproto.CodeBatchTooLarge, 0},
+		{"busy", fsproto.ErrBusy, fsproto.CodeBusy, 17},
+	}
+	for _, tc := range cases {
+		_, err := c.Call(methodFail, []byte(tc.req))
+		if err == nil {
+			t.Fatalf("%s: handler error did not cross the wire", tc.req)
+		}
+		if !errors.Is(err, tc.sentinel) {
+			t.Errorf("%s: errors.Is(err, sentinel) = false: %v", tc.req, err)
+		}
+		if !fsproto.IsExhaustion(err) {
+			t.Errorf("%s: IsExhaustion = false: %v", tc.req, err)
+		}
+		if rpc.IsTransport(err) {
+			t.Errorf("%s: typed exhaustion classified as transport failure: %v", tc.req, err)
+		}
+		var re *rpc.RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: error is not a RemoteError: %v", tc.req, err)
+		}
+		if re.Code != tc.code {
+			t.Errorf("%s: code = %d, want %d", tc.req, re.Code, tc.code)
+		}
+		if re.RetryAfterMs != tc.hintMs {
+			t.Errorf("%s: retry hint = %d, want %d", tc.req, re.RetryAfterMs, tc.hintMs)
+		}
+	}
+
+	// An unregistered error still crosses as an application error — just
+	// uncoded, matching no sentinel.
+	_, err := c.Call(methodFail, []byte("untyped"))
+	if err == nil || rpc.IsTransport(err) || fsproto.IsExhaustion(err) {
+		t.Errorf("untyped: want uncoded application error, got %v", err)
+	}
+}
+
+func TestExhaustionErrorsRoundTripInProc(t *testing.T) {
+	c := rpc.DialInProc(newFailServer(), nil, nil, nil)
+	defer c.Close()
+	checkTyped(t, c)
+}
+
+func TestExhaustionErrorsRoundTripTCP(t *testing.T) {
+	ln, err := rpc.ListenTCP(newFailServer(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	sink := obs.New()
+	c, err := rpc.DialTCPOpts(ln.Addr(), nil, rpc.ClientOptions{Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	checkTyped(t, c)
+	// Application rejections must not have tripped the transport's retry
+	// machinery: the server answered every call, it just said no.
+	if n := sink.Counter("rpc.retries").Load(); n != 0 {
+		t.Errorf("rpc.retries = %d after pure application errors, want 0", n)
+	}
+	if n := sink.Counter("rpc.timeouts").Load(); n != 0 {
+		t.Errorf("rpc.timeouts = %d after pure application errors, want 0", n)
+	}
+}

@@ -167,6 +167,16 @@ func (l *Log) used(tail uint64) uint64 {
 // FreeBytes returns the space available for new records (committed view).
 func (l *Log) FreeBytes() uint64 { return l.size - l.used(l.staged) - 1 }
 
+// MaxPayload returns the largest payload Append can ever accept, even right
+// after a checkpoint: records are capped at half the ring (see ErrTooBig) so
+// admission can reject oversized batches before touching the log.
+func (l *Log) MaxPayload() uint64 {
+	if l.size/2 < recHeader {
+		return 0
+	}
+	return (l.size/2 - recHeader) &^ 7
+}
+
 // Append stages a record with the given payload. The record is not
 // persistent or replayable until Commit. Returns ErrFull when the log needs
 // a checkpoint first.

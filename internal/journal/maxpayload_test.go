@@ -1,0 +1,46 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMaxPayloadBound pins the admission contract: MaxPayload is exactly
+// the largest payload Append ever accepts, so the TFS can reject an
+// oversized batch (typed ErrBatchTooLarge upstream) before touching the
+// log, and anything at or under the bound is appendable on an empty log.
+func TestMaxPayloadBound(t *testing.T) {
+	l, _ := newLog(t, 64*1024)
+	max := l.MaxPayload()
+	if max == 0 || max >= 64*1024 {
+		t.Fatalf("implausible MaxPayload %d for a 64 KiB ring", max)
+	}
+	if err := l.Append(make([]byte, max+1)); !errors.Is(err, ErrTooBig) {
+		t.Fatalf("append over MaxPayload: %v", err)
+	}
+	if err := l.Append(make([]byte, max)); err != nil {
+		t.Fatalf("append at MaxPayload on an empty log: %v", err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, l)
+	if len(got) != 1 || uint64(len(got[0])) != max {
+		t.Fatalf("replay returned %d records", len(got))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The bound holds at any ring position, not just offset zero: after a
+	// checkpoint mid-ring, a MaxPayload record must still fit (via the pad
+	// path), or admission would accept batches the log then rejects.
+	if err := l.Append(make([]byte, max)); err != nil {
+		t.Fatalf("append at MaxPayload mid-ring: %v", err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,7 @@ package libfs
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -43,6 +44,11 @@ type Config struct {
 	Tracer *costmodel.Tracer
 	// Costs injects the RPC round-trip latency (may be nil).
 	Costs *costmodel.Costs
+	// BusyRetries bounds the in-call retries when the TFS sheds a batch
+	// with fsproto.ErrBusy (default 8, -1 disables). Each retry sleeps a
+	// jittered backoff floored at the server's retry-after hint; once
+	// exhausted the batch stays parked for a later Sync.
+	BusyRetries int
 	// Faults, when non-nil, arms fault points on the client's mutation
 	// sequences (libfs.*). Nil in production.
 	Faults *faultinject.Injector
@@ -83,14 +89,26 @@ type Session struct {
 	// Root is the volume root collection.
 	Root sobj.OID
 
-	mu           sync.Mutex
-	batch        []fsproto.Op
-	batchBytes   int
-	pendingShip  *shipState
+	mu         sync.Mutex
+	batch      []fsproto.Op
+	batchBytes int
+	// groups partitions batch into the indivisible units it was logged in
+	// (one per LogOp/LogOps call), each carrying the staged extents its ops
+	// consumed from the pool — the unit of batch splitting and of rollback
+	// when the TFS rejects a batch for space.
+	groups []opGroup
+	// pendingStaged accumulates pool extents taken since the last log call;
+	// the next LogOp/LogOps claims them into its group.
+	pendingStaged []stagedExt
+	// shipq holds batches whose ship is in flight or parked: head is
+	// retried identically (same payload + request ID) after a transport
+	// failure, and an oversized batch is split in place into two halves.
+	shipq        []*shipState
 	shadows      map[sobj.OID]*fileShadow
 	colShadows   map[sobj.OID]*colShadow
 	pool         map[uint][]uint64 // buddy order -> staged extents
 	releaseHooks []func(lockID uint64)
+	discardHooks []func()
 	closed       bool
 
 	// Stats.
@@ -125,12 +143,26 @@ type colShadow struct {
 	del map[string]bool
 }
 
+// stagedExt is one pool extent consumed by a buffered op: staged object
+// storage or a pre-written data extent awaiting attach. If the TFS rejects
+// the op's batch the extent never became reachable, so rollback returns it
+// to the pool for reuse.
+type stagedExt struct{ addr, size uint64 }
+
+// opGroup is one indivisible logged unit: n consecutive batch ops plus the
+// staged extents they consumed. Batches split only at group boundaries.
+type opGroup struct {
+	n      int
+	staged []stagedExt
+}
+
 // shipState is a batch whose ship to the TFS failed at the transport level:
 // the encoded payload and its reserved RPC request ID are kept so the retry
 // replays the identical request — the server's dedup cache then guarantees
 // the batch applies at most once even if the original did reach it.
 type shipState struct {
 	ops     []fsproto.Op
+	groups  []opGroup
 	bytes   int
 	payload []byte
 	reqID   uint64 // 0 when the transport lacks IdempotentCaller
@@ -145,6 +177,9 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 	}
 	if cfg.PoolRefill == 0 {
 		cfg.PoolRefill = 64
+	}
+	if cfg.BusyRetries == 0 {
+		cfg.BusyRetries = 8
 	}
 	w := wire.NewWriter(8)
 	w.U32(cfg.UID)
@@ -194,6 +229,17 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 func (s *Session) AddReleaseHook(fn func(lockID uint64)) {
 	s.mu.Lock()
 	s.releaseHooks = append(s.releaseHooks, fn)
+	s.mu.Unlock()
+}
+
+// AddDiscardHook registers fn to run whenever the TFS rejects a batch and
+// the session discards it. Anything derived from the discarded updates —
+// e.g. a name cache holding a path resolved through a staged create — is
+// stale the moment the batch dies, and the staged extents it pointed into
+// are back in the pool for reuse.
+func (s *Session) AddDiscardHook(fn func()) {
+	s.mu.Lock()
+	s.discardHooks = append(s.discardHooks, fn)
 	s.mu.Unlock()
 }
 
@@ -286,6 +332,9 @@ func (s *Session) Abandon() {
 	s.mu.Lock()
 	s.closed = true
 	s.batch = nil
+	s.groups = nil
+	s.pendingStaged = nil
+	s.shipq = nil
 	s.shadows = make(map[sobj.OID]*fileShadow)
 	s.colShadows = make(map[sobj.OID]*colShadow)
 	s.mu.Unlock()
@@ -298,22 +347,25 @@ func (s *Session) Abandon() {
 // refilling from the TFS when empty.
 func (s *Session) AllocStaged(size uint64) (uint64, error) {
 	order := alloc.OrderFor(size)
+	actual := uint64(1) << order
 	s.mu.Lock()
 	if list := s.pool[order]; len(list) > 0 {
 		addr := list[len(list)-1]
 		s.pool[order] = list[:len(list)-1]
+		s.pendingStaged = append(s.pendingStaged, stagedExt{addr, actual})
 		s.mu.Unlock()
 		return addr, nil
 	}
 	s.mu.Unlock()
 	// Refill outside the lock; concurrent refills are harmless.
-	addrs, err := s.prealloc(uint64(1)<<order, s.cfg.PoolRefill)
+	addrs, err := s.prealloc(actual, s.cfg.PoolRefill)
 	if err != nil {
 		return 0, err
 	}
 	s.PoolRefills.Add(1)
 	s.mu.Lock()
 	s.pool[order] = append(s.pool[order], addrs[1:]...)
+	s.pendingStaged = append(s.pendingStaged, stagedExt{addrs[0], actual})
 	s.mu.Unlock()
 	return addrs[0], nil
 }
@@ -323,6 +375,14 @@ func (s *Session) FreeStaged(addr, size uint64) {
 	order := alloc.OrderFor(size)
 	s.mu.Lock()
 	s.pool[order] = append(s.pool[order], addr)
+	// The extent is back in the pool; drop its pending-rollback record so a
+	// later batch rejection can't return it twice.
+	for i := range s.pendingStaged {
+		if s.pendingStaged[i].addr == addr {
+			s.pendingStaged = append(s.pendingStaged[:i], s.pendingStaged[i+1:]...)
+			break
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -378,6 +438,7 @@ func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
 		return err
 	}
 	s.mu.Lock()
+	n := 1
 	if single != nil {
 		s.batch = append(s.batch, *single)
 		s.batchBytes += 64 + len(single.Key) + len(single.Key2)
@@ -388,7 +449,12 @@ func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
 			s.batchBytes += 64 + len(op.Key) + len(op.Key2)
 		}
 		s.OpsLogged.Add(int64(len(ops)))
+		n = len(ops)
 	}
+	// This log call claims the staged extents taken since the last one:
+	// they back these ops, and travel with them through splits/rollback.
+	s.groups = append(s.groups, opGroup{n: n, staged: s.pendingStaged})
+	s.pendingStaged = nil
 	over := s.batchBytes >= s.cfg.BatchLimit
 	s.mu.Unlock()
 	if over {
@@ -405,30 +471,108 @@ func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
 // the shadows are kept, and the call returns ErrTFSUnreachable. A later
 // Sync replays the identical request first: the server's dedup cache
 // guarantees it applies at most once whether or not the original arrived.
+//
+// Resource exhaustion gets graceful, typed handling instead of the generic
+// discard:
+//   - fsproto.ErrNoSpace: the batch is discarded, but its staged pool
+//     extents are reclaimed and the shadows reset, so the session
+//     reconverges with the committed state and the caller sees a clean
+//     errors.Is(err, fsproto.ErrNoSpace) ENOSPC. After freeing space the
+//     session keeps working.
+//   - fsproto.ErrBatchTooLarge: the batch is split at logged-group
+//     boundaries and the halves shipped separately; only a single
+//     indivisible group that still cannot fit is rejected.
+//   - fsproto.ErrBusy (admission shed): bounded jittered retries honoring
+//     the server's retry-after hint; if still shedding, the batch parks
+//     like a transport failure — nothing is lost — and the typed error is
+//     returned.
 func (s *Session) FlushUpdates() error {
 	for {
 		s.mu.Lock()
-		ship := s.pendingShip
-		if ship == nil {
+		var ship *shipState
+		if len(s.shipq) > 0 {
+			ship = s.shipq[0]
+		} else {
 			if len(s.batch) == 0 {
 				s.mu.Unlock()
 				return nil
 			}
-			ship = &shipState{ops: s.batch, bytes: s.batchBytes}
+			ship = &shipState{ops: s.batch, groups: s.groups, bytes: s.batchBytes}
 			ship.payload = fsproto.EncodeOps(ship.ops)
 			s.obsShipOps.Observe(int64(len(ship.ops)))
 			s.obsShipBytes.Observe(int64(ship.bytes))
 			if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
 				ship.reqID = ic.NextReqID()
 			}
-			s.pendingShip = ship
-			s.batch = nil
-			s.batchBytes = 0
+			s.shipq = append(s.shipq, ship)
+			s.batch, s.groups, s.batchBytes = nil, nil, 0
 		}
 		s.mu.Unlock()
 
-		if err := s.cfg.Faults.Hit("libfs.flush.preship"); err != nil {
+		err := s.shipOne(ship)
+		switch {
+		case err != nil && rpc.IsTransport(err):
+			// The TFS may or may not have applied the batch; it stays
+			// parked at the queue head for an identical retry, and the
+			// shadows still describe the pending updates either way.
 			return fmt.Errorf("%w: %v", ErrTFSUnreachable, err)
+		case errors.Is(err, fsproto.ErrBusy):
+			// Admission shed outlasted the in-call retries: park the batch
+			// (a later Sync re-ships it) and surface the typed error.
+			return fmt.Errorf("libfs: batch parked, TFS shedding load: %w", err)
+		case errors.Is(err, fsproto.ErrBatchTooLarge) && len(ship.groups) > 1:
+			s.splitHead(ship)
+			continue
+		}
+
+		rejected := err != nil
+		s.mu.Lock()
+		if len(s.shipq) > 0 && s.shipq[0] == ship {
+			s.shipq = s.shipq[1:]
+		}
+		if rejected {
+			// The TFS applied nothing from this batch, so the staged pool
+			// extents its ops consumed never became reachable: reclaim
+			// them instead of leaking them until lease expiry.
+			for _, g := range ship.groups {
+				for _, e := range g.staged {
+					order := alloc.OrderFor(e.size)
+					s.pool[order] = append(s.pool[order], e.addr)
+				}
+			}
+		}
+		drained := len(s.shipq) == 0 && len(s.batch) == 0
+		if drained {
+			// Whether applied or rejected, no staged state is pending
+			// anymore: applied updates are visible in SCM, rejected ones
+			// are gone.
+			s.shadows = make(map[sobj.OID]*fileShadow)
+			s.colShadows = make(map[sobj.OID]*colShadow)
+		}
+		hooks := s.discardHooks
+		s.mu.Unlock()
+		s.Flushes.Add(1)
+		if rejected {
+			for _, fn := range hooks {
+				fn()
+			}
+			return fmt.Errorf("%w: %w", ErrStaleBatch, err)
+		}
+		if drained {
+			return nil
+		}
+		// More queued ships, or ops logged while the ship was in flight:
+		// ship them too before declaring the sync complete.
+	}
+}
+
+// shipOne sends one batch, absorbing admission sheds with bounded jittered
+// retries. Returns nil on apply, a transport-classified error when the
+// batch's fate is unknown, or the TFS's typed rejection.
+func (s *Session) shipOne(ship *shipState) error {
+	for attempt := 0; ; attempt++ {
+		if err := s.cfg.Faults.Hit("libfs.flush.preship"); err != nil {
+			return fmt.Errorf("%w: %v", rpc.ErrUnreachable, err)
 		}
 		var err error
 		if ic, ok := s.rc.(rpc.IdempotentCaller); ok && ship.reqID != 0 {
@@ -439,34 +583,69 @@ func (s *Session) FlushUpdates() error {
 		if ferr := s.cfg.Faults.Hit("libfs.flush.postship"); ferr != nil && err == nil {
 			err = fmt.Errorf("%w: %v", rpc.ErrUnreachable, ferr)
 		}
-		if err != nil && rpc.IsTransport(err) {
-			// The TFS may or may not have applied the batch; pendingShip
-			// stays parked for an identical retry, and the shadows still
-			// describe the pending updates either way.
-			return fmt.Errorf("%w: %v", ErrTFSUnreachable, err)
+		if err == nil || !errors.Is(err, fsproto.ErrBusy) {
+			return err
 		}
-
-		s.mu.Lock()
-		s.pendingShip = nil
-		more := len(s.batch) > 0
-		if !more {
-			// Whether applied or rejected, no staged state is pending
-			// anymore: applied updates are visible in SCM, rejected ones
-			// are gone.
-			s.shadows = make(map[sobj.OID]*fileShadow)
-			s.colShadows = make(map[sobj.OID]*colShadow)
+		// The shed definitely did not apply the batch, and the server's
+		// dedup cache has the rejection filed under this request ID — a
+		// retry must carry a fresh one to re-execute.
+		if ic, ok := s.rc.(rpc.IdempotentCaller); ok && ship.reqID != 0 {
+			ship.reqID = ic.NextReqID()
 		}
-		s.mu.Unlock()
-		s.Flushes.Add(1)
-		if err != nil {
-			return fmt.Errorf("%w: %v", ErrStaleBatch, err)
+		if s.cfg.BusyRetries < 0 || attempt >= s.cfg.BusyRetries {
+			return err
 		}
-		if !more {
-			return nil
-		}
-		// Ops logged while the ship was in flight: ship them too before
-		// declaring the sync complete.
+		sleepBackoff(attempt, err)
 	}
+}
+
+// sleepBackoff sleeps an exponential, jittered delay floored at the
+// server's retry-after hint when the shed error carries one.
+func sleepBackoff(attempt int, err error) {
+	base := 2 * time.Millisecond
+	var re *rpc.RemoteError
+	if errors.As(err, &re) && re.RetryAfterMs > 0 {
+		base = time.Duration(re.RetryAfterMs) * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	d += time.Duration(rand.Int63n(int64(d/2 + 1)))
+	time.Sleep(d)
+}
+
+// splitHead replaces the queue-head batch with two halves split at a
+// logged-group boundary, each re-encoded with its own request ID. Called
+// when the TFS rejected the head with ErrBatchTooLarge; the halves (and
+// recursively their halves) ship independently.
+func (s *Session) splitHead(ship *shipState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.shipq) == 0 || s.shipq[0] != ship || len(ship.groups) < 2 {
+		return
+	}
+	// Balance by op count, keeping at least one group per side.
+	total := len(ship.ops)
+	cut, opsCut := 1, ship.groups[0].n
+	for cut < len(ship.groups)-1 && opsCut < total/2 {
+		opsCut += ship.groups[cut].n
+		cut++
+	}
+	mk := func(ops []fsproto.Op, groups []opGroup) *shipState {
+		h := &shipState{ops: ops, groups: groups}
+		for i := range ops {
+			h.bytes += 64 + len(ops[i].Key) + len(ops[i].Key2)
+		}
+		h.payload = fsproto.EncodeOps(ops)
+		if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
+			h.reqID = ic.NextReqID()
+		}
+		return h
+	}
+	lo := mk(ship.ops[:opsCut], ship.groups[:cut])
+	hi := mk(ship.ops[opsCut:], ship.groups[cut:])
+	s.shipq = append([]*shipState{lo, hi}, s.shipq[1:]...)
 }
 
 // Sync ships buffered updates, the library equivalent of fsync (§4.3).
@@ -478,10 +657,21 @@ func (s *Session) PendingOps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := len(s.batch)
-	if s.pendingShip != nil {
-		n += len(s.pendingShip.ops)
+	for _, ship := range s.shipq {
+		n += len(ship.ops)
 	}
 	return n
+}
+
+// Statfs fetches volume-wide space and object accounting from the TFS,
+// including bytes held by in-flight admission reservations. Interface
+// layers surface it as statvfs/df.
+func (s *Session) Statfs() (fsproto.StatfsReply, error) {
+	resp, err := s.rc.Call(fsproto.MethodStatfs, nil)
+	if err != nil {
+		return fsproto.StatfsReply{}, err
+	}
+	return fsproto.DecodeStatfsReply(resp)
 }
 
 // ---- Open-file and protection RPCs ----

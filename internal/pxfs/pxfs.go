@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/aerie-fs/aerie/internal/fsproto"
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/lockservice"
 	"github.com/aerie-fs/aerie/internal/obs"
@@ -147,8 +148,11 @@ func New(s *libfs.Session, opts Options) *FS {
 	fs.obsChmod = sink.Histogram("pxfs.op.chmod")
 	fs.obsSync = sink.Histogram("pxfs.op.sync")
 	// The cache is flushed whenever the client releases a global lock or
-	// the TFS revokes one (§6.1).
+	// the TFS revokes one (§6.1), and whenever a batch is rejected and
+	// discarded: entries resolved through the discarded creates point at
+	// staged extents that just went back into the pool.
 	s.AddReleaseHook(func(uint64) { fs.flushNameCache() })
+	s.AddDiscardHook(fs.flushNameCache)
 	return fs
 }
 
@@ -626,6 +630,13 @@ func (fs *FS) Chmod(path string, perm uint32, hwProtect bool) error {
 func (fs *FS) Sync() error {
 	defer fs.observe("sync", fs.obsSync, fs.obsOp.StartTimer())
 	return fs.s.Sync()
+}
+
+// Statfs reports volume-wide space and object accounting (statvfs/df):
+// total and free bytes, bytes held by in-flight admission reservations,
+// and the live object count.
+func (fs *FS) Statfs() (fsproto.StatfsReply, error) {
+	return fs.s.Statfs()
 }
 
 // Root returns the root directory OID.

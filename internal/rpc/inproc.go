@@ -71,8 +71,8 @@ func (c *InProcClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([
 	c.tracer.ExitResource("tfs")
 	if err != nil {
 		// Errors cross the transport as strings, as they would over a
-		// socket.
-		return nil, &RemoteError{Msg: err.Error()}
+		// socket; registered codes survive as typed sentinels.
+		return nil, remoteFromErr(err)
 	}
 	// The server executed the call; a fault here loses the response.
 	if ferr := faults.Hit("rpc.reply"); ferr != nil {

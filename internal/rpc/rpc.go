@@ -33,6 +33,9 @@ import (
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusErrCoded carries an application error with a stable error code
+	// and a retry-after hint: payload = [u32 code][u32 retryAfterMs][msg].
+	statusErrCoded = 2
 )
 
 // Errors.
@@ -50,10 +53,105 @@ var (
 )
 
 // RemoteError is an application error returned by a handler, reconstructed
-// on the client side.
-type RemoteError struct{ Msg string }
+// on the client side. Errors registered with RegisterErrorCode additionally
+// carry a stable Code across the wire and unwrap to their sentinel, so
+// errors.Is(err, sentinel) holds on the client while IsTransport stays
+// false.
+type RemoteError struct {
+	Msg string
+	// Code is the stable application error code (0 = uncoded).
+	Code uint32
+	// RetryAfterMs is the server's backpressure hint (0 = none); set on
+	// shed requests so the client's jittered backoff has a floor.
+	RetryAfterMs uint32
+
+	sentinel error
+}
 
 func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// Unwrap exposes the registered sentinel for the error's code, making
+// errors.Is work across the transport.
+func (e *RemoteError) Unwrap() error { return e.sentinel }
+
+// NewRemoteError reconstructs a client-side RemoteError, resolving the
+// code's registered sentinel. Transports use it when decoding responses.
+func NewRemoteError(msg string, code, retryAfterMs uint32) *RemoteError {
+	return &RemoteError{Msg: msg, Code: code, RetryAfterMs: retryAfterMs, sentinel: sentinelFor(code)}
+}
+
+// RetryAfterHinter is implemented by server-side errors that carry a
+// backpressure hint (e.g. the TFS's admission-control shed error).
+type RetryAfterHinter interface{ RetryAfterMs() uint32 }
+
+// Error-code registry: protocol packages (fsproto) register stable codes
+// for sentinel errors that must survive the wire typed. The registry is
+// process-global because both ends must agree on it, exactly like method
+// numbers.
+var (
+	codeMu     sync.RWMutex
+	codeToErr  = map[uint32]error{}
+	codedErrs  []error
+	codedCodes []uint32
+)
+
+// RegisterErrorCode maps a stable nonzero application error code to a
+// sentinel error. Server transports stamp the code onto responses whose
+// handler error errors.Is the sentinel; client transports resolve the code
+// back so the sentinel survives the round trip.
+func RegisterErrorCode(code uint32, sentinel error) {
+	if code == 0 || sentinel == nil {
+		panic("rpc: RegisterErrorCode requires a nonzero code and a sentinel")
+	}
+	codeMu.Lock()
+	defer codeMu.Unlock()
+	if old, ok := codeToErr[code]; ok && old != sentinel {
+		panic(fmt.Sprintf("rpc: error code %d registered twice", code))
+	}
+	codeToErr[code] = sentinel
+	codedErrs = append(codedErrs, sentinel)
+	codedCodes = append(codedCodes, code)
+}
+
+// ErrorCode returns the registered code err matches, or 0.
+func ErrorCode(err error) uint32 {
+	if err == nil {
+		return 0
+	}
+	codeMu.RLock()
+	defer codeMu.RUnlock()
+	for i, sentinel := range codedErrs {
+		if errors.Is(err, sentinel) {
+			return codedCodes[i]
+		}
+	}
+	return 0
+}
+
+func sentinelFor(code uint32) error {
+	if code == 0 {
+		return nil
+	}
+	codeMu.RLock()
+	defer codeMu.RUnlock()
+	return codeToErr[code]
+}
+
+// retryHint extracts a server-side error's backpressure hint, if any.
+func retryHint(err error) uint32 {
+	var h RetryAfterHinter
+	if errors.As(err, &h) {
+		return h.RetryAfterMs()
+	}
+	return 0
+}
+
+// remoteFromErr builds the client-visible RemoteError for a handler error,
+// used by the in-process transport (the TCP transport performs the same
+// mapping through the statusErrCoded frame).
+func remoteFromErr(err error) *RemoteError {
+	return NewRemoteError(err.Error(), ErrorCode(err), retryHint(err))
+}
 
 // IsTransport reports whether err is a transport-level failure (timeout,
 // unreachable, dropped connection, closed client) rather than an

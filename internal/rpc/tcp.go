@@ -289,7 +289,8 @@ func (l *TCPListener) serveConn(conn net.Conn) {
 			return
 		}
 		if err != nil {
-			if werr := writeFrame(conn, statusErr, []byte(err.Error())); werr != nil {
+			status, p := encodeErrFrame(err)
+			if werr := writeFrame(conn, status, p); werr != nil {
 				return
 			}
 			continue
@@ -557,9 +558,35 @@ func (c *TCPClient) tryCall(method uint32, reqID uint64, req []byte) (resp []byt
 	}
 	c.mu.Unlock()
 	if status != statusOK {
-		return nil, &RemoteError{Msg: string(payload)}, true
+		return nil, decodeErrFrame(status, payload), true
 	}
 	return payload, nil, true
+}
+
+// encodeErrFrame serializes a handler error for the response frame. Errors
+// with a registered stable code travel as statusErrCoded so the client can
+// reconstruct the typed sentinel; everything else stays a plain message.
+func encodeErrFrame(err error) (uint32, []byte) {
+	code := ErrorCode(err)
+	if code == 0 {
+		return statusErr, []byte(err.Error())
+	}
+	msg := err.Error()
+	p := make([]byte, 8+len(msg))
+	binary.LittleEndian.PutUint32(p[0:4], code)
+	binary.LittleEndian.PutUint32(p[4:8], retryHint(err))
+	copy(p[8:], msg)
+	return statusErrCoded, p
+}
+
+// decodeErrFrame reconstructs the application error from a non-OK response.
+func decodeErrFrame(status uint32, payload []byte) error {
+	if status == statusErrCoded && len(payload) >= 8 {
+		code := binary.LittleEndian.Uint32(payload[0:4])
+		retryMs := binary.LittleEndian.Uint32(payload[4:8])
+		return NewRemoteError(string(payload[8:]), code, retryMs)
+	}
+	return &RemoteError{Msg: string(payload)}
 }
 
 // ClientID implements Client.

@@ -1,0 +1,99 @@
+package sobj
+
+// Worst-case allocation demand estimators for the TFS's space admission:
+// before journaling a batch, the trusted side reserves every byte the
+// apply phase could possibly allocate, so a committed batch can never fail
+// on space (see internal/tfs). The estimates here are deliberately
+// pessimistic — over-reservation is released right after apply, while
+// under-reservation would re-open the committed-but-unappliable window.
+
+// ColGeometry captures the collection fields the admission simulation needs
+// to project rehash and overflow costs across a batch.
+type ColGeometry struct {
+	Buckets   uint32 // current table bucket count
+	Count     uint32 // live entries
+	Tombs     uint32 // tombstoned entries
+	Overflow  int    // overflow extents currently chained
+	TableSize uint64 // current table extent's allocation size
+}
+
+// Geometry reads the collection's current geometry.
+func (c *Collection) Geometry() (ColGeometry, error) {
+	var g ColGeometry
+	table, nb, err := c.table()
+	if err != nil {
+		return g, err
+	}
+	count, err := c.Count()
+	if err != nil {
+		return g, err
+	}
+	tombs, err := c.Tombstones()
+	if err != nil {
+		return g, err
+	}
+	exts, err := c.Extents()
+	if err != nil {
+		return g, err
+	}
+	g.Buckets = nb
+	g.Count = count
+	g.Tombs = tombs
+	if len(exts) > 2 {
+		g.Overflow = len(exts) - 2 // minus head and table
+	}
+	g.TableSize = uint64(tblHeaderLen) + uint64(nb)*bucketSize
+	_ = table
+	return g, nil
+}
+
+// GrowThreshold reports whether an insert at the projected count would
+// trigger a grow rehash under the default policy.
+func (g ColGeometry) GrowThreshold() bool {
+	return g.Count >= g.Buckets*entriesPerBucketTarget
+}
+
+// TableSizeFor returns the allocation size of a table with nb buckets.
+func TableSizeFor(nb uint32) uint64 {
+	return uint64(tblHeaderLen) + uint64(nb)*bucketSize
+}
+
+// OverflowExtentSize is the allocation size of one overflow extent.
+const OverflowExtentSize = ovfSize
+
+// RehashOverflowBound bounds the overflow extents a rehash of this geometry
+// could allocate: every record could land in a single chain, so the spill is
+// capped by the bytes the old structure could have held.
+func (g ColGeometry) RehashOverflowBound() int {
+	return g.Overflow + int(g.TableSize/ovfSize) + 1
+}
+
+// AttachDemand returns the worst-case allocation sizes one AttachExtent at
+// blockIdx may request from the current tree shape: growth nodes to reach
+// the needed depth plus every interior node on the path.
+func (m *MFile) AttachDemand(blockIdx uint64) ([]uint64, error) {
+	_, depth, err := m.rootDepth()
+	if err != nil {
+		return nil, err
+	}
+	need := depth
+	for need == 0 || blockIdx >= capacityBlocks(need) {
+		if need >= maxDepth {
+			break
+		}
+		need++
+	}
+	growth := uint(0)
+	if need > depth {
+		growth = need - depth
+	}
+	interior := uint(0)
+	if need > 0 {
+		interior = need - 1
+	}
+	sizes := make([]uint64, 0, growth+interior)
+	for i := uint(0); i < growth+interior; i++ {
+		sizes = append(sizes, uint64(radixNodeSize))
+	}
+	return sizes, nil
+}

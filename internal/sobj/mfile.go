@@ -285,6 +285,23 @@ func (m *MFile) ExtentFor(off uint64) (uint64, error) {
 	return m.lookupBlock(off / bs)
 }
 
+// ExtentAtBlock returns the data extent address attached at blockIdx, or 0
+// when the slot is empty. Redo-replay uses it to probe whether an attach
+// from a journaled batch already took effect.
+func (m *MFile) ExtentAtBlock(blockIdx uint64) (uint64, error) {
+	single, err := m.IsSingle()
+	if err != nil {
+		return 0, err
+	}
+	if single {
+		if blockIdx != 0 {
+			return 0, nil
+		}
+		return scm.Read64(m.mem, m.oid.Addr()+offMFSingle)
+	}
+	return m.lookupBlock(blockIdx)
+}
+
 // lookupBlock walks the radix tree to the data extent for blockIdx.
 func (m *MFile) lookupBlock(blockIdx uint64) (uint64, error) {
 	root, depth, err := m.rootDepth()

@@ -1,8 +1,10 @@
 package tfs
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/aerie-fs/aerie/internal/alloc"
 	"github.com/aerie-fs/aerie/internal/fsproto"
@@ -68,7 +70,15 @@ func decodeActions(p []byte) ([]action, error) {
 	if n > 1<<22 {
 		return nil, fmt.Errorf("tfs: implausible action count %d", n)
 	}
-	acts := make([]action, 0, n)
+	// Bound the preallocation by what the payload could possibly hold (an
+	// encoded action is at least 37 bytes), so a corrupted count can't make
+	// recovery allocate hundreds of megabytes before the first field read
+	// fails.
+	capHint := n
+	if most := uint32(len(p)/37) + 1; most < capHint {
+		capHint = most
+	}
+	acts := make([]action, 0, capHint)
 	for i := uint32(0); i < n; i++ {
 		var ac action
 		ac.code = r.U8()
@@ -100,12 +110,53 @@ func (t tolerantAlloc) Free(addr, size uint64) error {
 	return err
 }
 
+// deferFrees quarantines Free calls until after the journal checkpoint.
+// Without it a batch that frees extent X while a later action in the same
+// batch re-allocates X (a rehash table, an attached extent) makes the
+// batch's jFree non-idempotent: a redo replay would see X's bitmap bit set
+// and free a block that now holds live data. Deferral keeps freed blocks'
+// bits set and off the volatile free lists until the checkpoint erases the
+// batch, so a redo can only re-quarantine them. A crash between checkpoint
+// and release leaks the quarantined blocks — the safe direction, which
+// Fsck detects and repairs.
+type deferFrees struct {
+	inner sobj.Allocator
+	ents  []struct{ addr, size uint64 }
+}
+
+func (d *deferFrees) Alloc(size uint64) (uint64, error) { return d.inner.Alloc(size) }
+
+func (d *deferFrees) Free(addr, size uint64) error {
+	d.ents = append(d.ents, struct{ addr, size uint64 }{addr, size})
+	return nil
+}
+
+// release performs the quarantined frees. Double-frees are tolerated the
+// same way replay tolerates them: the checkpointed batch is already
+// durable, so a stale free must not fail the apply after the fact.
+func (d *deferFrees) release() error {
+	for _, e := range d.ents {
+		if err := d.inner.Free(e.addr, e.size); err != nil && !errors.Is(err, alloc.ErrBadFree) {
+			return err
+		}
+	}
+	d.ents = nil
+	return nil
+}
+
 // commitActions journals the batch and commits it. Callers hold s.mu.
+// Payloads that could never fit — even into a freshly checkpointed journal —
+// are rejected up front with typed fsproto.ErrBatchTooLarge, before any
+// journal write or wasted checkpoint; the client must split the batch.
 func (s *Service) commitActions(acts []action) error {
 	if len(acts) == 0 {
 		return nil
 	}
 	payload := encodeActions(acts)
+	if max := s.jl.MaxPayload(); uint64(len(payload)) > max {
+		return fmt.Errorf("%w: %d-byte batch, journal fits %d",
+			fsproto.ErrBatchTooLarge, len(payload), max)
+	}
 	if err := s.jl.Append(payload); err != nil {
 		if errors.Is(err, journalFull) {
 			if cerr := s.jl.Checkpoint(); cerr != nil {
@@ -117,47 +168,76 @@ func (s *Service) commitActions(acts []action) error {
 			return err
 		}
 	}
-	return s.jl.Commit()
+	if err := s.jl.Commit(); err != nil {
+		// Nothing published: drop the staged record so the journal does
+		// not accumulate dead bytes across rejected batches.
+		s.jl.Abort()
+		return err
+	}
+	return nil
 }
 
 // journalFull aliases the journal's full error for the retry path.
 var journalFull = journalErrFull()
 
 // applyAll applies a committed batch to its home locations and checkpoints
-// the journal (upholding the one-batch recovery invariant). Callers hold
-// s.mu.
-func (s *Service) applyAll(acts []action) error {
+// the journal (upholding the one-batch recovery invariant). Apply-time
+// allocations are served from the batch's admission reservation, so they
+// cannot fail on space. Callers hold s.mu.
+func (s *Service) applyAll(acts []action, allocator sobj.Allocator) error {
 	// The batch is committed; a crash anywhere between here and the
 	// checkpoint replays it from the journal.
 	if err := s.faults.Hit("tfs.apply.postcommit"); err != nil {
 		return err
 	}
+	df := &deferFrees{inner: allocator}
 	for i := range acts {
 		if err := s.faults.Hit("tfs.apply.action"); err != nil {
 			return err
 		}
-		if err := s.applyAction(&acts[i], false); err != nil {
+		if err := s.applyAction(acts, i, df, false); err != nil {
 			return err
 		}
 	}
 	if err := s.faults.Hit("tfs.apply.checkpoint"); err != nil {
 		return err
 	}
-	return s.jl.Checkpoint()
+	if err := s.jl.Checkpoint(); err != nil {
+		return err
+	}
+	return df.release()
 }
 
-// applyAction applies one action. With replay set, already-applied effects
-// are skipped rather than failed.
-func (s *Service) applyAction(ac *action, replay bool) error {
-	var allocator sobj.Allocator = s.bd
-	if replay {
-		allocator = tolerantAlloc{s.bd}
-	}
+// applyAction applies acts[i] with the given allocator. With replay set,
+// already-applied effects are skipped rather than failed (redo semantics).
+//
+// Redo of a logical action is only safe when its effect is testable: apply
+// is strictly sequential, so the applied actions always form a prefix of
+// the batch. The replay guards exploit that — if any LATER action in the
+// batch for the same object has verifiably taken effect, this earlier one
+// must already have run and is skipped. Without the guards a replayed
+// jTruncate would re-prune (and free) an extent that a later jAttach in
+// the same batch had attached, leaving a reachable-but-free block, and a
+// replayed jRemove would delete a later re-insert under the same key.
+func (s *Service) applyAction(acts []action, i int, allocator sobj.Allocator, replay bool) error {
+	ac := &acts[i]
 	switch ac.code {
 	case jInsert:
 		col, err := sobj.OpenCollection(s.mem, ac.oid)
 		if err != nil {
 			return err
+		}
+		if replay {
+			// Redo-replay must be allocation-idempotent. Insert grows
+			// the table before it discovers a duplicate, so replaying
+			// an already-applied insert could trigger a rehash the
+			// original apply never performed; probe first and skip.
+			switch val, lerr := col.Lookup(ac.key); {
+			case lerr == nil && val == ac.child:
+				return nil
+			case lerr != nil && !errors.Is(lerr, sobj.ErrNotFound):
+				return lerr
+			}
 		}
 		if ac.a&1 != 0 {
 			err = col.InsertNoGrow(allocator, ac.key, ac.child)
@@ -172,6 +252,15 @@ func (s *Service) applyAction(ac *action, replay bool) error {
 		col, err := sobj.OpenCollection(s.mem, ac.oid)
 		if err != nil {
 			return err
+		}
+		if replay {
+			skip, perr := laterInsertApplied(col, acts, i)
+			if perr != nil {
+				return perr
+			}
+			if skip {
+				return nil
+			}
 		}
 		if ac.a&1 != 0 {
 			err = col.RemoveNoGC(allocator, ac.key)
@@ -207,6 +296,15 @@ func (s *Service) applyAction(ac *action, replay bool) error {
 		if err != nil {
 			return err
 		}
+		if replay {
+			skip, perr := laterFileOpApplied(m, acts, i)
+			if perr != nil {
+				return perr
+			}
+			if skip {
+				return nil
+			}
+		}
 		return m.TruncatePruneOnly(allocator, ac.a)
 	case jSetPerm:
 		return sobj.SetPerm(s.mem, ac.oid, uint32(ac.a))
@@ -226,25 +324,98 @@ func (s *Service) applyAction(ac *action, replay bool) error {
 		}
 		return m.ReplaceSingleExtent(allocator, ac.a, ac.b)
 	case jFree:
-		err := s.bd.Free(ac.a, ac.b)
+		err := allocator.Free(ac.a, ac.b)
 		if errors.Is(err, alloc.ErrBadFree) {
 			return nil
 		}
 		return err
 	case jPreallocAdd:
-		err := s.preCol.Insert(s.bd, addrKey(ac.a), sobj.OID(ac.b))
+		if replay {
+			// Same allocation-idempotence probe as jInsert.
+			switch val, lerr := s.preCol.Lookup(addrKey(ac.a)); {
+			case lerr == nil && uint64(val) == ac.b:
+				return nil
+			case lerr != nil && !errors.Is(lerr, sobj.ErrNotFound):
+				return lerr
+			}
+		}
+		err := s.preCol.Insert(allocator, addrKey(ac.a), sobj.OID(ac.b))
 		if errors.Is(err, sobj.ErrExists) {
 			return nil
 		}
 		return err
 	case jPreallocConsume:
-		err := s.preCol.Remove(s.bd, addrKey(ac.a))
+		if replay {
+			// Same later-action evidence as jRemove, against the
+			// pre-allocation tracking collection.
+			for j := i + 1; j < len(acts); j++ {
+				if acts[j].code != jPreallocAdd || acts[j].a != ac.a {
+					continue
+				}
+				switch val, lerr := s.preCol.Lookup(addrKey(ac.a)); {
+				case lerr == nil && uint64(val) == acts[j].b:
+					return nil
+				case lerr != nil && !errors.Is(lerr, sobj.ErrNotFound):
+					return lerr
+				}
+			}
+		}
+		err := s.preCol.Remove(allocator, addrKey(ac.a))
 		if errors.Is(err, sobj.ErrNotFound) {
 			return nil
 		}
 		return err
 	}
 	return fmt.Errorf("tfs: unknown journal action %d", ac.code)
+}
+
+// laterInsertApplied reports whether a jInsert later in the batch with the
+// same collection and key as acts[i] has already taken effect. Apply is
+// strictly sequential, so a later applied action proves acts[i] ran too.
+func laterInsertApplied(col *sobj.Collection, acts []action, i int) (bool, error) {
+	for j := i + 1; j < len(acts); j++ {
+		if acts[j].code != jInsert || acts[j].oid != acts[i].oid || !bytes.Equal(acts[j].key, acts[i].key) {
+			continue
+		}
+		val, err := col.Lookup(acts[i].key)
+		if err == nil && val == acts[j].child {
+			return true, nil
+		}
+		if err != nil && !errors.Is(err, sobj.ErrNotFound) {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// laterFileOpApplied reports whether a later extent-shaping action in the
+// batch on the same file as acts[i] has already taken effect (see
+// laterInsertApplied for why that proves acts[i] ran).
+func laterFileOpApplied(m *sobj.MFile, acts []action, i int) (bool, error) {
+	for j := i + 1; j < len(acts); j++ {
+		if acts[j].oid != acts[i].oid {
+			continue
+		}
+		switch acts[j].code {
+		case jAttach:
+			cur, err := m.ExtentAtBlock(acts[j].a)
+			if err != nil {
+				return false, err
+			}
+			if cur != 0 && cur == acts[j].b {
+				return true, nil
+			}
+		case jReplaceExt:
+			cur, err := m.ExtentFor(0)
+			if err != nil {
+				return false, err
+			}
+			if cur != 0 && cur == acts[j].a {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
 }
 
 // overlay tracks the state the batch will have produced so far, so later
@@ -444,11 +615,24 @@ func (s *Service) holdsBucketCover(client uint64, target sobj.OID, key []byte, c
 // ApplyLog validates, journals, and applies a batch of client metadata
 // updates (§5.3.5). Any validation failure rejects the whole batch with no
 // effect.
+//
+// Resource exhaustion is handled in two phases before the journal is
+// touched: admission control sheds the request with fsproto.ErrBusy when
+// the service is over its in-flight limits, and the batch's worst-case
+// space demand is reserved from the allocator — a reservation failure
+// rejects the batch with typed fsproto.ErrNoSpace while the volume is still
+// untouched. Once the batch commits, apply draws from the reservation and
+// cannot fail on space; the unconsumed surplus is released afterwards.
 func (s *Service) ApplyLog(client uint64, payload []byte) error {
 	ops, err := fsproto.DecodeOps(payload)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
+	if err := s.admit(client, int64(len(payload))); err != nil {
+		return err
+	}
+	defer s.admitDone(client, int64(len(payload)))
+	t0 := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.client(client)
@@ -457,10 +641,30 @@ func (s *Service) ApplyLog(client uint64, payload []byte) error {
 		s.OpsRejected.Add(int64(len(ops)))
 		return err
 	}
+	res, err := s.reserveFor(acts)
+	if err != nil && errors.Is(err, fsproto.ErrNoSpace) && degradeRemoves(acts) {
+		// Graceful degradation on a full volume: tombstone GC is an
+		// optimization, so pin every remove to its NoGC variant and retry
+		// — deletes must keep working (and freeing space) when the GC
+		// rehash's worst case can no longer be reserved.
+		res, err = s.reserveFor(acts)
+	}
+	if err != nil {
+		s.OpsRejected.Add(int64(len(ops)))
+		return err
+	}
+	// Whatever happens next, surplus blocks go back; Release is idempotent
+	// and consumed blocks are already out of it.
+	defer func() {
+		s.obsReserveFallbks.Add(int64(res.Fallbacks()))
+		res.Release()
+	}()
+	s.obsReserveBytes.Observe(int64(res.HeldBytes()))
+	s.obsReserveWait.Observe(time.Since(t0).Nanoseconds())
 	if err := s.commitActions(acts); err != nil {
 		return err
 	}
-	if err := s.applyAll(acts); err != nil {
+	if err := s.applyAll(acts, res); err != nil {
 		return err
 	}
 	for _, fn := range effects {

@@ -18,15 +18,22 @@ type FsckReport struct {
 	AllocatedBlocks int
 	// LeakedBlocks were allocated but unreachable (e.g. structural
 	// maintenance interrupted by a crash between journal commit and
-	// checkpoint; see internal/tfs/apply.go).
+	// checkpoint; see internal/tfs/apply.go). Leaks waste space but are
+	// harmless until repaired.
 	LeakedBlocks int
+	// LostBlocks are the dangerous inverse: reachable from the object
+	// graph but marked free in the bitmap, so a future allocation could
+	// hand live data to another owner. A correct volume never has any.
+	LostBlocks int
+	// LostAddrs lists the lost blocks' addresses (diagnostics).
+	LostAddrs []uint64
 	// RepairedBlocks were returned to the allocator (repair mode).
 	RepairedBlocks int
 }
 
 func (r FsckReport) String() string {
-	return fmt.Sprintf("fsck: %d objects, %d/%d blocks reachable, %d leaked, %d repaired",
-		r.Objects, r.ReachableBlocks, r.AllocatedBlocks, r.LeakedBlocks, r.RepairedBlocks)
+	return fmt.Sprintf("fsck: %d objects, %d/%d blocks reachable, %d leaked, %d lost, %d repaired",
+		r.Objects, r.ReachableBlocks, r.AllocatedBlocks, r.LeakedBlocks, r.LostBlocks, r.RepairedBlocks)
 }
 
 // Fsck runs a mark-and-sweep over the volume: every extent reachable from
@@ -114,8 +121,10 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 
 	// Sweep.
 	var leaked []uint64
+	allocated := make(map[uint64]bool)
 	if err := s.bd.ForEachAllocated(func(addr uint64) error {
 		rep.AllocatedBlocks++
+		allocated[addr] = true
 		if !reach[addr] {
 			leaked = append(leaked, addr)
 		}
@@ -124,6 +133,12 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 		return rep, err
 	}
 	rep.LeakedBlocks = len(leaked)
+	for addr := range reach {
+		if !allocated[addr] {
+			rep.LostAddrs = append(rep.LostAddrs, addr)
+		}
+	}
+	rep.LostBlocks = len(rep.LostAddrs)
 	if repair {
 		for _, addr := range leaked {
 			if err := s.bd.Free(addr, alloc.MinBlock); err != nil {

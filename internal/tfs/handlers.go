@@ -77,4 +77,11 @@ func (s *Service) registerHandlers() {
 		w.U64(uint64(s.BatchesApplied.Load()))
 		return w.Bytes(), nil
 	})
+	s.srv.Register(fsproto.MethodStatfs, func(client uint64, _ []byte) ([]byte, error) {
+		rep, err := s.Statfs()
+		if err != nil {
+			return nil, err
+		}
+		return fsproto.EncodeStatfsReply(&rep), nil
+	})
 }

@@ -1,0 +1,192 @@
+package tfs
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aerie-fs/aerie/internal/alloc"
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// Two-phase space admission (the reservation half of the exhaustion model):
+// after plan validates a batch, batchDemand projects the worst-case byte
+// demand of applying it — collection rehashes, overflow chaining, radix-node
+// growth — and ApplyLog reserves concrete allocator blocks for all of it
+// before the batch is journaled. Journal commit therefore implies the apply
+// phase cannot fail on space, which is what keeps an ENOSPC from stranding
+// a committed-but-half-applied batch that recovery would re-hit forever.
+//
+// The projection simulates per-collection geometry across the batch (an
+// insert that triggers a rehash doubles the simulated bucket count for
+// later inserts), so multi-op batches stay covered. Estimates are
+// deliberately pessimistic; the surplus is released right after apply. If
+// an estimate is ever still short, the reservation falls through to the
+// shared pool and the fallback counter records the estimator bug.
+
+// batchDemand returns the worst-case allocation sizes applying acts may
+// request. Callers hold s.mu.
+func (s *Service) batchDemand(acts []action) ([]uint64, error) {
+	var sizes []uint64
+	sims := make(map[sobj.OID]*sobj.ColGeometry)
+	geom := func(oid sobj.OID) (*sobj.ColGeometry, error) {
+		if g := sims[oid]; g != nil {
+			return g, nil
+		}
+		col, err := sobj.OpenCollection(s.mem, oid)
+		if err != nil {
+			return nil, err
+		}
+		g, err := col.Geometry()
+		if err != nil {
+			return nil, err
+		}
+		sims[oid] = &g
+		return &g, nil
+	}
+	rehash := func(g *sobj.ColGeometry, newNB uint32) {
+		sizes = append(sizes, sobj.TableSizeFor(newNB))
+		spill := g.RehashOverflowBound()
+		for i := 0; i < spill; i++ {
+			sizes = append(sizes, sobj.OverflowExtentSize)
+		}
+		g.Buckets = newNB
+		g.TableSize = sobj.TableSizeFor(newNB)
+		g.Overflow = spill
+		g.Tombs = 0
+	}
+	insert := func(oid sobj.OID) error {
+		g, err := geom(oid)
+		if err != nil {
+			return err
+		}
+		if g.GrowThreshold() {
+			rehash(g, g.Buckets*2)
+		}
+		// The insert itself may chain one overflow extent.
+		sizes = append(sizes, sobj.OverflowExtentSize)
+		g.Overflow++
+		g.Count++
+		return nil
+	}
+	remove := func(oid sobj.OID) error {
+		g, err := geom(oid)
+		if err != nil {
+			return err
+		}
+		if g.Count > 0 {
+			g.Count--
+		}
+		g.Tombs++
+		if g.Tombs > 16 && g.Tombs > g.Count/2 {
+			// Tombstone GC rehashes at the current bucket count.
+			rehash(g, g.Buckets)
+		}
+		return nil
+	}
+	for i := range acts {
+		ac := &acts[i]
+		switch ac.code {
+		case jInsert:
+			if err := insert(ac.oid); err != nil {
+				return nil, err
+			}
+		case jRemove:
+			if ac.a&1 == 0 { // NoGC removes never rehash
+				if err := remove(ac.oid); err != nil {
+					return nil, err
+				}
+			}
+		case jAttach:
+			m, err := sobj.OpenMFile(s.mem, ac.oid)
+			if err != nil {
+				return nil, err
+			}
+			need, err := m.AttachDemand(ac.a)
+			if err != nil {
+				return nil, err
+			}
+			sizes = append(sizes, need...)
+		case jPreallocAdd:
+			if err := insert(s.preCol.OID()); err != nil {
+				return nil, err
+			}
+		case jPreallocConsume:
+			if err := remove(s.preCol.OID()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sizes, nil
+}
+
+// reserveFor projects acts' worst-case demand and reserves it from the
+// allocator, translating exhaustion into typed fsproto.ErrNoSpace. Callers
+// hold s.mu and must Release the reservation (idempotent) when done.
+func (s *Service) reserveFor(acts []action) (*alloc.Reservation, error) {
+	demand, err := s.batchDemand(acts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.bd.Reserve(demand)
+	if err != nil {
+		if errors.Is(err, alloc.ErrNoSpace) || errors.Is(err, alloc.ErrTooLarge) {
+			return nil, fmt.Errorf("%w: cannot reserve worst-case demand: %v", fsproto.ErrNoSpace, err)
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// degradeRemoves switches every GC-eligible remove in acts to its NoGC
+// variant (journaled that way, so replay matches). Returns whether anything
+// changed.
+func degradeRemoves(acts []action) bool {
+	changed := false
+	for i := range acts {
+		if acts[i].code == jRemove && acts[i].a&1 == 0 {
+			acts[i].a |= 1
+			changed = true
+		}
+	}
+	return changed
+}
+
+// busyError is the admission-control shed outcome: typed as
+// fsproto.ErrBusy across the wire, carrying the retry-after hint.
+type busyError struct{ retryMs uint32 }
+
+func (e *busyError) Error() string {
+	return fmt.Sprintf("%v (retry after %dms)", fsproto.ErrBusy, e.retryMs)
+}
+func (e *busyError) Unwrap() error        { return fsproto.ErrBusy }
+func (e *busyError) RetryAfterMs() uint32 { return e.retryMs }
+
+// admit applies backpressure before a request queues on s.mu: bounded total
+// in-flight batch bytes and per-client depth. Returns a typed busyError
+// when shedding. A request is always admitted when nothing is in flight so
+// an over-limit batch cannot starve forever.
+func (s *Service) admit(client uint64, bytes int64) error {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	overBytes := s.cfg.MaxInflightBytes > 0 && s.admBytes > 0 && s.admBytes+bytes > s.cfg.MaxInflightBytes
+	overDepth := s.cfg.MaxClientInflight > 0 && s.admPerClient[client] >= s.cfg.MaxClientInflight
+	if overBytes || overDepth {
+		s.BatchesShed.Add(1)
+		s.obsSheds.Inc()
+		return &busyError{retryMs: uint32(s.cfg.RetryAfterHint.Milliseconds())}
+	}
+	s.admBytes += bytes
+	s.admPerClient[client]++
+	return nil
+}
+
+// admitDone releases the admission debt taken by admit.
+func (s *Service) admitDone(client uint64, bytes int64) {
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
+	s.admBytes -= bytes
+	if s.admPerClient[client]--; s.admPerClient[client] <= 0 {
+		delete(s.admPerClient, client)
+	}
+}

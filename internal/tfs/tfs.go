@@ -69,8 +69,21 @@ type Config struct {
 	VolumeGID uint32
 	// Costs injects modeled latencies (may be nil).
 	Costs *costmodel.Costs
+	// MaxInflightBytes bounds the total encoded batch bytes admitted into
+	// the service at once; requests over the limit are shed with
+	// fsproto.ErrBusy (default 64 MiB, -1 disables). A single batch is
+	// always admitted when nothing else is in flight, so the limit can
+	// never wedge a client.
+	MaxInflightBytes int64
+	// MaxClientInflight bounds the per-client admitted request depth
+	// (default 4, -1 disables).
+	MaxClientInflight int
+	// RetryAfterHint is the backpressure hint attached to shed requests
+	// (default 5ms); the client's jittered backoff uses it as a floor.
+	RetryAfterHint time.Duration
 	// Faults, when non-nil, arms fault points on the service's mutation
-	// paths (tfs.*) and its journal (journal.*). Nil in production.
+	// paths (tfs.*), its journal (journal.*), and its allocator (alloc.*).
+	// Nil in production.
 	Faults *faultinject.Injector
 	// Obs, when non-nil, wires per-layer observability: the service's
 	// tfs.batch.ops histogram and tfs.fsck.repairs counter, plus the
@@ -105,14 +118,24 @@ type Service struct {
 
 	faults *faultinject.Injector
 
+	// Admission control (backpressure): tracked outside mu so shedding
+	// happens before a request ever queues on the service mutex.
+	admMu        sync.Mutex
+	admBytes     int64
+	admPerClient map[uint64]int
 	// Stats.
 	BatchesApplied costmodel.Counter
 	OpsApplied     costmodel.Counter
 	OpsRejected    costmodel.Counter
+	BatchesShed    costmodel.Counter
 
 	// Metrics resolved once in Serve; all nil when cfg.Obs is nil.
-	obsBatchOps    *obs.Histogram // ops per applied batch
-	obsFsckRepairs *obs.Counter
+	obsBatchOps       *obs.Histogram // ops per applied batch
+	obsFsckRepairs    *obs.Counter
+	obsReserveBytes   *obs.Histogram // reserved bytes per admitted batch
+	obsReserveWait    *obs.Histogram // ns from admission to reservation held
+	obsReserveFallbks *obs.Counter   // apply allocs the reservation missed
+	obsSheds          *obs.Counter   // requests shed with ErrBusy
 }
 
 type clientState struct {
@@ -255,19 +278,34 @@ func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmm
 	if err != nil {
 		return nil, err
 	}
+	if cfg.MaxInflightBytes == 0 {
+		cfg.MaxInflightBytes = 64 << 20
+	}
+	if cfg.MaxClientInflight == 0 {
+		cfg.MaxClientInflight = 4
+	}
+	if cfg.RetryAfterHint == 0 {
+		cfg.RetryAfterHint = 5 * time.Millisecond
+	}
 	s := &Service{
 		mgr: mgr, proc: proc, part: part, mem: mem, cfg: cfg,
 		srv: srv, bd: bd, jl: jl,
 		root: sobj.OID(rootOID), preCol: preCol, gid: gid,
-		heap:      [2]uint64{heapStart, heapSize},
-		clients:   make(map[uint64]*clientState),
-		openFiles: make(map[sobj.OID]*openState),
-		faults:    cfg.Faults,
+		heap:         [2]uint64{heapStart, heapSize},
+		clients:      make(map[uint64]*clientState),
+		openFiles:    make(map[sobj.OID]*openState),
+		admPerClient: make(map[uint64]int),
+		faults:       cfg.Faults,
 	}
 	s.obsBatchOps = cfg.Obs.Histogram("tfs.batch.ops")
 	s.obsFsckRepairs = cfg.Obs.Counter("tfs.fsck.repairs")
+	s.obsReserveBytes = cfg.Obs.Histogram("tfs.reserve.bytes")
+	s.obsReserveWait = cfg.Obs.Histogram("tfs.reserve.wait_ns")
+	s.obsReserveFallbks = cfg.Obs.Counter("tfs.reserve.fallbacks")
+	s.obsSheds = cfg.Obs.Counter("tfs.admission.sheds")
 	jl.SetFaults(cfg.Faults)
 	jl.SetObs(cfg.Obs)
+	bd.SetFaults(cfg.Faults)
 	// Crash recovery (§5.3.6): replay committed, un-checkpointed batches.
 	if err := s.recover(); err != nil {
 		return nil, err
@@ -293,8 +331,67 @@ func (s *Service) Root() sobj.OID { return s.root }
 // VolumeGID returns the volume's extent ACL group.
 func (s *Service) VolumeGID() uint32 { return s.gid }
 
-// FreeBytes reports the allocator's free space.
+// FreeBytes reports the allocator's free space (excluding open
+// reservations).
 func (s *Service) FreeBytes() uint64 { return s.bd.FreeBytes() }
+
+// ReservedBytes reports bytes held by open admission reservations.
+func (s *Service) ReservedBytes() uint64 { return s.bd.ReservedBytes() }
+
+// JournalIdle reports whether the redo journal holds no committed,
+// un-checkpointed batch. With the one-batch recovery invariant it must be
+// true whenever the service is quiescent; the exhaustion sweep asserts it
+// after every operation to prove no batch was stranded half-applied.
+func (s *Service) JournalIdle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jl.Empty()
+}
+
+// Statfs reports volume-wide space and object accounting. The object count
+// walks the namespace under the service mutex — cheap for interactive `df`,
+// not meant for per-request hot paths.
+func (s *Service) Statfs() (fsproto.StatfsReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := fsproto.StatfsReply{
+		TotalBytes:     s.bd.HeapSize(),
+		FreeBytes:      s.bd.FreeBytes(),
+		ReservedBytes:  s.bd.ReservedBytes(),
+		BatchesApplied: uint64(s.BatchesApplied.Load()),
+	}
+	var count func(oid sobj.OID, depth int) error
+	count = func(oid sobj.OID, depth int) error {
+		if depth > 64 {
+			return fmt.Errorf("tfs: namespace deeper than 64 levels")
+		}
+		rep.Objects++
+		if oid.Type() != sobj.TypeCollection {
+			return nil
+		}
+		col, err := sobj.OpenCollection(s.mem, oid)
+		if err != nil {
+			return err
+		}
+		var children []sobj.OID
+		if err := col.Iterate(func(_ []byte, val sobj.OID) error {
+			children = append(children, val)
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, child := range children {
+			if err := count(child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := count(s.root, 0); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
 
 // recover replays the redo journal after a crash.
 func (s *Service) recover() error {
@@ -306,13 +403,18 @@ func (s *Service) recover() error {
 	if s.jl.Empty() {
 		return nil
 	}
+	// Replay frees are quarantined exactly like apply frees: until the
+	// checkpoint erases the batch, a freed block keeps its bitmap bit so a
+	// second replay (crash during this recovery) can only re-quarantine it,
+	// never free a reused live block.
+	df := &deferFrees{inner: tolerantAlloc{s.bd}}
 	if err := s.jl.Replay(func(payload []byte) error {
 		acts, err := decodeActions(payload)
 		if err != nil {
 			return err
 		}
 		for i := range acts {
-			if err := s.applyAction(&acts[i], true); err != nil {
+			if err := s.applyAction(acts, i, df, true); err != nil {
 				return err
 			}
 		}
@@ -320,7 +422,16 @@ func (s *Service) recover() error {
 	}); err != nil {
 		return err
 	}
-	return s.jl.Checkpoint()
+	// Between replay and checkpoint the journal still holds the batch; a
+	// crash here forces the next recovery to replay it a second time, which
+	// the idempotent-redo rules must absorb without allocating anything.
+	if err := s.faults.Hit("tfs.recover.postreplay"); err != nil {
+		return err
+	}
+	if err := s.jl.Checkpoint(); err != nil {
+		return err
+	}
+	return df.release()
 }
 
 // scavengePreallocs frees every tracked pre-allocated extent.
@@ -417,12 +528,17 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	st := s.client(client)
 	addrs := make([]uint64, 0, count)
 	actual := alloc.BlockSize(alloc.OrderFor(size))
+	rollback := func() {
+		for _, got := range addrs {
+			_ = s.bd.Free(got, actual)
+		}
+	}
 	for i := uint32(0); i < count; i++ {
 		a, err := s.bd.Alloc(size)
 		if err != nil {
-			// Roll back this batch.
-			for _, got := range addrs {
-				_ = s.bd.Free(got, actual)
+			rollback()
+			if errors.Is(err, alloc.ErrNoSpace) || errors.Is(err, alloc.ErrTooLarge) {
+				return nil, fmt.Errorf("%w: prealloc %dx%d: %v", fsproto.ErrNoSpace, count, size, err)
 			}
 			return nil, err
 		}
@@ -433,10 +549,19 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	for _, a := range addrs {
 		acts = append(acts, action{code: jPreallocAdd, a: a, b: actual})
 	}
+	// Reserve the tracking inserts' worst case before commit so apply
+	// cannot fail on space.
+	res, err := s.reserveFor(acts)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	defer func() {
+		s.obsReserveFallbks.Add(int64(res.Fallbacks()))
+		res.Release()
+	}()
 	if err := s.commitActions(acts); err != nil {
-		for _, got := range addrs {
-			_ = s.bd.Free(got, actual)
-		}
+		rollback()
 		return nil, err
 	}
 	// Tracking entries are committed but not yet applied; a crash here
@@ -444,7 +569,7 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	if err := s.faults.Hit("tfs.prealloc.postcommit"); err != nil {
 		return nil, err
 	}
-	if err := s.applyAll(acts); err != nil {
+	if err := s.applyAll(acts, res); err != nil {
 		return nil, err
 	}
 	for _, a := range addrs {
@@ -502,7 +627,7 @@ func (s *Service) Chmod(client uint64, oid sobj.OID, perm uint32, hwProtect bool
 	if err := s.faults.Hit("tfs.chmod.postcommit"); err != nil {
 		return err
 	}
-	if err := s.applyAll(acts); err != nil {
+	if err := s.applyAll(acts, s.bd); err != nil {
 		return err
 	}
 	if hwProtect {
