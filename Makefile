@@ -6,13 +6,16 @@
 # crash sweep (every ordinal of every fault point) plus race-enabled
 # RPC/libFS fault-injection tests; tier2-exhaust runs the full
 # resource-exhaustion sweep (natural fill + every sampled ordinal of every
-# allocation/journal failure point).
+# allocation/journal failure point); tier2-writepipe race-tests the
+# pipelined write path — the client completion window, the TFS sequence
+# gate and group commit, the crash sweep over the group-commit fault
+# points, and the pipelined differential conformance trace.
 
 TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice ./internal/alloc
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash tier2-exhaust bench-readpath fuzz-short
+.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe bench-readpath bench-writepath fuzz-short
 
 all: tier1
 
@@ -49,5 +52,17 @@ tier2-crash:
 tier2-exhaust:
 	go test -v -timeout 30m -run TestSweepFull ./internal/exhaustsweep
 
+# Race-enabled sweep of the pipelined write path: window protocol and
+# sequence-gate tests, crash prefix-consistency at every group-commit
+# fault point, and the pipelined write conformance trace (PXFS and FlatFS
+# with batches in flight vs RamFS and ext4).
+tier2-writepipe:
+	go test -race -run 'TestPipelined|TestParkedWindow|TestWindowSeqGate|TestWritePipeStress' ./internal/libfs
+	go test -race -run 'TestWindowPrefixConsistency' ./internal/crashsweep
+	go test -race -run 'TestPipelinedWriteConformance' ./internal/conformance
+
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .
+
+bench-writepath:
+	go test -run xxx -bench BenchmarkWritePath -benchtime 1x .

@@ -1,0 +1,289 @@
+// Write-path microbenchmarks for the pipelined completion window. The
+// family runs one multi-client batched-write workload — four sessions, each
+// streaming 4KiB appends to its own file, one window batch per append —
+// across window sizes K in {1, 4, 16}. K=1 is the synchronous baseline
+// (every batch ships inline and the client waits out the RPC round trip
+// plus the TFS commit); K>=4 is this PR's pipeline (RotateBatch seals each
+// append into the completion window and the background shipper overlaps
+// the ship with the next append's client-side SCM writes, while the TFS
+// coalesces concurrently arriving batches into group commits).
+//
+// Costs are the repo's default calibration plus a 100ns/line SCM write
+// charge (a Figure-6 midpoint), so the client-side data persist and the
+// server-side journal/apply both cost real spin time — exactly the
+// overlap the window exists to buy. BENCH_writepath.json records a
+// snapshot; `make bench-writepath` reproduces it.
+//
+// Each K also derives a per-layer time split in the spirit of
+// internal/experiments' -breakdown: exclusive rows (client, rpc, lock,
+// journal, tfs, scm) that sum to the measured op total. The total for
+// K=1 is the summed client-visible op latency (ship time is inside it);
+// for K>1 it is client busy time plus all RPC time, because the shipper
+// runs the RPCs off the client's goroutines. The sum identity is asserted,
+// not just reported.
+package aerie_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/core"
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/obs"
+	"github.com/aerie-fs/aerie/internal/pxfs"
+)
+
+const (
+	wpClients      = 4
+	wpOpsPerClient = 250
+	wpWriteSize    = 4096
+)
+
+// wpCosts is the calibration for the write-path family: default costs with
+// a non-zero SCM line charge so client persists consume time, and the RPC
+// round trip injected as a BLOCKING 1ms wait rather than a spin. A real
+// transport round trip is wire and scheduling latency — the caller's core
+// is parked, not burning — and that is precisely the time a deeper window
+// overlaps; a spin-injected round trip would serialize on the CPU and hide
+// the pipeline's gain on small hosts. 1ms respects the OS timer floor
+// (sub-millisecond sleeps round up to roughly a tick).
+func wpCosts() costmodel.Costs {
+	c := costmodel.DefaultCosts()
+	c.SCMWriteLine = 100 * time.Nanosecond
+	c.RPCBlocking = true
+	c.RPCRoundTrip = time.Millisecond
+	return c
+}
+
+// wpResult is one window size's measured run.
+type wpResult struct {
+	k       int
+	ops     int
+	wall    time.Duration
+	lats    []time.Duration // client-visible per-op latency, all clients
+	latSum  int64
+	snap    obs.Snapshot
+	fences  int64
+	grouped int64
+}
+
+func (r *wpResult) opsPerSec() float64 {
+	return float64(r.ops) / r.wall.Seconds()
+}
+
+func (r *wpResult) percentile(p float64) time.Duration {
+	if len(r.lats) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(r.lats)-1))
+	return r.lats[idx]
+}
+
+// runWritePath measures one window size: wpClients sessions on one machine,
+// each appending wpOpsPerClient 4KiB chunks to its own file, one batch per
+// append. The sink is reset after setup so the snapshot covers only the
+// measured window.
+func runWritePath(b *testing.B, k int) *wpResult {
+	b.Helper()
+	sink := obs.New()
+	sys, err := core.New(core.Options{
+		ArenaSize:      256 << 20,
+		Costs:          wpCosts(),
+		Lease:          10 * time.Minute,
+		AcquireTimeout: 60 * time.Second,
+		Obs:            sink,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	type client struct {
+		sess *libfs.Session
+		f    *pxfs.File
+	}
+	clients := make([]client, wpClients)
+	for i := range clients {
+		sess, err := sys.NewSession(libfs.Config{
+			UID:        uint32(1000 + i),
+			Window:     k,
+			RenewEvery: time.Hour,
+			PoolRefill: 128,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs := pxfs.New(sess, pxfs.Options{NameCache: true})
+		f, err := fs.Create(fmt.Sprintf("/stream%d", i), 0644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = client{sess: sess, f: f}
+	}
+	// Everything after this is measured workload.
+	sink.Reset()
+	buf := make([]byte, wpWriteSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	lats := make([][]time.Duration, wpClients)
+	errs := make([]error, wpClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := clients[i]
+			lat := make([]time.Duration, 0, wpOpsPerClient)
+			for op := 0; op < wpOpsPerClient; op++ {
+				t0 := time.Now()
+				if _, err := c.f.Write(buf); err != nil {
+					errs[i] = err
+					return
+				}
+				if k == 1 {
+					// Synchronous baseline: ship and wait per append.
+					if err := c.sess.Sync(); err != nil {
+						errs[i] = err
+						return
+					}
+				} else {
+					// Pipelined: seal the append into the window; the
+					// background shipper overlaps the RPC with the next
+					// append's SCM writes.
+					if err := c.sess.RotateBatch(); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			// Drain the window; wall-clock time counts, op latency does not
+			// (the batches were already acknowledged into the window).
+			errs[i] = c.sess.Sync()
+			lats[i] = lat
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			b.Fatalf("client %d: %v", i, err)
+		}
+	}
+	res := &wpResult{k: k, ops: wpClients * wpOpsPerClient, wall: wall, snap: sink.Snapshot()}
+	for _, lat := range lats {
+		res.lats = append(res.lats, lat...)
+		for _, d := range lat {
+			res.latSum += int64(d)
+		}
+	}
+	sort.Slice(res.lats, func(a, c int) bool { return res.lats[a] < res.lats[c] })
+	res.fences = res.snap.Counter("tfs.groupcommit.fences")
+	res.grouped = res.snap.Counter("tfs.groupcommit.coalesced")
+	for i := range clients {
+		if err := clients[i].f.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := clients[i].sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// wpLayer is one exclusive row of the per-layer split.
+type wpLayer struct {
+	name string
+	ns   int64
+}
+
+// wpLayers splits the run's op total into the breakdown rows used by
+// internal/experiments: client, rpc, lock, journal, tfs, scm — each
+// nanosecond counted once. total is the summed client-visible latency plus,
+// for pipelined windows, the RPC time the background shipper spent (those
+// round trips run off the client goroutines and overlap client work).
+// Negative residuals from attribution boundaries are clamped into the
+// client row, exactly like experiments.computeLayers.
+func wpLayers(r *wpResult) (total int64, rows []wpLayer) {
+	rpcCall := r.snap.HistSum("rpc.call")
+	dispatch := r.snap.HistSum("rpc.dispatch")
+	lockWait := r.snap.HistSum("lock.wait")
+	commit := r.snap.HistSum("journal.commit")
+	commitSCM := r.snap.Counter("journal.commit.scm_ns")
+	scmAll := r.snap.Counter("scm.charged_ns")
+	scmClient := r.snap.Counter("scm.client.charged_ns")
+	scmServer := scmAll - scmClient
+
+	inlineRPC := int64(0)
+	total = r.latSum
+	if r.k == 1 {
+		inlineRPC = rpcCall // every ship ran inside a timed op
+	} else {
+		total += rpcCall // ships ran on the shipper, off the client clock
+	}
+	vals := map[string]int64{
+		"client":  r.latSum - inlineRPC - scmClient,
+		"rpc":     rpcCall - dispatch,
+		"lock":    lockWait,
+		"journal": commit - commitSCM,
+		"tfs":     dispatch - lockWait - commit - (scmServer - commitSCM),
+		"scm":     scmAll,
+	}
+	order := []string{"client", "rpc", "lock", "journal", "tfs", "scm"}
+	for _, l := range order[1:] {
+		if vals[l] < 0 {
+			vals["client"] += vals[l]
+			vals[l] = 0
+		}
+	}
+	if vals["client"] < 0 {
+		vals["client"] = 0
+	}
+	for _, l := range order {
+		rows = append(rows, wpLayer{name: l, ns: vals[l]})
+	}
+	return total, rows
+}
+
+// BenchmarkWritePath runs the multi-client batched-append workload at each
+// window size and reports throughput, tail latency, and the layer split.
+// Run with -benchtime 1x: the workload is internally sized and iterating
+// it only repeats the same measurement.
+func BenchmarkWritePath(b *testing.B) {
+	for _, k := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			var res *wpResult
+			for i := 0; i < b.N; i++ {
+				res = runWritePath(b, k)
+			}
+			total, rows := wpLayers(res)
+			var sum int64
+			for _, row := range rows {
+				sum += row.ns
+			}
+			if sum != total {
+				b.Fatalf("layer rows sum to %d, op total is %d", sum, total)
+			}
+			if k > 1 && res.fences == 0 {
+				b.Fatalf("pipelined run recorded no group-commit fences")
+			}
+			b.ReportMetric(res.opsPerSec(), "ops/s")
+			b.ReportMetric(float64(res.percentile(0.50))/1e3, "p50-µs")
+			b.ReportMetric(float64(res.percentile(0.99))/1e3, "p99-µs")
+			b.Logf("K=%d: %d ops in %v (%.0f ops/s), p50 %v p99 %v, fences=%d coalesced=%d",
+				k, res.ops, res.wall.Round(time.Microsecond), res.opsPerSec(),
+				res.percentile(0.50), res.percentile(0.99), res.fences, res.grouped)
+			for _, row := range rows {
+				b.Logf("  layer %-8s %12d ns (%5.1f%%)", row.name, row.ns,
+					100*float64(row.ns)/float64(total))
+			}
+		})
+	}
+}

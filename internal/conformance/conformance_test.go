@@ -20,6 +20,14 @@ import (
 // newAerieFS boots a fresh machine and mounts one client session.
 func newAerieSession(t *testing.T) *libfs.Session {
 	t.Helper()
+	return newAerieSessionCfg(t, libfs.Config{UID: 1000})
+}
+
+// newAerieSessionCfg boots a fresh machine and mounts one client session
+// with the given libfs configuration (the pipelined-write trace uses a
+// deep window and a tiny batch limit).
+func newAerieSessionCfg(t *testing.T, cfg libfs.Config) *libfs.Session {
+	t.Helper()
 	sys, err := core.New(core.Options{
 		ArenaSize:      128 << 20,
 		AcquireTimeout: 60 * time.Second,
@@ -27,7 +35,7 @@ func newAerieSession(t *testing.T) *libfs.Session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := sys.NewSession(libfs.Config{UID: 1000})
+	sess, err := sys.NewSession(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,6 +117,67 @@ func TestDifferentialConformanceSeeds(t *testing.T) {
 		if err := RunDifferential(allTargets(t), ops); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// rotatingFS wraps an Aerie-backed target so every trace operation seals
+// its ops into their own window batch (Session.RotateBatch). Trace-op
+// boundaries are always safe batch boundaries — unlike a byte threshold,
+// which can split FlatFS's create/write/insert sequence so the keyed write
+// validates before the insert that links the key has applied.
+type rotatingFS struct {
+	FS
+	sess *libfs.Session
+}
+
+func (r rotatingFS) rot(err error) error {
+	if err != nil {
+		return err
+	}
+	return r.sess.RotateBatch()
+}
+
+func (r rotatingFS) Mkdir(path string) error  { return r.rot(r.FS.Mkdir(path)) }
+func (r rotatingFS) Delete(path string) error { return r.rot(r.FS.Delete(path)) }
+func (r rotatingFS) PutWhole(path string, data []byte) error {
+	return r.rot(r.FS.PutWhole(path, data))
+}
+func (r rotatingFS) WriteAt(path string, off int64, data []byte) error {
+	return r.rot(r.FS.WriteAt(path, off, data))
+}
+func (r rotatingFS) Append(path string, data []byte) error {
+	return r.rot(r.FS.Append(path, data))
+}
+func (r rotatingFS) Truncate(path string, size int64) error {
+	return r.rot(r.FS.Truncate(path, size))
+}
+func (r rotatingFS) Rename(oldPath, newPath string) error {
+	return r.rot(r.FS.Rename(oldPath, newPath))
+}
+
+// TestPipelinedWriteConformance replays the differential trace with the
+// Aerie targets running the pipelined write path: an 8-deep completion
+// window with every trace operation rotating its own batch, so several
+// unsynced batches are in flight whenever the trace hits a sync point.
+// PXFS additionally runs a one-byte batch limit (each logged op its own
+// batch — safe under directory/file covers); FlatFS rotates at trace-op
+// boundaries, the finest split its keyed-cover validation admits. Sync
+// semantics must be byte-identical to the synchronous path — the
+// kernel-backed targets (RamFS, ext4) replay the same trace synchronously
+// and every sync-point comparison must agree on files, sizes, contents,
+// and directory trees.
+func TestPipelinedWriteConformance(t *testing.T) {
+	pxSess := newAerieSessionCfg(t, libfs.Config{UID: 1000, BatchLimit: 1, Window: 8})
+	flatSess := newAerieSessionCfg(t, libfs.Config{UID: 1000, Window: 8})
+	targets := []FS{
+		rotatingFS{FS: PXFSAdapter{FS: pxfs.New(pxSess, pxfs.Options{NameCache: true})}, sess: pxSess},
+		rotatingFS{FS: FlatAdapter{FS: flatfs.New(flatSess, flatfs.Options{})}, sess: flatSess},
+		newKernel(t, "RamFS"),
+		newKernel(t, "ext4"),
+	}
+	ops := GenerateTrace(42, 400)
+	if err := RunDifferential(targets, ops); err != nil {
+		t.Fatal(err)
 	}
 }
 

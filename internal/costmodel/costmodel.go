@@ -28,6 +28,17 @@ type Costs struct {
 	// RPCRoundTrip is charged on every in-process RPC call to model the
 	// loopback-socket transport the paper uses between libFS and the TFS.
 	RPCRoundTrip time.Duration
+	// RPCBlocking injects RPCRoundTrip as a blocking wait (the goroutine
+	// is descheduled) instead of a spin. A real transport round trip is
+	// wire and scheduling latency — the caller's core is parked on the
+	// socket, not burning — so concurrency studies (the pipelined
+	// write-path benchmark) opt in to let in-flight RPCs overlap client
+	// compute even on hosts with few cores. The default stays the
+	// paper-faithful RDTSCP-style spin, which keeps the single-threaded
+	// calibrations (EXPERIMENTS.md) unchanged. Note the OS timer floor:
+	// sub-millisecond sleeps round up to roughly a tick, so blocking
+	// calibrations should use RPCRoundTrip values at or above 1ms.
+	RPCBlocking bool
 	// SCMWriteLine is charged per 64-byte cache line persisted to SCM
 	// (wlflush, and streamed lines at bflush). This is the knob swept in
 	// Figure 6.
@@ -64,6 +75,16 @@ func Spin(d time.Duration) {
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {
 	}
+}
+
+// Block parks the goroutine for d, modeling latency the CPU does not
+// consume (an RPC's wire time). A no-op for d <= 0; subject to the OS
+// timer floor for very small d.
+func Block(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
 }
 
 // Counter is a cheap atomic event counter used for statistics throughout the

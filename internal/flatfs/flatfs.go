@@ -118,6 +118,9 @@ func checkKey(key string) error {
 // when the table is near a rehash, the whole-collection write lock
 // (hierarchical, so it covers the files too).
 func (fs *FS) lockWrite(key []byte) (cover uint64, keyArg []byte, unlock func(), err error) {
+	// The grow check and bucket-lock derivation walk the live table; with a
+	// pipelined window our own earlier batches may be mid-apply into it.
+	fs.s.ReadBarrier()
 	col, err := sobj.OpenCollection(fs.s.Mem, fs.ns)
 	if err != nil {
 		return 0, nil, nil, err
@@ -221,6 +224,7 @@ func (fs *FS) GetInto(key string, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	defer fs.s.Clerk.Release(nsLock, lockservice.IS)
+	fs.s.ReadBarrier() // bucket derivation reads the live table
 	col, err := sobj.OpenCollection(fs.s.Mem, fs.ns)
 	if err != nil {
 		return nil, err

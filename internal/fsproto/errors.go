@@ -22,6 +22,13 @@ var (
 	// ErrBusy sheds a request under admission control; the RemoteError's
 	// RetryAfterMs carries the server's backpressure hint.
 	ErrBusy = errors.New("fsproto: service busy")
+	// ErrWindowStale rejects a sequenced batch from a dead part of the
+	// client's completion window: an earlier batch of the same epoch was
+	// rejected (the client discards this suffix), or the batch carries an
+	// epoch the client has already moved past. The client library treats
+	// it as confirmation of a discard it already performed, never as an
+	// independent failure.
+	ErrWindowStale = errors.New("fsproto: stale window batch")
 )
 
 // Stable wire codes for the exhaustion errors. Codes are protocol constants
@@ -30,12 +37,14 @@ const (
 	CodeNoSpace       uint32 = 1
 	CodeBatchTooLarge uint32 = 2
 	CodeBusy          uint32 = 3
+	CodeWindowStale   uint32 = 4
 )
 
 func init() {
 	rpc.RegisterErrorCode(CodeNoSpace, ErrNoSpace)
 	rpc.RegisterErrorCode(CodeBatchTooLarge, ErrBatchTooLarge)
 	rpc.RegisterErrorCode(CodeBusy, ErrBusy)
+	rpc.RegisterErrorCode(CodeWindowStale, ErrWindowStale)
 }
 
 // IsExhaustion reports whether err is one of the typed resource-exhaustion

@@ -28,7 +28,82 @@ const (
 	MethodSync      = 0x207
 	MethodStatVol   = 0x208
 	MethodStatfs    = 0x209
+	// MethodApplyLogSeq is ApplyLog with a completion-window header
+	// prefixed to the ops payload: pipelined sessions number their
+	// in-flight batches per session (seq), stamp the discard generation
+	// (epoch), and flag batch fragments, so the TFS can sequence batches
+	// that arrive concurrently and fail any batch sequenced after a
+	// rejected one (the client discards that suffix anyway).
+	MethodApplyLogSeq = 0x20A
 )
+
+// SeqHeader is the decoded completion-window header of a MethodApplyLogSeq
+// payload.
+type SeqHeader struct {
+	// Seq is the per-session window sequence number (1-based; 0 means the
+	// legacy unsequenced path).
+	Seq uint64
+	// Epoch is the session's discard generation: a rejection discards the
+	// window suffix client-side and bumps the epoch, so stragglers from
+	// the dead window are recognizably stale.
+	Epoch uint32
+	// Frag marks a fragment of a split batch that is NOT the last one:
+	// more fragments with the same Seq follow, and the sequence number
+	// completes only with the final fragment.
+	Frag bool
+	// Opener marks the first batch shipped under a new epoch: it
+	// re-baselines the server's expected sequence number (the discarded
+	// suffix consumed sequence numbers that will never arrive).
+	Opener bool
+}
+
+const (
+	seqFlagFrag   = 1 << 0
+	seqFlagOpener = 1 << 1
+)
+
+// EncodeApplyLogSeq prefixes an encoded ops payload (EncodeOps) with the
+// batch's completion-window header.
+func EncodeApplyLogSeq(h SeqHeader, ops []byte) []byte {
+	out := make([]byte, 13+len(ops))
+	out[0] = byte(h.Seq)
+	out[1] = byte(h.Seq >> 8)
+	out[2] = byte(h.Seq >> 16)
+	out[3] = byte(h.Seq >> 24)
+	out[4] = byte(h.Seq >> 32)
+	out[5] = byte(h.Seq >> 40)
+	out[6] = byte(h.Seq >> 48)
+	out[7] = byte(h.Seq >> 56)
+	out[8] = byte(h.Epoch)
+	out[9] = byte(h.Epoch >> 8)
+	out[10] = byte(h.Epoch >> 16)
+	out[11] = byte(h.Epoch >> 24)
+	if h.Frag {
+		out[12] |= seqFlagFrag
+	}
+	if h.Opener {
+		out[12] |= seqFlagOpener
+	}
+	copy(out[13:], ops)
+	return out
+}
+
+// DecodeApplyLogSeq splits a MethodApplyLogSeq payload into the window
+// header and the inner ops payload (still encoded; the caller hands it to
+// DecodeOps).
+func DecodeApplyLogSeq(p []byte) (SeqHeader, []byte, error) {
+	if len(p) < 13 {
+		return SeqHeader{}, nil, fmt.Errorf("fsproto: short ApplyLogSeq payload (%d bytes)", len(p))
+	}
+	h := SeqHeader{
+		Seq: uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+			uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56,
+		Epoch:  uint32(p[8]) | uint32(p[9])<<8 | uint32(p[10])<<16 | uint32(p[11])<<24,
+		Frag:   p[12]&seqFlagFrag != 0,
+		Opener: p[12]&seqFlagOpener != 0,
+	}
+	return h, p[13:], nil
+}
 
 // Op codes in a metadata-update batch.
 const (

@@ -80,6 +80,7 @@ func (s *Session) DirLookup(dir sobj.OID, key []byte) (sobj.OID, bool, error) {
 		}
 	}
 	s.mu.Unlock()
+	s.ReadBarrier()
 	col, err := sobj.OpenCollection(s.Mem, dir)
 	if err != nil {
 		return 0, false, err
@@ -204,6 +205,7 @@ func (s *Session) DirIterate(dir sobj.OID, fn func(key []byte, val sobj.OID) err
 		}
 	}
 	s.mu.Unlock()
+	s.ReadBarrier()
 	col, err := sobj.OpenCollection(s.Mem, dir)
 	if err != nil {
 		return err
@@ -247,6 +249,7 @@ func (s *Session) FileSize(oid sobj.OID) (uint64, error) {
 		return n, nil
 	}
 	s.mu.Unlock()
+	s.ReadBarrier()
 	m, err := sobj.OpenMFile(s.Mem, oid)
 	if err != nil {
 		return 0, err

@@ -35,6 +35,14 @@ type Config struct {
 	// BatchLimit is the metadata log size that triggers shipping
 	// (default 8 MiB, the paper's measured optimum).
 	BatchLimit int
+	// Window is the number of batches the session keeps in flight to the
+	// TFS (default 1: the synchronous ship-and-wait path, no background
+	// goroutine). With Window K > 1 a full batch rotates into the ship
+	// queue and a background shipper sends it while the caller keeps
+	// logging; LogOp blocks only when K batches are already pending, and
+	// Sync drains the whole window. Batches are sequence-numbered so the
+	// TFS can verify a session's window applies in order.
+	Window int
 	// PoolRefill is how many extents one Prealloc RPC fetches (default 64).
 	PoolRefill uint32
 	// RenewEvery starts clerk lease renewal (default: lease-dependent off).
@@ -103,6 +111,8 @@ type Session struct {
 	// shipq holds batches whose ship is in flight or parked: head is
 	// retried identically (same payload + request ID) after a transport
 	// failure, and an oversized batch is split in place into two halves.
+	// With a pipelined window (cfg.Window > 1) it is the completion
+	// window: entries complete strictly in order, head first.
 	shipq        []*shipState
 	shadows      map[sobj.OID]*fileShadow
 	colShadows   map[sobj.OID]*colShadow
@@ -111,14 +121,43 @@ type Session struct {
 	discardHooks []func()
 	closed       bool
 
+	// Pipelined-window state (all guarded by mu). Queued entries launch on
+	// their own RPC goroutines, up to Window concurrently in flight (the
+	// TFS sequence gate re-serializes their outcomes); inflight counts
+	// them. parked suspends launches after a transport failure or
+	// persistent shed, leaving every entry queued verbatim for a Sync to
+	// drain; draining marks a FlushUpdates shipping the queue synchronously
+	// (launches also suspend). shipCond wakes waiters when depth, inflight,
+	// or ownership changes. nextSeq numbers rotated batches; epoch is the
+	// discard generation stamped into them, bumped on every rejection, and
+	// openerPending flags the next rotation as the new epoch's opener
+	// (true at mount and after every discard). deferred stashes a rejection
+	// detected in the background until the next LogOp/Sync can surface it;
+	// panicVal does the same for an injected crash panic, re-thrown on the
+	// caller's goroutine so a pipelined session crashes on the thread the
+	// harness watches.
+	shipCond      *sync.Cond
+	inflight      int
+	parked        bool
+	draining      bool
+	nextSeq       uint64
+	epoch         uint32
+	openerPending bool
+	deferred      error
+	panicVal      any
+
 	// Stats.
 	Flushes     costmodel.Counter
 	OpsLogged   costmodel.Counter
 	PoolRefills costmodel.Counter
 
 	// Metrics resolved once at mount; all nil when cfg.Obs is nil.
-	obsShipOps   *obs.Histogram
-	obsShipBytes *obs.Histogram
+	obsShipOps        *obs.Histogram
+	obsShipBytes      *obs.Histogram
+	obsWindowDepth    *obs.Histogram // ship-queue depth at each rotation
+	obsWindowStalls   *obs.Counter   // LogOp blocked on a full window
+	obsWindowParks    *obs.Counter   // shipper parked (transport/busy)
+	obsWindowDiscards *obs.Counter   // batches discarded by a rejection
 }
 
 // fileShadow is volatile per-file state covering not-yet-shipped updates:
@@ -156,16 +195,33 @@ type opGroup struct {
 	staged []stagedExt
 }
 
-// shipState is a batch whose ship to the TFS failed at the transport level:
-// the encoded payload and its reserved RPC request ID are kept so the retry
-// replays the identical request — the server's dedup cache then guarantees
-// the batch applies at most once even if the original did reach it.
+// Window entry states.
+const (
+	stQueued   = iota // waiting for a launch, or parked for a verbatim re-ship
+	stInflight        // an RPC goroutine owns the ship
+	stDone            // applied by the TFS; awaiting in-order retirement
+)
+
+// shipState is one completion-window entry: a sealed batch with its encoded
+// payload and reserved RPC request ID, kept so a retry after a transport
+// failure replays the identical request — the server's dedup cache then
+// guarantees the batch applies at most once even if the original did reach
+// it.
 type shipState struct {
 	ops     []fsproto.Op
 	groups  []opGroup
 	bytes   int
 	payload []byte
 	reqID   uint64 // 0 when the transport lacks IdempotentCaller
+	// hdr is the batch's window header (sequence, epoch, flags), assigned
+	// at rotation and baked into payload; split halves inherit the
+	// sequence (they are still one rotated batch to the window protocol).
+	hdr   fsproto.SeqHeader
+	state int
+	// discarded marks an entry killed by a sibling's rejection while its
+	// own RPC was still in flight; whatever the TFS says about it
+	// (typically ErrWindowStale from the poisoned epoch) is moot.
+	discarded bool
 }
 
 // Mount connects a session: RPC mount, kernel partition mapping, clerk.
@@ -202,9 +258,16 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 		shadows:    make(map[sobj.OID]*fileShadow),
 		colShadows: make(map[sobj.OID]*colShadow),
 		pool:       make(map[uint][]uint64),
+		// The session's first rotated batch opens epoch 1.
+		epoch: 1, openerPending: true,
 	}
+	s.shipCond = sync.NewCond(&s.mu)
 	s.obsShipOps = cfg.Obs.Histogram("libfs.ship.ops")
 	s.obsShipBytes = cfg.Obs.Histogram("libfs.ship.bytes")
+	s.obsWindowDepth = cfg.Obs.Histogram("libfs.window.depth")
+	s.obsWindowStalls = cfg.Obs.Counter("libfs.window.stalls")
+	s.obsWindowParks = cfg.Obs.Counter("libfs.window.parks")
+	s.obsWindowDiscards = cfg.Obs.Counter("libfs.window.discards")
 	s.Clerk = lockservice.NewClerk(rc, lockservice.ClerkConfig{RenewEvery: cfg.RenewEvery})
 	s.Clerk.SetTracer(cfg.Tracer)
 	s.Clerk.SetObs(cfg.Obs)
@@ -456,11 +519,239 @@ func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
 	s.groups = append(s.groups, opGroup{n: n, staged: s.pendingStaged})
 	s.pendingStaged = nil
 	over := s.batchBytes >= s.cfg.BatchLimit
+	if !over || s.window() == 1 {
+		s.mu.Unlock()
+		if over {
+			// Synchronous path (the default): a full batch ships inline and
+			// the caller waits out the round trip.
+			return s.FlushUpdates()
+		}
+		return nil
+	}
+	// Pipelined path: rotate the full batch into the window and launch its
+	// ship in the background; block only when the window is full.
+	s.rotateLocked()
+	s.launchLocked()
+	return s.awaitWindowLocked()
+}
+
+// RotateBatch seals the accumulating batch into the pipeline window at a
+// caller-chosen boundary, without waiting for the byte threshold. Interface
+// layers call it between logical operations whose op sequences must not be
+// split across batches — FlatFS's create/write/insert triple only validates
+// as a unit, because the keyed-cover check needs the key→object link the
+// final insert establishes — so every window batch lands on a boundary that
+// is safe to apply (or reject) independently. A no-op when the batch is
+// empty or the session is synchronous (Window <= 1), where Sync remains the
+// only ship point below the byte limit.
+func (s *Session) RotateBatch() error {
+	s.mu.Lock()
+	if s.window() == 1 || len(s.batch) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.rotateLocked()
+	s.launchLocked()
+	return s.awaitWindowLocked()
+}
+
+// awaitWindowLocked applies window backpressure after a rotation: it blocks
+// while more than Window batches are in flight, re-throws a shipper panic on
+// the calling goroutine, and surfaces any deferred rejection. Called with
+// s.mu held; always releases it.
+func (s *Session) awaitWindowLocked() error {
+	stalled := false
+	for len(s.shipq) > s.window() && (s.inflight > 0 || s.draining) {
+		if !stalled {
+			stalled = true
+			s.obsWindowStalls.Inc()
+		}
+		s.shipCond.Wait()
+	}
+	// A deferred rejection only surfaces once the window is quiet: the
+	// rejecting entry holds its in-flight slot until the discard hooks
+	// have run, so the caller never sees the error with the hooks pending.
+	for s.deferred != nil && s.inflight > 0 {
+		s.shipCond.Wait()
+	}
+	if pv := s.panicVal; pv != nil {
+		s.panicVal = nil
+		s.mu.Unlock()
+		panic(pv)
+	}
+	err := s.deferred
+	s.deferred = nil
+	parked := s.parked && len(s.shipq) > s.window()
 	s.mu.Unlock()
-	if over {
+	if err != nil {
+		return err
+	}
+	if parked {
+		// The shipper parked on a transport failure or persistent shed and
+		// the window is still over-full: fall back to a synchronous drain
+		// so the caller sees the typed error (ErrTFSUnreachable / ErrBusy)
+		// live, exactly as the synchronous path would.
 		return s.FlushUpdates()
 	}
 	return nil
+}
+
+// ReadBarrier waits until none of this session's window batches are being
+// applied by the TFS. Read paths that drop below the shadow overlay to raw
+// SCM — collection lookups and walks, live mFile headers — must call it
+// first: an in-flight batch of this very session may be mid-apply on the
+// server, mutating the bytes under the read. On word-atomic hardware that
+// overlap is benign (the shadow overlay already answers for everything the
+// apply will write), but a structural walk must not observe a half-applied
+// mutation, and the simulated arena offers no word atomicity at all.
+// Mutating paths never call this; writes pipeline at full depth. When the
+// window is idle the barrier is a mutex acquire and nothing else.
+func (s *Session) ReadBarrier() {
+	s.mu.Lock()
+	for s.inflight > 0 || s.draining {
+		s.shipCond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// window returns the configured in-flight batch window (min 1).
+func (s *Session) window() int {
+	if s.cfg.Window > 1 {
+		return s.cfg.Window
+	}
+	return 1
+}
+
+// rotateLocked seals the accumulating batch into a sequence-numbered
+// shipState at the tail of the ship queue, stamping the window header:
+// the next sequence number, the session's current discard epoch, and the
+// Opener flag when this batch starts a new epoch (first rotation after
+// mount or after a discard). Callers hold s.mu and have checked the batch
+// is non-empty.
+func (s *Session) rotateLocked() *shipState {
+	ship := &shipState{ops: s.batch, groups: s.groups, bytes: s.batchBytes}
+	s.nextSeq++
+	ship.hdr = fsproto.SeqHeader{Seq: s.nextSeq, Epoch: s.epoch, Opener: s.openerPending}
+	s.openerPending = false
+	ship.payload = fsproto.EncodeApplyLogSeq(ship.hdr, fsproto.EncodeOps(ship.ops))
+	s.obsShipOps.Observe(int64(len(ship.ops)))
+	s.obsShipBytes.Observe(int64(ship.bytes))
+	if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
+		ship.reqID = ic.NextReqID()
+	}
+	s.shipq = append(s.shipq, ship)
+	s.batch, s.groups, s.batchBytes = nil, nil, 0
+	s.obsWindowDepth.Observe(int64(len(s.shipq)))
+	return ship
+}
+
+// launchLocked starts RPC goroutines for queued window entries, in window
+// order, up to the configured depth. Entries ship concurrently — the TFS
+// sequence gate re-serializes their server-side outcomes — except the
+// fragments of one split batch, which share a sequence number the gate
+// cannot order, so a later fragment waits for its sibling. Launches
+// suspend while the window is parked or a synchronous drain owns the
+// queue. Callers hold s.mu.
+func (s *Session) launchLocked() {
+	if s.parked || s.draining {
+		return
+	}
+	for i := 0; i < len(s.shipq) && s.inflight < s.window(); i++ {
+		e := s.shipq[i]
+		if e.state != stQueued {
+			continue
+		}
+		if i > 0 && s.shipq[i-1].hdr.Seq == e.hdr.Seq && s.shipq[i-1].state != stDone {
+			break
+		}
+		e.state = stInflight
+		s.inflight++
+		go s.shipEntry(e)
+	}
+}
+
+// shipEntry ships one window entry on its own goroutine and resolves the
+// outcome against the window: successes retire in window order, a
+// transport failure or persistent shed parks the window with the entry
+// requeued verbatim (original payload and request ID), an oversized batch
+// splits in place, and a definitive rejection discards the entry plus
+// everything sequenced after it, stashing the typed error for the next
+// sync point. A panic (injected crash) parks the window and is re-thrown
+// on the next caller's goroutine.
+func (s *Session) shipEntry(e *shipState) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if s.panicVal == nil {
+				s.panicVal = r
+			}
+			s.parked = true
+			s.inflight--
+			s.shipCond.Broadcast()
+			s.mu.Unlock()
+		}
+	}()
+	err := s.shipOne(e)
+	var hooks []func()
+	s.mu.Lock()
+	switch {
+	case e.discarded:
+		// A sibling's rejection already discarded this entry; the TFS's
+		// verdict on it (typically ErrWindowStale) is moot.
+	case err == nil:
+		e.state = stDone
+		s.Flushes.Add(1)
+		s.retireLocked()
+	case rpc.IsTransport(err) || errors.Is(err, fsproto.ErrBusy):
+		// Fate unknown (transport) or definitively not applied (shed):
+		// either way nothing is lost — requeue the entry untouched and
+		// park the window for a later Sync to drain in order with
+		// identical requests.
+		e.state = stQueued
+		if !s.parked {
+			s.parked = true
+			s.obsWindowParks.Inc()
+		}
+	case errors.Is(err, fsproto.ErrBatchTooLarge) && len(e.groups) > 1:
+		s.splitEntry(e)
+	default:
+		// Definitive rejection. ErrWindowStale lands here too when the
+		// entry was NOT discarded client-side: the gate will never accept
+		// it (its predecessor vanished in a transport fault, or a sibling's
+		// rejection poisoned the epoch first), which is the same verdict.
+		hooks = s.rejectLocked(e, err)
+		if s.deferred == nil {
+			s.deferred = fmt.Errorf("%w: %w", ErrStaleBatch, err)
+		}
+	}
+	s.mu.Unlock()
+	// The in-flight slot is held across the hooks: a sync point that
+	// observes the deferred rejection (it waits out the window first) is
+	// then guaranteed the discard hooks have already run — a name cache
+	// invalidated by a hook cannot be read stale after the error surfaces.
+	for _, fn := range hooks {
+		fn()
+	}
+	s.mu.Lock()
+	s.inflight--
+	s.launchLocked()
+	s.shipCond.Broadcast()
+	s.mu.Unlock()
+}
+
+// retireLocked pops the completed prefix of the window: entries retire
+// strictly in order, so the session's durable state is always a prefix of
+// what it logged. When the last pending update retires, the shadow
+// overlays reset — everything they described is visible in SCM. Callers
+// hold s.mu.
+func (s *Session) retireLocked() {
+	for len(s.shipq) > 0 && s.shipq[0].state == stDone {
+		s.shipq = s.shipq[1:]
+	}
+	if len(s.shipq) == 0 && len(s.batch) == 0 {
+		s.shadows = make(map[sobj.OID]*fileShadow)
+		s.colShadows = make(map[sobj.OID]*colShadow)
+	}
 }
 
 // FlushUpdates ships all buffered metadata updates to the TFS (§4.3's
@@ -487,25 +778,66 @@ func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
 //     like a transport failure — nothing is lost — and the typed error is
 //     returned.
 func (s *Session) FlushUpdates() error {
+	// Take ship-queue ownership: wait out the in-flight window (entries
+	// resolve on their own goroutines) and any concurrent drain, so
+	// exactly one goroutine ships synchronously. An injected crash panic
+	// stashed by an in-flight entry re-throws here immediately — before
+	// the wait completes — so a crashed session surfaces the crash, not a
+	// gate-timeout rejection, on the goroutine the harness watches.
+	s.mu.Lock()
+	for {
+		if pv := s.panicVal; pv != nil {
+			s.panicVal = nil
+			s.mu.Unlock()
+			panic(pv)
+		}
+		if s.inflight == 0 && !s.draining {
+			break
+		}
+		s.shipCond.Wait()
+	}
+	deferred := s.deferred
+	s.deferred = nil
+	s.draining = true
+	// The synchronous drain IS the recovery path a park waits for.
+	s.parked = false
+	s.mu.Unlock()
+	err := s.drainWindow()
+	s.mu.Lock()
+	s.draining = false
+	s.shipCond.Broadcast()
+	s.mu.Unlock()
+	if deferred != nil && err != nil {
+		return errors.Join(deferred, err)
+	}
+	if deferred != nil {
+		return deferred
+	}
+	return err
+}
+
+// drainWindow ships every queued batch plus the accumulating one, in
+// order, until the session has nothing pending. The caller owns the ship
+// queue (s.draining, with no entries in flight).
+func (s *Session) drainWindow() error {
 	for {
 		s.mu.Lock()
 		var ship *shipState
 		if len(s.shipq) > 0 {
 			ship = s.shipq[0]
+			if ship.state == stDone {
+				// Completed by the background window but held behind a
+				// parked entry that has since resolved: just retire it.
+				s.retireLocked()
+				s.mu.Unlock()
+				continue
+			}
 		} else {
 			if len(s.batch) == 0 {
 				s.mu.Unlock()
 				return nil
 			}
-			ship = &shipState{ops: s.batch, groups: s.groups, bytes: s.batchBytes}
-			ship.payload = fsproto.EncodeOps(ship.ops)
-			s.obsShipOps.Observe(int64(len(ship.ops)))
-			s.obsShipBytes.Observe(int64(ship.bytes))
-			if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
-				ship.reqID = ic.NextReqID()
-			}
-			s.shipq = append(s.shipq, ship)
-			s.batch, s.groups, s.batchBytes = nil, nil, 0
+			ship = s.rotateLocked()
 		}
 		s.mu.Unlock()
 
@@ -515,55 +847,101 @@ func (s *Session) FlushUpdates() error {
 			// The TFS may or may not have applied the batch; it stays
 			// parked at the queue head for an identical retry, and the
 			// shadows still describe the pending updates either way.
+			s.obsWindowParks.Inc()
 			return fmt.Errorf("%w: %v", ErrTFSUnreachable, err)
 		case errors.Is(err, fsproto.ErrBusy):
 			// Admission shed outlasted the in-call retries: park the batch
 			// (a later Sync re-ships it) and surface the typed error.
+			s.obsWindowParks.Inc()
 			return fmt.Errorf("libfs: batch parked, TFS shedding load: %w", err)
 		case errors.Is(err, fsproto.ErrBatchTooLarge) && len(ship.groups) > 1:
-			s.splitHead(ship)
+			s.mu.Lock()
+			s.splitEntry(ship)
+			s.mu.Unlock()
 			continue
 		}
-
-		rejected := err != nil
-		s.mu.Lock()
-		if len(s.shipq) > 0 && s.shipq[0] == ship {
-			s.shipq = s.shipq[1:]
-		}
-		if rejected {
-			// The TFS applied nothing from this batch, so the staged pool
-			// extents its ops consumed never became reachable: reclaim
-			// them instead of leaking them until lease expiry.
-			for _, g := range ship.groups {
-				for _, e := range g.staged {
-					order := alloc.OrderFor(e.size)
-					s.pool[order] = append(s.pool[order], e.addr)
-				}
-			}
-		}
-		drained := len(s.shipq) == 0 && len(s.batch) == 0
-		if drained {
-			// Whether applied or rejected, no staged state is pending
-			// anymore: applied updates are visible in SCM, rejected ones
-			// are gone.
-			s.shadows = make(map[sobj.OID]*fileShadow)
-			s.colShadows = make(map[sobj.OID]*colShadow)
-		}
-		hooks := s.discardHooks
-		s.mu.Unlock()
+		ferr := s.completeHead(ship, err)
 		s.Flushes.Add(1)
-		if rejected {
-			for _, fn := range hooks {
-				fn()
-			}
-			return fmt.Errorf("%w: %w", ErrStaleBatch, err)
-		}
-		if drained {
-			return nil
+		if ferr != nil {
+			return ferr
 		}
 		// More queued ships, or ops logged while the ship was in flight:
 		// ship them too before declaring the sync complete.
 	}
+}
+
+// completeHead resolves a synchronous ship's definitive verdict (the drain
+// path): success retires the head in order; a rejection discards the head
+// and the whole suffix behind it and surfaces typed ErrStaleBatch directly
+// (no deferral — the syncing caller is right here).
+func (s *Session) completeHead(ship *shipState, err error) error {
+	s.mu.Lock()
+	if err == nil {
+		ship.state = stDone
+		s.retireLocked()
+		s.shipCond.Broadcast()
+		s.mu.Unlock()
+		return nil
+	}
+	hooks := s.rejectLocked(ship, err)
+	s.shipCond.Broadcast()
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	return fmt.Errorf("%w: %w", ErrStaleBatch, err)
+}
+
+// rejectLocked resolves a definitive TFS rejection of e against the
+// window. e does not die alone: every batch sequenced after it — queued
+// entries, entries still in flight (the poisoned epoch resolves their
+// RPCs as ErrWindowStale), and the accumulating batch — may depend on its
+// effects (a staged create the next batch links into a directory), so the
+// whole suffix is discarded with it. That keeps the session's visible
+// state a PREFIX of what it logged: everything before the rejected batch
+// applied, nothing after it half-applied. Staged pool extents from every
+// discarded batch are reclaimed (the epoch poison guarantees none of them
+// can apply), the epoch advances so the next rotation opens a fresh
+// window generation, and the discard hooks are returned for the caller to
+// run outside the mutex. Callers hold s.mu.
+func (s *Session) rejectLocked(e *shipState, err error) []func() {
+	reclaim := func(groups []opGroup) {
+		for _, g := range groups {
+			for _, ext := range g.staged {
+				order := alloc.OrderFor(ext.size)
+				s.pool[order] = append(s.pool[order], ext.addr)
+			}
+		}
+	}
+	discarded := int64(0)
+	idx := -1
+	for i, q := range s.shipq {
+		if q == e {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		for _, q := range s.shipq[idx:] {
+			q.discarded = true
+			reclaim(q.groups)
+			discarded++
+		}
+		s.shipq = s.shipq[:idx]
+	}
+	reclaim(s.groups)
+	if len(s.batch) > 0 {
+		discarded++
+	}
+	s.batch, s.groups, s.batchBytes = nil, nil, 0
+	s.obsWindowDiscards.Add(discarded)
+	s.epoch++
+	s.openerPending = true
+	// The surviving prefix may now be fully done; retiring it also resets
+	// the shadows once nothing is pending (applied updates are visible in
+	// SCM, rejected ones are gone).
+	s.retireLocked()
+	return s.discardHooks
 }
 
 // shipOne sends one batch, absorbing admission sheds with bounded jittered
@@ -576,9 +954,9 @@ func (s *Session) shipOne(ship *shipState) error {
 		}
 		var err error
 		if ic, ok := s.rc.(rpc.IdempotentCaller); ok && ship.reqID != 0 {
-			_, err = ic.CallWithReqID(fsproto.MethodApplyLog, ship.reqID, ship.payload)
+			_, err = ic.CallWithReqID(fsproto.MethodApplyLogSeq, ship.reqID, ship.payload)
 		} else {
-			_, err = s.rc.Call(fsproto.MethodApplyLog, ship.payload)
+			_, err = s.rc.Call(fsproto.MethodApplyLogSeq, ship.payload)
 		}
 		if ferr := s.cfg.Faults.Hit("libfs.flush.postship"); ferr != nil && err == nil {
 			err = fmt.Errorf("%w: %v", rpc.ErrUnreachable, ferr)
@@ -615,37 +993,51 @@ func sleepBackoff(attempt int, err error) {
 	time.Sleep(d)
 }
 
-// splitHead replaces the queue-head batch with two halves split at a
+// splitEntry replaces an oversized window entry with two halves split at a
 // logged-group boundary, each re-encoded with its own request ID. Called
-// when the TFS rejected the head with ErrBatchTooLarge; the halves (and
-// recursively their halves) ship independently.
-func (s *Session) splitHead(ship *shipState) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.shipq) == 0 || s.shipq[0] != ship || len(ship.groups) < 2 {
+// when the TFS rejected the entry with ErrBatchTooLarge; the halves (and
+// recursively their halves) ship independently. The halves inherit the
+// parent's window sequence number — to the window protocol they are still
+// one rotated batch — with the first flagged a fragment (the sequence
+// number completes only with the last half) and only the first inheriting
+// an Opener flag; the launcher ships equal-sequence siblings one at a
+// time, since the gate cannot order them. Callers hold s.mu.
+func (s *Session) splitEntry(e *shipState) {
+	idx := -1
+	for i, q := range s.shipq {
+		if q == e {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(e.groups) < 2 {
 		return
 	}
 	// Balance by op count, keeping at least one group per side.
-	total := len(ship.ops)
-	cut, opsCut := 1, ship.groups[0].n
-	for cut < len(ship.groups)-1 && opsCut < total/2 {
-		opsCut += ship.groups[cut].n
+	total := len(e.ops)
+	cut, opsCut := 1, e.groups[0].n
+	for cut < len(e.groups)-1 && opsCut < total/2 {
+		opsCut += e.groups[cut].n
 		cut++
 	}
-	mk := func(ops []fsproto.Op, groups []opGroup) *shipState {
-		h := &shipState{ops: ops, groups: groups}
+	mk := func(ops []fsproto.Op, groups []opGroup, hdr fsproto.SeqHeader) *shipState {
+		h := &shipState{ops: ops, groups: groups, hdr: hdr}
 		for i := range ops {
 			h.bytes += 64 + len(ops[i].Key) + len(ops[i].Key2)
 		}
-		h.payload = fsproto.EncodeOps(ops)
+		h.payload = fsproto.EncodeApplyLogSeq(hdr, fsproto.EncodeOps(ops))
 		if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
 			h.reqID = ic.NextReqID()
 		}
 		return h
 	}
-	lo := mk(ship.ops[:opsCut], ship.groups[:cut])
-	hi := mk(ship.ops[opsCut:], ship.groups[cut:])
-	s.shipq = append([]*shipState{lo, hi}, s.shipq[1:]...)
+	loHdr := e.hdr
+	loHdr.Frag = true
+	hiHdr := e.hdr
+	hiHdr.Opener = false
+	lo := mk(e.ops[:opsCut], e.groups[:cut], loHdr)
+	hi := mk(e.ops[opsCut:], e.groups[cut:], hiHdr)
+	s.shipq = append(s.shipq[:idx], append([]*shipState{lo, hi}, s.shipq[idx+1:]...)...)
 }
 
 // Sync ships buffered updates, the library equivalent of fsync (§4.3).

@@ -336,6 +336,8 @@ const (
 )
 
 func (fs *FS) checkPerm(oid sobj.OID, want int) error {
+	// Raw header read: our own windowed chmod/chown may be mid-apply.
+	fs.s.ReadBarrier()
 	h, err := sobj.ReadHeader(fs.s.Mem, oid)
 	if err != nil {
 		return err
@@ -554,6 +556,7 @@ func baseName(path string) string {
 }
 
 func (fs *FS) statOID(oid sobj.OID, name string) (FileInfo, error) {
+	fs.s.ReadBarrier() // raw header read, see checkPerm
 	h, err := sobj.ReadHeader(fs.s.Mem, oid)
 	if err != nil {
 		return FileInfo{}, err

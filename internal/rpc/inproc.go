@@ -57,7 +57,11 @@ func (c *InProcClient) CallWithReqID(method uint32, reqID uint64, req []byte) ([
 	t0 := callHist.StartTimer()
 	defer func() { callHist.ObserveSince(t0) }()
 	if c.costs != nil {
-		costmodel.Spin(c.costs.RPCRoundTrip)
+		if c.costs.RPCBlocking {
+			costmodel.Block(c.costs.RPCRoundTrip)
+		} else {
+			costmodel.Spin(c.costs.RPCRoundTrip)
+		}
 	}
 	faults := c.srv.injector()
 	if err := faults.Hit("rpc.call"); err != nil {

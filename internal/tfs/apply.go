@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"time"
 
 	"github.com/aerie-fs/aerie/internal/alloc"
 	"github.com/aerie-fs/aerie/internal/fsproto"
@@ -19,9 +18,13 @@ import (
 // or the whole batch yields the same state.
 //
 // The recovery invariant that makes replay safe: the journal is
-// checkpointed after every applied batch, so at most one batch is ever
-// replayed, and replay happens before any new allocation — a re-applied
-// write can therefore never land in storage that was reallocated later.
+// checkpointed after every applied commit GROUP (one record per batch,
+// published together by a single fenced commit), so at most one group is
+// ever replayed, and replay happens before any new allocation — a
+// re-applied write can therefore never land in storage that was
+// reallocated later. Replay is per record with the same idempotent-redo
+// guards, so replaying several records of one group is no different from
+// replaying one.
 const (
 	jInsert          uint8 = 1  // a collection insert: oid=col, key, child
 	jRemove          uint8 = 2  // oid=col, key
@@ -623,57 +626,16 @@ func (s *Service) holdsBucketCover(client uint64, target sobj.OID, key []byte, c
 // rejects the batch with typed fsproto.ErrNoSpace while the volume is still
 // untouched. Once the batch commits, apply draws from the reservation and
 // cannot fail on space; the unconsumed surplus is released afterwards.
+//
+// The batch rides the group-commit pipeline (groupcommit.go): batches
+// arriving concurrently share one journal fence and disjoint batches
+// apply in parallel behind it.
 func (s *Service) ApplyLog(client uint64, payload []byte) error {
 	ops, err := fsproto.DecodeOps(payload)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
-	if err := s.admit(client, int64(len(payload))); err != nil {
-		return err
-	}
-	defer s.admitDone(client, int64(len(payload)))
-	t0 := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.client(client)
-	acts, effects, err := s.plan(client, st, ops)
-	if err != nil {
-		s.OpsRejected.Add(int64(len(ops)))
-		return err
-	}
-	res, err := s.reserveFor(acts)
-	if err != nil && errors.Is(err, fsproto.ErrNoSpace) && degradeRemoves(acts) {
-		// Graceful degradation on a full volume: tombstone GC is an
-		// optimization, so pin every remove to its NoGC variant and retry
-		// — deletes must keep working (and freeing space) when the GC
-		// rehash's worst case can no longer be reserved.
-		res, err = s.reserveFor(acts)
-	}
-	if err != nil {
-		s.OpsRejected.Add(int64(len(ops)))
-		return err
-	}
-	// Whatever happens next, surplus blocks go back; Release is idempotent
-	// and consumed blocks are already out of it.
-	defer func() {
-		s.obsReserveFallbks.Add(int64(res.Fallbacks()))
-		res.Release()
-	}()
-	s.obsReserveBytes.Observe(int64(res.HeldBytes()))
-	s.obsReserveWait.Observe(time.Since(t0).Nanoseconds())
-	if err := s.commitActions(acts); err != nil {
-		return err
-	}
-	if err := s.applyAll(acts, res); err != nil {
-		return err
-	}
-	for _, fn := range effects {
-		fn()
-	}
-	s.BatchesApplied.Add(1)
-	s.OpsApplied.Add(int64(len(ops)))
-	s.obsBatchOps.Observe(int64(len(ops)))
-	return nil
+	return s.submitBatch(client, fsproto.SeqHeader{}, ops, int64(len(payload)))
 }
 
 // plan validates ops sequentially and compiles them into journal actions

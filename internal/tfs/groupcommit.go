@@ -1,0 +1,623 @@
+package tfs
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/alloc"
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/sobj"
+)
+
+// Group commit and parallel apply: the write-path pipeline's trusted half.
+//
+// Every ApplyLog/ApplyLogSeq arrival queues a groupBatch and the first
+// queuer becomes the group leader. The leader drains the queue into a
+// commit group, and — under the service mutex — validates, reserves, and
+// journals each batch as its own record, then publishes all of them with
+// ONE fenced commit (the journal's chained-commit publish: N staged
+// records, one tail update). That single fence is the dominant persist
+// cost of a metadata batch, so coalescing amortizes it across every client
+// whose batch arrived while the previous group was being processed.
+// Batches that arrive mid-group wait on the queue and form the next group,
+// which is exactly the classic group-commit cadence.
+//
+// Behind the fence, batches whose touched-object sets are disjoint apply
+// concurrently on worker goroutines; conflicting batches keep commit
+// order (a batch waits for every earlier conflicting batch before it
+// starts). One checkpoint erases the whole group, after which each batch's
+// quarantined frees are released and its volatile effects run.
+//
+// Group formation rules that keep validation sound:
+//
+//   - At most one batch per client per group. A session's later batches
+//     can depend on the effects of its earlier ones (absolute refcnts,
+//     staged-create-then-link), and plan validates against applied state,
+//     so a client's next batch only joins a group formed after its
+//     previous batch applied. Well-behaved sessions ship their window
+//     serially and never have two batches in flight anyway; the rule
+//     defends against the ones that don't.
+//   - Cross-client batches in one group are independent by the lock
+//     protocol (releasing a lock forces the releasing session to flush
+//     first), and each batch is still fully validated on its own — a
+//     hostile interleaving fails validation per batch, never corrupts.
+//
+// The recovery invariant relaxes from "at most one batch replayed" to "at
+// most one GROUP replayed": the journal may hold several committed records
+// after a crash, each replayed with the same per-batch idempotent-redo
+// guards, and no allocation happens before replay finishes.
+
+// maxGroupBatches caps how many batches one leader coalesces into a single
+// fence, bounding the latency a waiter can be held behind the group.
+const maxGroupBatches = 32
+
+// groupBatch is one client batch staged into (or waiting for) a commit
+// group.
+type groupBatch struct {
+	client uint64
+	seq    uint64 // per-session window sequence (0: unsequenced ApplyLog)
+	ops    []fsproto.Op
+	t0     time.Time
+	done   chan struct{}
+	err    error
+
+	// Populated by the leader under s.mu once the batch validates.
+	acts    []action
+	effects []func()
+	res     *alloc.Reservation
+	df      *deferFrees
+}
+
+// ApplyLogSeq is ApplyLog for pipelined sessions: the payload carries a
+// completion-window header (sequence, epoch, fragment/opener flags) ahead
+// of the encoded ops.
+func (s *Service) ApplyLogSeq(client uint64, payload []byte) error {
+	h, opsPayload, err := fsproto.DecodeApplyLogSeq(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+	ops, err := fsproto.DecodeOps(opsPayload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+	return s.submitBatch(client, h, ops, int64(len(payload)))
+}
+
+// submitBatch runs a decoded batch through the window sequence gate,
+// admission control, and the group commit pipeline, blocking until the
+// batch's group completes. Sequenced batches (Seq != 0) enter the gate
+// BEFORE admission: a batch waiting for its in-flight predecessor must
+// not hold admission slots — with the order reversed, a deep window could
+// fill the per-client admission depth with gate waiters and starve the
+// very predecessor they wait for into busy-shed retries until the gap
+// timed out. A post-gate admission shed leaves the gate expecting the
+// same sequence number (no outcome), so the client's busy retry re-enters
+// cleanly; any post-admission outcome is recorded on exit so the
+// session's next sequence number unblocks (or, after a rejection, so the
+// rest of the epoch dies with ErrWindowStale).
+func (s *Service) submitBatch(client uint64, h fsproto.SeqHeader, ops []fsproto.Op, bytes int64) error {
+	if h.Seq == 0 {
+		if err := s.admit(client, bytes); err != nil {
+			return err
+		}
+		defer s.admitDone(client, bytes)
+		return s.runBatch(client, 0, ops)
+	}
+	g := s.gate(client)
+	if err := g.enter(h); err != nil {
+		return err
+	}
+	if err := s.admit(client, bytes); err != nil {
+		return err
+	}
+	err := s.runBatch(client, h.Seq, ops)
+	s.admitDone(client, bytes)
+	g.exit(h, err)
+	return err
+}
+
+// runBatch queues one admitted, sequenced-or-legacy batch for group commit
+// and waits for its outcome.
+func (s *Service) runBatch(client uint64, seq uint64, ops []fsproto.Op) error {
+	gb := &groupBatch{client: client, seq: seq, ops: ops, t0: time.Now(), done: make(chan struct{})}
+	s.gqMu.Lock()
+	s.groupq = append(s.groupq, gb)
+	if s.leaderOn {
+		s.gqMu.Unlock()
+		<-gb.done
+		return gb.err
+	}
+	s.leaderOn = true
+	s.gqMu.Unlock()
+	s.lead()
+	<-gb.done
+	return gb.err
+}
+
+// seqGapTimeout bounds how long a batch waits for its missing predecessor
+// in the window order. A healthy pipeline fills gaps in milliseconds (the
+// predecessor is merely in flight); a gap that lasts this long means the
+// client lied about its sequence numbers or lost a batch it will never
+// re-ship, and the waiter is rejected rather than parked forever.
+const seqGapTimeout = 10 * time.Second
+
+// seqGate sequences one session's concurrently arriving window batches.
+// State changes broadcast by closing and replacing ch; waiters reload state
+// after each wakeup.
+type seqGate struct {
+	mu       sync.Mutex
+	epoch    uint32 // current discard generation (0: nothing seen yet)
+	next     uint64 // expected sequence number within epoch
+	poisoned bool   // a batch of this epoch was rejected; suffix is dead
+	ch       chan struct{}
+}
+
+// gate returns client's sequence gate, creating it on first use.
+func (s *Service) gate(client uint64) *seqGate {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	g := s.gates[client]
+	if g == nil {
+		g = &seqGate{ch: make(chan struct{})}
+		s.gates[client] = g
+	}
+	return g
+}
+
+func (g *seqGate) broadcast() {
+	close(g.ch)
+	g.ch = make(chan struct{})
+}
+
+// enter blocks until h is next in the session's window order, or fails it:
+// ErrWindowStale for batches from a dead part of the window (an epoch the
+// client already discarded past, a poisoned epoch, or a replayed sequence
+// number), ErrValidation for a sequence gap that never fills.
+func (g *seqGate) enter(h fsproto.SeqHeader) error {
+	timeout := time.After(seqGapTimeout)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for {
+		switch {
+		case h.Epoch < g.epoch:
+			return fmt.Errorf("%w: epoch %d, session is at %d", fsproto.ErrWindowStale, h.Epoch, g.epoch)
+		case h.Epoch > g.epoch:
+			if h.Opener {
+				// First batch of a new epoch re-baselines the expected
+				// sequence: the discarded suffix consumed numbers that
+				// will never arrive.
+				g.epoch = h.Epoch
+				g.next = h.Seq
+				g.poisoned = false
+				g.broadcast()
+				return nil
+			}
+			// A non-opener from a future epoch waits for its opener.
+		default: // h.Epoch == g.epoch
+			if g.poisoned {
+				return fmt.Errorf("%w: epoch %d poisoned by an earlier rejection", fsproto.ErrWindowStale, h.Epoch)
+			}
+			switch {
+			case g.next == 0:
+				// Session's first sequenced batch (no opener flag —
+				// legacy single-epoch pipelining): baseline here.
+				g.next = h.Seq
+				return nil
+			case h.Seq == g.next:
+				return nil
+			case h.Seq < g.next:
+				return fmt.Errorf("%w: sequence %d already completed (next %d)", fsproto.ErrWindowStale, h.Seq, g.next)
+			}
+			// h.Seq > g.next: the predecessor is still in flight; wait.
+		}
+		ch := g.ch
+		g.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timeout:
+			g.mu.Lock()
+			return fmt.Errorf("%w: window gap: sequence %d waited %v for %d",
+				ErrValidation, h.Seq, seqGapTimeout, g.next)
+		}
+		g.mu.Lock()
+	}
+}
+
+// exit records a gated batch's final outcome. Success on a final (non-
+// fragment) batch advances the expected sequence; a fragment keeps it (the
+// next fragment reuses the number); any rejection poisons the epoch so the
+// batches sequenced behind it — which the client discards on its side —
+// fail typed instead of validating against a state they assumed wrong.
+func (g *seqGate) exit(h fsproto.SeqHeader, err error) {
+	if err != nil && errors.Is(err, fsproto.ErrBatchTooLarge) {
+		// Not an outcome: the client splits the batch and re-ships the
+		// halves under the same sequence number.
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if h.Epoch != g.epoch {
+		// A newer epoch's opener superseded this batch while it ran.
+		return
+	}
+	if err == nil {
+		if !h.Frag {
+			g.next = h.Seq + 1
+		}
+	} else {
+		g.poisoned = true
+	}
+	g.broadcast()
+}
+
+// lead drains the batch queue group by group until it is empty, then
+// retires. The leader may end up committing batches queued by other
+// handler goroutines; they wait on their done channels.
+func (s *Service) lead() {
+	for {
+		// Gather beat: yield once before sealing each group so handler
+		// goroutines that are already runnable — a burst of batches whose
+		// RPC waits expired on the same timer tick — get to enqueue and
+		// share the fence. Without it a single-P runtime never preempts
+		// the leader's spin-injected commit costs, and every group
+		// degenerates to one batch.
+		runtime.Gosched()
+		s.gqMu.Lock()
+		if len(s.groupq) == 0 {
+			s.leaderOn = false
+			s.gqMu.Unlock()
+			return
+		}
+		var group, rest []*groupBatch
+		seen := make(map[uint64]bool, len(s.groupq))
+		for _, gb := range s.groupq {
+			if !seen[gb.client] && len(group) < maxGroupBatches {
+				seen[gb.client] = true
+				group = append(group, gb)
+			} else {
+				rest = append(rest, gb)
+			}
+		}
+		s.groupq = rest
+		s.gqMu.Unlock()
+		s.runGroup(group)
+	}
+}
+
+// requeueFront puts batches that did not fit the current group's journal
+// window back at the front of the queue, preserving their arrival order.
+func (s *Service) requeueFront(deferred []*groupBatch) {
+	if len(deferred) == 0 {
+		return
+	}
+	s.gqMu.Lock()
+	s.groupq = append(append([]*groupBatch{}, deferred...), s.groupq...)
+	s.gqMu.Unlock()
+}
+
+// runGroup validates, reserves, journals, fences, and applies one commit
+// group, completing every batch (except journal-overflow deferrals, which
+// requeue for the next group).
+func (s *Service) runGroup(group []*groupBatch) {
+	var deferred []*groupBatch
+	s.mu.Lock()
+	// Coalesce point: the group's membership is fixed; nothing is staged
+	// in the journal yet, so a crash here loses only unshipped batches.
+	if err := s.faults.Hit("tfs.groupcommit.coalesce"); err != nil {
+		for _, gb := range group {
+			gb.err = err
+		}
+		s.mu.Unlock()
+		finishGroup(group)
+		return
+	}
+	// Phase 1 — per batch, in arrival order: sequence gate, validation,
+	// worst-case space reservation, one staged journal record. A failure
+	// here is the batch's alone; the rest of the group proceeds.
+	staged := make([]*groupBatch, 0, len(group))
+	for _, gb := range group {
+		if len(deferred) > 0 {
+			// A journal-overflow deferral keeps everything behind it in
+			// order: later batches (even other clients') wait for the next
+			// group rather than jumping the overflowed one.
+			deferred = append(deferred, gb)
+			continue
+		}
+		st := s.client(gb.client)
+		if gb.seq != 0 && gb.seq < st.lastSeq {
+			gb.err = fmt.Errorf("%w: window sequence %d behind %d", ErrValidation, gb.seq, st.lastSeq)
+			s.OpsRejected.Add(int64(len(gb.ops)))
+			continue
+		}
+		acts, effects, err := s.plan(gb.client, st, gb.ops)
+		if err != nil {
+			gb.err = err
+			s.OpsRejected.Add(int64(len(gb.ops)))
+			continue
+		}
+		res, err := s.reserveFor(acts)
+		if err != nil && errors.Is(err, fsproto.ErrNoSpace) && degradeRemoves(acts) {
+			// Graceful degradation on a full volume: tombstone GC is an
+			// optimization, so pin every remove to its NoGC variant and
+			// retry — deletes must keep working (and freeing space) when
+			// the GC rehash's worst case can no longer be reserved.
+			res, err = s.reserveFor(acts)
+		}
+		if err != nil {
+			gb.err = err
+			s.OpsRejected.Add(int64(len(gb.ops)))
+			continue
+		}
+		s.obsReserveBytes.Observe(int64(res.HeldBytes()))
+		s.obsReserveWait.Observe(time.Since(gb.t0).Nanoseconds())
+		gb.acts, gb.effects, gb.res = acts, effects, res
+		if err := s.stageRecord(gb, len(staged) == 0); err != nil {
+			if errors.Is(err, journalFull) {
+				// The group outgrew the ring; this batch leads the next one.
+				s.releaseReservation(gb)
+				gb.acts, gb.effects = nil, nil
+				deferred = append(deferred, gb)
+				continue
+			}
+			gb.err = err
+			s.releaseReservation(gb)
+			continue
+		}
+		staged = append(staged, gb)
+	}
+	// Phase 2 — one fence for the whole group: chained-commit publish of
+	// every staged record with a single BFlush + fence + tail update.
+	if len(staged) > 0 {
+		err := s.faults.Hit("tfs.groupcommit.fence")
+		if err == nil {
+			err = s.jl.Commit()
+		}
+		if err != nil {
+			// Nothing published: drop the staged records so the journal
+			// does not accumulate dead bytes across rejected groups.
+			s.jl.Abort()
+			for _, gb := range staged {
+				gb.err = err
+				s.releaseReservation(gb)
+			}
+			staged = staged[:0]
+		} else {
+			s.obsGroupFences.Inc()
+			s.obsGroupBatches.Observe(int64(len(staged)))
+			if len(staged) > 1 {
+				s.obsGroupCoalesced.Add(int64(len(staged)))
+			}
+		}
+	}
+	// Phase 3 — apply behind the fence, checkpoint once, release.
+	if len(staged) > 0 {
+		s.applyGroup(staged)
+		for _, gb := range staged {
+			s.releaseReservation(gb)
+		}
+	}
+	s.mu.Unlock()
+	finishGroup(group, deferred...)
+	s.requeueFront(deferred)
+}
+
+// stageRecord encodes and appends one batch's journal record. first marks
+// the group's first record: leftover committed-and-applied records from an
+// earlier apply failure may hold the space, so only the first record may
+// checkpoint-and-retry (later records would erase the group's own staged
+// predecessors' space accounting semantics — they just overflow).
+func (s *Service) stageRecord(gb *groupBatch, first bool) error {
+	payload := encodeActions(gb.acts)
+	if max := s.jl.MaxPayload(); uint64(len(payload)) > max {
+		return fmt.Errorf("%w: %d-byte batch, journal fits %d",
+			fsproto.ErrBatchTooLarge, len(payload), max)
+	}
+	err := s.jl.Append(payload)
+	if errors.Is(err, journalFull) && first {
+		if cerr := s.jl.Checkpoint(); cerr != nil {
+			return cerr
+		}
+		err = s.jl.Append(payload)
+	}
+	return err
+}
+
+// releaseReservation returns a batch's unconsumed reserved blocks and
+// records estimator misses. Idempotent; callers hold s.mu.
+func (s *Service) releaseReservation(gb *groupBatch) {
+	if gb.res == nil {
+		return
+	}
+	s.obsReserveFallbks.Add(int64(gb.res.Fallbacks()))
+	gb.res.Release()
+}
+
+// finishGroup completes every batch in the group except the deferred ones.
+func finishGroup(group []*groupBatch, deferred ...*groupBatch) {
+	for _, gb := range group {
+		requeued := false
+		for _, d := range deferred {
+			if d == gb {
+				requeued = true
+				break
+			}
+		}
+		if !requeued {
+			close(gb.done)
+		}
+	}
+}
+
+// applyGroup applies a committed group to its home locations and
+// checkpoints the journal. Callers hold s.mu (plan and apply are mutually
+// exclusive: validation reads arbitrary SCM that apply mutates).
+func (s *Service) applyGroup(staged []*groupBatch) {
+	// The group is committed; a crash anywhere between here and the
+	// checkpoint replays every record from the journal (per-batch
+	// idempotent redo).
+	if err := s.faults.Hit("tfs.apply.postcommit"); err != nil {
+		for _, gb := range staged {
+			gb.err = err
+		}
+		return
+	}
+	// Parallel-apply start: after this point disjoint batches may be
+	// mutating their home locations concurrently.
+	if err := s.faults.Hit("tfs.apply.parallel"); err != nil {
+		for _, gb := range staged {
+			gb.err = err
+		}
+		return
+	}
+	s.scheduleApplies(staged)
+	for _, gb := range staged {
+		if gb.err != nil {
+			// Leave the journal un-checkpointed: the failed batch's record
+			// is still needed for redo, and the quarantined frees stay
+			// quarantined (leaked until recovery — the safe direction,
+			// which Fsck repairs).
+			return
+		}
+	}
+	if err := s.faults.Hit("tfs.apply.checkpoint"); err != nil {
+		for _, gb := range staged {
+			gb.err = err
+		}
+		return
+	}
+	if err := s.jl.Checkpoint(); err != nil {
+		for _, gb := range staged {
+			gb.err = err
+		}
+		return
+	}
+	for _, gb := range staged {
+		if err := gb.df.release(); err != nil {
+			gb.err = err
+			continue
+		}
+		for _, fn := range gb.effects {
+			fn()
+		}
+		st := s.client(gb.client)
+		if gb.seq > st.lastSeq {
+			st.lastSeq = gb.seq
+		}
+		s.BatchesApplied.Add(1)
+		s.OpsApplied.Add(int64(len(gb.ops)))
+		s.obsBatchOps.Observe(int64(len(gb.ops)))
+	}
+}
+
+// scheduleApplies is the conflict-tracking apply scheduler: batches run in
+// commit order, but a batch only waits for earlier batches whose touched-
+// object sets intersect its own; disjoint batches overlap on worker
+// goroutines. A single-batch group applies inline on the leader — no
+// goroutine — so fault-injected crash panics unwind on the calling
+// goroutine exactly as the synchronous path did (the behavior the
+// crash-sweep harness recovers).
+func (s *Service) scheduleApplies(staged []*groupBatch) {
+	if len(staged) == 1 {
+		gb := staged[0]
+		gb.df = &deferFrees{inner: gb.res}
+		gb.err = s.applyBatchActions(gb)
+		return
+	}
+	type worker struct {
+		gb      *groupBatch
+		touched map[sobj.OID]struct{}
+		done    chan struct{}
+		paniced any
+	}
+	var workers []*worker
+	for _, gb := range staged {
+		w := &worker{gb: gb, touched: s.touchedSet(gb.acts), done: make(chan struct{})}
+		// Commit order for conflicts: wait for every earlier still-running
+		// batch that touches any of the same objects. Waits only ever go
+		// backward in commit order, so the chain cannot deadlock.
+		for _, prev := range workers {
+			if intersects(prev.touched, w.touched) {
+				<-prev.done
+			}
+		}
+		workers = append(workers, w)
+		s.obsGroupParallel.Inc()
+		go func(w *worker) {
+			defer close(w.done)
+			defer func() {
+				// A crash-rule panic in a worker must not kill the process
+				// from an untracked goroutine: capture it and let the
+				// leader re-throw on its own stack.
+				if r := recover(); r != nil {
+					w.paniced = r
+				}
+			}()
+			w.gb.df = &deferFrees{inner: w.gb.res}
+			w.gb.err = s.applyBatchActions(w.gb)
+		}(w)
+	}
+	for _, w := range workers {
+		<-w.done
+	}
+	for _, w := range workers {
+		if w.paniced != nil {
+			panic(w.paniced)
+		}
+	}
+}
+
+// applyBatchActions applies one batch's actions with its own quarantined-
+// free allocator. Workers for disjoint batches run this concurrently; the
+// shared structures they reach (the buddy allocator, SCM persistence
+// bookkeeping, metrics, fault counters) are internally synchronized, and
+// object bytes are disjoint by the touched-set discipline.
+func (s *Service) applyBatchActions(gb *groupBatch) error {
+	for i := range gb.acts {
+		if err := s.faults.Hit("tfs.apply.action"); err != nil {
+			return err
+		}
+		if err := s.applyAction(gb.acts, i, gb.df, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// touchedSet computes the objects a validated action list writes at apply
+// time. jInsert/jRemove write the collection; header actions write the
+// object; prealloc tracking actions write the tracking collection. jFree
+// touches only the (internally locked, deferred) allocator.
+func (s *Service) touchedSet(acts []action) map[sobj.OID]struct{} {
+	t := make(map[sobj.OID]struct{}, 2*len(acts))
+	for i := range acts {
+		ac := &acts[i]
+		switch ac.code {
+		case jPreallocAdd, jPreallocConsume:
+			t[s.preCol.OID()] = struct{}{}
+		case jFree:
+		default:
+			if ac.oid != 0 {
+				t[ac.oid] = struct{}{}
+			}
+			if ac.child != 0 {
+				t[ac.child] = struct{}{}
+			}
+		}
+	}
+	return t
+}
+
+func intersects(a, b map[sobj.OID]struct{}) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if _, ok := b[k]; ok {
+			return true
+		}
+	}
+	return false
+}

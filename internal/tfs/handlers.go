@@ -44,6 +44,12 @@ func (s *Service) registerHandlers() {
 		}
 		return nil, nil
 	})
+	s.srv.Register(fsproto.MethodApplyLogSeq, func(client uint64, req []byte) ([]byte, error) {
+		if err := s.ApplyLogSeq(client, req); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
 	s.srv.Register(fsproto.MethodChmod, func(client uint64, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		oid := sobj.OID(r.U64())

@@ -118,6 +118,21 @@ type Service struct {
 
 	faults *faultinject.Injector
 
+	// Group commit (groupcommit.go): handler goroutines enqueue batches
+	// under gqMu; the first enqueuer with no leader running becomes the
+	// leader and drains the queue group by group under s.mu.
+	gqMu     sync.Mutex
+	groupq   []*groupBatch
+	leaderOn bool
+
+	// Per-client window sequence gates (groupcommit.go): pipelined sessions
+	// ship several sequenced batches concurrently, and the gate makes their
+	// server-side outcomes follow window order. Tracked outside mu so a
+	// handler waiting for an out-of-order sibling never holds the service
+	// mutex.
+	gateMu sync.Mutex
+	gates  map[uint64]*seqGate
+
 	// Admission control (backpressure): tracked outside mu so shedding
 	// happens before a request ever queues on the service mutex.
 	admMu        sync.Mutex
@@ -136,11 +151,18 @@ type Service struct {
 	obsReserveWait    *obs.Histogram // ns from admission to reservation held
 	obsReserveFallbks *obs.Counter   // apply allocs the reservation missed
 	obsSheds          *obs.Counter   // requests shed with ErrBusy
+	obsGroupBatches   *obs.Histogram // batches published per fence
+	obsGroupFences    *obs.Counter   // fenced group commits
+	obsGroupCoalesced *obs.Counter   // batches that shared a fence (groups >1)
+	obsGroupParallel  *obs.Counter   // batches applied on scheduler workers
 }
 
 type clientState struct {
 	uid      uint32
 	prealloc map[uint64]uint64 // extent addr -> size
+	// lastSeq is the highest window sequence number applied for this
+	// session; ApplyLogSeq rejects a batch sequenced behind it.
+	lastSeq uint64
 }
 
 type openState struct {
@@ -293,6 +315,7 @@ func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmm
 		root: sobj.OID(rootOID), preCol: preCol, gid: gid,
 		heap:         [2]uint64{heapStart, heapSize},
 		clients:      make(map[uint64]*clientState),
+		gates:        make(map[uint64]*seqGate),
 		openFiles:    make(map[sobj.OID]*openState),
 		admPerClient: make(map[uint64]int),
 		faults:       cfg.Faults,
@@ -303,6 +326,10 @@ func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmm
 	s.obsReserveWait = cfg.Obs.Histogram("tfs.reserve.wait_ns")
 	s.obsReserveFallbks = cfg.Obs.Counter("tfs.reserve.fallbacks")
 	s.obsSheds = cfg.Obs.Counter("tfs.admission.sheds")
+	s.obsGroupBatches = cfg.Obs.Histogram("tfs.groupcommit.batches")
+	s.obsGroupFences = cfg.Obs.Counter("tfs.groupcommit.fences")
+	s.obsGroupCoalesced = cfg.Obs.Counter("tfs.groupcommit.coalesced")
+	s.obsGroupParallel = cfg.Obs.Counter("tfs.groupcommit.parallel_batches")
 	jl.SetFaults(cfg.Faults)
 	jl.SetObs(cfg.Obs)
 	bd.SetFaults(cfg.Faults)
@@ -339,7 +366,7 @@ func (s *Service) FreeBytes() uint64 { return s.bd.FreeBytes() }
 func (s *Service) ReservedBytes() uint64 { return s.bd.ReservedBytes() }
 
 // JournalIdle reports whether the redo journal holds no committed,
-// un-checkpointed batch. With the one-batch recovery invariant it must be
+// un-checkpointed batch. With the one-group recovery invariant it must be
 // true whenever the service is quiescent; the exhaustion sweep asserts it
 // after every operation to prove no batch was stranded half-applied.
 func (s *Service) JournalIdle() bool {
