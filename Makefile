@@ -15,7 +15,7 @@ TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockse
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe bench-readpath bench-writepath fuzz-short
+.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist bench-readpath bench-writepath bench-recovery fuzz-short
 
 all: tier1
 
@@ -61,8 +61,20 @@ tier2-writepipe:
 	go test -race -run 'TestWindowPrefixConsistency' ./internal/crashsweep
 	go test -race -run 'TestPipelinedWriteConformance' ./internal/conformance
 
+# Persistence tier: the real-process kill -9 sweep over the full point set
+# (children SIGKILLed mid-write-burst, parent recovers the volume file),
+# the volume-file corruption matrix, and the persistence wiring in scm /
+# core / crashsweep.
+tier2-persist:
+	AERIE_PROCSWEEP_FULL=1 go test -v -timeout 10m -run 'TestProcessKill9Sweep' ./internal/crashsweep
+	go test -run 'TestVolume|TestNextMapSize' ./internal/scm
+	go test -run 'TestVolume|TestOpen|TestNew|TestReopen' ./internal/core
+
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .
 
 bench-writepath:
 	go test -run xxx -bench BenchmarkWritePath -benchtime 1x .
+
+bench-recovery:
+	go test -run xxx -bench BenchmarkRecovery -benchtime 1x .

@@ -35,6 +35,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/obs"
 	"github.com/aerie-fs/aerie/internal/pxfs"
+	"github.com/aerie-fs/aerie/internal/scm"
 	"github.com/aerie-fs/aerie/internal/sobj"
 )
 
@@ -56,6 +57,24 @@ var (
 	// ErrBusy: the TFS shed the batch under load and in-call retries were
 	// exhausted; the batch stays parked and a later Sync re-ships it.
 	ErrBusy = fsproto.ErrBusy
+)
+
+// Typed volume-file errors surfaced by New (Options.VolumePath) and Open.
+// Test with errors.Is.
+var (
+	// ErrMapFailed: the volume file could not be created, grown, or
+	// mapped. New degrades to the volatile arena on this (see
+	// System.Degraded); Open fails hard.
+	ErrMapFailed = scm.ErrMapFailed
+	// ErrBadVolume: the file is not an Aerie volume — bad magic, torn or
+	// truncated, checksum mismatch, or impossible geometry.
+	ErrBadVolume = scm.ErrBadVolume
+	// ErrVersionMismatch: the volume's layout version is newer than this
+	// build understands.
+	ErrVersionMismatch = scm.ErrVersionMismatch
+	// ErrDirtyVolume: the volume was not cleanly closed and the open
+	// required a clean one.
+	ErrDirtyVolume = scm.ErrDirtyVolume
 )
 
 // Options configures a machine (see core.Options for field docs).
@@ -118,9 +137,23 @@ type System struct {
 }
 
 // New formats and boots a machine: SCM arena, SCM manager, one volume, the
-// TFS with its lock service.
+// TFS with its lock service. With Options.VolumePath set, the arena is an
+// mmap-backed file that survives process death; call Close for a clean
+// shutdown and Open to come back.
 func New(opts Options) (*System, error) {
 	sys, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &System{System: sys}, nil
+}
+
+// Open mounts an existing volume file and recovers the machine inside it
+// (journal replay included). Unlike New it never degrades to the volatile
+// arena: a torn, truncated, foreign, or future-versioned file is a typed
+// hard error.
+func Open(path string, opts Options) (*System, error) {
+	sys, err := core.Open(path, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -23,17 +23,58 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("listen", "127.0.0.1:7368", "TCP listen address")
-		arena = flag.Uint64("arena-mb", 256, "SCM arena size in MiB")
+		addr   = flag.String("listen", "127.0.0.1:7368", "TCP listen address")
+		arena  = flag.Uint64("arena-mb", 256, "SCM arena size in MiB (new volumes)")
+		volume = flag.String("volume", "", "mmap-backed volume file; created if missing, recovered if present")
 	)
 	flag.Parse()
 
 	sink := obs.New()
-	sys, err := core.New(core.Options{
-		ArenaSize: *arena << 20,
-		Costs:     costmodel.DefaultCosts(),
-		Obs:       sink,
-	})
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "aerie-tfsd: "+format+"\n", args...)
+	}
+	var sys *core.System
+	var err error
+	if *volume != "" {
+		if _, statErr := os.Stat(*volume); statErr == nil {
+			// Existing volume: open it and recover. Never degrades.
+			sys, err = core.Open(*volume, core.Options{
+				Costs: costmodel.DefaultCosts(),
+				Obs:   sink,
+				Logf:  logf,
+			})
+			if err == nil {
+				if sys.Vol.WasDirty() {
+					fmt.Printf("aerie-tfsd: %s was not cleanly closed; journal replayed (generation %d)\n",
+						*volume, sys.Vol.Generation())
+				} else {
+					fmt.Printf("aerie-tfsd: %s opened clean (generation %d)\n", *volume, sys.Vol.Generation())
+				}
+			}
+		} else {
+			sys, err = core.New(core.Options{
+				ArenaSize:  *arena << 20,
+				VolumePath: *volume,
+				Costs:      costmodel.DefaultCosts(),
+				Obs:        sink,
+				Logf:       logf,
+			})
+			if err == nil {
+				if derr := sys.Degraded(); derr != nil {
+					fmt.Fprintf(os.Stderr, "aerie-tfsd: WARNING: running volatile, data will not survive exit: %v\n", derr)
+				} else {
+					fmt.Printf("aerie-tfsd: created volume %s\n", *volume)
+				}
+			}
+		}
+	} else {
+		sys, err = core.New(core.Options{
+			ArenaSize: *arena << 20,
+			Costs:     costmodel.DefaultCosts(),
+			Obs:       sink,
+			Logf:      logf,
+		})
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "boot: %v\n", err)
 		os.Exit(1)
@@ -61,4 +102,11 @@ func main() {
 	fmt.Println("\nshutting down; final stats:")
 	_ = sink.Snapshot().WriteText(os.Stdout)
 	_ = ln.Close()
+	// Clean close: msync everything and clear the volume's dirty flag, so
+	// the next -volume start skips recovery. A kill -9 lands here never —
+	// which is the point: the dirty flag stays set and Open recovers.
+	if err := sys.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "aerie-tfsd: close: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -6,6 +6,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
@@ -23,7 +25,18 @@ type Options struct {
 	// ArenaSize is the emulated SCM size (default 256 MiB).
 	ArenaSize uint64
 	// TrackPersistence enables crash simulation (slower; tests only).
+	// Incompatible with VolumePath: the mapped file is the persistent image.
 	TrackPersistence bool
+	// VolumePath, when set, backs the arena with an mmap-backed volume file
+	// so the machine survives real process death (kill -9) and restarts via
+	// Open. If creating or mapping the file fails, New degrades to the
+	// volatile arena: the machine still runs, Degraded() returns the typed
+	// cause (errors.Is(..., scm.ErrMapFailed)), and the downgrade is logged
+	// through Logf. Opening existing data never degrades — see Open.
+	VolumePath string
+	// Logf receives one-line operational notices (e.g. the volatile
+	// downgrade). Nil discards them.
+	Logf func(format string, args ...any)
 	// Costs injects modeled latencies; zero value injects nothing.
 	Costs costmodel.Costs
 	// JournalSize for the volume redo log (default 4 MiB).
@@ -63,27 +76,78 @@ type System struct {
 	Part  scmmgr.PartitionID
 	Costs *costmodel.Costs
 
-	opts Options
-	proc *scmmgr.Process
+	// Vol is the mmap-backed volume when the arena is persistent, nil when
+	// volatile (the default, and the degradation fallback).
+	Vol *scm.Volume
+
+	opts     Options
+	proc     *scmmgr.Process
+	degraded error
 }
 
-// New formats a fresh Aerie machine.
+// Degraded returns the typed error that forced this machine onto the
+// volatile arena after VolumePath was requested, or nil when the machine is
+// running as configured. The data-loss consequence is explicit: a degraded
+// machine forgets everything at process exit.
+func (sys *System) Degraded() error { return sys.degraded }
+
+func (sys *System) logf(format string, args ...any) {
+	if sys.opts.Logf != nil {
+		sys.opts.Logf(format, args...)
+	}
+}
+
+// New formats a fresh Aerie machine. With Options.VolumePath set, the arena
+// is an mmap-backed volume file; a mapping failure downgrades to the
+// volatile arena rather than failing the machine (the error stays visible
+// through Degraded and Logf). There is no data to lose at format time, so
+// the downgrade is safe; Open never does this.
 func New(opts Options) (*System, error) {
 	if opts.ArenaSize == 0 {
 		opts.ArenaSize = 256 << 20
 	}
+	if opts.VolumePath != "" && opts.TrackPersistence {
+		return nil, fmt.Errorf("core: TrackPersistence requires the volatile arena (VolumePath set)")
+	}
 	costs := opts.Costs
 	sys := &System{Costs: &costs, opts: opts}
-	sys.Mem = scm.New(scm.Config{
-		Size:             opts.ArenaSize,
-		Costs:            sys.Costs,
-		TrackPersistence: opts.TrackPersistence,
-		Faults:           opts.Faults,
-		Obs:              opts.Obs,
-	})
+	if opts.VolumePath != "" {
+		vol, err := scm.CreateVolume(opts.VolumePath, scm.VolumeOptions{
+			ArenaSize: opts.ArenaSize,
+			Costs:     sys.Costs,
+			Faults:    opts.Faults,
+			Obs:       opts.Obs,
+		})
+		if err != nil {
+			if !errors.Is(err, scm.ErrMapFailed) {
+				return nil, err
+			}
+			sys.degraded = err
+			sys.logf("core: volume %s unavailable, running on the VOLATILE arena (data will not survive exit): %v",
+				opts.VolumePath, err)
+		} else {
+			sys.Vol = vol
+			sys.Mem = vol.Mem()
+		}
+	}
+	if sys.Mem == nil {
+		sys.Mem = scm.New(scm.Config{
+			Size:             opts.ArenaSize,
+			Costs:            sys.Costs,
+			TrackPersistence: opts.TrackPersistence,
+			Faults:           opts.Faults,
+			Obs:              opts.Obs,
+		})
+	}
+	fail := func(err error) (*System, error) {
+		if sys.Vol != nil {
+			sys.Vol.Close()
+		}
+		return nil, err
+	}
 	mgr, err := scmmgr.FormatAndAttach(sys.Mem, sys.Costs)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	sys.Mgr = mgr
 	sys.proc = scmmgr.NewProcess(tfsUID)
@@ -96,20 +160,98 @@ func New(opts Options) (*System, error) {
 	partSize := opts.ArenaSize - region - (opts.ArenaSize / 32) // slack for rounding
 	part, err := mgr.CreatePartition(partSize, tfsUID)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	sys.Part = part
 	if err := tfs.FormatVolume(mgr, sys.proc, part, sys.tfsConfig()); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if err := sys.serve(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if opts.TrackPersistence {
 		// Start crash experiments from a fully persistent image.
 		sys.Mem.PersistAll()
 	}
 	return sys, nil
+}
+
+// Open mounts an existing volume file and recovers the machine inside it:
+// map the file, validate and reattach the SCM manager, rediscover the TFS
+// partition, and serve (which replays the redo journal). Unlike New, Open
+// never degrades to the volatile arena — the file claims to hold user data,
+// so every failure is a typed hard error (scm.ErrBadVolume,
+// scm.ErrVersionMismatch, scm.ErrMapFailed, ...). The open's phases are
+// timed into the obs counters core.open.{map,attach,recover}_ns.
+func Open(path string, opts Options) (*System, error) {
+	if opts.TrackPersistence {
+		return nil, fmt.Errorf("core: TrackPersistence requires the volatile arena (volume open)")
+	}
+	costs := opts.Costs
+	sys := &System{Costs: &costs, opts: opts}
+	t0 := time.Now()
+	vol, err := scm.OpenVolume(path, scm.VolumeOptions{
+		Costs:  sys.Costs,
+		Faults: opts.Faults,
+		Obs:    opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Vol = vol
+	sys.Mem = vol.Mem()
+	if vol.WasDirty() {
+		sys.logf("core: volume %s was not cleanly closed (generation %d); recovering",
+			path, vol.Generation())
+	}
+	t1 := time.Now()
+	mgr, err := scmmgr.Attach(sys.Mem, sys.Costs)
+	if err != nil {
+		vol.Close()
+		return nil, fmt.Errorf("%w: %s: scm manager attach: %v", scm.ErrBadVolume, path, err)
+	}
+	sys.Mgr = mgr
+	sys.proc = scmmgr.NewProcess(tfsUID)
+	parts, err := mgr.Partitions()
+	if err != nil {
+		vol.Close()
+		return nil, fmt.Errorf("%w: %s: partition table: %v", scm.ErrBadVolume, path, err)
+	}
+	found := false
+	for _, p := range parts {
+		if p.Owner == tfsUID {
+			sys.Part, found = p.ID, true
+			break
+		}
+	}
+	if !found {
+		vol.Close()
+		return nil, fmt.Errorf("%w: %s: no TFS partition", scm.ErrBadVolume, path)
+	}
+	t2 := time.Now()
+	if err := sys.serve(); err != nil {
+		vol.Close()
+		return nil, err
+	}
+	t3 := time.Now()
+	opts.Obs.Counter("core.open.map_ns").Add(t1.Sub(t0).Nanoseconds())
+	opts.Obs.Counter("core.open.attach_ns").Add(t2.Sub(t1).Nanoseconds())
+	opts.Obs.Counter("core.open.recover_ns").Add(t3.Sub(t2).Nanoseconds())
+	return sys, nil
+}
+
+// Close shuts the machine down cleanly: the lock service stops, and a
+// persistent arena is msynced, marked clean, and unmapped. A volatile
+// machine only stops its lock service — its state was never going to
+// survive. Close is safe to call on a degraded machine.
+func (sys *System) Close() error {
+	if sys.TFS != nil {
+		sys.TFS.Locks.Shutdown()
+	}
+	if sys.Vol != nil {
+		return sys.Vol.Close()
+	}
+	return nil
 }
 
 func (sys *System) tfsConfig() tfs.Config {

@@ -1,0 +1,216 @@
+//go:build linux
+
+package crashsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Child/parent protocol: the parent re-executes its own test binary running
+// only TestProcSweepChild, with the run parameterized through environment
+// variables. The child either finishes (exit 0: the armed ordinal drifted
+// out of reach, or it was a baseline run and the counts go to stdout) or is
+// SIGKILLed mid-workload by its armed fault point.
+const (
+	envProcChild = "AERIE_PROCSWEEP_CHILD"
+	envProcVol   = "AERIE_PROCSWEEP_VOL"
+	envProcPoint = "AERIE_PROCSWEEP_POINT"
+	envProcOrd   = "AERIE_PROCSWEEP_ORD"
+	// AERIE_PROCSWEEP_FULL=1 (the tier2-persist CI job) widens the point
+	// set and samples more ordinals per point.
+	envProcFull = "AERIE_PROCSWEEP_FULL"
+)
+
+// procSweepPoints is the default (tier-1) point set: the SCM flush path,
+// the journal commit, and the whole group-commit/parallel-apply pipeline
+// added with the windowed write path.
+var procSweepPoints = []string{
+	"scm.flush",
+	"journal.commit",
+	"tfs.groupcommit.coalesce",
+	"tfs.groupcommit.fence",
+	"tfs.apply.parallel",
+	"tfs.apply.checkpoint",
+}
+
+// procSweepPointsFull extends the sweep to every other store-side point the
+// workload exercises (tier2-persist).
+var procSweepPointsFull = []string{
+	"scm.stream",
+	"scm.bflush",
+	"alloc.alloc",
+	"journal.append",
+	"journal.commit.publish",
+	"journal.commit.published",
+	"journal.checkpoint",
+	"tfs.apply.action",
+	"tfs.apply.postcommit",
+	"tfs.prealloc.postcommit",
+	"libfs.logop",
+	"libfs.write",
+	"libfs.flush.preship",
+	"libfs.flush.postship",
+	"rpc.call",
+	"rpc.reply",
+}
+
+func TestProcSweepChild(t *testing.T) {
+	if os.Getenv(envProcChild) != "1" {
+		t.Skip("child entry point; driven by TestProcessKill9Sweep")
+	}
+	ord, _ := strconv.ParseUint(os.Getenv(envProcOrd), 10, 64)
+	counts, err := RunProcChild(ProcConfig{
+		VolumePath: os.Getenv(envProcVol),
+		Point:      os.Getenv(envProcPoint),
+		Ordinal:    ord,
+	})
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	// Baseline runs report the per-point hit counts for the parent to
+	// sample ordinals from.
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	for _, p := range points {
+		fmt.Printf("procsweep-count %s %d\n", p, counts[p])
+	}
+}
+
+// runProcChild executes the child with a 60s guard and reports how it died:
+// killed=true means SIGKILL (the armed fault fired), false a clean exit.
+// Anything else — timeout, crash by another signal, nonzero exit — fails
+// the test immediately.
+func runProcChild(t *testing.T, vol, point string, ord uint64) (killed bool, out string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, exe, "-test.run=^TestProcSweepChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		envProcChild+"=1",
+		envProcVol+"="+vol,
+		envProcPoint+"="+point,
+		envProcOrd+"="+strconv.FormatUint(ord, 10),
+	)
+	outB, runErr := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("child hung (point %s@%d)", point, ord)
+	}
+	if runErr != nil {
+		var ee *exec.ExitError
+		if errors.As(runErr, &ee) {
+			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+				if ws.Signal() != syscall.SIGKILL {
+					t.Fatalf("child died of %v, want SIGKILL (point %s@%d)", ws.Signal(), point, ord)
+				}
+				return true, string(outB)
+			}
+		}
+		t.Fatalf("child failed (point %s@%d): %v\n%s", point, ord, runErr, outB)
+	}
+	return false, string(outB)
+}
+
+// parseProcCounts extracts the baseline per-point hit counts the child
+// printed.
+func parseProcCounts(out string) map[string]uint64 {
+	counts := map[string]uint64{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "procsweep-count" {
+			n, err := strconv.ParseUint(fields[2], 10, 64)
+			if err == nil {
+				counts[fields[1]] = n
+			}
+		}
+	}
+	return counts
+}
+
+// TestProcessKill9Sweep is the tentpole acceptance test: a child process is
+// kill -9'd mid-write-burst at sampled ordinals of each swept fault point,
+// and the parent must recover the volume file the corpse left behind —
+// dirty flag observed, Fsck(repair) clean with zero remaining leaks, every
+// client's published window a strict prefix with intact contents, and a
+// fresh client able to write.
+func TestProcessKill9Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills many child processes")
+	}
+	full := os.Getenv(envProcFull) == "1"
+	maxOrdinals := 2
+	points := procSweepPoints
+	if full {
+		maxOrdinals = 3
+		points = append(append([]string{}, procSweepPoints...), procSweepPointsFull...)
+	}
+
+	dir := t.TempDir()
+	cfg := ProcConfig{}
+	cfg.defaults()
+
+	// Baseline child run, fault-free: enumerate each point's hit count in a
+	// real child process (same binary, same environment, same scheduler)
+	// and prove the workload itself runs clean on a volume.
+	baseVol := filepath.Join(dir, "baseline.aerie")
+	killed, out := runProcChild(t, baseVol, "", 0)
+	if killed {
+		t.Fatal("baseline child was killed with no kill armed")
+	}
+	counts := parseProcCounts(out)
+	if len(counts) == 0 {
+		t.Fatalf("baseline child reported no fault-point counts:\n%s", out)
+	}
+
+	runs, kills, skips := 0, 0, 0
+	for _, point := range points {
+		hits := counts[point]
+		if hits == 0 {
+			if full {
+				t.Errorf("point %s never fired in the baseline workload", point)
+			}
+			continue
+		}
+		for _, ord := range sampleOrdinals(hits, maxOrdinals) {
+			runs++
+			vol := filepath.Join(dir, fmt.Sprintf("kill-%s-%d.aerie", strings.ReplaceAll(point, "/", "_"), ord))
+			killed, _ := runProcChild(t, vol, point, ord)
+			if !killed {
+				// Two concurrent clients make ordinals drift between runs;
+				// an unreached kill is a clean completion, not a failure.
+				skips++
+				continue
+			}
+			kills++
+			fails, err := VerifyProcVolume(vol, cfg.Clients, cfg.Steps)
+			if err != nil {
+				t.Errorf("%s@%d: reopening the corpse's volume: %v", point, ord, err)
+				continue
+			}
+			for _, f := range fails {
+				t.Errorf("%s@%d: %s", point, ord, f)
+			}
+		}
+	}
+	t.Logf("procsweep: %d runs, %d kills verified, %d drift-skips", runs, kills, skips)
+	if kills == 0 {
+		t.Fatal("no child was ever killed: the sweep verified nothing")
+	}
+}

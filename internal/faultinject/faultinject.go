@@ -63,6 +63,11 @@ const (
 	KindDelay
 	// KindCrash makes Hit panic with a Crash value.
 	KindCrash
+	// KindKill makes Hit terminate the whole process with SIGKILL — the
+	// real thing, not a simulation. Nothing deferred runs, no flag is
+	// cleared, no buffer is flushed. The process-level crash sweep arms
+	// this in a child process and verifies recovery from its corpse.
+	KindKill
 )
 
 type rule struct {
@@ -87,6 +92,7 @@ type Injector struct {
 	rules  []rule
 	rng    *rand.Rand
 	sleep  func(time.Duration)
+	kill   func() // overrides SIGKILL-self for unit tests
 }
 
 // New returns an empty injector: all points counted, no rules armed.
@@ -134,7 +140,7 @@ func (i *Injector) Hit(point string) error {
 		return nil
 	}
 	kind, err, delay := fired.kind, fired.err, fired.delay
-	sleep := i.sleep
+	sleep, kill := i.sleep, i.kill
 	i.mu.Unlock()
 	switch kind {
 	case KindDelay:
@@ -147,6 +153,11 @@ func (i *Injector) Hit(point string) error {
 		return fmt.Errorf("%w at %s", err, point)
 	case KindCrash:
 		panic(Crash{Point: point, Seq: seq, PointHit: cnt})
+	case KindKill:
+		if kill == nil {
+			kill = killSelf
+		}
+		kill()
 	}
 	return nil
 }
@@ -171,6 +182,22 @@ func (i *Injector) DelayAt(point string, n uint64, d time.Duration) {
 func (i *Injector) CrashAt(point string, n uint64) {
 	i.mu.Lock()
 	i.rules = append(i.rules, rule{kind: KindCrash, point: point, at: n})
+	i.mu.Unlock()
+}
+
+// KillAt arms a kill rule: the nth hit of point SIGKILLs the process. This
+// is for child processes of the crash sweep — there is no recovering from
+// it in-process.
+func (i *Injector) KillAt(point string, n uint64) {
+	i.mu.Lock()
+	i.rules = append(i.rules, rule{kind: KindKill, point: point, at: n})
+	i.mu.Unlock()
+}
+
+// SetKillFn replaces the SIGKILL with fn (unit tests of the kill plumbing).
+func (i *Injector) SetKillFn(fn func()) {
+	i.mu.Lock()
+	i.kill = fn
 	i.mu.Unlock()
 }
 

@@ -251,3 +251,46 @@ func TestConcurrentHits(t *testing.T) {
 		t.Fatalf("failures = %d, want exactly 1", failures)
 	}
 }
+
+func TestKillAtFiresAtOrdinal(t *testing.T) {
+	inj := New()
+	fired := 0
+	inj.SetKillFn(func() { fired++ })
+	inj.KillAt("p", 2)
+	if err := inj.Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("kill fired at hit 1, armed for 2")
+	}
+	if err := inj.Hit("other"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("kill fired on the wrong point")
+	}
+	if err := inj.Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("kill fired %d times at the armed hit, want 1", fired)
+	}
+	if err := inj.Hit("p"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("kill re-fired past its ordinal (%d)", fired)
+	}
+}
+
+func TestKillDisabledInjector(t *testing.T) {
+	inj := New()
+	fired := 0
+	inj.SetKillFn(func() { fired++ })
+	inj.KillAt("p", 1)
+	inj.Disable()
+	_ = inj.Hit("p")
+	if fired != 0 {
+		t.Fatal("disabled injector killed")
+	}
+}

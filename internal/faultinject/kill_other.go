@@ -1,0 +1,11 @@
+//go:build !unix
+
+package faultinject
+
+import "os"
+
+// killSelf on platforms without SIGKILL: exit with the conventional
+// 128+9 status so parents still see "killed".
+func killSelf() {
+	os.Exit(137)
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package faultinject
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf delivers SIGKILL to this process: the unblockable, uncatchable
+// signal, so nothing — not defers, not signal handlers, not atexit — runs
+// after it. The final select covers the sliver between sending the signal
+// and the kernel tearing the process down.
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {}
+}

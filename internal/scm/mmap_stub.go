@@ -1,0 +1,22 @@
+//go:build !linux
+
+package scm
+
+// Stub mapping layer for platforms without the mmap backend: every entry
+// point fails with ErrMapFailed, which callers (internal/core) turn into a
+// graceful downgrade to the volatile arena.
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mapFile(f *os.File, n int, readonly bool) ([]byte, error) {
+	return nil, fmt.Errorf("%w: mmap unsupported on this platform", ErrMapFailed)
+}
+
+func unmapFile(b []byte) error { return nil }
+
+func msyncRange(full []byte, off, n uint64) error { return nil }

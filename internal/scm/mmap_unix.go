@@ -1,0 +1,72 @@
+//go:build linux
+
+package scm
+
+// Raw memory-mapping syscalls for the persistent volume backend. Only this
+// file (and its stub twin) touch the platform mmap interface; volume.go is
+// written against these three helpers so unsupported platforms degrade to
+// the volatile arena instead of failing the build.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapSupported reports whether this build can map volume files at all.
+const mmapSupported = true
+
+// mapFile maps n bytes of f at offset 0, shared, read-write unless readonly.
+func mapFile(f *os.File, n int, readonly bool) ([]byte, error) {
+	prot := syscall.PROT_READ
+	if !readonly {
+		prot |= syscall.PROT_WRITE
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, n, prot, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap %d bytes: %w", n, err)
+	}
+	return b, nil
+}
+
+// unmapFile releases a mapping returned by mapFile.
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// msyncRange flushes the pages of full covering [off, off+n) to the backing
+// file. off is aligned down to a page boundary, as msync requires.
+func msyncRange(full []byte, off, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	pgoff := off &^ uint64(PageSize-1)
+	end := off + n
+	if end > uint64(len(full)) {
+		end = uint64(len(full))
+	}
+	if pgoff >= end {
+		return nil
+	}
+	return msync(full[pgoff:end])
+}
+
+// msync synchronously writes the mapped pages of b back to the file. The
+// stdlib syscall package has no Msync wrapper on linux, so this issues the
+// raw syscall; b's base is page-aligned because it comes from mapFile.
+func msync(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+

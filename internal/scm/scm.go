@@ -164,11 +164,21 @@ type Memory struct {
 	paranoid bool
 	faults   *faultinject.Injector
 
+	// vol is non-nil when the arena is an mmap-backed volume file
+	// (volume.go): stores extend the pending-sync window below and the
+	// Fence/BFlush barriers msync it. readonly marks a PROT_READ mapping,
+	// on which every store fails with ErrReadOnly.
+	vol      *Volume
+	readonly bool
+
 	mu           sync.Mutex
 	shadow       []byte
 	dirty        []uint64 // bitmap, one bit per line; valid iff track
 	pending      []uint64 // line indices of streaming writes awaiting BFlush; used iff track
 	pendingCount int      // lines awaiting BFlush when not tracking (identities not needed)
+	// [syncLo, syncHi): bytes stored since the last durability barrier;
+	// maintained only when vol != nil, drained by Volume.syncBarrier.
+	syncLo, syncHi uint64
 
 	stats Stats
 
@@ -249,6 +259,9 @@ func (m *Memory) Slice(addr uint64, n int) ([]byte, error) {
 
 // Write stores p at addr into the volatile image.
 func (m *Memory) Write(addr uint64, p []byte) error {
+	if m.readonly {
+		return ErrReadOnly
+	}
 	if err := m.check(addr, len(p)); err != nil {
 		return err
 	}
@@ -258,17 +271,47 @@ func (m *Memory) Write(addr uint64, p []byte) error {
 	if m.track {
 		m.markDirty(addr, len(p))
 	}
+	if m.vol != nil {
+		m.noteStored(addr, len(p))
+	}
 	return nil
+}
+
+// noteStored extends the pending-sync window of a mapped arena so the next
+// durability barrier msyncs the covering pages.
+func (m *Memory) noteStored(addr uint64, n int) {
+	if n == 0 {
+		return
+	}
+	end := addr + uint64(n)
+	m.mu.Lock()
+	if m.syncHi <= m.syncLo {
+		m.syncLo, m.syncHi = addr, end
+	} else {
+		if addr < m.syncLo {
+			m.syncLo = addr
+		}
+		if end > m.syncHi {
+			m.syncHi = end
+		}
+	}
+	m.mu.Unlock()
 }
 
 // WriteStream stores p at addr with non-temporal stores; persistent after
 // the next BFlush.
 func (m *Memory) WriteStream(addr uint64, p []byte) error {
+	if m.readonly {
+		return ErrReadOnly
+	}
 	if err := m.check(addr, len(p)); err != nil {
 		return err
 	}
 	if err := m.faults.Hit("scm.stream"); err != nil {
 		return err
+	}
+	if m.vol != nil {
+		m.noteStored(addr, len(p))
 	}
 	copy(m.data[addr:], p)
 	m.stats.Writes.Add(1)
@@ -380,6 +423,11 @@ func (m *Memory) BFlushCharged() int64 {
 	// BFlush has no error return (real hardware cannot fail a drain), so
 	// only delay and crash rules are meaningful here.
 	_ = m.faults.Hit("scm.bflush")
+	// On a mapped arena the buffer drain is a durability barrier like
+	// Fence: streaming writes must be on media when BFlush returns.
+	if m.vol != nil {
+		m.vol.syncBarrier(m)
+	}
 	m.mu.Lock()
 	pending := m.pending
 	m.pending = nil
@@ -407,12 +455,17 @@ func (m *Memory) BFlushCharged() int64 {
 	return charged
 }
 
-// Fence orders preceding writes before subsequent ones. In this emulation
-// flushes apply to the persistent image immediately and in program order, so
-// Fence only counts the event.
+// Fence orders preceding writes before subsequent ones. In the volatile
+// emulation flushes apply to the persistent image immediately and in
+// program order, so Fence only counts the event; on an mmap-backed arena it
+// is the durability barrier that msyncs every page stored since the last
+// barrier (see Volume.syncBarrier).
 func (m *Memory) Fence() {
 	m.stats.Fences.Add(1)
 	m.obsFences.Inc()
+	if m.vol != nil {
+		m.vol.syncBarrier(m)
+	}
 }
 
 // AddClientChargedNS attributes d nanoseconds of already-charged SCM write

@@ -144,7 +144,10 @@ func Format(mem *scm.Memory) error {
 	return scm.Write64Flush(mem, offMagic, magicValue)
 }
 
-// Attach connects a manager to a formatted arena (e.g. after a reboot).
+// Attach connects a manager to a formatted arena (e.g. after a reboot). The
+// partition table is validated against the arena's actual size before any
+// partition is trusted: a table that references bytes beyond the arena (a
+// truncated or foreign image) is rejected rather than dereferenced.
 func Attach(mem *scm.Memory, costs *costmodel.Costs) (*Manager, error) {
 	magic, err := scm.Read64(mem, offMagic)
 	if err != nil {
@@ -153,7 +156,25 @@ func Attach(mem *scm.Memory, costs *costmodel.Costs) (*Manager, error) {
 	if magic != magicValue {
 		return nil, ErrBadMagic
 	}
-	return &Manager{mem: mem, costs: costs}, nil
+	m := &Manager{mem: mem, costs: costs}
+	region, err := scm.Read64(mem, offRegionSize)
+	if err != nil {
+		return nil, err
+	}
+	if region < offPartTable+maxPartitions*partSlotSize || region > mem.Size() {
+		return nil, fmt.Errorf("%w: manager region %d in arena of %d", ErrBadPartition, region, mem.Size())
+	}
+	parts, err := m.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		if p.Start < region || p.Size == 0 || p.Start+p.Size < p.Start || p.Start+p.Size > mem.Size() {
+			return nil, fmt.Errorf("%w: partition %d spans [%#x,+%d) in arena of %d",
+				ErrBadPartition, p.ID, p.Start, p.Size, mem.Size())
+		}
+	}
+	return m, nil
 }
 
 // FormatAndAttach formats a raw arena and attaches a manager to it.
@@ -309,6 +330,24 @@ func (m *Manager) Partition(id PartitionID) (PartitionInfo, error) {
 	size, _ := scm.Read64(m.mem, slot+psSize)
 	owner, _ := scm.Read32(m.mem, slot+psOwner)
 	return PartitionInfo{ID: id, Start: start, Size: size, Owner: owner}, nil
+}
+
+// Partitions returns metadata for every live partition, in slot order. It is
+// how a recovering service rediscovers its partition after reattaching to a
+// persistent arena.
+func (m *Manager) Partitions() ([]PartitionInfo, error) {
+	var out []PartitionInfo
+	for id := PartitionID(0); id < maxPartitions; id++ {
+		info, err := m.Partition(id)
+		if errors.Is(err, ErrNoPartition) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
 }
 
 // aclAddr walks (allocating interior pages if create is set) to the address
