@@ -9,13 +9,16 @@
 # allocation/journal failure point); tier2-writepipe race-tests the
 # pipelined write path — the client completion window, the TFS sequence
 # gate and group commit, the crash sweep over the group-commit fault
-# points, and the pipelined differential conformance trace.
+# points, and the pipelined differential conformance trace; tier2-linearize
+# runs the concurrent linearizability tier — the clean 8-client checker
+# run, the injected-violation detections, and the kill -9 crash-prefix
+# sweep under the randomized concurrent workload.
 
 TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice ./internal/alloc
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist bench-readpath bench-writepath bench-recovery fuzz-short
+.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist tier2-linearize bench-readpath bench-writepath bench-recovery fuzz-short
 
 all: tier1
 
@@ -36,6 +39,7 @@ tier2: fuzz-short
 fuzz-short:
 	go test -fuzz='^FuzzDecodeOps$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzDecodeReplies$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
+	go test -fuzz='^FuzzSeqHeader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzWriterReaderRoundTrip$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzSplitPath$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pxfs
@@ -69,6 +73,17 @@ tier2-persist:
 	AERIE_PROCSWEEP_FULL=1 go test -v -timeout 10m -run 'TestProcessKill9Sweep' ./internal/crashsweep
 	go test -run 'TestVolume|TestNextMapSize' ./internal/scm
 	go test -run 'TestVolume|TestOpen|TestNew|TestReopen' ./internal/core
+
+# Linearizability tier: the concurrent differential harness (8 pipelined
+# PXFS clients, randomized scripts, Wing-Gong check of the recorded
+# history), the five injected-violation detections, the checker's own unit
+# suite under -race, and the kill -9 crash-prefix sweep (children killed
+# mid-concurrent-run; the surviving volume must linearize to a prefix of
+# every client's script). Randomized pieces honor AERIE_SEED for replay.
+tier2-linearize:
+	go test -race -count=1 ./internal/linearize
+	go test -race -count=1 -timeout 10m -run 'TestConcurrent' -v ./internal/conformance
+	go test -count=1 -timeout 10m -run 'TestLinearCrashPrefixSweep' -v ./internal/crashsweep
 
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .

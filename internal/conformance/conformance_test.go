@@ -2,6 +2,7 @@ package conformance
 
 import (
 	"errors"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/extfs"
 	"github.com/aerie-fs/aerie/internal/flatfs"
 	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/linearize"
 	"github.com/aerie-fs/aerie/internal/pxfs"
 	"github.com/aerie-fs/aerie/internal/ramfs"
 	"github.com/aerie-fs/aerie/internal/vfs"
@@ -100,23 +102,151 @@ func TestTraceDeterministic(t *testing.T) {
 // point: same files, same sizes, same contents; same directory trees among
 // the hierarchical systems.
 func TestDifferentialConformance(t *testing.T) {
-	ops := GenerateTrace(42, 400)
+	seed := linearize.Seed(42)
+	t.Logf("trace seed %d (replay with AERIE_SEED=%d)", seed, seed)
+	ops := GenerateTrace(seed, 400)
 	if err := RunDifferential(allTargets(t), ops); err != nil {
-		t.Fatal(err)
+		t.Fatalf("seed %d: %v", seed, err)
 	}
 }
 
 // TestDifferentialConformanceSeeds runs shorter traces under other seeds,
-// covering different op interleavings.
+// covering different op interleavings. AERIE_SEED narrows the run to that
+// one seed for replay.
 func TestDifferentialConformanceSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	for _, seed := range []int64{1, 7, 1337} {
+	seeds := []int64{1, 7, 1337}
+	if s := linearize.Seed(0); s != 0 {
+		seeds = []int64{s}
+	}
+	for _, seed := range seeds {
 		ops := GenerateTrace(seed, 200)
 		if err := RunDifferential(allTargets(t), ops); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
+	}
+}
+
+// volumeCycler is a PXFS target on a VolumePath-backed machine that closes
+// the whole system — session, TFS, mmap — at a chosen sync point and
+// reopens the volume file before continuing the trace. What the lockstep
+// comparison demands, then, is that a clean shutdown and recovery is
+// invisible: the reopened system must serve exactly the state every other
+// target carried across the same sync point in memory.
+type volumeCycler struct {
+	t        *testing.T
+	vol      string
+	sys      *core.System
+	sess     *libfs.Session
+	cur      FS
+	syncs    int
+	reopenAt int
+	reopened bool
+}
+
+func newVolumeCycler(t *testing.T, reopenAt int) *volumeCycler {
+	t.Helper()
+	c := &volumeCycler{t: t, vol: filepath.Join(t.TempDir(), "lockstep.aerie"), reopenAt: reopenAt}
+	sys, err := core.New(core.Options{
+		ArenaSize:      128 << 20,
+		VolumePath:     c.vol,
+		AcquireTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Degraded(); err != nil {
+		t.Fatalf("volume degraded to volatile: %v", err)
+	}
+	c.mount(sys)
+	t.Cleanup(func() { c.sys.Close() })
+	return c
+}
+
+func (c *volumeCycler) mount(sys *core.System) {
+	sess, err := sys.NewSession(libfs.Config{UID: 1000})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.sys, c.sess = sys, sess
+	c.cur = PXFSAdapter{FS: pxfs.New(sess, pxfs.Options{NameCache: true})}
+}
+
+func (c *volumeCycler) Sync() error {
+	if err := c.cur.Sync(); err != nil {
+		return err
+	}
+	c.syncs++
+	if c.syncs != c.reopenAt {
+		return nil
+	}
+	if err := c.sess.Close(); err != nil {
+		return err
+	}
+	if err := c.sys.Close(); err != nil {
+		return err
+	}
+	sys, err := core.Open(c.vol, core.Options{AcquireTimeout: 60 * time.Second})
+	if err != nil {
+		return err
+	}
+	if sys.Vol.WasDirty() {
+		c.t.Error("cleanly closed volume reopened dirty mid-trace")
+	}
+	c.mount(sys)
+	c.reopened = true
+	return nil
+}
+
+func (c *volumeCycler) Name() string  { return "PXFS-volume" }
+func (c *volumeCycler) HasDirs() bool { return true }
+func (c *volumeCycler) Mkdir(path string) error {
+	return c.cur.Mkdir(path)
+}
+func (c *volumeCycler) PutWhole(path string, data []byte) error {
+	return c.cur.PutWhole(path, data)
+}
+func (c *volumeCycler) WriteAt(path string, off int64, data []byte) error {
+	return c.cur.WriteAt(path, off, data)
+}
+func (c *volumeCycler) Append(path string, data []byte) error {
+	return c.cur.Append(path, data)
+}
+func (c *volumeCycler) Truncate(path string, size int64) error {
+	return c.cur.Truncate(path, size)
+}
+func (c *volumeCycler) Delete(path string) error             { return c.cur.Delete(path) }
+func (c *volumeCycler) Rename(oldPath, newPath string) error { return c.cur.Rename(oldPath, newPath) }
+func (c *volumeCycler) Files() ([]FileState, error)          { return c.cur.Files() }
+func (c *volumeCycler) Dirs() ([]string, error)              { return c.cur.Dirs() }
+
+// TestDifferentialVolumeConformance replays the lockstep trace with the
+// PXFS target persistent (mmap-backed volume file) and cycled through a
+// full close/core.Open midway: recovery must hand back byte-identical
+// state, verified op-for-op against the in-memory targets for the rest of
+// the trace.
+func TestDifferentialVolumeConformance(t *testing.T) {
+	seed := linearize.Seed(42)
+	t.Logf("trace seed %d (replay with AERIE_SEED=%d)", seed, seed)
+	ops := GenerateTrace(seed, 300)
+	syncs := 0
+	for _, op := range ops {
+		if op.Kind == OpSync {
+			syncs++
+		}
+	}
+	if syncs < 4 {
+		t.Fatalf("trace has only %d sync points", syncs)
+	}
+	cyc := newVolumeCycler(t, syncs/2)
+	targets := []FS{cyc, newKernel(t, "RamFS"), newKernel(t, "ext4")}
+	if err := RunDifferential(targets, ops); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if !cyc.reopened {
+		t.Fatal("trace finished without the mid-trace close/reopen firing")
 	}
 }
 

@@ -1,0 +1,201 @@
+package crashsweep
+
+// Linearizing crash sweep: procsweep proves that a SIGKILLed process leaves
+// each client's fixed publish sequence as a strict prefix; this file sweeps
+// the same kill points under the randomized linearize workload and asks the
+// stronger question — is the surviving volume state a prefix-consistent
+// linearization of the scripts the dead clients were executing? The child
+// re-runs seed-deterministic write-only scripts (linearize.GenerateCrashScripts,
+// disjoint per-client namespaces) through pipelined PXFS sessions with a
+// kill armed; the parent regenerates the same scripts from the same seed,
+// reopens the corpse's volume, and hands each client's surviving contents
+// to linearize.CheckCrashPrefix, which accepts exactly "some prefix fully
+// applied, at most the frontier op caught mid-batch".
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/conformance"
+	"github.com/aerie-fs/aerie/internal/core"
+	"github.com/aerie-fs/aerie/internal/faultinject"
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/linearize"
+	"github.com/aerie-fs/aerie/internal/pxfs"
+)
+
+// LinearConfig parameterizes one child run of the linearizing sweep.
+type LinearConfig struct {
+	// VolumePath is the volume file shared between child and parent.
+	VolumePath string
+	// Seed regenerates the scripts identically in child and parent.
+	Seed int64
+	// Point and Ordinal arm the SIGKILL (empty Point: fault-free baseline).
+	Point   string
+	Ordinal uint64
+	// Clients and Steps shape the workload (defaults 3 and 24).
+	Clients int
+	Steps   int
+}
+
+func (c *LinearConfig) defaults() {
+	if c.Clients == 0 {
+		c.Clients = 3
+	}
+	if c.Steps == 0 {
+		c.Steps = 24
+	}
+}
+
+// LinearScripts regenerates the sweep's deterministic scripts; child and
+// parent both call this, so they agree without any state crossing the kill.
+func LinearScripts(cfg LinearConfig) [][]linearize.Op {
+	cfg.defaults()
+	return linearize.GenerateCrashScripts(linearize.GenConfig{
+		Seed:         cfg.Seed,
+		Clients:      cfg.Clients,
+		OpsPerClient: cfg.Steps,
+	})
+}
+
+// runLinearClient executes one script through a pipelined session. The ops
+// are fire-and-forget mutations: the prefix check needs only the volume
+// they leave behind, not recorded outcomes.
+func runLinearClient(sys *core.System, k int, script []linearize.Op) error {
+	sess, err := sys.NewSession(libfs.Config{
+		UID:        uint32(1000 + k),
+		BatchLimit: 1,
+		Window:     4,
+		RenewEvery: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	fs := conformance.PXClient{FS: pxfs.New(sess, pxfs.Options{NameCache: true})}
+	for step, op := range script {
+		var err error
+		switch op.Kind {
+		case linearize.KPut:
+			err = fs.Put(op.Path, op.Data)
+		case linearize.KAppend:
+			err = fs.Append(op.Path, op.Data)
+		case linearize.KTruncate:
+			err = fs.Truncate(op.Path, op.Size)
+		default:
+			err = fmt.Errorf("op kind %v has no place in a crash script", op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("client %d step %d %s: %w", k, step, op, err)
+		}
+	}
+	return sess.Close()
+}
+
+// RunLinearChild is the child-process body: build the machine on the volume
+// file, create the per-client directories, arm the kill, run the scripts
+// concurrently. Killed mid-run it never returns; run fault-free it returns
+// the per-point hit counts the parent samples ordinals from.
+func RunLinearChild(cfg LinearConfig) (map[string]uint64, error) {
+	cfg.defaults()
+	scripts := LinearScripts(cfg)
+	inj := faultinject.New()
+	inj.Disable()
+	sys, err := buildProc(cfg.VolumePath, inj)
+	if err != nil {
+		return nil, err
+	}
+	// Publish the per-client directories before arming: a kill during setup
+	// would only reprove what procsweep already covers, and the prefix
+	// check wants the interesting window — the concurrent script bodies.
+	setup, err := sys.NewSession(libfs.Config{UID: 999, RenewEvery: time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	setupFS := pxfs.New(setup, pxfs.Options{})
+	for k := 0; k < cfg.Clients; k++ {
+		if err := setupFS.Mkdir(fmt.Sprintf("/lz%d", k), 0o755); err != nil {
+			return nil, fmt.Errorf("mkdir /lz%d: %w", k, err)
+		}
+	}
+	if err := setup.Close(); err != nil {
+		return nil, fmt.Errorf("setup close: %w", err)
+	}
+	if cfg.Point != "" {
+		inj.KillAt(cfg.Point, cfg.Ordinal)
+	}
+	inj.Enable()
+	errs := make(chan error, cfg.Clients)
+	for k := 0; k < cfg.Clients; k++ {
+		go func(k int) { errs <- runLinearClient(sys, k, scripts[k]) }(k)
+	}
+	for k := 0; k < cfg.Clients; k++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	inj.Disable()
+	counts := inj.Counts()
+	if err := sys.Close(); err != nil {
+		return nil, fmt.Errorf("clean close: %w", err)
+	}
+	return counts, nil
+}
+
+// VerifyLinearVolume is the parent-side check after the child was killed:
+// reopen the volume, require the dirty flag and a clean repair, then read
+// back every path each script touches and require each client's surviving
+// state to be a prefix-consistent linearization of its script. Returns the
+// consistency failures (nil: the volume recovered to a legal prefix).
+func VerifyLinearVolume(path string, cfg LinearConfig) ([]string, error) {
+	cfg.defaults()
+	scripts := LinearScripts(cfg)
+	sys, err := core.Open(path, core.Options{
+		Lease:          time.Hour,
+		AcquireTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	var fails []string
+	if !sys.Vol.WasDirty() {
+		fails = append(fails, "killed child left a clean dirty flag")
+	}
+	fails = append(fails, verify(sys)...)
+	sess, err := sys.NewSession(libfs.Config{UID: 2000, RenewEvery: time.Hour})
+	if err != nil {
+		return append(fails, fmt.Sprintf("verify mount: %v", err)), nil
+	}
+	defer sess.Close()
+	fs := conformance.PXClient{FS: pxfs.New(sess, pxfs.Options{})}
+	for k, script := range scripts {
+		paths := map[string]bool{}
+		for _, op := range script {
+			paths[op.Path] = true
+		}
+		observed := linearize.State{}
+		sorted := make([]string, 0, len(paths))
+		for p := range paths {
+			sorted = append(sorted, p)
+		}
+		sort.Strings(sorted)
+		for _, p := range sorted {
+			data, err := fs.Read(p)
+			switch {
+			case err == nil:
+				observed[p] = string(data)
+			case errors.Is(err, linearize.ErrNotExist):
+			default:
+				fails = append(fails, fmt.Sprintf("client %d read %s: %v", k, p, err))
+			}
+		}
+		rep := linearize.CheckCrashPrefix(script, observed)
+		if !rep.Ok {
+			fails = append(fails, fmt.Sprintf(
+				"client %d state is no prefix of its script: %s", k, rep.Detail))
+		}
+	}
+	return fails, nil
+}

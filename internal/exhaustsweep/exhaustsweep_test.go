@@ -2,50 +2,58 @@ package exhaustsweep
 
 import (
 	"testing"
+
+	"github.com/aerie-fs/aerie/internal/linearize"
 )
 
 // TestSweepQuick is the tier-1 smoke: the natural fill plus one ordinal per
-// injected point.
+// injected point. The seed honors AERIE_SEED so a failing sweep replays
+// exactly; every failure report below names the seed it ran under.
 func TestSweepQuick(t *testing.T) {
+	seed := linearize.Seed(1)
+	t.Logf("sweep seed %d (replay with AERIE_SEED=%d)", seed, seed)
 	res, err := Sweep(Config{
-		Seed:                1,
+		Seed:                seed,
 		Steps:               10,
 		MaxOrdinalsPerPoint: 1,
 		Logf:                t.Logf,
 	})
 	if err != nil {
-		t.Fatalf("sweep: %v", err)
+		t.Fatalf("seed %d: sweep: %v", seed, err)
 	}
 	t.Logf("\n%s", res)
 	if fails := res.Failures(); len(fails) > 0 {
 		for _, f := range fails {
-			t.Errorf("violation: %s", f)
+			t.Errorf("seed %d: violation: %s", seed, f)
 		}
 	}
 	if res.FillFiles == 0 {
-		t.Fatalf("natural fill committed no files")
+		t.Fatalf("seed %d: natural fill committed no files", seed)
 	}
 }
 
 // TestSweepFull is the tier-2 exhaustive run (make tier2-exhaust): denser
-// ordinal sampling across every injected point.
+// ordinal sampling across every injected point. AERIE_SEED replays a
+// specific seed.
 func TestSweepFull(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tier-2 sweep; run via make tier2-exhaust")
 	}
+	seed := linearize.Seed(7)
+	t.Logf("sweep seed %d (replay with AERIE_SEED=%d)", seed, seed)
 	res, err := Sweep(Config{
-		Seed:                7,
+		Seed:                seed,
 		Steps:               24,
 		MaxOrdinalsPerPoint: 6,
 		Logf:                t.Logf,
 	})
 	if err != nil {
-		t.Fatalf("sweep: %v", err)
+		t.Fatalf("seed %d: sweep: %v", seed, err)
 	}
 	t.Logf("\n%s", res)
 	if fails := res.Failures(); len(fails) > 0 {
 		for _, f := range fails {
-			t.Errorf("violation: %s", f)
+			t.Errorf("seed %d: violation: %s", seed, f)
 		}
 	}
 }

@@ -45,6 +45,56 @@ func FuzzDecodeOps(f *testing.F) {
 	})
 }
 
+// FuzzSeqHeader throws arbitrary bytes at the completion-window header
+// decoder. Every pipelined batch a client ships arrives through this path,
+// and the header decides sequencing, epoch filtering, and fragment
+// reassembly — a misparse here reorders or replays batches. Accepted
+// payloads must round-trip exactly: same header fields, same inner ops
+// bytes, and the re-encoding must reproduce the canonical 13-byte prefix
+// (unknown flag bits are dropped, which is the one legal difference).
+func FuzzSeqHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeApplyLogSeq(SeqHeader{Seq: 1, Epoch: 0}, EncodeOps(nil)))
+	f.Add(EncodeApplyLogSeq(SeqHeader{Seq: 1<<40 + 7, Epoch: 3, Frag: true}, []byte{0xde, 0xad}))
+	f.Add(EncodeApplyLogSeq(SeqHeader{Seq: ^uint64(0), Epoch: ^uint32(0), Opener: true},
+		EncodeOps([]Op{{Code: OpTruncate, Target: 0x8002, Val: 4096}})))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}) // one byte short of a header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, ops, err := DecodeApplyLogSeq(data)
+		if err != nil {
+			if len(data) >= 13 {
+				t.Fatalf("%d-byte payload rejected: %v", len(data), err)
+			}
+			return
+		}
+		if len(data) < 13 {
+			t.Fatalf("short payload (%d bytes) accepted", len(data))
+		}
+		if !bytes.Equal(ops, data[13:]) {
+			t.Fatalf("inner payload corrupted: %d bytes -> %d bytes", len(data)-13, len(ops))
+		}
+		back := EncodeApplyLogSeq(h, ops)
+		h2, ops2, err := DecodeApplyLogSeq(back)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded header failed: %v", err)
+		}
+		if h != h2 {
+			t.Fatalf("header changed across round trip: %+v -> %+v", h, h2)
+		}
+		if !bytes.Equal(ops, ops2) {
+			t.Fatalf("ops changed across round trip: %d -> %d bytes", len(ops), len(ops2))
+		}
+		// The seq/epoch prefix is canonical; only the flag byte may differ,
+		// and only by dropping bits outside the two defined flags.
+		if !bytes.Equal(back[:12], data[:12]) {
+			t.Fatalf("canonical prefix changed: %x -> %x", data[:12], back[:12])
+		}
+		if back[12] != data[12]&(seqFlagFrag|seqFlagOpener) {
+			t.Fatalf("flag byte %#x re-encoded as %#x", data[12], back[12])
+		}
+	})
+}
+
 // FuzzDecodeReplies covers the remaining fixed-shape decoders (mount
 // reply, prealloc request, address list): no panics, and accepted inputs
 // round-trip.

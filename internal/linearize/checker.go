@@ -1,0 +1,279 @@
+package linearize
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckConfig bounds the linearizability search.
+type CheckConfig struct {
+	// MaxNodes caps the DFS nodes explored per partition. Exceeding it makes
+	// the result undecided rather than wrong (Decided=false, Ok=true): the
+	// search was cut off before it could either find a witness order or
+	// exhaust the alternatives. 0 means the default.
+	MaxNodes int
+}
+
+const defaultMaxNodes = 4_000_000
+
+// Result is the outcome of checking one history.
+type Result struct {
+	// Ok is false when some partition's observations admit no linearization.
+	Ok bool
+	// Decided is false when the node budget cut off at least one partition
+	// before it finished. An undecided partition is not evidence of a
+	// violation; rerun with a larger MaxNodes.
+	Decided bool
+	// Partitions is how many independent object groups the history split
+	// into; Nodes is the total search nodes explored across them.
+	Partitions int
+	Nodes      int
+	// Failure describes the first non-linearizable partition (nil when Ok).
+	Failure *FailureReport
+}
+
+// FailureReport explains a linearizability violation in terms a human can
+// replay: the partition's entries, the longest legal prefix any order
+// achieved, and — at that deepest point — each real-time-eligible operation
+// with what the model required versus what the client observed.
+type FailureReport struct {
+	// Entries is the failing partition, in invocation order.
+	Entries []Entry
+	// BestPrefix is the longest sequence of entry IDs the search managed to
+	// linearize before every extension was rejected.
+	BestPrefix []int
+	// Stuck lists, at the deepest frontier, the candidates whose observed
+	// outcomes the model could not reproduce.
+	Stuck []StuckCandidate
+}
+
+// StuckCandidate is one rejected extension at the search frontier.
+type StuckCandidate struct {
+	Entry Entry
+	// Want is the outcome the specification produces at this point in the
+	// best prefix; the entry's recorded Out is what the system returned.
+	Want Outcome
+}
+
+func (f *FailureReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "non-linearizable partition (%d ops):\n", len(f.Entries))
+	inPrefix := make(map[int]bool, len(f.BestPrefix))
+	for _, id := range f.BestPrefix {
+		inPrefix[id] = true
+	}
+	byID := make(map[int]Entry, len(f.Entries))
+	for _, e := range f.Entries {
+		byID[e.ID] = e
+	}
+	fmt.Fprintf(&b, "  longest legal prefix (%d of %d):\n", len(f.BestPrefix), len(f.Entries))
+	for _, id := range f.BestPrefix {
+		fmt.Fprintf(&b, "    %s\n", byID[id])
+	}
+	fmt.Fprintf(&b, "  no eligible operation can go next:\n")
+	for _, s := range f.Stuck {
+		fmt.Fprintf(&b, "    %s (model requires %s)\n", s.Entry, s.Want)
+	}
+	return b.String()
+}
+
+// Check decides whether the history is linearizable with respect to the
+// sequential specification in Apply, starting from an empty state.
+//
+// The history first splits into independent partitions: operations on
+// disjoint paths commute under the specification (no operation's outcome
+// depends on another path), so each group of rename-connected paths is
+// checked on its own. That turns one search over N ops into many searches
+// over N/paths ops — the difference between intractable and instant, since
+// search cost is driven by overlap within a partition, not history size.
+//
+// Each partition then runs a Wing-Gong style search: a DFS over orders in
+// which operations are appended to a candidate linearization. An operation
+// e is eligible next only if no other unlinearized operation responded
+// before e invoked (the real-time constraint); an eligible e extends the
+// order only if the specification, applied to the state the prefix built,
+// reproduces e's observed outcome. Visited (linearized-set, state) pairs
+// are memoized, and a node budget bounds the backtracking.
+func Check(h History, cfg CheckConfig) Result {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = defaultMaxNodes
+	}
+	res := Result{Ok: true, Decided: true}
+	for _, part := range partition(h.Entries) {
+		res.Partitions++
+		pr := checkPartition(part, cfg.MaxNodes)
+		res.Nodes += pr.nodes
+		if !pr.decided {
+			res.Decided = false
+		}
+		if pr.decided && !pr.ok {
+			res.Ok = false
+			if res.Failure == nil {
+				res.Failure = pr.report
+			}
+		}
+	}
+	return res
+}
+
+// partition groups entries whose paths are connected through shared use or
+// renames. Union-find over path strings: every entry unions the paths it
+// touches (rename bridges two), then entries bucket by their root path.
+func partition(entries []Entry) [][]Entry {
+	parent := map[string]string{}
+	var find func(p string) string
+	find = func(p string) string {
+		r, ok := parent[p]
+		if !ok {
+			parent[p] = p
+			return p
+		}
+		if r == p {
+			return p
+		}
+		root := find(r)
+		parent[p] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range entries {
+		find(e.Op.Path)
+		if e.Op.Kind == KRename {
+			union(e.Op.Path, e.Op.Path2)
+		}
+	}
+	groups := map[string][]Entry{}
+	var order []string
+	for _, e := range entries {
+		r := find(e.Op.Path)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], e)
+	}
+	out := make([][]Entry, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+type partResult struct {
+	ok, decided bool
+	nodes       int
+	report      *FailureReport
+}
+
+// checkPartition runs the Wing-Gong search over one partition.
+func checkPartition(entries []Entry, maxNodes int) partResult {
+	n := len(entries)
+	if n == 0 {
+		return partResult{ok: true, decided: true}
+	}
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool { return es[i].Invoke < es[j].Invoke })
+
+	words := (n + 63) / 64
+	done := make([]uint64, words)
+	isDone := func(i int) bool { return done[i/64]&(1<<(i%64)) != 0 }
+	set := func(i int) { done[i/64] |= 1 << (i % 64) }
+	clear := func(i int) { done[i/64] &^= 1 << (i % 64) }
+
+	memo := map[string]struct{}{}
+	memoKey := func(digest uint64) string {
+		k := make([]byte, 8*words+8)
+		for w, v := range done {
+			binary.LittleEndian.PutUint64(k[w*8:], v)
+		}
+		binary.LittleEndian.PutUint64(k[8*words:], digest)
+		return string(k)
+	}
+
+	nodes := 0
+	budgetHit := false
+	prefix := make([]int, 0, n)
+	var best []int
+	var bestStuck []StuckCandidate
+
+	var dfs func(state State, remaining int) bool
+	dfs = func(state State, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		nodes++
+		if nodes > maxNodes {
+			budgetHit = true
+			return false
+		}
+		key := memoKey(state.Digest())
+		if _, seen := memo[key]; seen {
+			return false
+		}
+		memo[key] = struct{}{}
+
+		// Real-time constraint: e may linearize next only if no other
+		// pending operation responded before e invoked, i.e. e.Invoke is
+		// below the minimum pending Return (stamps are unique, so e's own
+		// Return never wrongly excludes it).
+		minRet := ^uint64(0)
+		for i := 0; i < n; i++ {
+			if !isDone(i) && es[i].Return < minRet {
+				minRet = es[i].Return
+			}
+		}
+		var stuck []StuckCandidate
+		for i := 0; i < n; i++ {
+			if isDone(i) || es[i].Invoke >= minRet {
+				continue
+			}
+			out, ns := Apply(state, es[i].Op)
+			if !outcomeMatch(out, es[i].Out) {
+				stuck = append(stuck, StuckCandidate{Entry: es[i], Want: out})
+				continue
+			}
+			set(i)
+			prefix = append(prefix, es[i].ID)
+			if len(prefix) > len(best) {
+				best = append(best[:0], prefix...)
+				bestStuck = nil
+			}
+			if dfs(ns, remaining-1) {
+				return true
+			}
+			prefix = prefix[:len(prefix)-1]
+			clear(i)
+			if budgetHit {
+				return false
+			}
+		}
+		// Dead end. If this is the deepest frontier reached, remember why
+		// every eligible candidate was rejected for the failure report.
+		if len(prefix) == len(best) && bestStuck == nil {
+			bestStuck = stuck
+		}
+		return false
+	}
+
+	ok := dfs(State{}, n)
+	if ok {
+		return partResult{ok: true, decided: true, nodes: nodes}
+	}
+	if budgetHit {
+		// Budget exhausted before the search could prove either way: the
+		// partition is undecided, and reporting Ok here would be a lie in
+		// both directions — so the caller treats it as "rerun bigger".
+		return partResult{ok: true, decided: false, nodes: nodes}
+	}
+	return partResult{ok: false, decided: true, nodes: nodes, report: &FailureReport{
+		Entries:    es,
+		BestPrefix: best,
+		Stuck:      bestStuck,
+	}}
+}

@@ -1,0 +1,150 @@
+package linearize_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/linearize"
+)
+
+// entry builds a history entry by hand for checker unit tests.
+func entry(id, client int, inv, ret uint64, op linearize.Op, out linearize.Outcome) linearize.Entry {
+	return linearize.Entry{ID: id, Client: client, Step: id, Invoke: inv, Return: ret, Op: op, Out: out}
+}
+
+func put(path, data string) linearize.Op {
+	return linearize.Op{Kind: linearize.KPut, Path: path, Data: []byte(data)}
+}
+
+func read(path string) linearize.Op {
+	return linearize.Op{Kind: linearize.KRead, Path: path}
+}
+
+func sawData(data string) linearize.Outcome { return linearize.Outcome{Data: []byte(data)} }
+
+func check(h linearize.History) linearize.Result {
+	return linearize.Check(h, linearize.CheckConfig{})
+}
+
+// A read concurrent with a put may observe either the old or the new
+// value — both orders are legal — but never a value nobody wrote.
+func TestCheckConcurrentReadEitherValue(t *testing.T) {
+	base := []linearize.Entry{
+		entry(0, 0, 1, 2, put("/f", "v1"), linearize.Outcome{}),
+		entry(1, 0, 3, 6, put("/f", "v2"), linearize.Outcome{}),
+	}
+	for _, tc := range []struct {
+		saw string
+		ok  bool
+	}{
+		{"v1", true}, {"v2", true}, {"v3", false},
+	} {
+		h := linearize.History{Entries: append(append([]linearize.Entry(nil), base...),
+			entry(2, 1, 4, 5, read("/f"), sawData(tc.saw)))}
+		res := check(h)
+		if !res.Decided {
+			t.Fatalf("saw %q: undecided", tc.saw)
+		}
+		if res.Ok != tc.ok {
+			t.Errorf("read concurrent with put saw %q: Ok=%v, want %v", tc.saw, res.Ok, tc.ok)
+		}
+	}
+}
+
+// A read that invokes after a put's response must observe that put (or a
+// later write) — returning the overwritten value violates real time.
+func TestCheckRealTimeStaleReadRejected(t *testing.T) {
+	mk := func(saw string) linearize.History {
+		return linearize.History{Entries: []linearize.Entry{
+			entry(0, 0, 1, 2, put("/f", "v1"), linearize.Outcome{}),
+			entry(1, 0, 3, 4, put("/f", "v2"), linearize.Outcome{}),
+			entry(2, 1, 5, 6, read("/f"), sawData(saw)),
+		}}
+	}
+	if res := check(mk("v2")); !res.Ok || !res.Decided {
+		t.Fatalf("fresh read rejected: %+v", res)
+	}
+	res := check(mk("v1"))
+	if !res.Decided || res.Ok {
+		t.Fatalf("stale read after both puts responded: Ok=%v Decided=%v, want violation", res.Ok, res.Decided)
+	}
+	if res.Failure == nil {
+		t.Fatal("violation reported without a failure report")
+	}
+	msg := res.Failure.String()
+	if !strings.Contains(msg, "read(/f)") {
+		t.Errorf("failure report does not name the stuck read:\n%s", msg)
+	}
+}
+
+// Operations on disjoint paths land in independent partitions; a rename
+// bridges its two paths into one.
+func TestCheckPartitioning(t *testing.T) {
+	h := linearize.History{Entries: []linearize.Entry{
+		entry(0, 0, 1, 2, put("/a", "x"), linearize.Outcome{}),
+		entry(1, 0, 3, 4, put("/b", "y"), linearize.Outcome{}),
+		entry(2, 0, 5, 6, put("/c", "z"), linearize.Outcome{}),
+	}}
+	if res := check(h); res.Partitions != 3 || !res.Ok {
+		t.Fatalf("3 disjoint paths: partitions=%d ok=%v, want 3 independent passes", res.Partitions, res.Ok)
+	}
+	h.Entries = append(h.Entries,
+		entry(3, 0, 7, 8, linearize.Op{Kind: linearize.KRename, Path: "/a", Path2: "/b"}, linearize.Outcome{}))
+	if res := check(h); res.Partitions != 2 || !res.Ok {
+		t.Fatalf("rename /a->/b should merge their partitions: partitions=%d ok=%v", res.Partitions, res.Ok)
+	}
+}
+
+// Error observations check like values: a read of a deleted file must
+// report noent, and a noent read of a live file is a violation.
+func TestCheckErrorOutcomes(t *testing.T) {
+	h := linearize.History{Entries: []linearize.Entry{
+		entry(0, 0, 1, 2, read("/f"), linearize.Outcome{Err: "noent"}),
+		entry(1, 0, 3, 4, put("/f", "v1"), linearize.Outcome{}),
+		entry(2, 0, 5, 6, linearize.Op{Kind: linearize.KDelete, Path: "/f"}, linearize.Outcome{}),
+		entry(3, 0, 7, 8, read("/f"), linearize.Outcome{Err: "noent"}),
+	}}
+	if res := check(h); !res.Ok || !res.Decided {
+		t.Fatalf("legal noent reads rejected: %+v", res)
+	}
+	h.Entries[3].Out = sawData("v1")
+	if res := check(h); res.Ok {
+		t.Fatal("read of deleted file returning data was accepted")
+	}
+}
+
+// An exhausted node budget yields undecided, never a verdict.
+func TestCheckBudgetUndecided(t *testing.T) {
+	// Three mutually concurrent puts plus a read: enough branching that one
+	// node cannot finish the search.
+	h := linearize.History{Entries: []linearize.Entry{
+		entry(0, 0, 1, 10, put("/f", "a"), linearize.Outcome{}),
+		entry(1, 1, 2, 11, put("/f", "b"), linearize.Outcome{}),
+		entry(2, 2, 3, 12, put("/f", "c"), linearize.Outcome{}),
+		entry(3, 3, 4, 13, read("/f"), sawData("b")),
+	}}
+	full := linearize.Check(h, linearize.CheckConfig{})
+	if !full.Ok || !full.Decided {
+		t.Fatalf("legal concurrent history rejected: %+v", full)
+	}
+	cut := linearize.Check(h, linearize.CheckConfig{MaxNodes: 1})
+	if cut.Decided {
+		t.Fatalf("MaxNodes=1 still decided (%d nodes)", cut.Nodes)
+	}
+	if !cut.Ok {
+		t.Fatal("undecided result must not claim a violation")
+	}
+}
+
+// The empty history and single-op histories are trivially linearizable.
+func TestCheckTrivial(t *testing.T) {
+	if res := check(linearize.History{}); !res.Ok || !res.Decided {
+		t.Fatalf("empty history: %+v", res)
+	}
+	h := linearize.History{Entries: []linearize.Entry{
+		entry(0, 0, 1, 2, put("/f", "v"), linearize.Outcome{}),
+	}}
+	if res := check(h); !res.Ok || !res.Decided || res.Partitions != 1 {
+		t.Fatalf("single put: %+v", res)
+	}
+}

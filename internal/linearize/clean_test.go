@@ -1,0 +1,263 @@
+package linearize_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/linearize"
+	"github.com/aerie-fs/aerie/internal/ramfs"
+	"github.com/aerie-fs/aerie/internal/vfs"
+)
+
+// The acceptance-scale clean run against the reference store: 8 clients,
+// 500 ops each, shared path pool, renames on. The fake store is atomic per
+// operation, so the history must check out — and must do so in a sane node
+// count, proving the partitioned search scales to real workloads.
+func TestCleanGeneratedRunLinearizable(t *testing.T) {
+	seed := linearize.Seed(42)
+	t.Logf("linearize generator seed %d (replay with AERIE_SEED=%d)", seed, seed)
+	scripts := linearize.GenerateScripts(linearize.GenConfig{
+		Seed:         seed,
+		Clients:      8,
+		OpsPerClient: 500,
+		Renames:      true,
+	})
+	store := newFakeStore()
+	clients := make([]linearize.ClientFS, len(scripts))
+	for i := range clients {
+		clients[i] = store.client()
+	}
+	rec := linearize.NewRecorder()
+	h, err := linearize.Run(rec, clients, scripts)
+	if err != nil {
+		t.Fatalf("run (seed %d): %v", seed, err)
+	}
+	if got := len(h.Entries); got != 8*500 {
+		t.Fatalf("recorded %d entries, want %d", got, 8*500)
+	}
+	res := linearize.Check(h, linearize.CheckConfig{})
+	if !res.Decided {
+		t.Fatalf("seed %d: undecided after %d nodes", seed, res.Nodes)
+	}
+	if !res.Ok {
+		t.Fatalf("seed %d: clean history flagged:\n%s", seed, res.Failure)
+	}
+	t.Logf("linearized %d ops in %d partitions, %d nodes", len(h.Entries), res.Partitions, res.Nodes)
+}
+
+// Generated scripts must be deterministic in the seed, and different seeds
+// must actually differ (otherwise AERIE_SEED replay is a fiction).
+func TestGenerateScriptsDeterministic(t *testing.T) {
+	a := linearize.GenerateScripts(linearize.GenConfig{Seed: 7, Clients: 3, OpsPerClient: 50})
+	b := linearize.GenerateScripts(linearize.GenConfig{Seed: 7, Clients: 3, OpsPerClient: 50})
+	c := linearize.GenerateScripts(linearize.GenConfig{Seed: 8, Clients: 3, OpsPerClient: 50})
+	same := func(x, y [][]linearize.Op) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if len(x[i]) != len(y[i]) {
+				return false
+			}
+			for j := range x[i] {
+				if x[i][j].String() != y[i][j].String() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different scripts")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+}
+
+func TestSeedEnvOverride(t *testing.T) {
+	t.Setenv("AERIE_SEED", "12345")
+	if got := linearize.Seed(42); got != 12345 {
+		t.Fatalf("AERIE_SEED ignored: got %d", got)
+	}
+	t.Setenv("AERIE_SEED", "not-a-number")
+	if got := linearize.Seed(42); got != 42 {
+		t.Fatalf("malformed AERIE_SEED should fall back to default: got %d", got)
+	}
+}
+
+// ramfsFlat adapts a RamFS (all files directly under the root) to the
+// model's operation vocabulary, so the spec the checker enforces can be
+// replayed against the same kernel-baseline implementation the lockstep
+// differential harness trusts.
+type ramfsFlat struct{ fs *ramfs.FS }
+
+func (r ramfsFlat) lookup(name string) (vfs.Ino, bool) {
+	ino, err := r.fs.Lookup(r.fs.Root(), name)
+	return ino, err == nil
+}
+
+func (r ramfsFlat) apply(op linearize.Op) linearize.Outcome {
+	noent := linearize.Outcome{Err: linearize.OutNoEnt}
+	switch op.Kind {
+	case linearize.KPut:
+		ino, ok := r.lookup(op.Path)
+		if !ok {
+			var err error
+			ino, err = r.fs.Create(r.fs.Root(), op.Path, 0o644, false)
+			if err != nil {
+				return linearize.Outcome{Err: "harness"}
+			}
+		}
+		if err := r.fs.Truncate(ino, 0); err != nil {
+			return linearize.Outcome{Err: "harness"}
+		}
+		if len(op.Data) > 0 {
+			if _, err := r.fs.WriteAt(ino, op.Data, 0); err != nil {
+				return linearize.Outcome{Err: "harness"}
+			}
+		}
+		return linearize.Outcome{}
+	case linearize.KAppend:
+		ino, ok := r.lookup(op.Path)
+		if !ok {
+			return noent
+		}
+		attr, _ := r.fs.GetAttr(ino)
+		if _, err := r.fs.WriteAt(ino, op.Data, attr.Size); err != nil {
+			return linearize.Outcome{Err: "harness"}
+		}
+		return linearize.Outcome{}
+	case linearize.KRead:
+		ino, ok := r.lookup(op.Path)
+		if !ok {
+			return noent
+		}
+		attr, _ := r.fs.GetAttr(ino)
+		buf := make([]byte, attr.Size)
+		if attr.Size > 0 {
+			if n, err := r.fs.ReadAt(ino, buf, 0); err != nil || uint64(n) != attr.Size {
+				return linearize.Outcome{Err: "harness"}
+			}
+		}
+		return linearize.Outcome{Data: buf}
+	case linearize.KTruncate:
+		ino, ok := r.lookup(op.Path)
+		if !ok {
+			return noent
+		}
+		if err := r.fs.Truncate(ino, uint64(op.Size)); err != nil {
+			return linearize.Outcome{Err: "harness"}
+		}
+		return linearize.Outcome{}
+	case linearize.KDelete:
+		if _, ok := r.lookup(op.Path); !ok {
+			return noent
+		}
+		if err := r.fs.Unlink(r.fs.Root(), op.Path, false); err != nil {
+			return linearize.Outcome{Err: "harness"}
+		}
+		return linearize.Outcome{}
+	case linearize.KRename:
+		if _, ok := r.lookup(op.Path); !ok {
+			return noent
+		}
+		if err := r.fs.Rename(r.fs.Root(), op.Path, r.fs.Root(), op.Path2); err != nil {
+			return linearize.Outcome{Err: "harness"}
+		}
+		return linearize.Outcome{}
+	}
+	return linearize.Outcome{Err: "harness"}
+}
+
+// snapshot walks the RamFS root into the model's state representation.
+func (r ramfsFlat) snapshot(t *testing.T) linearize.State {
+	t.Helper()
+	s := linearize.State{}
+	ents, err := r.fs.ReadDir(r.fs.Root())
+	if err != nil {
+		t.Fatalf("readdir: %v", err)
+	}
+	for _, e := range ents {
+		attr, err := r.fs.GetAttr(e.Ino)
+		if err != nil {
+			t.Fatalf("getattr %s: %v", e.Name, err)
+		}
+		buf := make([]byte, attr.Size)
+		if attr.Size > 0 {
+			if n, err := r.fs.ReadAt(e.Ino, buf, 0); err != nil || uint64(n) != attr.Size {
+				t.Fatalf("read %s: n=%d err=%v", e.Name, n, err)
+			}
+		}
+		s[e.Name] = string(buf)
+	}
+	return s
+}
+
+func statesEqual(a, b linearize.State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestModelMatchesRamFS grounds the checker's sequential specification in
+// the RamFS implementation: a long random sequential op stream must produce
+// identical outcomes and identical states in both, and a mid-stream
+// RamFS.Clone must stay frozen while the original diverges.
+func TestModelMatchesRamFS(t *testing.T) {
+	seed := linearize.Seed(1)
+	t.Logf("model-equivalence seed %d (replay with AERIE_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+	paths := []string{"f0", "f1", "f2", "f3", "f4"}
+	rfs := ramfsFlat{ramfs.New()}
+	state := linearize.State{}
+
+	var frozen *ramfs.FS
+	var frozenWant linearize.State
+
+	for i := 0; i < 4000; i++ {
+		p := paths[rng.Intn(len(paths))]
+		var op linearize.Op
+		switch rng.Intn(6) {
+		case 0:
+			op = linearize.Op{Kind: linearize.KPut, Path: p, Data: []byte{byte(i), byte(i >> 8), byte(rng.Intn(256))}}
+		case 1:
+			op = linearize.Op{Kind: linearize.KAppend, Path: p, Data: []byte{byte(rng.Intn(256))}}
+		case 2:
+			op = linearize.Op{Kind: linearize.KRead, Path: p}
+		case 3:
+			op = linearize.Op{Kind: linearize.KTruncate, Path: p, Size: int64(rng.Intn(12))}
+		case 4:
+			op = linearize.Op{Kind: linearize.KDelete, Path: p}
+		case 5:
+			q := paths[rng.Intn(len(paths))]
+			if q == p {
+				op = linearize.Op{Kind: linearize.KRead, Path: p}
+			} else {
+				op = linearize.Op{Kind: linearize.KRename, Path: p, Path2: q}
+			}
+		}
+		specOut, next := linearize.Apply(state, op)
+		ramOut := rfs.apply(op)
+		if specOut.Err != ramOut.Err || string(specOut.Data) != string(ramOut.Data) {
+			t.Fatalf("op %d %s: model says %s, ramfs says %s (seed %d)", i, op, specOut, ramOut, seed)
+		}
+		state = next
+		if i == 2000 {
+			frozen = rfs.fs.Clone()
+			frozenWant = state.Clone()
+		}
+	}
+	if !statesEqual(state, rfs.snapshot(t)) {
+		t.Fatalf("final model state diverged from ramfs (seed %d)", seed)
+	}
+	if !statesEqual(frozenWant, (ramfsFlat{frozen}).snapshot(t)) {
+		t.Fatalf("ramfs.Clone mutated by operations on the original (seed %d)", seed)
+	}
+}

@@ -1,0 +1,191 @@
+package linearize
+
+// Crash-prefix checking: the linearizability checker needs complete
+// invocation/response windows, which a SIGKILLed process cannot deliver —
+// its history dies with it. What survives is the volume, and for a client
+// whose operations apply in session order (libfs ships window batches in
+// sequence and a rejection discards the whole suffix) the surviving state
+// must be explained by some *prefix* of that client's script, with at most
+// the single frontier operation caught mid-application. When every client
+// writes only its own disjoint paths, the check decomposes per client and
+// "prefix-consistent linearization" reduces to: for each client there is an
+// i such that ops 0..i-1 fully applied, op i is absent or partially
+// applied, and nothing after i left a trace.
+//
+// The frontier op's partial states follow batch granularity (one logOps
+// call per batch at BatchLimit 1, LogOps sequences indivisible):
+//
+//	put       old value -> empty (O_TRUNC applied) -> growing prefix of the
+//	          new data (one staged extent per batch) -> new value
+//	append    old value -> old value + growing prefix of the appended data
+//	truncate  old value -> new value (copy-on-truncate ships as one
+//	          indivisible LogOps triple; no intermediate is legal)
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// CrashReport is CheckCrashPrefix's verdict for one client.
+type CrashReport struct {
+	// Ok is true when the observed state matches some script prefix.
+	Ok bool
+	// Prefix is the number of fully applied operations (valid when Ok).
+	Prefix int
+	// Partial is true when the frontier op left a legal intermediate state
+	// rather than nothing (valid when Ok).
+	Partial bool
+	// Detail explains a failure: for each candidate prefix length, the
+	// first path whose observed content the prefix cannot explain.
+	Detail string
+}
+
+// GenerateCrashScripts builds write-only scripts on disjoint per-client
+// namespaces (client k owns cfg.PathPrefix with "<k>/" spliced in, default
+// "/lz<k>/f00".."/lzk/fNN"). Each script opens by putting every one of the
+// client's paths, so later appends and truncates always land on existing
+// files and the model never needs an error branch; there are no reads,
+// barriers, deletes, or renames — nothing that needs a recorded outcome or
+// cross-client coordination to interpret after the process is gone.
+func GenerateCrashScripts(cfg GenConfig) [][]Op {
+	cfg.defaults()
+	scripts := make([][]Op, cfg.Clients)
+	for k := 0; k < cfg.Clients; k++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919))
+		nPaths := cfg.Paths / cfg.Clients
+		if nPaths < 2 {
+			nPaths = 2
+		}
+		paths := make([]string, nPaths)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("/lz%d/f%02d", k, i)
+		}
+		gen := 0
+		payload := func() []byte {
+			gen++
+			n := 8 + rng.Intn(cfg.MaxData)
+			b := make([]byte, n)
+			tag := fmt.Sprintf("c%d.g%d.", k, gen)
+			copy(b, tag)
+			for j := len(tag); j < n; j++ {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			return b
+		}
+		var script []Op
+		for _, p := range paths {
+			script = append(script, Op{Kind: KPut, Path: p, Data: payload()})
+		}
+		for len(script) < cfg.OpsPerClient {
+			p := paths[rng.Intn(len(paths))]
+			switch roll := rng.Intn(100); {
+			case roll < 40:
+				script = append(script, Op{Kind: KPut, Path: p, Data: payload()})
+			case roll < 75:
+				script = append(script, Op{Kind: KAppend, Path: p, Data: payload()})
+			default:
+				script = append(script, Op{Kind: KTruncate, Path: p, Size: int64(rng.Intn(cfg.MaxData))})
+			}
+		}
+		scripts[k] = script
+	}
+	return scripts
+}
+
+// CheckCrashPrefix decides whether observed — the contents of one client's
+// paths recovered from a crashed volume, absent paths omitted — is
+// explained by some prefix of the client's write-only script. Two passes:
+// the first replays the script through the sequential model, materializing
+// the state after every prefix; the second scans those prefixes for one
+// whose state matches observed exactly on every path the script touches,
+// allowing the single op at the frontier to have left a legal partial
+// state instead (see the granularity table in the package comment).
+func CheckCrashPrefix(script []Op, observed State) CrashReport {
+	// Pass 1: prefix states. states[i] is the model state after script[:i].
+	states := make([]State, len(script)+1)
+	states[0] = State{}
+	for i, op := range script {
+		out, ns := Apply(states[i], op)
+		if out.Err != OutOK {
+			return CrashReport{Detail: fmt.Sprintf(
+				"script is not self-contained: step %d %s fails on its own prefix (%s)", i, op, out.Err)}
+		}
+		states[i+1] = ns
+	}
+	paths := map[string]bool{}
+	for _, op := range script {
+		paths[op.Path] = true
+	}
+	for p := range observed {
+		if !paths[p] {
+			return CrashReport{Detail: fmt.Sprintf("surviving path %s is outside the script's namespace", p)}
+		}
+	}
+
+	// Pass 2: longest-first, so Prefix reports how far the client provably
+	// got, not merely the first match (an empty observed state matches
+	// prefix 0 trivially while the true explanation may be longer).
+	var why []string
+	for i := len(script); i >= 0; i-- {
+		mismatch, partial := matchPrefix(states, script, i, observed, paths)
+		if mismatch == "" {
+			return CrashReport{Ok: true, Prefix: i, Partial: partial}
+		}
+		if len(why) < 3 {
+			why = append(why, fmt.Sprintf("prefix %d: %s", i, mismatch))
+		}
+	}
+	return CrashReport{Detail: strings.Join(why, "; ")}
+}
+
+// matchPrefix tests observed against states[i], permitting script[i] (when
+// i < len(script)) to be partially applied on its path. Returns a
+// description of the first inexplicable path ("" on match) and whether the
+// match needed a partial frontier.
+func matchPrefix(states []State, script []Op, i int, observed State, paths map[string]bool) (string, bool) {
+	base := states[i]
+	partial := false
+	for p := range paths {
+		want, wantOK := base[p]
+		got, gotOK := observed[p]
+		if wantOK == gotOK && want == got {
+			continue
+		}
+		if i < len(script) && script[i].Path == p &&
+			frontierState(want, wantOK, script[i], got, gotOK) {
+			partial = true
+			continue
+		}
+		switch {
+		case !gotOK:
+			return fmt.Sprintf("%s missing (want %dB)", p, len(want)), false
+		case !wantOK:
+			return fmt.Sprintf("%s exists with %dB (want absent)", p, len(got)), false
+		default:
+			return fmt.Sprintf("%s has %dB, want %dB", p, len(got), len(want)), false
+		}
+	}
+	return "", partial
+}
+
+// frontierState reports whether got is a legal mid-application state of op
+// on a file whose pre-op content was prev (prevOK false when absent).
+func frontierState(prev string, prevOK bool, op Op, got string, gotOK bool) bool {
+	switch op.Kind {
+	case KPut:
+		// The O_TRUNC open publishes an empty file first, then each staged
+		// extent lands in its own batch: empty or any prefix of the data.
+		return gotOK && strings.HasPrefix(string(op.Data), got)
+	case KAppend:
+		if !gotOK || !prevOK {
+			return false
+		}
+		return strings.HasPrefix(got, prev) && strings.HasPrefix(string(op.Data), got[len(prev):])
+	case KTruncate:
+		// Copy-on-truncate ships one indivisible LogOps triple; the only
+		// states are before and after, both handled by exact prefix match.
+		return false
+	}
+	return false
+}

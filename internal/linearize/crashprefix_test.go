@@ -1,0 +1,154 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+)
+
+// replayPrefix materializes the model state after script[:n].
+func replayPrefix(t *testing.T, script []Op, n int) State {
+	t.Helper()
+	s := State{}
+	for _, op := range script[:n] {
+		out, ns := Apply(s, op)
+		if out.Err != OutOK {
+			t.Fatalf("replay %s: %s", op, out.Err)
+		}
+		s = ns
+	}
+	return s
+}
+
+func crashScript(t *testing.T) []Op {
+	t.Helper()
+	scripts := GenerateCrashScripts(GenConfig{Seed: 11, Clients: 2, OpsPerClient: 30})
+	script := scripts[1]
+	hasApp, hasTrunc := false, false
+	for _, op := range script {
+		hasApp = hasApp || op.Kind == KAppend
+		hasTrunc = hasTrunc || op.Kind == KTruncate
+	}
+	if !hasApp || !hasTrunc {
+		t.Fatal("generated crash script exercises too few op kinds")
+	}
+	return script
+}
+
+// Every exact prefix of a generated script must be accepted with the right
+// (or a longer, equally legal) prefix length.
+func TestCrashPrefixAcceptsEveryPrefix(t *testing.T) {
+	script := crashScript(t)
+	for n := 0; n <= len(script); n++ {
+		rep := CheckCrashPrefix(script, replayPrefix(t, script, n))
+		if !rep.Ok {
+			t.Fatalf("prefix %d rejected: %s", n, rep.Detail)
+		}
+		if rep.Prefix < n && !rep.Partial {
+			t.Fatalf("prefix %d explained as shorter prefix %d without a partial frontier", n, rep.Prefix)
+		}
+	}
+}
+
+// A frontier put may survive as an empty file or any prefix of its data; a
+// frontier append as the old value plus any prefix of the payload.
+func TestCrashPrefixAcceptsFrontierPartials(t *testing.T) {
+	script := crashScript(t)
+	for i, op := range script {
+		base := replayPrefix(t, script, i)
+		var mids []string
+		switch op.Kind {
+		case KPut:
+			mids = []string{"", string(op.Data[:1]), string(op.Data[:len(op.Data)/2])}
+		case KAppend:
+			prev := base[op.Path]
+			mids = []string{prev + string(op.Data[:1]), prev + string(op.Data[:len(op.Data)/2])}
+		default:
+			continue
+		}
+		for _, mid := range mids {
+			obs := base.Clone()
+			obs[op.Path] = mid
+			rep := CheckCrashPrefix(script, obs)
+			if !rep.Ok {
+				t.Fatalf("step %d %s: legal partial %dB rejected: %s", i, op, len(mid), rep.Detail)
+			}
+		}
+	}
+}
+
+// States no prefix can explain must be rejected: a hole (an early write
+// missing while later writes survive), a value from the future, bytes that
+// were never written, and a truncate caught halfway (its LogOps triple is
+// indivisible, so a half-truncated length is illegal).
+func TestCrashPrefixRejectsInconsistentStates(t *testing.T) {
+	script := crashScript(t)
+	full := replayPrefix(t, script, len(script))
+
+	hole := full.Clone()
+	delete(hole, script[0].Path)
+	if rep := CheckCrashPrefix(script, hole); rep.Ok {
+		t.Fatal("accepted a state with an early write missing under surviving later writes")
+	}
+
+	// A future value: the final content of a path grafted onto the state
+	// after only its first put. Generated payloads are globally unique, so
+	// this value provably comes from an unapplied suffix.
+	early := replayPrefix(t, script, 1)
+	fut := early.Clone()
+	p := script[0].Path
+	if full[p] == early[p] {
+		t.Skip("path ended at its initial value; seed choice degenerate")
+	}
+	fut[p] = full[p]
+	if rep := CheckCrashPrefix(script, fut); rep.Ok && rep.Prefix <= 1 {
+		t.Fatal("accepted a future value as a short prefix")
+	}
+
+	junk := full.Clone()
+	junk[p] = full[p] + "\x00garbage"
+	if rep := CheckCrashPrefix(script, junk); rep.Ok {
+		t.Fatal("accepted bytes that were never written")
+	}
+
+	// A half-applied truncate. Shortening a file is only provably illegal
+	// when another surviving write pins the prefix past every point where a
+	// put or append frontier could explain the short content — here g="Y"
+	// forces prefix >= 4, where f must be the full 8 bytes or the truncated
+	// 2, never 6.
+	tscript := []Op{
+		{Kind: KPut, Path: "/lz0/g", Data: []byte("X")},
+		{Kind: KPut, Path: "/lz0/f", Data: []byte("AAAA")},
+		{Kind: KAppend, Path: "/lz0/f", Data: []byte("BBBB")},
+		{Kind: KPut, Path: "/lz0/g", Data: []byte("Y")},
+		{Kind: KTruncate, Path: "/lz0/f", Size: 2},
+	}
+	for _, legal := range []string{"AAAABBBB", "AA"} {
+		if rep := CheckCrashPrefix(tscript, State{"/lz0/g": "Y", "/lz0/f": legal}); !rep.Ok {
+			t.Fatalf("legal truncate-adjacent state %q rejected: %s", legal, rep.Detail)
+		}
+	}
+	if rep := CheckCrashPrefix(tscript, State{"/lz0/g": "Y", "/lz0/f": "AAAABB"}); rep.Ok {
+		t.Fatal("accepted a half-applied truncate")
+	}
+}
+
+// Scripts stay inside their own namespace and every client's paths are
+// disjoint, which is what lets the sweep check clients independently.
+func TestCrashScriptsDisjoint(t *testing.T) {
+	scripts := GenerateCrashScripts(GenConfig{Seed: 3, Clients: 3, OpsPerClient: 20})
+	owner := map[string]int{}
+	for k, script := range scripts {
+		for _, op := range script {
+			if !strings.HasPrefix(op.Path, "/lz") {
+				t.Fatalf("client %d path %s outside the crash namespace", k, op.Path)
+			}
+			if prev, ok := owner[op.Path]; ok && prev != k {
+				t.Fatalf("path %s shared by clients %d and %d", op.Path, prev, k)
+			}
+			owner[op.Path] = k
+		}
+	}
+	if rep := CheckCrashPrefix(scripts[0], State{"/intruder": "x"}); rep.Ok {
+		t.Fatal("accepted a surviving path outside the script namespace")
+	}
+}

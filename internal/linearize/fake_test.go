@@ -1,0 +1,93 @@
+package linearize_test
+
+// An in-memory, coarsely-locked reference implementation of ClientFS. Each
+// operation is atomic under one mutex, so every history it produces is
+// linearizable by construction — the clean-run control for the checker
+// tests, and the honest substrate the mutation wrappers corrupt.
+
+import (
+	"sync"
+
+	"github.com/aerie-fs/aerie/internal/linearize"
+)
+
+type fakeStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{files: map[string][]byte{}} }
+
+// client returns a ClientFS handle onto the shared store. All handles see
+// the same files; the per-handle type exists so mutators can wrap a single
+// client without touching the others.
+func (s *fakeStore) client() linearize.ClientFS { return fakeClient{s} }
+
+type fakeClient struct{ s *fakeStore }
+
+func (c fakeClient) Put(path string, data []byte) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	c.s.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+func (c fakeClient) Append(path string, data []byte) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	v, ok := c.s.files[path]
+	if !ok {
+		return linearize.ErrNotExist
+	}
+	c.s.files[path] = append(append([]byte(nil), v...), data...)
+	return nil
+}
+
+func (c fakeClient) Read(path string) ([]byte, error) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	v, ok := c.s.files[path]
+	if !ok {
+		return nil, linearize.ErrNotExist
+	}
+	return append([]byte(nil), v...), nil
+}
+
+func (c fakeClient) Truncate(path string, size int64) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	v, ok := c.s.files[path]
+	if !ok {
+		return linearize.ErrNotExist
+	}
+	if size <= int64(len(v)) {
+		c.s.files[path] = append([]byte(nil), v[:size]...)
+	} else {
+		nv := make([]byte, size)
+		copy(nv, v)
+		c.s.files[path] = nv
+	}
+	return nil
+}
+
+func (c fakeClient) Delete(path string) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	if _, ok := c.s.files[path]; !ok {
+		return linearize.ErrNotExist
+	}
+	delete(c.s.files, path)
+	return nil
+}
+
+func (c fakeClient) Rename(src, dst string) error {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	v, ok := c.s.files[src]
+	if !ok {
+		return linearize.ErrNotExist
+	}
+	delete(c.s.files, src)
+	c.s.files[dst] = v
+	return nil
+}

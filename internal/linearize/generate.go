@@ -1,0 +1,131 @@
+package linearize
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes script generation.
+type GenConfig struct {
+	// Seed makes the scripts deterministic; replay a failed run by setting
+	// AERIE_SEED to the seed the failure logged (see Seed).
+	Seed int64
+	// Clients and OpsPerClient shape the workload (defaults 4 and 100).
+	Clients      int
+	OpsPerClient int
+	// Paths is the size of the shared path pool (default 2*Clients). A pool
+	// a little larger than the client count keeps contention real — several
+	// clients usually share a path — without collapsing every operation
+	// onto one object.
+	Paths int
+	// PathPrefix is prepended to every generated path (default "/lz/f").
+	PathPrefix string
+	// BarrierEvery inserts a rendezvous after every n operations (default
+	// 25, 0 disables). Barriers create hard real-time edges between the
+	// clients' windows: after a rendezvous every client provably observes
+	// the others' completed operations, which is exactly the ordering
+	// pressure that turns a sloppy implementation into a detectable
+	// violation instead of an always-permissible reordering.
+	BarrierEvery int
+	// Renames enables rename operations (they merge checker partitions, so
+	// heavy use makes the search work harder).
+	Renames bool
+	// NoDeletes drops delete (and rename-overwrite) operations from the
+	// mix, redistributing their share to puts and reads. The live Aerie
+	// harness sets this: TFS open-file tracking is client-local (pxfs sends
+	// NotifyOpen only for its own open files), so a cross-client delete can
+	// reclaim storage under a concurrent writer's open handle and reject
+	// its batch — a known gap, not a linearizability property this harness
+	// should entangle itself with.
+	NoDeletes bool
+	// MaxData bounds put/append payload sizes (default 48 bytes). Payloads
+	// carry a generation tag so every write to a path is distinct — a stale
+	// read can never accidentally match the current value.
+	MaxData int
+}
+
+func (c *GenConfig) defaults() {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 100
+	}
+	if c.Paths == 0 {
+		c.Paths = 2 * c.Clients
+	}
+	if c.PathPrefix == "" {
+		c.PathPrefix = "/lz/f"
+	}
+	if c.BarrierEvery == 0 {
+		c.BarrierEvery = 25
+	}
+	if c.MaxData == 0 {
+		c.MaxData = 48
+	}
+}
+
+// GenerateScripts builds one deterministic script per client over a shared
+// path pool. The mix favors puts and reads (the pair every mutation kind
+// perturbs) with appends, truncates, and deletes keeping the model's error
+// paths honest. All scripts carry the same barrier count by construction.
+func GenerateScripts(cfg GenConfig) [][]Op {
+	cfg.defaults()
+	paths := make([]string, cfg.Paths)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s%02d", cfg.PathPrefix, i)
+	}
+	scripts := make([][]Op, cfg.Clients)
+	for k := 0; k < cfg.Clients; k++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919))
+		var script []Op
+		gen := 0
+		payload := func(path string) []byte {
+			gen++
+			n := 8 + rng.Intn(cfg.MaxData)
+			b := make([]byte, n)
+			// Tag with client and generation so every written value is
+			// globally unique, then fill deterministically.
+			copy(b, fmt.Sprintf("c%d.g%d.", k, gen))
+			for j := len(fmt.Sprintf("c%d.g%d.", k, gen)); j < n; j++ {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			_ = path
+			return b
+		}
+		for i := 0; i < cfg.OpsPerClient; i++ {
+			p := paths[rng.Intn(len(paths))]
+			roll := rng.Intn(100)
+			switch {
+			case roll < 30:
+				script = append(script, Op{Kind: KPut, Path: p, Data: payload(p)})
+			case roll < 60:
+				script = append(script, Op{Kind: KRead, Path: p})
+			case roll < 75:
+				script = append(script, Op{Kind: KAppend, Path: p, Data: payload(p)})
+			case roll < 85:
+				script = append(script, Op{Kind: KTruncate, Path: p, Size: int64(rng.Intn(cfg.MaxData))})
+			case cfg.NoDeletes:
+				if roll < 93 {
+					script = append(script, Op{Kind: KPut, Path: p, Data: payload(p)})
+				} else {
+					script = append(script, Op{Kind: KRead, Path: p})
+				}
+			case roll < 95 || !cfg.Renames:
+				script = append(script, Op{Kind: KDelete, Path: p})
+			default:
+				q := paths[rng.Intn(len(paths))]
+				if q == p {
+					script = append(script, Op{Kind: KRead, Path: p})
+				} else {
+					script = append(script, Op{Kind: KRename, Path: p, Path2: q})
+				}
+			}
+			if cfg.BarrierEvery > 0 && (i+1)%cfg.BarrierEvery == 0 {
+				script = append(script, Op{Kind: KBarrier})
+			}
+		}
+		scripts[k] = script
+	}
+	return scripts
+}

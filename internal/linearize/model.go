@@ -1,0 +1,118 @@
+package linearize
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// State is the sequential specification state: path -> file contents. The
+// string-keyed flat map mirrors what the concurrent workload can observe
+// through whole-file operations; TestModelMatchesRamFS grounds its
+// semantics against the RamFS implementation under the simulated VFS, so
+// the checker's notion of "legal" is the same one the lockstep differential
+// harness already trusts.
+type State map[string]string
+
+// Clone returns an independent copy.
+func (s State) Clone() State {
+	ns := make(State, len(s))
+	for k, v := range s {
+		ns[k] = v
+	}
+	return ns
+}
+
+// Digest fingerprints the state for checker memoization. Two states with
+// equal digests are treated as identical search nodes; FNV-64a over the
+// sorted path=content pairs keeps collisions implausible at the state
+// counts a partition search visits.
+func (s State) Digest() uint64 {
+	paths := make([]string, 0, len(s))
+	for p := range s {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := fnv.New64a()
+	for _, p := range paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write([]byte(s[p]))
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+// Apply runs op against s and returns the specification outcome plus the
+// resulting state. s itself is never mutated: read-only ops return it
+// unchanged, mutating ops return a clone. Semantics:
+//
+//	put       always succeeds, creating or fully replacing the file
+//	append    noent when absent, else contents += data
+//	read      noent when absent, else returns the full contents
+//	truncate  noent when absent, else resize with zero-fill growth
+//	delete    noent when absent, else the file is gone
+//	rename    noent when source absent, else moves (replacing any target)
+func Apply(s State, op Op) (Outcome, State) {
+	switch op.Kind {
+	case KPut:
+		ns := s.Clone()
+		ns[op.Path] = string(op.Data)
+		return Outcome{}, ns
+	case KAppend:
+		v, ok := s[op.Path]
+		if !ok {
+			return Outcome{Err: OutNoEnt}, s
+		}
+		ns := s.Clone()
+		ns[op.Path] = v + string(op.Data)
+		return Outcome{}, ns
+	case KRead:
+		v, ok := s[op.Path]
+		if !ok {
+			return Outcome{Err: OutNoEnt}, s
+		}
+		return Outcome{Data: []byte(v)}, s
+	case KTruncate:
+		v, ok := s[op.Path]
+		if !ok {
+			return Outcome{Err: OutNoEnt}, s
+		}
+		ns := s.Clone()
+		if op.Size <= int64(len(v)) {
+			ns[op.Path] = v[:op.Size]
+		} else {
+			ns[op.Path] = v + string(make([]byte, op.Size-int64(len(v))))
+		}
+		return Outcome{}, ns
+	case KDelete:
+		if _, ok := s[op.Path]; !ok {
+			return Outcome{Err: OutNoEnt}, s
+		}
+		ns := s.Clone()
+		delete(ns, op.Path)
+		return Outcome{}, ns
+	case KRename:
+		v, ok := s[op.Path]
+		if !ok {
+			return Outcome{Err: OutNoEnt}, s
+		}
+		ns := s.Clone()
+		delete(ns, op.Path)
+		ns[op.Path2] = v
+		return Outcome{}, ns
+	}
+	return Outcome{Err: "badop"}, s
+}
+
+// outcomeMatch reports whether the specification outcome explains the
+// observed one. Errors compare by class; successful reads compare the full
+// returned bytes.
+func outcomeMatch(spec, obs Outcome) bool {
+	if spec.Err != obs.Err {
+		return false
+	}
+	if spec.Err != "" {
+		return true
+	}
+	return string(spec.Data) == string(obs.Data)
+}

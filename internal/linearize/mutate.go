@@ -1,0 +1,256 @@
+package linearize
+
+// Mutation layers: adversarial ClientFS wrappers (plus one post-hoc
+// history rewrite) that each inject a specific consistency violation the
+// checker must flag. They generalize the conformance harness's injected
+// off-by-one adapter (PR 3's shortAppend): where that proved the lockstep
+// differ detects a wrong final state, these prove the linearizability
+// checker detects wrong *orderings* — stale reads, lost and deferred
+// writes, duplicated applies, and windows rewritten to contradict real
+// time. A checker that cannot fail these is vacuous, whatever it says
+// about clean runs.
+
+// passthrough forwards every operation to the wrapped client. Mutators
+// embed it and override what they corrupt.
+type passthrough struct{ fs ClientFS }
+
+func (p passthrough) Put(path string, data []byte) error    { return p.fs.Put(path, data) }
+func (p passthrough) Append(path string, data []byte) error { return p.fs.Append(path, data) }
+func (p passthrough) Read(path string) ([]byte, error)      { return p.fs.Read(path) }
+func (p passthrough) Truncate(path string, size int64) error {
+	return p.fs.Truncate(path, size)
+}
+func (p passthrough) Delete(path string) error     { return p.fs.Delete(path) }
+func (p passthrough) Rename(src, dst string) error { return p.fs.Rename(src, dst) }
+
+// ---- mutation 1: stale read ----
+
+// StaleRead serves reads of one path from history instead of the system:
+// whenever at least two puts completed before the read invoked, it returns
+// the second-newest — a value every legal linearization has already
+// overwritten. Models a client that trusts a stale cache (exactly the bug
+// the name-cache flush-on-revocation discipline exists to prevent).
+type StaleRead struct {
+	passthrough
+	rec    *Recorder
+	path   string
+	invoke uint64
+	// Fired counts how many reads were served stale.
+	Fired int
+}
+
+// NewStaleRead wraps fs for one client; reads of path turn stale.
+func NewStaleRead(fs ClientFS, rec *Recorder, path string) *StaleRead {
+	return &StaleRead{passthrough: passthrough{fs}, rec: rec, path: path}
+}
+
+// ObserveInvoke implements InvokeObserver.
+func (m *StaleRead) ObserveInvoke(stamp uint64) { m.invoke = stamp }
+
+func (m *StaleRead) Read(path string) ([]byte, error) {
+	if path == m.path {
+		if puts := m.rec.CompletedPutsBefore(path, m.invoke); len(puts) >= 2 {
+			m.Fired++
+			return append([]byte(nil), puts[len(puts)-2]...), nil
+		}
+	}
+	return m.fs.Read(path)
+}
+
+// ---- mutation 2: lost write ----
+
+// LostWrite acknowledges one put without performing it: the nth put to
+// path returns success and touches nothing. Models an acknowledged update
+// that never shipped — a dropped batch the window protocol claimed retired.
+type LostWrite struct {
+	passthrough
+	path  string
+	n     int
+	seen  int
+	Fired bool
+}
+
+// NewLostWrite wraps fs; the nth (0-indexed) put to path is dropped.
+func NewLostWrite(fs ClientFS, path string, n int) *LostWrite {
+	return &LostWrite{passthrough: passthrough{fs}, path: path, n: n}
+}
+
+func (m *LostWrite) Put(path string, data []byte) error {
+	if path == m.path {
+		if m.seen == m.n {
+			m.seen++
+			m.Fired = true
+			return nil
+		}
+		m.seen++
+	}
+	return m.fs.Put(path, data)
+}
+
+// ---- mutation 3: deferred write (reordering) ----
+
+// DeferredWrite acknowledges one put immediately but applies it only when
+// the client's next operation arrives — sliding the write later than its
+// response window claims. Models an apply pipeline that retires a batch
+// before it is visible: unlike LostWrite the update does land, so only an
+// ordering-aware checker (not a final-state differ) can catch it.
+type DeferredWrite struct {
+	passthrough
+	path    string
+	n       int
+	seen    int
+	pending func() error
+	Fired   bool
+}
+
+// NewDeferredWrite wraps fs; the nth (0-indexed) put to path is deferred
+// until the client's next call.
+func NewDeferredWrite(fs ClientFS, path string, n int) *DeferredWrite {
+	return &DeferredWrite{passthrough: passthrough{fs}, path: path, n: n}
+}
+
+func (m *DeferredWrite) flush() error {
+	if m.pending == nil {
+		return nil
+	}
+	fn := m.pending
+	m.pending = nil
+	return fn()
+}
+
+func (m *DeferredWrite) Put(path string, data []byte) error {
+	if err := m.flush(); err != nil {
+		return err
+	}
+	if path == m.path {
+		if m.seen == m.n {
+			m.seen++
+			m.Fired = true
+			d := append([]byte(nil), data...)
+			m.pending = func() error { return m.fs.Put(path, d) }
+			return nil
+		}
+		m.seen++
+	}
+	return m.fs.Put(path, data)
+}
+
+func (m *DeferredWrite) Append(path string, data []byte) error {
+	if err := m.flush(); err != nil {
+		return err
+	}
+	return m.fs.Append(path, data)
+}
+
+func (m *DeferredWrite) Read(path string) ([]byte, error) {
+	if err := m.flush(); err != nil {
+		return nil, err
+	}
+	return m.fs.Read(path)
+}
+
+func (m *DeferredWrite) Truncate(path string, size int64) error {
+	if err := m.flush(); err != nil {
+		return err
+	}
+	return m.fs.Truncate(path, size)
+}
+
+func (m *DeferredWrite) Delete(path string) error {
+	if err := m.flush(); err != nil {
+		return err
+	}
+	return m.fs.Delete(path)
+}
+
+func (m *DeferredWrite) Rename(src, dst string) error {
+	if err := m.flush(); err != nil {
+		return err
+	}
+	return m.fs.Rename(src, dst)
+}
+
+// ---- mutation 4: duplicated append ----
+
+// DupAppend applies one append twice. Models a replayed batch: an apply
+// that is not idempotent across a retry. Detectable even single-client —
+// no sequential order explains contents holding the payload twice.
+type DupAppend struct {
+	passthrough
+	path  string
+	n     int
+	seen  int
+	Fired bool
+}
+
+// NewDupAppend wraps fs; the nth (0-indexed) append to path applies twice.
+func NewDupAppend(fs ClientFS, path string, n int) *DupAppend {
+	return &DupAppend{passthrough: passthrough{fs}, path: path, n: n}
+}
+
+func (m *DupAppend) Append(path string, data []byte) error {
+	if path == m.path {
+		if m.seen == m.n {
+			m.seen++
+			m.Fired = true
+			if err := m.fs.Append(path, data); err != nil {
+				return err
+			}
+			return m.fs.Append(path, data)
+		}
+		m.seen++
+	}
+	return m.fs.Append(path, data)
+}
+
+// ---- mutation 5: window reordering ----
+
+// MutateWindowReorder rewrites a recorded history so that some successful
+// read's window sits entirely before the put whose (unique) value it
+// observed — injecting a real-time contradiction after the fact. This is
+// the literal "injected reordering": the operations themselves are honest,
+// only their claimed windows lie, which is precisely the corruption a
+// broken recorder clock or a mis-stamped window protocol would produce.
+//
+// Returns the mutated history and true, or the input and false when no
+// (read, put) pair qualifies: the read's value must match exactly one put
+// (so nothing else in the history can explain the bytes) and the put must
+// precede the read in real time (so moving the read actually inverts an
+// edge). Existing stamps are scaled by 4 to open gaps; the read's new
+// window lands in the gap just below the put's invocation, keeping all
+// stamps unique.
+func MutateWindowReorder(h History) (History, bool) {
+	entries := append([]Entry(nil), h.Entries...)
+	for ri := range entries {
+		r := entries[ri]
+		if r.Op.Kind != KRead || r.Out.Err != OutOK || len(r.Out.Data) == 0 {
+			continue
+		}
+		match := -1
+		for pi := range entries {
+			p := entries[pi]
+			if p.Op.Kind == KPut && p.Op.Path == r.Op.Path && string(p.Op.Data) == string(r.Out.Data) {
+				if match >= 0 {
+					match = -2
+					break
+				}
+				match = pi
+			}
+		}
+		if match < 0 {
+			continue
+		}
+		p := entries[match]
+		if p.Return >= r.Invoke {
+			continue // concurrent or already inverted; moving it proves nothing
+		}
+		for i := range entries {
+			entries[i].Invoke *= 4
+			entries[i].Return *= 4
+		}
+		entries[ri].Invoke = entries[match].Invoke - 2
+		entries[ri].Return = entries[match].Invoke - 1
+		return History{Entries: entries}, true
+	}
+	return h, false
+}

@@ -1,0 +1,194 @@
+package linearize_test
+
+// Detection tests: each mutation kind gets a scripted scenario whose
+// barriers force the real-time edges that make the injected behavior
+// provably non-linearizable, plus a clean control run of the same script
+// that must pass. A checker that accepts any of these histories is broken.
+
+import (
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/linearize"
+)
+
+const mutPath = "/m/f"
+
+func bar() linearize.Op { return linearize.Op{Kind: linearize.KBarrier} }
+
+// runScripts executes the scripts and returns the checked result.
+func runScripts(t *testing.T, clients []linearize.ClientFS, scripts [][]linearize.Op) (linearize.History, linearize.Result) {
+	t.Helper()
+	rec := linearize.NewRecorder()
+	h, err := linearize.Run(rec, clients, scripts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	res := linearize.Check(h, linearize.CheckConfig{})
+	if !res.Decided {
+		t.Fatalf("checker undecided after %d nodes", res.Nodes)
+	}
+	return h, res
+}
+
+func requireViolation(t *testing.T, res linearize.Result, kind string) {
+	t.Helper()
+	if res.Ok {
+		t.Fatalf("%s: checker accepted a corrupted history", kind)
+	}
+	if res.Failure == nil {
+		t.Fatalf("%s: violation without failure report", kind)
+	}
+	t.Logf("%s detected:\n%s", kind, res.Failure)
+}
+
+func TestMutationStaleReadDetected(t *testing.T) {
+	// c0 writes v0 then v1 with a rendezvous after each; c1 reads only
+	// after the second rendezvous, so both puts completed before the read
+	// invoked. The mutator serves the overwritten v0.
+	scripts := [][]linearize.Op{
+		{put(mutPath, "v0-stale"), bar(), put(mutPath, "v1-fresh"), bar()},
+		{bar(), bar(), read(mutPath)},
+	}
+	store := newFakeStore()
+	if _, res := runScripts(t, []linearize.ClientFS{store.client(), store.client()}, scripts); !res.Ok {
+		t.Fatalf("clean control run flagged: %+v", res.Failure)
+	}
+
+	store = newFakeStore()
+	rec := linearize.NewRecorder()
+	mut := linearize.NewStaleRead(store.client(), rec, mutPath)
+	h, err := linearize.Run(rec, []linearize.ClientFS{store.client(), mut}, scripts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if mut.Fired == 0 {
+		t.Fatal("stale-read mutation never fired")
+	}
+	res := linearize.Check(h, linearize.CheckConfig{})
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	requireViolation(t, res, "stale read")
+}
+
+func TestMutationLostWriteDetected(t *testing.T) {
+	// The second put is acknowledged and dropped; c1 reads after the
+	// rendezvous and sees the first value, which real time forbids.
+	scripts := [][]linearize.Op{
+		{put(mutPath, "v0-kept"), bar(), put(mutPath, "v1-lost"), bar()},
+		{bar(), bar(), read(mutPath)},
+	}
+	store := newFakeStore()
+	if _, res := runScripts(t, []linearize.ClientFS{store.client(), store.client()}, scripts); !res.Ok {
+		t.Fatalf("clean control run flagged: %+v", res.Failure)
+	}
+
+	store = newFakeStore()
+	mut := linearize.NewLostWrite(store.client(), mutPath, 1)
+	rec := linearize.NewRecorder()
+	h, err := linearize.Run(rec, []linearize.ClientFS{mut, store.client()}, scripts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !mut.Fired {
+		t.Fatal("lost-write mutation never fired")
+	}
+	res := linearize.Check(h, linearize.CheckConfig{})
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	requireViolation(t, res, "lost write")
+}
+
+func TestMutationDeferredWriteDetected(t *testing.T) {
+	// The second put is acknowledged but applied only at c0's next call —
+	// after c1 already read between the rendezvous, observing the old
+	// value. Unlike a lost write the update does land (c0's trailing read
+	// sees it), so the final state is correct and only the ordering is
+	// wrong: a lockstep final-state differ cannot catch this one.
+	scripts := [][]linearize.Op{
+		{put(mutPath, "v0-old"), bar(), put(mutPath, "v1-deferred"), bar(), bar(), read(mutPath)},
+		{bar(), bar(), read(mutPath), bar()},
+	}
+	store := newFakeStore()
+	if _, res := runScripts(t, []linearize.ClientFS{store.client(), store.client()}, scripts); !res.Ok {
+		t.Fatalf("clean control run flagged: %+v", res.Failure)
+	}
+
+	store = newFakeStore()
+	mut := linearize.NewDeferredWrite(store.client(), mutPath, 1)
+	rec := linearize.NewRecorder()
+	h, err := linearize.Run(rec, []linearize.ClientFS{mut, store.client()}, scripts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !mut.Fired {
+		t.Fatal("deferred-write mutation never fired")
+	}
+	// The deferred update must actually have landed for this scenario to be
+	// a reordering rather than a loss.
+	if got, err := store.client().Read(mutPath); err != nil || string(got) != "v1-deferred" {
+		t.Fatalf("deferred put never applied: %q, %v", got, err)
+	}
+	res := linearize.Check(h, linearize.CheckConfig{})
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	requireViolation(t, res, "deferred write")
+}
+
+func TestMutationDupAppendDetected(t *testing.T) {
+	// Single client: put then append then read. The duplicated apply makes
+	// the contents hold the payload twice — no sequential order explains
+	// it, so this one is detectable without any concurrency at all.
+	scripts := [][]linearize.Op{{
+		put(mutPath, "base."),
+		{Kind: linearize.KAppend, Path: mutPath, Data: []byte("tail")},
+		read(mutPath),
+	}}
+	store := newFakeStore()
+	if _, res := runScripts(t, []linearize.ClientFS{store.client()}, scripts); !res.Ok {
+		t.Fatalf("clean control run flagged: %+v", res.Failure)
+	}
+
+	store = newFakeStore()
+	mut := linearize.NewDupAppend(store.client(), mutPath, 0)
+	rec := linearize.NewRecorder()
+	h, err := linearize.Run(rec, []linearize.ClientFS{mut}, scripts)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !mut.Fired {
+		t.Fatal("dup-append mutation never fired")
+	}
+	res := linearize.Check(h, linearize.CheckConfig{})
+	if !res.Decided {
+		t.Fatal("undecided")
+	}
+	requireViolation(t, res, "duplicated append")
+}
+
+func TestMutationWindowReorderDetected(t *testing.T) {
+	// An honest run whose history is then rewritten: the read's window is
+	// moved before the put whose unique value it observed. The original
+	// history must pass; the mutated one must fail.
+	scripts := [][]linearize.Op{{
+		put(mutPath, "first-value"),
+		put(mutPath, "second-value"),
+		read(mutPath),
+	}}
+	store := newFakeStore()
+	h, res := runScripts(t, []linearize.ClientFS{store.client()}, scripts)
+	if !res.Ok {
+		t.Fatalf("clean run flagged: %+v", res.Failure)
+	}
+	mutated, ok := linearize.MutateWindowReorder(h)
+	if !ok {
+		t.Fatal("no (read, put) pair qualified for window reordering")
+	}
+	mres := linearize.Check(mutated, linearize.CheckConfig{})
+	if !mres.Decided {
+		t.Fatal("undecided")
+	}
+	requireViolation(t, mres, "window reorder")
+}

@@ -1,0 +1,178 @@
+package linearize
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotExist is the canonical not-exist error. Live adapters translate
+// their implementation's error into this (or wrap it) so the runner can
+// classify outcomes without knowing whose file system it is driving.
+var ErrNotExist = errors.New("linearize: no such file")
+
+// ClientFS is one client's connection to the system under test. Methods
+// are whole operations — each call is invoked, performed, and responded
+// within a single recorded window. Implementations return ErrNotExist
+// (possibly wrapped) for missing paths; any other error is a harness
+// failure, not an observation, and aborts the run.
+type ClientFS interface {
+	Put(path string, data []byte) error
+	Append(path string, data []byte) error
+	Read(path string) ([]byte, error)
+	Truncate(path string, size int64) error
+	Delete(path string) error
+	Rename(src, dst string) error
+}
+
+// InvokeObserver is an optional ClientFS extension: the runner tells the
+// wrapper the invocation stamp of the operation it is about to receive.
+// Each client executes its script in a single goroutine, so a per-client
+// wrapper sees ObserveInvoke and the operation call strictly in order.
+// Mutation layers use the stamp to constrain themselves to provably
+// illegal behavior (see CompletedPutsBefore).
+type InvokeObserver interface {
+	ObserveInvoke(stamp uint64)
+}
+
+// classify maps a ClientFS error onto a canonical outcome class. The bool
+// is false for errors outside the model's vocabulary.
+func classify(err error) (string, bool) {
+	switch {
+	case err == nil:
+		return OutOK, true
+	case errors.Is(err, ErrNotExist):
+		return OutNoEnt, true
+	}
+	return "", false
+}
+
+// barrier is a reusable rendezvous for n parties.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Run drives one script per client concurrently, recording every operation
+// window into rec. clients[k] executes scripts[k] in order; KBarrier steps
+// rendezvous all clients (and are not recorded). All scripts must contain
+// the same number of barriers, or the rendezvous would deadlock — Run
+// validates this up front. Returns the recorded history; the error is
+// non-nil if any client hit an error outside the model's vocabulary.
+func Run(rec *Recorder, clients []ClientFS, scripts [][]Op) (History, error) {
+	if len(clients) != len(scripts) {
+		return History{}, fmt.Errorf("linearize: %d clients for %d scripts", len(clients), len(scripts))
+	}
+	nb := -1
+	for k, script := range scripts {
+		c := 0
+		for _, op := range script {
+			if op.Kind == KBarrier {
+				c++
+			}
+		}
+		if nb == -1 {
+			nb = c
+		} else if c != nb {
+			return History{}, fmt.Errorf("linearize: client %d has %d barriers, client 0 has %d", k, c, nb)
+		}
+	}
+	bar := newBarrier(len(clients))
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for k := range clients {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			errs[k] = runClient(rec, bar, clients[k], k, scripts[k])
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			return rec.History(), fmt.Errorf("client %d: %w", k, err)
+		}
+	}
+	return rec.History(), nil
+}
+
+func runClient(rec *Recorder, bar *barrier, fs ClientFS, k int, script []Op) error {
+	// On an early error the client must keep showing up at the remaining
+	// rendezvous points, or every other client would block forever.
+	drainFrom := func(step int) {
+		for _, op := range script[step:] {
+			if op.Kind == KBarrier {
+				bar.wait()
+			}
+		}
+	}
+	for step, op := range script {
+		if op.Kind == KBarrier {
+			bar.wait()
+			continue
+		}
+		p := rec.Invoke(k, step, op)
+		if obs, ok := fs.(InvokeObserver); ok {
+			obs.ObserveInvoke(p.InvokeStamp())
+		}
+		var data []byte
+		var err error
+		switch op.Kind {
+		case KPut:
+			err = fs.Put(op.Path, op.Data)
+		case KAppend:
+			err = fs.Append(op.Path, op.Data)
+		case KRead:
+			data, err = fs.Read(op.Path)
+		case KTruncate:
+			err = fs.Truncate(op.Path, op.Size)
+		case KDelete:
+			err = fs.Delete(op.Path)
+		case KRename:
+			err = fs.Rename(op.Path, op.Path2)
+		default:
+			p.Done(Outcome{Err: "harness"})
+			drainFrom(step + 1)
+			return fmt.Errorf("step %d: unknown op kind %v", step, op.Kind)
+		}
+		class, known := classify(err)
+		if !known {
+			// Still record the window closure so other clients' histories
+			// stay well-formed, then surface the harness failure.
+			p.Done(Outcome{Err: "harness"})
+			drainFrom(step + 1)
+			return fmt.Errorf("step %d %s: %w", step, op, err)
+		}
+		out := Outcome{Err: class}
+		if op.Kind == KRead && class == OutOK {
+			out.Data = data
+		}
+		p.Done(out)
+	}
+	return nil
+}

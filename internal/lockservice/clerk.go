@@ -54,6 +54,7 @@ type entry struct {
 	hier     bool
 	dead     bool // removed from the clerk; retry lookup
 	dropping bool // a teardown is in progress
+	fetching bool // a global acquire RPC is in flight
 
 	readers  int // local shared holds (S, IS, IX)
 	writer   bool
@@ -174,23 +175,53 @@ func (c *Clerk) tryAcquire(id uint64, class Class, hier bool) (bool, error) {
 		}
 		return false, nil
 	}
+	// Wait out a concurrent global fetch so a second caller merges into the
+	// first grant instead of racing a redundant RPC against it.
+	for e.fetching {
+		e.cond.Wait()
+		if e.dead {
+			return false, nil
+		}
+		if e.revoke {
+			for !e.dead {
+				e.cond.Wait()
+			}
+			return false, nil
+		}
+	}
 	if !e.has || !covers(e.class, class) || (hier && !e.hier) {
 		want := class
 		if e.has {
 			want = merge(e.class, class)
 		}
-		w := wire.NewWriter(16)
-		w.U64(id)
-		w.U8(uint8(want))
-		w.Bool(hier || e.hier)
-		c.GlobalCalls++
-		c.obsGlobalCalls.Inc()
-		if _, err := c.rc.Call(MethodAcquire, w.Bytes()); err != nil {
-			return false, fmt.Errorf("clerk: acquire %#x %v: %w", id, class, err)
+		wantHier := hier || e.hier
+		// The RPC must not run under e.mu: the service delivers revocation
+		// callbacks synchronously on a waiter's goroutine (in-process
+		// transport), and HandleCallback needs e.mu. Holding it across the
+		// call deadlocks two clients that upgrade the same lock concurrently
+		// — each blocked in Acquire waiting for the other's release, each
+		// revoke blocked on the e.mu the other's acquire holds.
+		rpcErr := c.callAcquire(e, id, want, wantHier)
+		if rpcErr != nil {
+			return false, fmt.Errorf("clerk: acquire %#x %v: %w", id, class, rpcErr)
+		}
+		if e.dead || e.dropping {
+			// A revocation tore the entry down while the acquire was in
+			// flight: the teardown released whatever grant it knew about, so
+			// the grant this call just won is untracked. Surrender it and
+			// restart against a fresh entry.
+			c.callSurrender(e, id)
+			return false, nil
 		}
 		e.has = true
 		e.class = want
-		e.hier = e.hier || hier
+		e.hier = e.hier || wantHier
+		if e.revoke {
+			// Revoked while acquiring. The entry now records the grant, so
+			// the pending teardown flushes and releases it; admit nobody.
+			e.cond.Broadcast()
+			return false, nil
+		}
 	} else {
 		c.LocalHits++
 		c.obsLocalHits.Inc()
@@ -217,6 +248,44 @@ func (c *Clerk) tryAcquire(id uint64, class Class, hier bool) (bool, error) {
 	e.lastUse = time.Now()
 	c.tracer.EnterResource(lockResource(id), traceMode(class))
 	return true, nil
+}
+
+// callAcquire ships the global acquire RPC with e.mu released: the service
+// delivers revocation callbacks synchronously on a waiter's goroutine
+// (in-process transport), and HandleCallback needs e.mu — holding it across
+// the call deadlocks two clients that upgrade the same lock concurrently.
+// e.fetching bars other would-be fetchers meanwhile so they merge into this
+// grant instead of racing redundant RPCs. The deferred relock also runs when
+// the transport panics (fault-injected crashes unwind through here), keeping
+// tryAcquire's own deferred unlock balanced.
+func (c *Clerk) callAcquire(e *entry, id uint64, want Class, wantHier bool) error {
+	e.fetching = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.fetching = false
+		e.cond.Broadcast()
+	}()
+	w := wire.NewWriter(16)
+	w.U64(id)
+	w.U8(uint8(want))
+	w.Bool(wantHier)
+	c.GlobalCalls++
+	c.obsGlobalCalls.Inc()
+	_, err := c.rc.Call(MethodAcquire, w.Bytes())
+	return err
+}
+
+// callSurrender gives back a grant won by an acquire that raced a teardown
+// (the entry died while the RPC was in flight, so the grant is untracked).
+// Same discipline as callAcquire: e.mu is released around the RPC and
+// re-taken even on a fault-injected panic.
+func (c *Clerk) callSurrender(e *entry, id uint64) {
+	e.mu.Unlock()
+	defer e.mu.Lock()
+	w := wire.NewWriter(8)
+	w.U64(id)
+	_, _ = c.rc.Call(MethodRelease, w.Bytes())
 }
 
 // Release ends a local hold taken by Acquire with the same class. The

@@ -366,12 +366,21 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 			s.obsContended.Inc()
 		}
 		st.waiters = append(st.waiters, waiter)
+		if s.cfg.Revoke != nil {
+			// Count while still under s.mu; the callbacks below must run
+			// unlocked (they re-enter clerk state), and bare counter
+			// increments out there race between dispatch goroutines.
+			for _, holder := range conflicts {
+				if holder != 0 {
+					s.Revocations++
+					s.obsRevocations.Inc()
+				}
+			}
+		}
 		s.mu.Unlock()
 		s.fireExpiry(expired)
 		for _, holder := range conflicts {
 			if holder != 0 && s.cfg.Revoke != nil {
-				s.Revocations++
-				s.obsRevocations.Inc()
 				s.cfg.Revoke(holder, id, want)
 			}
 		}

@@ -37,6 +37,30 @@ func New() *FS {
 // Root implements vfs.FileSystem.
 func (fs *FS) Root() vfs.Ino { return 1 }
 
+// Clone returns a deep, fully independent copy of the file system. The
+// linearize model-equivalence tests snapshot RamFS mid-sequence with this
+// to prove divergent continuations stay independent — the same property
+// the checker's copy-on-write State relies on.
+func (fs *FS) Clone() *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	cp := &FS{nodes: make(map[vfs.Ino]*node, len(fs.nodes)), next: fs.next}
+	for ino, n := range fs.nodes {
+		nn := &node{attr: n.attr}
+		if n.data != nil {
+			nn.data = append([]byte(nil), n.data...)
+		}
+		if n.children != nil {
+			nn.children = make(map[string]vfs.Ino, len(n.children))
+			for name, c := range n.children {
+				nn.children[name] = c
+			}
+		}
+		cp.nodes[ino] = nn
+	}
+	return cp
+}
+
 func (fs *FS) dir(ino vfs.Ino) (*node, error) {
 	n := fs.nodes[ino]
 	if n == nil {
