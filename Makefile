@@ -12,13 +12,16 @@
 # points, and the pipelined differential conformance trace; tier2-linearize
 # runs the concurrent linearizability tier — the clean 8-client checker
 # run, the injected-violation detections, and the kill -9 crash-prefix
-# sweep under the randomized concurrent workload.
+# sweep under the randomized concurrent workload; tier2-shard runs the
+# sharded trusted set's tier — multi-shard conformance with the
+# cross-shard-rename-biased generator under -race, and the kill -9 sweep
+# over every ordinal of the 2PC protocol's crash windows.
 
 TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockservice ./internal/alloc
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist tier2-linearize bench-readpath bench-writepath bench-recovery fuzz-short
+.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist tier2-linearize tier2-shard bench-readpath bench-writepath bench-recovery bench-shard fuzz-short
 
 all: tier1
 
@@ -40,6 +43,7 @@ fuzz-short:
 	go test -fuzz='^FuzzDecodeOps$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzDecodeReplies$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzSeqHeader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
+	go test -fuzz='^FuzzShardHeader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzWriterReaderRoundTrip$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzSplitPath$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pxfs
@@ -85,6 +89,17 @@ tier2-linearize:
 	go test -race -count=1 -timeout 10m -run 'TestConcurrent' -v ./internal/conformance
 	go test -count=1 -timeout 10m -run 'TestLinearCrashPrefixSweep' -v ./internal/crashsweep
 
+# Sharding tier: the multi-shard machine's unit tests, the sharded
+# concurrent conformance runs (4-shard and 2-shard, scripts biased toward
+# cross-shard renames, Wing-Gong linearizability check) under -race, and
+# the real-process kill -9 sweep at every ordinal of the three 2PC crash
+# windows (tfs.2pc.prepare must abort, tfs.2pc.commit and tfs.2pc.resolve
+# must complete — exactly one outcome, asserted per victim transaction).
+tier2-shard:
+	go test -race -count=1 -run 'TestSharded|TestStatfsReplyShardRows' ./internal/core ./internal/fsproto
+	go test -race -count=1 -timeout 10m -run 'TestConcurrentSharded|TestConcurrentTwoShard' -v ./internal/conformance
+	AERIE_2PCSWEEP_FULL=1 go test -count=1 -timeout 10m -run 'TestShard2PCKill9Sweep' -v ./internal/crashsweep
+
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .
 
@@ -93,3 +108,6 @@ bench-writepath:
 
 bench-recovery:
 	go test -run xxx -bench BenchmarkRecovery -benchtime 1x .
+
+bench-shard:
+	go test -run xxx -bench BenchmarkShardScale -benchtime 1x .

@@ -1,0 +1,127 @@
+// Shard-scaling benchmark for the partitioned trusted service. A real
+// single-threaded Fileserver run on PXFS records per-op phase traces
+// (local compute plus intervals holding locks and TFS service time); the
+// event-driven simulator then replays 64–1024 client processes against
+// {1, 2, 4, 8} TFS shards — each client in its own directory, each shard
+// its own service point, a thread's "tfs" phases routed to its home shard
+// exactly as namespace placement routes a client's working directory. The
+// single service saturates once ~TFSThreads clients keep it busy; the
+// benchmark asserts the sharded sets move that ceiling up monotonically
+// (1 -> 2 -> 4 shards at 256+ clients) rather than just reporting it.
+// BENCH_shard.json records a snapshot; `make bench-shard` reproduces it.
+package aerie_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/core"
+	"github.com/aerie-fs/aerie/internal/costmodel"
+	"github.com/aerie-fs/aerie/internal/experiments"
+	"github.com/aerie-fs/aerie/internal/filebench"
+	"github.com/aerie-fs/aerie/internal/libfs"
+	"github.com/aerie-fs/aerie/internal/pxfs"
+)
+
+// shardBenchTrace captures the Fileserver phase trace the simulation
+// replays: a warmup pass populates pools, lock caches, and the name cache,
+// then a traced pass records steady state.
+func shardBenchTrace(b *testing.B) []costmodel.OpTrace {
+	b.Helper()
+	tracer := costmodel.NewTracer()
+	sys, err := core.New(core.Options{
+		ArenaSize:      256 << 20,
+		Costs:          costmodel.DefaultCosts(),
+		AcquireTimeout: 60 * time.Second,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := sys.NewSession(libfs.Config{UID: 1000, BatchLimit: 256 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := filebench.PXFSAdapter{FS: pxfs.New(sess, pxfs.Options{NameCache: true})}
+	p := filebench.Fileserver(0.05)
+	if err := filebench.Setup(fs, p); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := filebench.Run(fs, p, filebench.RunOpts{Iterations: 40, Seed: 99}); err != nil {
+		b.Fatal(err)
+	}
+	tracer.Reset()
+	if _, err := filebench.Run(fs, p, filebench.RunOpts{Iterations: 40, Tracer: tracer}); err != nil {
+		b.Fatal(err)
+	}
+	return tracer.Ops()
+}
+
+// BenchmarkShardScale runs the (clients, shards) grid and asserts the
+// scaling shape. Run with -benchtime 1x: the simulation is deterministic
+// virtual time, so one pass is the measurement. The reported table is the
+// 64–1024-client range; a few sub-64 loads are simulated too, because the
+// knee of every curve (the load where the service saturates) sits below 64
+// at one shard and must be shown to move right as shards are added.
+func BenchmarkShardScale(b *testing.B) {
+	trace := shardBenchTrace(b)
+	kneeCounts := []int{4, 8, 16, 32}
+	clientCounts := []int{64, 128, 256, 512, 1024}
+	shardCounts := []int{1, 2, 4, 8}
+	allCounts := append(append([]int{}, kneeCounts...), clientCounts...)
+	for i := 0; i < b.N; i++ {
+		tput := make(map[[2]int]float64)
+		for _, shards := range shardCounts {
+			for _, clients := range allCounts {
+				r := experiments.ShardScalePoint(trace, clients, shards)
+				tput[[2]int{shards, clients}] = r.Throughput
+			}
+			for _, clients := range clientCounts {
+				b.ReportMetric(tput[[2]int{shards, clients}], fmt.Sprintf("ops/s-s%d-c%d", shards, clients))
+			}
+			row := fmt.Sprintf("shards=%d:", shards)
+			for _, clients := range allCounts {
+				row += fmt.Sprintf(" %d=%.0f", clients, tput[[2]int{shards, clients}])
+			}
+			b.Log(row)
+		}
+		// The acceptance shape, part 1: with the service saturated (256+
+		// clients), doubling shards from 1 to 2 and 2 to 4 must each buy a
+		// real multiplier, not just noise.
+		for _, clients := range []int{256, 512, 1024} {
+			t1 := tput[[2]int{1, clients}]
+			t2 := tput[[2]int{2, clients}]
+			t4 := tput[[2]int{4, clients}]
+			if t2 < 1.5*t1 {
+				b.Fatalf("%d clients: 2 shards %.0f ops/s, want >= 1.5x the 1-shard %.0f", clients, t2, t1)
+			}
+			if t4 < 1.5*t2 {
+				b.Fatalf("%d clients: 4 shards %.0f ops/s, want >= 1.5x the 2-shard %.0f", clients, t4, t2)
+			}
+		}
+		// Part 2: the knee moves right. knee(k) is the smallest load whose
+		// throughput reaches 90% of curve k's ceiling; more shards must
+		// keep absorbing offered load past the point where one shard (six
+		// service threads) has flattened.
+		knee := func(shards int) int {
+			var max float64
+			for _, clients := range allCounts {
+				if t := tput[[2]int{shards, clients}]; t > max {
+					max = t
+				}
+			}
+			for _, clients := range allCounts {
+				if tput[[2]int{shards, clients}] >= 0.9*max {
+					return clients
+				}
+			}
+			return allCounts[len(allCounts)-1]
+		}
+		k1, k4, k8 := knee(1), knee(4), knee(8)
+		b.Logf("knee: 1 shard at %d clients, 4 shards at %d, 8 shards at %d", k1, k4, k8)
+		if k4 <= k1 || k8 <= k1 {
+			b.Fatalf("knee never moved right: 1 shard saturates at %d clients, 4 shards at %d, 8 shards at %d", k1, k4, k8)
+		}
+	}
+}

@@ -10,8 +10,8 @@
 //	aerie-bench -breakdown                      # per-layer latency attribution
 //	aerie-bench -breakdown -json                # same, machine-readable
 //
-// Experiments: fig1, table1, table2, table3, fig5, fig6, mprotect,
-// batchsweep, breakdown, all.
+// Experiments: fig1, table1, table2, table3, fig5, fig6, shardscale,
+// mprotect, batchsweep, breakdown, all.
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "which experiment to run (fig1|table1|table2|table3|fig5|fig6|mprotect|batchsweep|breakdown|all)")
+		exp       = flag.String("experiment", "all", "which experiment to run (fig1|table1|table2|table3|fig5|fig6|shardscale|mprotect|batchsweep|breakdown|all)")
 		scale     = flag.Float64("scale", 0.05, "working-set scale relative to the paper (1.0 = full size)")
 		iters     = flag.Int("iters", 0, "iterations per measurement (0 = per-experiment default)")
 		nocal     = flag.Bool("no-costs", false, "disable injected hardware cost calibration")
@@ -66,11 +66,12 @@ func main() {
 		"table3":     experiments.Table3,
 		"fig5":       experiments.Figure5,
 		"fig6":       experiments.Figure6,
+		"shardscale": experiments.ShardScale,
 		"mprotect":   experiments.MProtect,
 		"batchsweep": experiments.BatchSweep,
 		"breakdown":  experiments.Breakdown,
 	}
-	order := []string{"fig1", "table1", "table2", "table3", "fig5", "fig6", "mprotect", "batchsweep", "breakdown"}
+	order := []string{"fig1", "table1", "table2", "table3", "fig5", "fig6", "shardscale", "mprotect", "batchsweep", "breakdown"}
 
 	run := func(name string) {
 		fn, ok := all[name]

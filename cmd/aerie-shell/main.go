@@ -3,10 +3,13 @@
 // commands (ls, cat, write, mkdir, rm, mv, stat, chmod) go through PXFS,
 // and key-value commands (put, get, erase, keys) go through FlatFS —
 // demonstrating §6.2's one-layout-two-interfaces design interactively.
+// With -shards N the trusted service is partitioned N ways; df then adds a
+// per-shard accounting row and stats carries tfs.shard.<i>.* counters.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -16,8 +19,10 @@ import (
 )
 
 func main() {
+	shards := flag.Int("shards", 1, "trusted-service shards (df and stats then show per-shard rows)")
+	flag.Parse()
 	sink := aerie.NewObs()
-	sys, err := aerie.New(aerie.Options{ArenaSize: 256 << 20, Obs: sink})
+	sys, err := aerie.New(aerie.Options{ArenaSize: 256 << 20, Shards: *shards, Obs: sink})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -198,6 +203,13 @@ Other:         df | sync | stats [reset] | help | quit
 		used := st.TotalBytes - st.FreeBytes - st.ReservedBytes
 		fmt.Printf("total %d  used %d  free %d  reserved %d  objects %d  batches %d\n",
 			st.TotalBytes, used, st.FreeBytes, st.ReservedBytes, st.Objects, st.BatchesApplied)
+		// On a sharded volume the aggregate above hides placement; one row
+		// per shard shows which partitions the namespace actually landed in.
+		for i, sh := range st.Shards {
+			shUsed := sh.TotalBytes - sh.FreeBytes - sh.ReservedBytes
+			fmt.Printf("shard %d: total %d  used %d  free %d  reserved %d  objects %d  batches %d\n",
+				i, sh.TotalBytes, shUsed, sh.FreeBytes, sh.ReservedBytes, sh.Objects, sh.BatchesApplied)
+		}
 		return nil
 	case "sync":
 		return px.Sync()

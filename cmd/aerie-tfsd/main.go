@@ -7,6 +7,11 @@
 // itself; in this reproduction the arena lives in the server process, so
 // aerie-tfsd is primarily a demonstration of the RPC surface and a target
 // for protocol-level tooling.
+//
+// -shards N partitions the trusted service N ways on new volumes (existing
+// volumes keep the count recorded in their partition table); the SIGUSR1
+// stats dump then includes a per-shard accounting table alongside the
+// per-shard tfs.shard.<i>.* counters.
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		addr   = flag.String("listen", "127.0.0.1:7368", "TCP listen address")
 		arena  = flag.Uint64("arena-mb", 256, "SCM arena size in MiB (new volumes)")
 		volume = flag.String("volume", "", "mmap-backed volume file; created if missing, recovered if present")
+		shards = flag.Int("shards", 1, "trusted-service shards for new volumes (existing volumes keep their count)")
 	)
 	flag.Parse()
 
@@ -50,11 +56,17 @@ func main() {
 				} else {
 					fmt.Printf("aerie-tfsd: %s opened clean (generation %d)\n", *volume, sys.Vol.Generation())
 				}
+				// Shard count lives in the partition table; the flag only
+				// sizes new volumes.
+				if got := sys.Set.Shards(); *shards != 1 && got != *shards {
+					fmt.Printf("aerie-tfsd: volume has %d shard(s); ignoring -shards %d\n", got, *shards)
+				}
 			}
 		} else {
 			sys, err = core.New(core.Options{
 				ArenaSize:  *arena << 20,
 				VolumePath: *volume,
+				Shards:     *shards,
 				Costs:      costmodel.DefaultCosts(),
 				Obs:        sink,
 				Logf:       logf,
@@ -70,6 +82,7 @@ func main() {
 	} else {
 		sys, err = core.New(core.Options{
 			ArenaSize: *arena << 20,
+			Shards:    *shards,
 			Costs:     costmodel.DefaultCosts(),
 			Obs:       sink,
 			Logf:      logf,
@@ -84,23 +97,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("aerie-tfsd: %d MiB volume, root %v, serving on %s\n",
-		*arena, sys.TFS.Root(), ln.Addr())
+	fmt.Printf("aerie-tfsd: %d MiB volume, %d shard(s), root %v, serving on %s\n",
+		*arena, sys.Set.Shards(), sys.TFS.Root(), ln.Addr())
 	fmt.Printf("free space: %d bytes\n", sys.TFS.FreeBytes())
 	fmt.Println("SIGUSR1 dumps per-layer stats; SIGINT exits (with a final dump)")
 
+	dump := func() {
+		_ = sink.Snapshot().WriteText(os.Stdout)
+		dumpShards(sys)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGUSR1)
 	for s := range sig {
 		if s == syscall.SIGUSR1 {
 			fmt.Println("---- stats ----")
-			_ = sink.Snapshot().WriteText(os.Stdout)
+			dump()
 			continue
 		}
 		break
 	}
 	fmt.Println("\nshutting down; final stats:")
-	_ = sink.Snapshot().WriteText(os.Stdout)
+	dump()
 	_ = ln.Close()
 	// Clean close: msync everything and clear the volume's dirty flag, so
 	// the next -volume start skips recovery. A kill -9 lands here never —
@@ -108,5 +125,26 @@ func main() {
 	if err := sys.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "aerie-tfsd: close: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// dumpShards prints one accounting row per trusted-service shard: its
+// partition's share of the heap, what it has applied, and how many of the
+// namespace's objects it owns. On a 1-shard volume the table is a single
+// row identical to the aggregate, so it is skipped.
+func dumpShards(sys *core.System) {
+	if sys.Set.Shards() <= 1 {
+		return
+	}
+	rep, err := sys.Set.Statfs()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aerie-tfsd: shard statfs: %v\n", err)
+		return
+	}
+	fmt.Println("---- shards ----")
+	fmt.Printf("%-6s %12s %12s %12s %10s %8s\n", "shard", "total", "free", "reserved", "batches", "objects")
+	for i, s := range rep.Shards {
+		fmt.Printf("%-6d %12d %12d %12d %10d %8d\n",
+			i, s.TotalBytes, s.FreeBytes, s.ReservedBytes, s.BatchesApplied, s.Objects)
 	}
 }

@@ -24,6 +24,14 @@ import (
 type Options struct {
 	// ArenaSize is the emulated SCM size (default 256 MiB).
 	ArenaSize uint64
+	// Shards partitions the trusted service: the volume is split into this
+	// many equal partitions, each run by its own TFS shard (own journal,
+	// allocator, group-commit leader, lock domain), with deterministic
+	// placement routing every object to its shard and cross-shard renames
+	// running as two-phase transactions. Default 1 — the classic
+	// single-service machine. Open ignores this and rediscovers the shard
+	// count from the partition table.
+	Shards int
 	// TrackPersistence enables crash simulation (slower; tests only).
 	// Incompatible with VolumePath: the mapped file is the persistent image.
 	TrackPersistence bool
@@ -67,13 +75,16 @@ type Options struct {
 // tfsUID is the trusted service's identity; it owns the partition.
 const tfsUID = 0
 
-// System is a running Aerie machine.
+// System is a running Aerie machine. TFS and Part name shard 0 — the whole
+// service on a single-shard machine; Set and Parts hold the full shard set.
 type System struct {
 	Mem   *scm.Memory
 	Mgr   *scmmgr.Manager
 	Srv   *rpc.Server
 	TFS   *tfs.Service
+	Set   *tfs.ShardSet
 	Part  scmmgr.PartitionID
+	Parts []scmmgr.PartitionID
 	Costs *costmodel.Costs
 
 	// Vol is the mmap-backed volume when the arena is persistent, nil when
@@ -151,21 +162,29 @@ func New(opts Options) (*System, error) {
 	}
 	sys.Mgr = mgr
 	sys.proc = scmmgr.NewProcess(tfsUID)
-	// One large partition for the volume: the whole arena minus the
-	// manager region (first-fit finds the gap).
+	// The volume is the whole arena minus the manager region (first-fit
+	// finds the gap), split into one equal partition per shard.
 	region := opts.ArenaSize / 64
 	if region < 64*1024 {
 		region = 64 * 1024
 	}
-	partSize := opts.ArenaSize - region - (opts.ArenaSize / 32) // slack for rounding
-	part, err := mgr.CreatePartition(partSize, tfsUID)
-	if err != nil {
-		return fail(err)
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
 	}
-	sys.Part = part
-	if err := tfs.FormatVolume(mgr, sys.proc, part, sys.tfsConfig()); err != nil {
-		return fail(err)
+	partSize := (opts.ArenaSize - region - (opts.ArenaSize / 32)) / uint64(shards) // slack for rounding
+	partSize = partSize / scm.PageSize * scm.PageSize
+	for i := 0; i < shards; i++ {
+		part, err := mgr.CreatePartition(partSize, tfsUID)
+		if err != nil {
+			return fail(err)
+		}
+		sys.Parts = append(sys.Parts, part)
+		if err := tfs.FormatVolume(mgr, sys.proc, part, sys.tfsConfig()); err != nil {
+			return fail(err)
+		}
 	}
+	sys.Part = sys.Parts[0]
 	if err := sys.serve(); err != nil {
 		return fail(err)
 	}
@@ -217,17 +236,18 @@ func Open(path string, opts Options) (*System, error) {
 		vol.Close()
 		return nil, fmt.Errorf("%w: %s: partition table: %v", scm.ErrBadVolume, path, err)
 	}
-	found := false
+	// Every TFS-owned partition is a shard; slot order is creation order,
+	// which fixes the shard numbering across restarts.
 	for _, p := range parts {
 		if p.Owner == tfsUID {
-			sys.Part, found = p.ID, true
-			break
+			sys.Parts = append(sys.Parts, p.ID)
 		}
 	}
-	if !found {
+	if len(sys.Parts) == 0 {
 		vol.Close()
 		return nil, fmt.Errorf("%w: %s: no TFS partition", scm.ErrBadVolume, path)
 	}
+	sys.Part = sys.Parts[0]
 	t2 := time.Now()
 	if err := sys.serve(); err != nil {
 		vol.Close()
@@ -275,11 +295,12 @@ func (sys *System) serve() error {
 	if sys.opts.Obs != nil {
 		sys.Srv.SetObs(sys.opts.Obs)
 	}
-	svc, err := tfs.Serve(sys.Srv, sys.Mgr, sys.proc, sys.Part, sys.tfsConfig())
+	set, err := tfs.ServeShards(sys.Srv, sys.Mgr, sys.proc, sys.Parts, sys.tfsConfig())
 	if err != nil {
 		return err
 	}
-	sys.TFS = svc
+	sys.Set = set
+	sys.TFS = set.Shard(0)
 	return nil
 }
 

@@ -1,0 +1,178 @@
+//go:build linux
+
+package crashsweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Child/parent protocol mirrors procsweep_test.go: the parent re-executes
+// the test binary running only TestShard2PCChild, parameterized through
+// environment variables; the child either completes (exit 0) or dies by
+// the armed SIGKILL inside a cross-shard transaction.
+const (
+	env2PCChild = "AERIE_2PCSWEEP_CHILD"
+	env2PCVol   = "AERIE_2PCSWEEP_VOL"
+	env2PCPoint = "AERIE_2PCSWEEP_POINT"
+	env2PCOrd   = "AERIE_2PCSWEEP_ORD"
+	// AERIE_2PCSWEEP_FULL=1 (the tier2-shard CI job) kills at every
+	// transaction ordinal instead of a sample.
+	env2PCFull = "AERIE_2PCSWEEP_FULL"
+)
+
+// shard2PCPoints are the protocol's crash windows, in order: after every
+// prepare is durable (recovery must abort), after the coordinator's fenced
+// commit (recovery must complete), and after the coordinator applied but
+// before the participants resolve (recovery must complete).
+var shard2PCPoints = []string{
+	"tfs.2pc.prepare",
+	"tfs.2pc.commit",
+	"tfs.2pc.resolve",
+}
+
+func TestShard2PCChild(t *testing.T) {
+	if os.Getenv(env2PCChild) != "1" {
+		t.Skip("child entry point; driven by TestShard2PCKill9Sweep")
+	}
+	ord, _ := strconv.ParseUint(os.Getenv(env2PCOrd), 10, 64)
+	counts, err := RunShard2PCChild(Shard2PCConfig{
+		VolumePath: os.Getenv(env2PCVol),
+		Point:      os.Getenv(env2PCPoint),
+		Ordinal:    ord,
+	})
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	for _, p := range points {
+		fmt.Printf("2pcsweep-count %s %d\n", p, counts[p])
+	}
+}
+
+func run2PCChild(t *testing.T, vol, point string, ord uint64) (killed bool, out string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, exe, "-test.run=^TestShard2PCChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		env2PCChild+"=1",
+		env2PCVol+"="+vol,
+		env2PCPoint+"="+point,
+		env2PCOrd+"="+strconv.FormatUint(ord, 10),
+	)
+	outB, runErr := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("child hung (point %s@%d)", point, ord)
+	}
+	if runErr != nil {
+		var ee *exec.ExitError
+		if errors.As(runErr, &ee) {
+			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+				if ws.Signal() != syscall.SIGKILL {
+					t.Fatalf("child died of %v, want SIGKILL (point %s@%d)", ws.Signal(), point, ord)
+				}
+				return true, string(outB)
+			}
+		}
+		t.Fatalf("child failed (point %s@%d): %v\n%s", point, ord, runErr, outB)
+	}
+	return false, string(outB)
+}
+
+func parse2PCCounts(out string) map[string]uint64 {
+	counts := map[string]uint64{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 3 && fields[0] == "2pcsweep-count" {
+			if n, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+				counts[fields[1]] = n
+			}
+		}
+	}
+	return counts
+}
+
+// TestShard2PCKill9Sweep is the sharding PR's crash-consistency acceptance
+// test: a child is kill -9'd inside a cross-shard rename at each 2PC crash
+// window, and the reopened volume must show the orphaned prepare resolved
+// to exactly one outcome — abort before the coordinator's fenced commit,
+// completion after it — with both shards' namespaces intact around it.
+func TestShard2PCKill9Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	full := os.Getenv(env2PCFull) == "1"
+	maxOrdinals := 2
+	if full {
+		maxOrdinals = 0 // sampleOrdinals: every ordinal
+	}
+
+	dir := t.TempDir()
+	cfg := Shard2PCConfig{}
+	cfg.defaults()
+
+	// Fault-free baseline in a real child: proves the sharded workload runs
+	// clean on a volume and enumerates each point's hit count. A single
+	// sequential client makes the counts (and so every armed ordinal's
+	// victim transaction) deterministic.
+	baseVol := filepath.Join(dir, "baseline2pc.aerie")
+	killed, out := run2PCChild(t, baseVol, "", 0)
+	if killed {
+		t.Fatal("baseline child was killed with no kill armed")
+	}
+	counts := parse2PCCounts(out)
+	for _, point := range shard2PCPoints {
+		if counts[point] != uint64(cfg.Steps) {
+			t.Fatalf("baseline hit %s %d times, want %d (one per cross-shard rename):\n%s",
+				point, counts[point], cfg.Steps, out)
+		}
+	}
+
+	runs, kills := 0, 0
+	for _, point := range shard2PCPoints {
+		for _, ord := range sampleOrdinals(counts[point], maxOrdinals) {
+			runs++
+			vol := filepath.Join(dir, fmt.Sprintf("kill2pc-%s-%d.aerie",
+				strings.ReplaceAll(point, ".", "_"), ord))
+			killed, _ := run2PCChild(t, vol, point, ord)
+			if !killed {
+				// Deterministic single-client ordinals: a drift here means
+				// the arming is broken, not scheduler noise.
+				t.Errorf("%s@%d: child completed, kill never fired", point, ord)
+				continue
+			}
+			kills++
+			fails, err := VerifyShard2PCVolume(vol, cfg.Steps, point, ord)
+			if err != nil {
+				t.Errorf("%s@%d: reopening the corpse's volume: %v", point, ord, err)
+				continue
+			}
+			for _, f := range fails {
+				t.Errorf("%s@%d: %s", point, ord, f)
+			}
+		}
+	}
+	t.Logf("2pc sweep: %d runs, %d kills verified", runs, kills)
+	if kills == 0 {
+		t.Fatal("no child was ever killed: the sweep verified nothing")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/lockservice"
 	"github.com/aerie-fs/aerie/internal/obs"
+	"github.com/aerie-fs/aerie/internal/shard"
 	"github.com/aerie-fs/aerie/internal/sobj"
 )
 
@@ -103,8 +104,34 @@ func (fs *FS) observe(op string, h *obs.Histogram, t0 time.Time) {
 // Session returns the underlying libFS session.
 func (fs *FS) Session() *libfs.Session { return fs.s }
 
-// Namespace returns the flat collection's OID.
+// Namespace returns the flat collection's OID (shard 0's on a sharded
+// volume; see nsFor).
 func (fs *FS) Namespace() sobj.OID { return fs.ns }
+
+// nsFor returns the namespace collection holding key. On a sharded volume
+// using the default (root) namespace, keys hash across the shards' root
+// collections — every operation on a key is then a single-shard batch on
+// that key's shard, and independent keys on different shards contend on
+// nothing at all. A custom namespace lives on one shard and is used as-is.
+func (fs *FS) nsFor(key []byte) sobj.OID {
+	if n := fs.s.Shards(); n > 1 && fs.opts.Namespace == fs.s.Root {
+		return fs.s.ShardRoot(shard.Bucket(key, n))
+	}
+	return fs.ns
+}
+
+// namespaces lists every collection this instance stores keys in.
+func (fs *FS) namespaces() []sobj.OID {
+	n := fs.s.Shards()
+	if n <= 1 || fs.opts.Namespace != fs.s.Root {
+		return []sobj.OID{fs.ns}
+	}
+	out := make([]sobj.OID, n)
+	for i := range out {
+		out[i] = fs.s.ShardRoot(i)
+	}
+	return out
+}
 
 func checkKey(key string) error {
 	if key == "" || len(key) > sobj.MaxKeyLen {
@@ -117,19 +144,19 @@ func checkKey(key string) error {
 // collection intent-write lock plus the key's bucket lock in write mode;
 // when the table is near a rehash, the whole-collection write lock
 // (hierarchical, so it covers the files too).
-func (fs *FS) lockWrite(key []byte) (cover uint64, keyArg []byte, unlock func(), err error) {
+func (fs *FS) lockWrite(ns sobj.OID, key []byte) (cover uint64, keyArg []byte, unlock func(), err error) {
 	// The grow check and bucket-lock derivation walk the live table; with a
 	// pipelined window our own earlier batches may be mid-apply into it.
 	fs.s.ReadBarrier()
-	col, err := sobj.OpenCollection(fs.s.Mem, fs.ns)
+	col, err := sobj.OpenCollection(fs.s.Mem, ns)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	grow, err := col.NeedsGrow(fs.opts.GrowHeadroom + uint32(fs.s.StagedInserts(fs.ns)))
+	grow, err := col.NeedsGrow(fs.opts.GrowHeadroom + uint32(fs.s.StagedInserts(ns)))
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	nsLock := fs.ns.Lock()
+	nsLock := ns.Lock()
 	if grow {
 		fs.Escalations++
 		if err := fs.s.Clerk.Acquire(nsLock, lockservice.X, true); err != nil {
@@ -165,12 +192,13 @@ func (fs *FS) Put(key string, data []byte) error {
 		return err
 	}
 	kb := []byte(key)
-	cover, keyArg, unlock, err := fs.lockWrite(kb)
+	ns := fs.nsFor(kb)
+	cover, keyArg, unlock, err := fs.lockWrite(ns, kb)
 	if err != nil {
 		return err
 	}
 	defer unlock()
-	oid, found, err := fs.s.DirLookup(fs.ns, kb)
+	oid, found, err := fs.s.DirLookup(ns, kb)
 	if err != nil {
 		return err
 	}
@@ -187,7 +215,9 @@ func (fs *FS) Put(key string, data []byte) error {
 	if capacity < 64 {
 		capacity = 64
 	}
-	oid, err = fs.s.CreateMFileSingleStaged(fs.opts.Perm, capacity)
+	// The file is staged on its namespace's shard, so the create+write+
+	// insert triple stays a single-shard batch.
+	oid, err = fs.s.CreateMFileSingleStagedOn(fs.s.ShardOf(ns), fs.opts.Perm, capacity)
 	if err != nil {
 		return err
 	}
@@ -197,9 +227,9 @@ func (fs *FS) Put(key string, data []byte) error {
 		}
 	}
 	if keyArg != nil {
-		return fs.s.DirInsertFlat(fs.ns, kb, oid, cover)
+		return fs.s.DirInsertFlat(ns, kb, oid, cover)
 	}
-	return fs.s.DirInsert(fs.ns, kb, oid, cover)
+	return fs.s.DirInsert(ns, kb, oid, cover)
 }
 
 // Get returns the contents stored under key as a fresh buffer. Prefer
@@ -219,13 +249,14 @@ func (fs *FS) GetInto(key string, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	kb := []byte(key)
-	nsLock := fs.ns.Lock()
+	ns := fs.nsFor(kb)
+	nsLock := ns.Lock()
 	if err := fs.s.Clerk.Acquire(nsLock, lockservice.IS, false); err != nil {
 		return nil, err
 	}
 	defer fs.s.Clerk.Release(nsLock, lockservice.IS)
 	fs.s.ReadBarrier() // bucket derivation reads the live table
-	col, err := sobj.OpenCollection(fs.s.Mem, fs.ns)
+	col, err := sobj.OpenCollection(fs.s.Mem, ns)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +268,7 @@ func (fs *FS) GetInto(key string, buf []byte) ([]byte, error) {
 		return nil, err
 	}
 	defer fs.s.Clerk.Release(bl, lockservice.S)
-	oid, found, err := fs.s.DirLookup(fs.ns, kb)
+	oid, found, err := fs.s.DirLookup(ns, kb)
 	if err != nil {
 		return nil, err
 	}
@@ -265,12 +296,13 @@ func (fs *FS) Erase(key string) error {
 		return err
 	}
 	kb := []byte(key)
-	cover, keyArg, unlock, err := fs.lockWrite(kb)
+	ns := fs.nsFor(kb)
+	cover, keyArg, unlock, err := fs.lockWrite(ns, kb)
 	if err != nil {
 		return err
 	}
 	defer unlock()
-	_, found, err := fs.s.DirLookup(fs.ns, kb)
+	victim, found, err := fs.s.DirLookup(ns, kb)
 	if err != nil {
 		return err
 	}
@@ -278,9 +310,9 @@ func (fs *FS) Erase(key string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	if keyArg != nil {
-		return fs.s.DirRemoveFlat(fs.ns, kb, cover)
+		return fs.s.DirRemoveFlat(ns, kb, cover, victim)
 	}
-	return fs.s.DirRemove(fs.ns, kb, cover)
+	return fs.s.DirRemove(ns, kb, cover, victim)
 }
 
 // Has reports whether key exists.
@@ -288,23 +320,27 @@ func (fs *FS) Has(key string) (bool, error) {
 	if err := checkKey(key); err != nil {
 		return false, err
 	}
-	_, found, err := fs.s.DirLookup(fs.ns, []byte(key))
+	kb := []byte(key)
+	_, found, err := fs.s.DirLookup(fs.nsFor(kb), kb)
 	return found, err
 }
 
-// Keys lists all keys (whole-namespace read lock).
+// Keys lists all keys (whole-namespace read lock, per shard namespace).
 func (fs *FS) Keys() ([]string, error) {
-	nsLock := fs.ns.Lock()
-	if err := fs.s.Clerk.Acquire(nsLock, lockservice.S, false); err != nil {
-		return nil, err
-	}
-	defer fs.s.Clerk.Release(nsLock, lockservice.S)
 	var keys []string
-	if err := fs.s.DirIterate(fs.ns, func(key []byte, _ sobj.OID) error {
-		keys = append(keys, string(key))
-		return nil
-	}); err != nil {
-		return nil, err
+	for _, ns := range fs.namespaces() {
+		nsLock := ns.Lock()
+		if err := fs.s.Clerk.Acquire(nsLock, lockservice.S, false); err != nil {
+			return nil, err
+		}
+		err := fs.s.DirIterate(ns, func(key []byte, _ sobj.OID) error {
+			keys = append(keys, string(key))
+			return nil
+		})
+		fs.s.Clerk.Release(nsLock, lockservice.S)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return keys, nil
 }
@@ -313,11 +349,13 @@ func (fs *FS) Keys() ([]string, error) {
 // staged inserts).
 func (fs *FS) Count() (int, error) {
 	n := 0
-	if err := fs.s.DirIterate(fs.ns, func([]byte, sobj.OID) error {
-		n++
-		return nil
-	}); err != nil {
-		return 0, err
+	for _, ns := range fs.namespaces() {
+		if err := fs.s.DirIterate(ns, func([]byte, sobj.OID) error {
+			n++
+			return nil
+		}); err != nil {
+			return 0, err
+		}
 	}
 	return n, nil
 }

@@ -29,6 +29,12 @@ var (
 	// it as confirmation of a discard it already performed, never as an
 	// independent failure.
 	ErrWindowStale = errors.New("fsproto: stale window batch")
+	// ErrWrongShard rejects a shard-addressed request whose target shard
+	// does not own every object in it, or whose routing epoch is stale. The
+	// RemoteError's RetryAfterMs carries a packed (owning shard, current
+	// routing epoch) hint — see WrongShardHint — so the client re-resolves
+	// its shard table and re-routes instead of blind-retrying.
+	ErrWrongShard = errors.New("fsproto: wrong shard")
 )
 
 // Stable wire codes for the exhaustion errors. Codes are protocol constants
@@ -38,6 +44,7 @@ const (
 	CodeBatchTooLarge uint32 = 2
 	CodeBusy          uint32 = 3
 	CodeWindowStale   uint32 = 4
+	CodeWrongShard    uint32 = 5
 )
 
 func init() {
@@ -45,10 +52,55 @@ func init() {
 	rpc.RegisterErrorCode(CodeBatchTooLarge, ErrBatchTooLarge)
 	rpc.RegisterErrorCode(CodeBusy, ErrBusy)
 	rpc.RegisterErrorCode(CodeWindowStale, ErrWindowStale)
+	rpc.RegisterErrorCode(CodeWrongShard, ErrWrongShard)
 }
 
 // IsExhaustion reports whether err is one of the typed resource-exhaustion
 // outcomes (possibly after an RPC round trip).
 func IsExhaustion(err error) bool {
 	return errors.Is(err, ErrNoSpace) || errors.Is(err, ErrBatchTooLarge) || errors.Is(err, ErrBusy)
+}
+
+// WrongShardError is the service-side form of ErrWrongShard: it names the
+// shard that actually owns the misrouted object (or the coordinator shard
+// for a misrouted transaction) and the service's current routing epoch.
+//
+// The RPC layer flattens handler errors to a RemoteError, so the structured
+// fields cannot cross the wire as a type; they ride the RetryAfterMs hint
+// channel instead (the only structured side-channel a RemoteError carries),
+// packed as epoch<<8 | shard. WrongShardHint unpacks them client-side.
+type WrongShardError struct {
+	Shard uint32 // owning shard (modulo wrongShardMask)
+	Epoch uint32 // current routing epoch (modulo wrongShardMask width)
+}
+
+const wrongShardBits = 8 // shard field width in the packed hint
+
+func (e *WrongShardError) Error() string {
+	return ErrWrongShard.Error()
+}
+
+func (e *WrongShardError) Unwrap() error { return ErrWrongShard }
+
+// RetryAfterMs packs (epoch, shard) into the RemoteError hint channel.
+func (e *WrongShardError) RetryAfterMs() uint32 {
+	return e.Epoch<<wrongShardBits | (e.Shard & (1<<wrongShardBits - 1))
+}
+
+// WrongShardHint extracts the (shard, epoch) routing hint from an
+// ErrWrongShard that crossed the RPC boundary. ok is false when err is not
+// a wrong-shard outcome.
+func WrongShardHint(err error) (shard, epoch uint32, ok bool) {
+	if !errors.Is(err, ErrWrongShard) {
+		return 0, 0, false
+	}
+	var re *rpc.RemoteError
+	if errors.As(err, &re) {
+		return re.RetryAfterMs & (1<<wrongShardBits - 1), re.RetryAfterMs >> wrongShardBits, true
+	}
+	var we *WrongShardError
+	if errors.As(err, &we) {
+		return we.Shard, we.Epoch, true
+	}
+	return 0, 0, true
 }

@@ -35,7 +35,65 @@ const (
 	// that arrive concurrently and fail any batch sequenced after a
 	// rejected one (the client discards that suffix anyway).
 	MethodApplyLogSeq = 0x20A
+	// MethodApplyLogShard is ApplyLogSeq with a shard-routing header
+	// (ShardHeader) prefixed to the seq-framed payload: multi-shard volumes
+	// address each windowed batch to the namespace shard that owns every
+	// object in it. A batch addressed to the wrong shard (or stamped with a
+	// stale routing epoch) fails with ErrWrongShard carrying the current
+	// (shard, epoch) hint so the client re-resolves.
+	MethodApplyLogShard = 0x20B
+	// MethodPreallocShard is Prealloc with a ShardHeader prefix: extents
+	// must come from the allocator partition of the shard that will own the
+	// objects built in them.
+	MethodPreallocShard = 0x20C
+	// MethodTxApply submits one op group whose objects span multiple shards
+	// as a cross-shard two-phase mini-transaction. The header names the
+	// coordinator shard (lowest participating shard ID); the payload is the
+	// plain EncodeOps batch. The call is synchronous: on return the
+	// transaction is applied on every participant or rejected on all.
+	MethodTxApply = 0x20D
 )
+
+// ShardHeader is the routing prefix of shard-addressed methods.
+type ShardHeader struct {
+	// Shard is the target namespace shard.
+	Shard uint32
+	// Epoch is the client's routing epoch (the generation of the shard
+	// table it resolved at mount). The service rejects stale epochs with
+	// ErrWrongShard so clients re-resolve after reconfiguration.
+	Epoch uint32
+}
+
+// ShardHeaderLen is the encoded size of a ShardHeader prefix.
+const ShardHeaderLen = 8
+
+// EncodeShardFramed prefixes an inner payload with the routing header.
+func EncodeShardFramed(h ShardHeader, inner []byte) []byte {
+	out := make([]byte, ShardHeaderLen+len(inner))
+	out[0] = byte(h.Shard)
+	out[1] = byte(h.Shard >> 8)
+	out[2] = byte(h.Shard >> 16)
+	out[3] = byte(h.Shard >> 24)
+	out[4] = byte(h.Epoch)
+	out[5] = byte(h.Epoch >> 8)
+	out[6] = byte(h.Epoch >> 16)
+	out[7] = byte(h.Epoch >> 24)
+	copy(out[ShardHeaderLen:], inner)
+	return out
+}
+
+// DecodeShardFramed splits a shard-addressed payload into the routing
+// header and the inner payload.
+func DecodeShardFramed(p []byte) (ShardHeader, []byte, error) {
+	if len(p) < ShardHeaderLen {
+		return ShardHeader{}, nil, fmt.Errorf("fsproto: short shard-framed payload (%d bytes)", len(p))
+	}
+	h := ShardHeader{
+		Shard: uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24,
+		Epoch: uint32(p[4]) | uint32(p[5])<<8 | uint32(p[6])<<16 | uint32(p[7])<<24,
+	}
+	return h, p[ShardHeaderLen:], nil
+}
 
 // SeqHeader is the decoded completion-window header of a MethodApplyLogSeq
 // payload.
@@ -203,23 +261,49 @@ func EncodeOps(ops []Op) []byte {
 	return w.Bytes()
 }
 
-// MountReply is the response to MethodMount.
-type MountReply struct {
+// ShardInfo describes one namespace shard in a MountReply: its root
+// collection, its allocator partition (the client mounts every shard's
+// partition and routes by address range), and the heap span that partition
+// manages.
+type ShardInfo struct {
 	Root      sobj.OID
 	HeapStart uint64
 	HeapSize  uint64
 	Partition uint32
-	VolumeGID uint32
+}
+
+// MountReply is the response to MethodMount. Root/HeapStart/HeapSize/
+// Partition describe shard 0 (the only shard on unsharded volumes, and the
+// pinned PXFS root shard otherwise); Shards lists every shard in shard-ID
+// order, and RoutingEpoch stamps the table's generation for ErrWrongShard
+// re-resolution.
+type MountReply struct {
+	Root         sobj.OID
+	HeapStart    uint64
+	HeapSize     uint64
+	Partition    uint32
+	VolumeGID    uint32
+	RoutingEpoch uint32
+	Shards       []ShardInfo
 }
 
 // EncodeMountReply serializes r.
 func EncodeMountReply(m *MountReply) []byte {
-	w := wire.NewWriter(48)
+	w := wire.NewWriter(64 + 32*len(m.Shards))
 	w.U64(uint64(m.Root))
 	w.U64(m.HeapStart)
 	w.U64(m.HeapSize)
 	w.U32(m.Partition)
 	w.U32(m.VolumeGID)
+	w.U32(m.RoutingEpoch)
+	w.U32(uint32(len(m.Shards)))
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		w.U64(uint64(s.Root))
+		w.U64(s.HeapStart)
+		w.U64(s.HeapSize)
+		w.U32(s.Partition)
+	}
 	return w.Bytes()
 }
 
@@ -232,30 +316,68 @@ func DecodeMountReply(p []byte) (MountReply, error) {
 	m.HeapSize = r.U64()
 	m.Partition = r.U32()
 	m.VolumeGID = r.U32()
+	m.RoutingEpoch = r.U32()
+	n := r.U32()
+	if r.Err() != nil {
+		return MountReply{}, r.Err()
+	}
+	if n > 1024 {
+		return MountReply{}, fmt.Errorf("fsproto: implausible shard count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var s ShardInfo
+		s.Root = sobj.OID(r.U64())
+		s.HeapStart = r.U64()
+		s.HeapSize = r.U64()
+		s.Partition = r.U32()
+		m.Shards = append(m.Shards, s)
+	}
 	if err := r.Finish(); err != nil {
 		return MountReply{}, err
 	}
 	return m, nil
 }
 
+// ShardStat is one shard's row in a StatfsReply: its partition's share of
+// the aggregate space and object accounting.
+type ShardStat struct {
+	TotalBytes     uint64
+	FreeBytes      uint64
+	ReservedBytes  uint64
+	Objects        uint64
+	BatchesApplied uint64
+}
+
 // StatfsReply is the response to MethodStatfs: volume-wide space and object
-// accounting, including bytes held by open admission reservations.
+// accounting, including bytes held by open admission reservations. On
+// sharded volumes the top-level fields aggregate across shards and Shards
+// carries the per-shard rows in shard-ID order.
 type StatfsReply struct {
 	TotalBytes     uint64 // managed heap size
 	FreeBytes      uint64 // allocatable now (excludes reserved)
 	ReservedBytes  uint64 // held by in-flight batch reservations
 	Objects        uint64 // objects reachable from the root namespace
 	BatchesApplied uint64
+	Shards         []ShardStat
 }
 
 // EncodeStatfsReply serializes r.
 func EncodeStatfsReply(m *StatfsReply) []byte {
-	w := wire.NewWriter(40)
+	w := wire.NewWriter(48 + 40*len(m.Shards))
 	w.U64(m.TotalBytes)
 	w.U64(m.FreeBytes)
 	w.U64(m.ReservedBytes)
 	w.U64(m.Objects)
 	w.U64(m.BatchesApplied)
+	w.U32(uint32(len(m.Shards)))
+	for i := range m.Shards {
+		s := &m.Shards[i]
+		w.U64(s.TotalBytes)
+		w.U64(s.FreeBytes)
+		w.U64(s.ReservedBytes)
+		w.U64(s.Objects)
+		w.U64(s.BatchesApplied)
+	}
 	return w.Bytes()
 }
 
@@ -268,6 +390,22 @@ func DecodeStatfsReply(p []byte) (StatfsReply, error) {
 	m.ReservedBytes = r.U64()
 	m.Objects = r.U64()
 	m.BatchesApplied = r.U64()
+	n := r.U32()
+	if r.Err() != nil {
+		return StatfsReply{}, r.Err()
+	}
+	if n > 1024 {
+		return StatfsReply{}, fmt.Errorf("fsproto: implausible shard count %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var s ShardStat
+		s.TotalBytes = r.U64()
+		s.FreeBytes = r.U64()
+		s.ReservedBytes = r.U64()
+		s.Objects = r.U64()
+		s.BatchesApplied = r.U64()
+		m.Shards = append(m.Shards, s)
+	}
 	if err := r.Finish(); err != nil {
 		return StatfsReply{}, err
 	}

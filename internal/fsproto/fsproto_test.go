@@ -2,6 +2,7 @@ package fsproto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -54,12 +55,29 @@ func TestDecodeRejectsBadOps(t *testing.T) {
 }
 
 func TestMountReplyRoundTrip(t *testing.T) {
-	m := MountReply{Root: 0x4001, HeapStart: 1 << 20, HeapSize: 7 << 20, Partition: 2, VolumeGID: 100}
+	m := MountReply{Root: 0x4001, HeapStart: 1 << 20, HeapSize: 7 << 20, Partition: 2, VolumeGID: 100,
+		RoutingEpoch: 1, Shards: []ShardInfo{
+			{Root: 0x4001, HeapStart: 1 << 20, HeapSize: 7 << 20, Partition: 2},
+			{Root: 0x9001, HeapStart: 9 << 20, HeapSize: 7 << 20, Partition: 3},
+		}}
 	got, err := DecodeMountReply(EncodeMountReply(&m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("%+v != %+v", got, m)
+	}
+}
+
+func TestStatfsReplyShardRows(t *testing.T) {
+	m := StatfsReply{TotalBytes: 100, FreeBytes: 60, ReservedBytes: 10, Objects: 5, BatchesApplied: 9,
+		Shards: []ShardStat{{TotalBytes: 50, FreeBytes: 30, Objects: 2, BatchesApplied: 4},
+			{TotalBytes: 50, FreeBytes: 30, ReservedBytes: 10, Objects: 3, BatchesApplied: 5}}}
+	got, err := DecodeStatfsReply(EncodeStatfsReply(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("%+v != %+v", got, m)
 	}
 }

@@ -2,6 +2,7 @@ package fsproto
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -95,6 +96,44 @@ func FuzzSeqHeader(f *testing.F) {
 	})
 }
 
+// FuzzShardHeader throws arbitrary bytes at the shard-routing frame
+// decoder. Every shard-addressed request (windowed batches, prealloc,
+// cross-shard transactions) opens with this 8-byte prefix, and a misparse
+// routes a batch to the wrong shard's journal — so the decoder must never
+// panic, must reject short frames, and accepted frames must round-trip
+// bit-exactly (shard, epoch, and the untouched inner payload).
+func FuzzShardHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeShardFramed(ShardHeader{Shard: 0, Epoch: 1}, EncodeOps(nil)))
+	f.Add(EncodeShardFramed(ShardHeader{Shard: 3, Epoch: 1},
+		EncodeApplyLogSeq(SeqHeader{Seq: 9, Epoch: 2, Opener: true}, EncodeOps(nil))))
+	f.Add(EncodeShardFramed(ShardHeader{Shard: ^uint32(0), Epoch: ^uint32(0)}, []byte{0xde, 0xad}))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}) // one byte short of a header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, inner, err := DecodeShardFramed(data)
+		if err != nil {
+			if len(data) >= ShardHeaderLen {
+				t.Fatalf("%d-byte frame rejected: %v", len(data), err)
+			}
+			return
+		}
+		if len(data) < ShardHeaderLen {
+			t.Fatalf("short frame (%d bytes) accepted", len(data))
+		}
+		if !bytes.Equal(inner, data[ShardHeaderLen:]) {
+			t.Fatalf("inner payload corrupted: %d bytes -> %d bytes", len(data)-ShardHeaderLen, len(inner))
+		}
+		back := EncodeShardFramed(h, inner)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("shard frame not canonical: %x -> %x", data[:ShardHeaderLen], back[:ShardHeaderLen])
+		}
+		h2, inner2, err := DecodeShardFramed(back)
+		if err != nil || h2 != h || !bytes.Equal(inner, inner2) {
+			t.Fatalf("shard frame round trip: %+v -> %+v (%v)", h, h2, err)
+		}
+	})
+}
+
 // FuzzDecodeReplies covers the remaining fixed-shape decoders (mount
 // reply, prealloc request, address list): no panics, and accepted inputs
 // round-trip.
@@ -105,7 +144,7 @@ func FuzzDecodeReplies(f *testing.F) {
 	f.Add(EncodeAddrs([]uint64{1, 4096, 1 << 40}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if m, err := DecodeMountReply(data); err == nil {
-			if got, err := DecodeMountReply(EncodeMountReply(&m)); err != nil || got != m {
+			if got, err := DecodeMountReply(EncodeMountReply(&m)); err != nil || !reflect.DeepEqual(got, m) {
 				t.Fatalf("mount reply round trip: %+v %v", got, err)
 			}
 		}

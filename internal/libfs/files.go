@@ -17,7 +17,14 @@ import (
 // CreateCollectionStaged builds a collection client-side and logs its
 // creation.
 func (s *Session) CreateCollectionStaged(perm uint32) (sobj.OID, error) {
-	col, err := sobj.CreateCollection(s.Mem, s.StagingAllocator(), perm)
+	return s.CreateCollectionStagedOn(0, perm)
+}
+
+// CreateCollectionStagedOn stages the collection on the given shard — the
+// placement layer picks the shard, and the object's storage (hence the OID)
+// lands inside that shard's partition.
+func (s *Session) CreateCollectionStagedOn(shardID int, perm uint32) (sobj.OID, error) {
+	col, err := sobj.CreateCollection(s.Mem, s.StagingAllocatorOn(shardID), perm)
 	if err != nil {
 		return 0, err
 	}
@@ -31,7 +38,12 @@ func (s *Session) CreateCollectionStaged(perm uint32) (sobj.OID, error) {
 // CreateMFileStaged builds a radix-tree mFile client-side and logs its
 // creation.
 func (s *Session) CreateMFileStaged(perm uint32, extentLog uint32) (sobj.OID, error) {
-	m, err := sobj.CreateMFile(s.Mem, s.StagingAllocator(), perm, extentLog)
+	return s.CreateMFileStagedOn(0, perm, extentLog)
+}
+
+// CreateMFileStagedOn stages the mFile on the given shard.
+func (s *Session) CreateMFileStagedOn(shardID int, perm uint32, extentLog uint32) (sobj.OID, error) {
+	m, err := sobj.CreateMFile(s.Mem, s.StagingAllocatorOn(shardID), perm, extentLog)
 	if err != nil {
 		return 0, err
 	}
@@ -44,7 +56,13 @@ func (s *Session) CreateMFileStaged(perm uint32, extentLog uint32) (sobj.OID, er
 
 // CreateMFileSingleStaged builds a single-extent mFile (FlatFS files).
 func (s *Session) CreateMFileSingleStaged(perm uint32, capacity uint64) (sobj.OID, error) {
-	m, err := sobj.CreateMFileSingle(s.Mem, s.StagingAllocator(), perm, capacity)
+	return s.CreateMFileSingleStagedOn(0, perm, capacity)
+}
+
+// CreateMFileSingleStagedOn stages the single-extent mFile on the given
+// shard.
+func (s *Session) CreateMFileSingleStagedOn(shardID int, perm uint32, capacity uint64) (sobj.OID, error) {
+	m, err := sobj.CreateMFileSingle(s.Mem, s.StagingAllocatorOn(shardID), perm, capacity)
 	if err != nil {
 		return 0, err
 	}
@@ -60,7 +78,7 @@ func (s *Session) CreateMFileSingleStaged(perm uint32, capacity uint64) (sobj.OI
 func (s *Session) colShadow(dir sobj.OID) *colShadow {
 	cs := s.colShadows[dir]
 	if cs == nil {
-		cs = &colShadow{ins: make(map[string]sobj.OID), del: make(map[string]bool)}
+		cs = &colShadow{ins: make(map[string]colIns), del: make(map[string]uint64)}
 		s.colShadows[dir] = cs
 	}
 	return cs
@@ -72,9 +90,9 @@ func (s *Session) DirLookup(dir sobj.OID, key []byte) (sobj.OID, bool, error) {
 	if cs := s.colShadows[dir]; cs != nil {
 		if v, ok := cs.ins[string(key)]; ok {
 			s.mu.Unlock()
-			return v, true, nil
+			return v.oid, true, nil
 		}
-		if cs.del[string(key)] {
+		if _, ok := cs.del[string(key)]; ok {
 			s.mu.Unlock()
 			return 0, false, nil
 		}
@@ -99,7 +117,7 @@ func (s *Session) DirLookup(dir sobj.OID, key []byte) (sobj.OID, bool, error) {
 func (s *Session) DirInsert(dir sobj.OID, key []byte, child sobj.OID, coverLock uint64) error {
 	s.mu.Lock()
 	cs := s.colShadow(dir)
-	cs.ins[string(key)] = child
+	cs.ins[string(key)] = colIns{oid: child, cover: coverLock}
 	delete(cs.del, string(key))
 	s.mu.Unlock()
 	return s.LogOp(fsproto.Op{
@@ -108,8 +126,11 @@ func (s *Session) DirInsert(dir sobj.OID, key []byte, child sobj.OID, coverLock 
 	})
 }
 
-// DirRemove stages removal of key from dir under coverLock.
-func (s *Session) DirRemove(dir sobj.OID, key []byte, coverLock uint64) error {
+// DirRemove stages removal of key from dir under coverLock. involved
+// optionally names the entry's resolved victim: the remove's server-side
+// effects land on the victim's shard, which the op fields alone don't
+// reveal, so sharded callers pass the OID their own lookup found.
+func (s *Session) DirRemove(dir sobj.OID, key []byte, coverLock uint64, involved ...sobj.OID) error {
 	// Crash between shadow update and LogOp: the unlink is observed
 	// locally but never ships — it must vanish cleanly with the client.
 	if err := s.cfg.Faults.Hit("libfs.unlink"); err != nil {
@@ -118,12 +139,13 @@ func (s *Session) DirRemove(dir sobj.OID, key []byte, coverLock uint64) error {
 	s.mu.Lock()
 	cs := s.colShadow(dir)
 	delete(cs.ins, string(key))
-	cs.del[string(key)] = true
+	cs.del[string(key)] = coverLock
 	s.mu.Unlock()
-	return s.LogOp(fsproto.Op{
+	op := fsproto.Op{
 		Code: fsproto.OpRemove, Target: dir,
 		Key: append([]byte(nil), key...), CoverLock: coverLock,
-	})
+	}
+	return s.logOps(&op, nil, involved)
 }
 
 // DirInsertFlat stages an insert covered by a FlatFS bucket lock: the
@@ -132,7 +154,7 @@ func (s *Session) DirRemove(dir sobj.OID, key []byte, coverLock uint64) error {
 func (s *Session) DirInsertFlat(dir sobj.OID, key []byte, child sobj.OID, bucketLock uint64) error {
 	s.mu.Lock()
 	cs := s.colShadow(dir)
-	cs.ins[string(key)] = child
+	cs.ins[string(key)] = colIns{oid: child, cover: bucketLock}
 	delete(cs.del, string(key))
 	s.mu.Unlock()
 	return s.LogOp(fsproto.Op{
@@ -142,20 +164,26 @@ func (s *Session) DirInsertFlat(dir sobj.OID, key []byte, child sobj.OID, bucket
 }
 
 // DirRemoveFlat stages a bucket-locked remove (no tombstone GC rehash).
-func (s *Session) DirRemoveFlat(dir sobj.OID, key []byte, bucketLock uint64) error {
+// involved names the resolved victim, as in DirRemove.
+func (s *Session) DirRemoveFlat(dir sobj.OID, key []byte, bucketLock uint64, involved ...sobj.OID) error {
 	s.mu.Lock()
 	cs := s.colShadow(dir)
 	delete(cs.ins, string(key))
-	cs.del[string(key)] = true
+	cs.del[string(key)] = bucketLock
 	s.mu.Unlock()
-	return s.LogOp(fsproto.Op{
+	op := fsproto.Op{
 		Code: fsproto.OpRemove, Target: dir,
 		Key: append([]byte(nil), key...), CoverLock: bucketLock, Val: 1,
-	})
+	}
+	return s.logOps(&op, nil, involved)
 }
 
-// DirRename stages an atomic move.
-func (s *Session) DirRename(srcDir sobj.OID, srcKey []byte, dstDir sobj.OID, dstKey []byte, child sobj.OID, coverSrc, coverDst uint64) error {
+// DirRename stages an atomic move. involved optionally names an overwritten
+// destination entry (its teardown lands on its own shard; see DirRemove).
+// The op itself spells out both directories and the moved child, so a
+// rename spanning shards routes to the cross-shard transaction path on its
+// own.
+func (s *Session) DirRename(srcDir sobj.OID, srcKey []byte, dstDir sobj.OID, dstKey []byte, child sobj.OID, coverSrc, coverDst uint64, involved ...sobj.OID) error {
 	// The rename is one op in the local log, so a crash can only lose it
 	// whole — the sweep asserts the entry is at exactly one of the names.
 	if err := s.cfg.Faults.Hit("libfs.rename"); err != nil {
@@ -164,17 +192,18 @@ func (s *Session) DirRename(srcDir sobj.OID, srcKey []byte, dstDir sobj.OID, dst
 	s.mu.Lock()
 	css := s.colShadow(srcDir)
 	delete(css.ins, string(srcKey))
-	css.del[string(srcKey)] = true
+	css.del[string(srcKey)] = coverSrc
 	csd := s.colShadow(dstDir)
-	csd.ins[string(dstKey)] = child
+	csd.ins[string(dstKey)] = colIns{oid: child, cover: coverDst}
 	delete(csd.del, string(dstKey))
 	s.mu.Unlock()
-	return s.LogOp(fsproto.Op{
+	op := fsproto.Op{
 		Code: fsproto.OpRename, Target: srcDir, Dir2: dstDir, Child: child,
 		Key:       append([]byte(nil), srcKey...),
 		Key2:      append([]byte(nil), dstKey...),
 		CoverLock: coverSrc, Cover2: coverDst,
-	})
+	}
+	return s.logOps(&op, nil, involved)
 }
 
 // StagedInserts reports how many inserts into dir are buffered but not yet
@@ -197,7 +226,7 @@ func (s *Session) DirIterate(dir sobj.OID, fn func(key []byte, val sobj.OID) err
 	if cs := s.colShadows[dir]; cs != nil {
 		ins = make(map[string]sobj.OID, len(cs.ins))
 		for k, v := range cs.ins {
-			ins[k] = v
+			ins[k] = v.oid
 		}
 		del = make(map[string]bool, len(cs.del))
 		for k := range cs.del {
@@ -231,12 +260,13 @@ func (s *Session) DirIterate(dir sobj.OID, fn func(key []byte, val sobj.OID) err
 
 // ---- Shadow-aware file I/O ----
 
-func (s *Session) fileShadow(oid sobj.OID) *fileShadow {
+func (s *Session) fileShadow(oid sobj.OID, cover uint64) *fileShadow {
 	sh := s.shadows[oid]
 	if sh == nil {
 		sh = &fileShadow{pendingExtents: make(map[uint64]uint64)}
 		s.shadows[oid] = sh
 	}
+	sh.cover = cover
 	return sh
 }
 
@@ -266,7 +296,7 @@ func (s *Session) FileSetSize(oid sobj.OID, n uint64, coverLock uint64) error {
 // the file into its collection for the TFS's cover check.
 func (s *Session) FileSetSizeKeyed(oid sobj.OID, n uint64, coverLock uint64, key []byte) error {
 	s.mu.Lock()
-	sh := s.fileShadow(oid)
+	sh := s.fileShadow(oid, coverLock)
 	sh.size = n
 	sh.hasSize = true
 	s.mu.Unlock()
@@ -336,7 +366,7 @@ func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
 			if _, err := s.FileRead(oid, head, blk*bs); err != nil {
 				return err
 			}
-			fresh, err := s.AllocStaged(bs)
+			fresh, err := s.AllocStagedFor(oid, bs)
 			if err != nil {
 				return err
 			}
@@ -355,7 +385,7 @@ func (s *Session) FileTruncate(oid sobj.OID, n uint64, coverLock uint64) error {
 		}
 	}
 	s.mu.Lock()
-	sh := s.fileShadow(oid)
+	sh := s.fileShadow(oid, coverLock)
 	sh.size = n
 	sh.hasSize = true
 	if !single {
@@ -570,7 +600,7 @@ func (s *Session) stageExtent(oid sobj.OID, blockIdx, bs uint64, fullCover bool,
 	if err := s.cfg.Faults.Hit("libfs.stage.extent"); err != nil {
 		return 0, err
 	}
-	ext, err := s.AllocStaged(bs)
+	ext, err := s.AllocStagedFor(oid, bs)
 	if err != nil {
 		return 0, err
 	}
@@ -583,7 +613,7 @@ func (s *Session) stageExtent(oid sobj.OID, blockIdx, bs uint64, fullCover bool,
 		}
 	}
 	s.mu.Lock()
-	s.fileShadow(oid).pendingExtents[blockIdx] = ext
+	s.fileShadow(oid, coverLock).pendingExtents[blockIdx] = ext
 	s.mu.Unlock()
 	if err := s.LogOp(fsproto.Op{
 		Code: fsproto.OpAttachExtent, Target: oid,
@@ -617,7 +647,7 @@ func (s *Session) singleWrite(m *sobj.MFile, oid sobj.OID, p []byte, off uint64,
 		if newCap < need {
 			newCap = need
 		}
-		newExt, err := s.AllocStaged(newCap)
+		newExt, err := s.AllocStagedFor(oid, newCap)
 		if err != nil {
 			return 0, err
 		}
@@ -642,7 +672,7 @@ func (s *Session) singleWrite(m *sobj.MFile, oid sobj.OID, p []byte, off uint64,
 		}
 		actualCap := poolBlockSize(newCap)
 		s.mu.Lock()
-		shh := s.fileShadow(oid)
+		shh := s.fileShadow(oid, coverLock)
 		shh.pendingSingle = newExt
 		shh.singleCap = actualCap
 		s.mu.Unlock()

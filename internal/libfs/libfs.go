@@ -24,6 +24,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/rpc"
 	"github.com/aerie-fs/aerie/internal/scm"
 	"github.com/aerie-fs/aerie/internal/scmmgr"
+	"github.com/aerie-fs/aerie/internal/shard"
 	"github.com/aerie-fs/aerie/internal/sobj"
 	"github.com/aerie-fs/aerie/internal/wire"
 )
@@ -81,12 +82,14 @@ var ErrTFSUnreachable = errors.New("libfs: TFS unreachable, updates requeued")
 // Session is a mounted client. All methods are safe for concurrent use by
 // the process's threads.
 type Session struct {
-	rc      rpc.Client
-	Clerk   *lockservice.Clerk
-	mgr     *scmmgr.Manager
-	proc    *scmmgr.Process
-	mapping *scmmgr.Mapping
-	cfg     Config
+	rc    rpc.Client
+	Clerk *lockservice.Clerk
+	mgr   *scmmgr.Manager
+	proc  *scmmgr.Process
+	// mappings holds one kernel partition mapping per shard (one entry on a
+	// classic volume); Mem composes them.
+	mappings []*scmmgr.Mapping
+	cfg      Config
 
 	// Mem is the session's protected view of SCM.
 	Mem scm.Space
@@ -96,6 +99,14 @@ type Session struct {
 	sl scm.Slicer
 	// Root is the volume root collection.
 	Root sobj.OID
+
+	// Sharding (shardroute.go). shards/table/repoch come from the mount
+	// reply on a sharded volume (empty on a classic one): table maps any
+	// SCM address to its owning shard, and repoch is echoed in every
+	// shard-framed request so a restarted set can reject stale routing.
+	shards []fsproto.ShardInfo
+	table  shard.Table
+	repoch uint32
 
 	mu         sync.Mutex
 	batch      []fsproto.Op
@@ -113,10 +124,14 @@ type Session struct {
 	// failure, and an oversized batch is split in place into two halves.
 	// With a pipelined window (cfg.Window > 1) it is the completion
 	// window: entries complete strictly in order, head first.
-	shipq        []*shipState
-	shadows      map[sobj.OID]*fileShadow
-	colShadows   map[sobj.OID]*colShadow
-	pool         map[uint][]uint64 // buddy order -> staged extents
+	shipq      []*shipState
+	shadows    map[sobj.OID]*fileShadow
+	colShadows map[sobj.OID]*colShadow
+	// pools holds staged extents per shard (index = shard ID; one entry on
+	// a classic volume): buddy order -> extent addrs. Extents come from
+	// their shard's allocator and every object's storage stays on its
+	// owning shard, so the pools never mix.
+	pools        []map[uint][]uint64
 	releaseHooks []func(lockID uint64)
 	discardHooks []func()
 	closed       bool
@@ -136,15 +151,23 @@ type Session struct {
 	// panicVal does the same for an injected crash panic, re-thrown on the
 	// caller's goroutine so a pipelined session crashes on the thread the
 	// harness watches.
-	shipCond      *sync.Cond
-	inflight      int
-	parked        bool
-	draining      bool
-	nextSeq       uint64
-	epoch         uint32
-	openerPending bool
-	deferred      error
-	panicVal      any
+	shipCond *sync.Cond
+	inflight int
+	parked   bool
+	draining bool
+	// Window sequences are per shard: each shard's gate demands a dense
+	// sequence from this session, and batches for different shards
+	// interleave freely. The epoch (and its openers) is session-wide — a
+	// rejection poisons every shard's suffix, preserving the session-order
+	// prefix property across shards. batchShard is the home shard of the
+	// accumulating batch, which is always single-shard (cross-shard groups
+	// go through TxApply instead).
+	nextSeqs       []uint64
+	epoch          uint32
+	openersPending []bool
+	batchShard     int
+	deferred       error
+	panicVal       any
 
 	// Stats.
 	Flushes     costmodel.Counter
@@ -174,12 +197,28 @@ type fileShadow struct {
 	// data (and alias storage the allocator may hand out again).
 	holeFrom uint64
 	hasHole  bool
+	// cover is the global lock the staged updates were covered by. A
+	// shadow is only trustworthy while that lock is cached at this
+	// client's clerk; when the lock leaves (flush-on-release), the
+	// shadow is dropped — SCM holds everything by then, and other
+	// clients may change the object from here on.
+	cover uint64
 }
 
-// colShadow overlays a collection with staged inserts and removes.
+// colShadow overlays a collection with staged inserts and removes. Each
+// entry records the global lock that covered its staging so the overlay
+// can be invalidated per cover when a lock leaves the client (see
+// dropCoveredShadows); a directory's entries may be staged under distinct
+// covers (FlatFS bucket locks).
 type colShadow struct {
-	ins map[string]sobj.OID
-	del map[string]bool
+	ins map[string]colIns
+	del map[string]uint64 // key -> covering lock
+}
+
+// colIns is one staged directory binding plus its covering lock.
+type colIns struct {
+	oid   sobj.OID
+	cover uint64
 }
 
 // stagedExt is one pool extent consumed by a buffered op: staged object
@@ -217,6 +256,7 @@ type shipState struct {
 	// at rotation and baked into payload; split halves inherit the
 	// sequence (they are still one rotated batch to the window protocol).
 	hdr   fsproto.SeqHeader
+	shard int // home shard (0 on a classic volume)
 	state int
 	// discarded marks an entry killed by a sibling's rejection while its
 	// own RPC was still in flight; whatever the TFS says about it
@@ -248,18 +288,59 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	proc := scmmgr.NewProcess(cfg.UID, reply.VolumeGID)
-	mapping, err := mgr.Mount(proc, scmmgr.PartitionID(reply.Partition))
-	if err != nil {
-		return nil, err
+	// A sharded volume needs a mapping per shard partition — each mapping's
+	// protection is bounded to its own partition — composed into one routed
+	// space. A classic volume keeps the single direct mapping.
+	var mappings []*scmmgr.Mapping
+	if len(reply.Shards) > 1 {
+		for _, sh := range reply.Shards {
+			mp, err := mgr.Mount(proc, scmmgr.PartitionID(sh.Partition))
+			if err != nil {
+				for _, m := range mappings {
+					mgr.Unmount(m)
+				}
+				return nil, err
+			}
+			mappings = append(mappings, mp)
+		}
+	} else {
+		mp, err := mgr.Mount(proc, scmmgr.PartitionID(reply.Partition))
+		if err != nil {
+			return nil, err
+		}
+		mappings = []*scmmgr.Mapping{mp}
+	}
+	var mem scm.Space = mappings[0]
+	if len(mappings) > 1 {
+		mem = &multiSpace{maps: mappings}
 	}
 	s := &Session{
-		rc: rc, mgr: mgr, proc: proc, mapping: mapping, cfg: cfg,
-		Mem: mapping, sl: scm.AsSlicer(mapping), Root: reply.Root,
+		rc: rc, mgr: mgr, proc: proc, mappings: mappings, cfg: cfg,
+		Mem: mem, sl: scm.AsSlicer(mem), Root: reply.Root,
 		shadows:    make(map[sobj.OID]*fileShadow),
 		colShadows: make(map[sobj.OID]*colShadow),
-		pool:       make(map[uint][]uint64),
 		// The session's first rotated batch opens epoch 1.
-		epoch: 1, openerPending: true,
+		epoch: 1,
+	}
+	// A sharded mount carries the placement table; a classic one is a
+	// single-shard degenerate of the same bookkeeping.
+	s.shards = reply.Shards
+	s.repoch = reply.RoutingEpoch
+	for _, sh := range reply.Shards {
+		s.table = append(s.table, shard.Range{Start: sh.HeapStart, Size: sh.HeapSize})
+	}
+	n := len(reply.Shards)
+	if n == 0 {
+		n = 1
+	}
+	s.pools = make([]map[uint][]uint64, n)
+	for i := range s.pools {
+		s.pools[i] = make(map[uint][]uint64)
+	}
+	s.nextSeqs = make([]uint64, n)
+	s.openersPending = make([]bool, n)
+	for i := range s.openersPending {
+		s.openersPending[i] = true
 	}
 	s.shipCond = sync.NewCond(&s.mu)
 	s.obsShipOps = cfg.Obs.Histogram("libfs.ship.ops")
@@ -276,7 +357,14 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 	// consistent view (§5.3.5). Interface layers add their own hooks
 	// (PXFS flushes its path-name cache here).
 	s.Clerk.OnRelease(func(lockID uint64) {
-		_ = s.FlushUpdates()
+		if s.FlushUpdates() == nil {
+			// Everything staged under this lock is now applied to SCM, and
+			// once the global lock leaves this clerk other clients may
+			// change those objects — shadow entries it covered would answer
+			// stale. Cross-shard transactions bypass the ship queue, so the
+			// pipeline's wholesale retire never sees them; sweep by cover.
+			s.dropCoveredShadows(lockID)
+		}
 		s.mu.Lock()
 		hooks := s.releaseHooks
 		s.mu.Unlock()
@@ -375,7 +463,9 @@ func (s *Session) Close() error {
 	s.mu.Unlock()
 	err := s.FlushUpdates()
 	s.Clerk.Close()
-	s.mgr.Unmount(s.mapping)
+	for _, mp := range s.mappings {
+		s.mgr.Unmount(mp)
+	}
 	_ = s.rc.Close()
 	return err
 }
@@ -406,38 +496,18 @@ func (s *Session) Abandon() {
 
 // ---- Pre-allocated extent pool (§5.3.7) ----
 
-// AllocStaged takes an extent of at least size bytes from the local pool,
-// refilling from the TFS when empty.
-func (s *Session) AllocStaged(size uint64) (uint64, error) {
-	order := alloc.OrderFor(size)
-	actual := uint64(1) << order
-	s.mu.Lock()
-	if list := s.pool[order]; len(list) > 0 {
-		addr := list[len(list)-1]
-		s.pool[order] = list[:len(list)-1]
-		s.pendingStaged = append(s.pendingStaged, stagedExt{addr, actual})
-		s.mu.Unlock()
-		return addr, nil
-	}
-	s.mu.Unlock()
-	// Refill outside the lock; concurrent refills are harmless.
-	addrs, err := s.prealloc(actual, s.cfg.PoolRefill)
-	if err != nil {
-		return 0, err
-	}
-	s.PoolRefills.Add(1)
-	s.mu.Lock()
-	s.pool[order] = append(s.pool[order], addrs[1:]...)
-	s.pendingStaged = append(s.pendingStaged, stagedExt{addrs[0], actual})
-	s.mu.Unlock()
-	return addrs[0], nil
-}
+// AllocStaged takes an extent of at least size bytes from shard 0's pool,
+// refilling from the TFS when empty. Sharded callers use AllocStagedOn /
+// AllocStagedFor (shardroute.go) so staged storage lands on the object's
+// owning shard.
+func (s *Session) AllocStaged(size uint64) (uint64, error) { return s.AllocStagedOn(0, size) }
 
-// FreeStaged returns an unused staged extent to the pool.
+// FreeStaged returns an unused staged extent to its shard's pool.
 func (s *Session) FreeStaged(addr, size uint64) {
 	order := alloc.OrderFor(size)
 	s.mu.Lock()
-	s.pool[order] = append(s.pool[order], addr)
+	sh := s.shardOf(addr)
+	s.pools[sh][order] = append(s.pools[sh][order], addr)
 	// The extent is back in the pool; drop its pending-rollback record so a
 	// later batch rejection can't return it twice.
 	for i := range s.pendingStaged {
@@ -449,33 +519,44 @@ func (s *Session) FreeStaged(addr, size uint64) {
 	s.mu.Unlock()
 }
 
-func (s *Session) prealloc(size uint64, count uint32) ([]uint64, error) {
-	resp, err := s.rc.Call(fsproto.MethodPrealloc, fsproto.EncodePrealloc(fsproto.PreallocRequest{Size: size, Count: count}))
+// prealloc fetches extents from shardID's allocator: the classic unframed
+// RPC on a single-shard volume, the shard-framed variant otherwise.
+func (s *Session) prealloc(shardID int, size uint64, count uint32) ([]uint64, error) {
+	req := fsproto.EncodePrealloc(fsproto.PreallocRequest{Size: size, Count: count})
+	method := uint32(fsproto.MethodPrealloc)
+	if s.sharded() {
+		method = fsproto.MethodPreallocShard
+		req = fsproto.EncodeShardFramed(fsproto.ShardHeader{Shard: uint32(shardID), Epoch: s.repoch}, req)
+	}
+	resp, err := s.rc.Call(method, req)
 	if err != nil {
 		return nil, err
 	}
 	return fsproto.DecodeAddrs(resp)
 }
 
-// poolAllocator adapts the session pool to sobj.Allocator for staging
-// objects client-side.
-type poolAllocator struct{ s *Session }
+// poolAllocator adapts one shard's session pool to sobj.Allocator for
+// staging objects client-side.
+type poolAllocator struct {
+	s     *Session
+	shard int
+}
 
-func (p poolAllocator) Alloc(size uint64) (uint64, error) { return p.s.AllocStaged(size) }
+func (p poolAllocator) Alloc(size uint64) (uint64, error) { return p.s.AllocStagedOn(p.shard, size) }
 func (p poolAllocator) Free(addr, size uint64) error {
 	p.s.FreeStaged(addr, size)
 	return nil
 }
 
-// StagingAllocator returns an sobj.Allocator backed by the session pool.
-func (s *Session) StagingAllocator() sobj.Allocator { return poolAllocator{s} }
+// StagingAllocator returns an sobj.Allocator backed by shard 0's pool.
+func (s *Session) StagingAllocator() sobj.Allocator { return poolAllocator{s: s} }
 
 // ---- Metadata update log (§5.3.5) ----
 
 // LogOp buffers one metadata update, shipping the batch if it crossed the
 // size threshold.
 func (s *Session) LogOp(op fsproto.Op) error {
-	return s.logOps(&op, nil)
+	return s.logOps(&op, nil, nil)
 }
 
 // LogOps buffers several metadata updates as one indivisible unit: all ops
@@ -489,18 +570,40 @@ func (s *Session) LogOps(ops []fsproto.Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	return s.logOps(nil, ops)
+	return s.logOps(nil, ops, nil)
 }
 
 // logOps appends one op (single != nil) or a non-empty slice atomically.
 // The two parameters exist so the hot single-op path allocates no slice.
-func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op) error {
+// involved optionally names extra objects the group touches (see
+// LogOpsSharded); on a sharded volume the group routes to its home shard's
+// window, rotating the accumulating batch at a shard switch, and a group
+// that spans shards applies synchronously as a cross-shard transaction.
+func (s *Session) logOps(single *fsproto.Op, ops []fsproto.Op, involved []sobj.OID) error {
 	// A crash here loses the ops before they reach the local log — the
 	// "client dies with unshipped updates" case lease expiry cleans up.
 	if err := s.cfg.Faults.Hit("libfs.logop"); err != nil {
 		return err
 	}
+	home := 0
+	if s.sharded() {
+		var cross bool
+		home, cross = s.groupShard(single, ops, involved)
+		if cross {
+			return s.txApply(single, ops)
+		}
+	}
 	s.mu.Lock()
+	if s.sharded() && len(s.batch) > 0 && home != s.batchShard {
+		// The accumulating batch is single-shard: seal it before switching.
+		// In a pipelined session it launches right away; a synchronous one
+		// leaves it queued for the next flush point, which drains in order.
+		s.rotateLocked()
+		if s.window() > 1 {
+			s.launchLocked()
+		}
+	}
+	s.batchShard = home
 	n := 1
 	if single != nil {
 		s.batch = append(s.batch, *single)
@@ -629,11 +732,11 @@ func (s *Session) window() int {
 // mount or after a discard). Callers hold s.mu and have checked the batch
 // is non-empty.
 func (s *Session) rotateLocked() *shipState {
-	ship := &shipState{ops: s.batch, groups: s.groups, bytes: s.batchBytes}
-	s.nextSeq++
-	ship.hdr = fsproto.SeqHeader{Seq: s.nextSeq, Epoch: s.epoch, Opener: s.openerPending}
-	s.openerPending = false
-	ship.payload = fsproto.EncodeApplyLogSeq(ship.hdr, fsproto.EncodeOps(ship.ops))
+	ship := &shipState{ops: s.batch, groups: s.groups, bytes: s.batchBytes, shard: s.batchShard}
+	s.nextSeqs[ship.shard]++
+	ship.hdr = fsproto.SeqHeader{Seq: s.nextSeqs[ship.shard], Epoch: s.epoch, Opener: s.openersPending[ship.shard]}
+	s.openersPending[ship.shard] = false
+	ship.payload = s.sealPayload(ship.hdr, ship.ops, ship.shard)
 	s.obsShipOps.Observe(int64(len(ship.ops)))
 	s.obsShipBytes.Observe(int64(ship.bytes))
 	if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
@@ -661,8 +764,15 @@ func (s *Session) launchLocked() {
 		if e.state != stQueued {
 			continue
 		}
-		if i > 0 && s.shipq[i-1].hdr.Seq == e.hdr.Seq && s.shipq[i-1].state != stDone {
-			break
+		if i > 0 {
+			prev := s.shipq[i-1]
+			// Hold for an unresolved predecessor the gate cannot order: an
+			// equal-sequence split sibling, or the tail of another shard's
+			// run — the cross-shard barrier that keeps the session's applied
+			// updates a global prefix of what it logged.
+			if prev.state != stDone && (prev.shard != e.shard || prev.hdr.Seq == e.hdr.Seq) {
+				break
+			}
 		}
 		e.state = stInflight
 		s.inflight++
@@ -751,6 +861,36 @@ func (s *Session) retireLocked() {
 	if len(s.shipq) == 0 && len(s.batch) == 0 {
 		s.shadows = make(map[sobj.OID]*fileShadow)
 		s.colShadows = make(map[sobj.OID]*colShadow)
+	}
+}
+
+// dropCoveredShadows discards every shadow entry staged under lockID. Called
+// when that global lock leaves the clerk, after a successful flush: the
+// entries' effects are applied to SCM, and other clients may mutate the
+// objects from here on, so keeping the overlay would answer stale reads.
+// Entries staged under other still-held locks are untouched.
+func (s *Session) dropCoveredShadows(lockID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for oid, cs := range s.colShadows {
+		for k, v := range cs.ins {
+			if v.cover == lockID {
+				delete(cs.ins, k)
+			}
+		}
+		for k, cover := range cs.del {
+			if cover == lockID {
+				delete(cs.del, k)
+			}
+		}
+		if len(cs.ins) == 0 && len(cs.del) == 0 {
+			delete(s.colShadows, oid)
+		}
+	}
+	for oid, sh := range s.shadows {
+		if sh.cover == lockID {
+			delete(s.shadows, oid)
+		}
 	}
 }
 
@@ -909,7 +1049,8 @@ func (s *Session) rejectLocked(e *shipState, err error) []func() {
 		for _, g := range groups {
 			for _, ext := range g.staged {
 				order := alloc.OrderFor(ext.size)
-				s.pool[order] = append(s.pool[order], ext.addr)
+				sh := s.shardOf(ext.addr)
+				s.pools[sh][order] = append(s.pools[sh][order], ext.addr)
 			}
 		}
 	}
@@ -935,8 +1076,12 @@ func (s *Session) rejectLocked(e *shipState, err error) []func() {
 	}
 	s.batch, s.groups, s.batchBytes = nil, nil, 0
 	s.obsWindowDiscards.Add(discarded)
+	// The epoch is session-wide: bumping it (and flagging every shard's
+	// next rotation an opener) poisons the discarded suffix on all shards.
 	s.epoch++
-	s.openerPending = true
+	for i := range s.openersPending {
+		s.openersPending[i] = true
+	}
 	// The surviving prefix may now be fully done; retiring it also resets
 	// the shadows once nothing is pending (applied updates are visible in
 	// SCM, rejected ones are gone).
@@ -954,9 +1099,9 @@ func (s *Session) shipOne(ship *shipState) error {
 		}
 		var err error
 		if ic, ok := s.rc.(rpc.IdempotentCaller); ok && ship.reqID != 0 {
-			_, err = ic.CallWithReqID(fsproto.MethodApplyLogSeq, ship.reqID, ship.payload)
+			_, err = ic.CallWithReqID(s.applyMethod(), ship.reqID, ship.payload)
 		} else {
-			_, err = s.rc.Call(fsproto.MethodApplyLogSeq, ship.payload)
+			_, err = s.rc.Call(s.applyMethod(), ship.payload)
 		}
 		if ferr := s.cfg.Faults.Hit("libfs.flush.postship"); ferr != nil && err == nil {
 			err = fmt.Errorf("%w: %v", rpc.ErrUnreachable, ferr)
@@ -1021,11 +1166,11 @@ func (s *Session) splitEntry(e *shipState) {
 		cut++
 	}
 	mk := func(ops []fsproto.Op, groups []opGroup, hdr fsproto.SeqHeader) *shipState {
-		h := &shipState{ops: ops, groups: groups, hdr: hdr}
+		h := &shipState{ops: ops, groups: groups, hdr: hdr, shard: e.shard}
 		for i := range ops {
 			h.bytes += 64 + len(ops[i].Key) + len(ops[i].Key2)
 		}
-		h.payload = fsproto.EncodeApplyLogSeq(hdr, fsproto.EncodeOps(ops))
+		h.payload = s.sealPayload(hdr, ops, e.shard)
 		if ic, ok := s.rc.(rpc.IdempotentCaller); ok {
 			h.reqID = ic.NextReqID()
 		}

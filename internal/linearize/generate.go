@@ -38,6 +38,20 @@ type GenConfig struct {
 	// its batch — a known gap, not a linearizability property this harness
 	// should entangle itself with.
 	NoDeletes bool
+	// Dirs spreads the shared path pool across this many top-level parent
+	// directories instead of one (default 1). Against a sharded machine the
+	// placement hash puts distinct directories on distinct trusted shards,
+	// so cross-directory operations become cross-shard ones.
+	Dirs int
+	// FreshRenames, when >0, is the percentage of operations that become a
+	// rename from a pool path to a fresh, never-reused path in a different
+	// directory, immediately followed by a read of the destination (which
+	// pins the moved contents into the history). Fresh destinations never
+	// overwrite a victim, so — unlike Renames — the bias composes with
+	// NoDeletes: nothing is ever reclaimed under an open handle. With Dirs
+	// spread over a sharded machine this is the cross-shard-rename bias the
+	// two-phase transaction path is checked under.
+	FreshRenames int
 	// MaxData bounds put/append payload sizes (default 48 bytes). Payloads
 	// carry a generation tag so every write to a path is distinct — a stale
 	// read can never accidentally match the current value.
@@ -73,7 +87,11 @@ func GenerateScripts(cfg GenConfig) [][]Op {
 	cfg.defaults()
 	paths := make([]string, cfg.Paths)
 	for i := range paths {
-		paths[i] = fmt.Sprintf("%s%02d", cfg.PathPrefix, i)
+		if cfg.Dirs > 1 {
+			paths[i] = fmt.Sprintf("%s%02d/f%02d", cfg.PathPrefix, i%cfg.Dirs, i)
+		} else {
+			paths[i] = fmt.Sprintf("%s%02d", cfg.PathPrefix, i)
+		}
 	}
 	scripts := make([][]Op, cfg.Clients)
 	for k := 0; k < cfg.Clients; k++ {
@@ -93,9 +111,34 @@ func GenerateScripts(cfg GenConfig) [][]Op {
 			_ = path
 			return b
 		}
+		fresh := 0
 		for i := 0; i < cfg.OpsPerClient; i++ {
-			p := paths[rng.Intn(len(paths))]
+			pi := rng.Intn(len(paths))
+			p := paths[pi]
 			roll := rng.Intn(100)
+			if cfg.FreshRenames > 0 && roll < cfg.FreshRenames {
+				// Rename to a fresh path, preferring a different directory
+				// (a different shard on a partitioned machine), then read
+				// the destination so the moved contents are observed.
+				fresh++
+				var dst string
+				if cfg.Dirs > 1 {
+					d := rng.Intn(cfg.Dirs - 1)
+					if d >= pi%cfg.Dirs {
+						d++
+					}
+					dst = fmt.Sprintf("%s%02d/c%dr%03d", cfg.PathPrefix, d, k, fresh)
+				} else {
+					dst = fmt.Sprintf("%s-c%dr%03d", cfg.PathPrefix, k, fresh)
+				}
+				script = append(script,
+					Op{Kind: KRename, Path: p, Path2: dst},
+					Op{Kind: KRead, Path: dst})
+				if cfg.BarrierEvery > 0 && (i+1)%cfg.BarrierEvery == 0 {
+					script = append(script, Op{Kind: KBarrier})
+				}
+				continue
+			}
 			switch {
 			case roll < 30:
 				script = append(script, Op{Kind: KPut, Path: p, Data: payload(p)})

@@ -18,12 +18,19 @@
 // bounds denial of service (§5.1). Lease expiry also implicitly discards
 // the client's unshipped metadata updates: the service fires an expiry hook
 // the TFS uses to drop that client's state.
+//
+// When the trusted service is sharded, the lock table is partitioned into
+// domains (Config.Domains/DomainOf): each shard's objects map to their own
+// domain with an independent mutex and expiry registry, so lock traffic on
+// one shard never contends on another shard's table. The wire protocol is
+// unchanged — domains are a service-internal striping, invisible to clerks.
 package lockservice
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/aerie-fs/aerie/internal/obs"
@@ -126,12 +133,22 @@ type Config struct {
 	Revoke RevokeFn
 	// OnExpire is invoked when a client loses a grant to lease expiry;
 	// may be nil. The TFS uses it to discard the client's unshipped
-	// batched updates.
+	// batched updates. With multiple domains it may fire once per domain
+	// holding expired grants; the hook must be idempotent.
 	OnExpire func(client uint64)
 	// Obs, when non-nil, receives the lock.wait histogram (time spent in
 	// Acquire) and lock.acquires / lock.contended / lock.revocations /
 	// lock.expirations counters.
 	Obs *obs.Sink
+
+	// Domains partitions the lock table: requests on locks in different
+	// domains never touch the same mutex or expiry registry. 0 or 1 keeps
+	// a single table. The sharded TFS passes one domain per shard.
+	Domains int
+	// DomainOf maps a lock ID to its domain in [0, Domains). nil (or any
+	// out-of-range result) maps to domain 0; the TFS supplies the shard
+	// placement table here so each shard's locks land in its own domain.
+	DomainOf func(id uint64) int
 }
 
 type grant struct {
@@ -146,9 +163,9 @@ type lockState struct {
 	waiters []chan struct{}
 }
 
-// clientExpiry tracks a client's grants across all locks so lease expiry
-// fires the OnExpire hook exactly once per expiry episode — not once per
-// lock, and not concurrently from racing Acquires.
+// clientExpiry tracks a client's grants across all locks of one domain so
+// lease expiry fires the OnExpire hook exactly once per expiry episode (per
+// domain) — not once per lock, and not concurrently from racing Acquires.
 type clientExpiry struct {
 	grants int
 	// fired marks that OnExpire was claimed for the current episode; a
@@ -156,16 +173,22 @@ type clientExpiry struct {
 	fired bool
 }
 
-// Service is the lock server. All methods are safe for concurrent use.
-type Service struct {
-	cfg Config
-
+// domain is one stripe of the lock table. All state a request touches lives
+// in the domain its lock ID maps to; the only cross-domain operations are
+// the whole-client sweeps (ReleaseAll, Renew, ExpireClient, Shutdown).
+type domain struct {
 	mu       sync.Mutex
 	locks    map[uint64]*lockState
 	byClient map[uint64]*clientExpiry
 	down     bool
+}
 
-	// Stats.
+// Service is the lock server. All methods are safe for concurrent use.
+type Service struct {
+	cfg  Config
+	doms []*domain
+
+	// Stats (updated atomically).
 	Acquires    int64
 	Revocations int64
 	Expirations int64
@@ -186,10 +209,20 @@ func New(cfg Config) *Service {
 	if cfg.AcquireTimeout == 0 {
 		cfg.AcquireTimeout = 10 * time.Second
 	}
+	n := cfg.Domains
+	if n < 1 {
+		n = 1
+	}
+	doms := make([]*domain, n)
+	for i := range doms {
+		doms[i] = &domain{
+			locks:    make(map[uint64]*lockState),
+			byClient: make(map[uint64]*clientExpiry),
+		}
+	}
 	return &Service{
 		cfg:            cfg,
-		locks:          make(map[uint64]*lockState),
-		byClient:       make(map[uint64]*clientExpiry),
+		doms:           doms,
 		obsWait:        cfg.Obs.Histogram("lock.wait"),
 		obsAcquires:    cfg.Obs.Counter("lock.acquires"),
 		obsContended:   cfg.Obs.Counter("lock.contended"),
@@ -198,27 +231,39 @@ func New(cfg Config) *Service {
 	}
 }
 
-func (s *Service) state(id uint64) *lockState {
-	st := s.locks[id]
+// dom returns the domain owning lock id.
+func (s *Service) dom(id uint64) *domain {
+	if len(s.doms) == 1 || s.cfg.DomainOf == nil {
+		return s.doms[0]
+	}
+	k := s.cfg.DomainOf(id)
+	if k < 0 || k >= len(s.doms) {
+		k = 0
+	}
+	return s.doms[k]
+}
+
+func (d *domain) state(id uint64) *lockState {
+	st := d.locks[id]
 	if st == nil {
 		st = &lockState{holders: make(map[uint64]*grant)}
-		s.locks[id] = st
+		d.locks[id] = st
 	}
 	return st
 }
 
 // reapExpiredLocked scans st for holders with expired leases. Each one
-// triggers a service-wide sweep of that client's expired grants (a client
+// triggers a domain-wide sweep of that client's expired grants (a client
 // that stopped renewing loses all its leases together, not just the ones
 // on locks somebody happens to touch). Returns the clients whose OnExpire
-// hook the caller must fire after releasing s.mu; the exactly-once claim
+// hook the caller must fire after releasing d.mu; the exactly-once claim
 // happens here, under the mutex, so racing Acquires can never both fire
 // for the same client.
-func (s *Service) reapExpiredLocked(st *lockState, now time.Time) []uint64 {
+func (s *Service) reapExpiredLocked(d *domain, st *lockState, now time.Time) []uint64 {
 	var fire []uint64
 	for client, g := range st.holders {
 		if now.After(g.expiry) {
-			if s.sweepClientLocked(client, now, st) {
+			if s.sweepClientLocked(d, client, now, st) {
 				fire = append(fire, client)
 			}
 		}
@@ -226,31 +271,31 @@ func (s *Service) reapExpiredLocked(st *lockState, now time.Time) []uint64 {
 	return fire
 }
 
-// sweepClientLocked removes every expired grant client holds, on any lock,
-// and reports whether the expiry hook should fire. keep (may be nil) is a
-// lockState the caller still references; it is never deleted from s.locks
-// even if emptied. The hook is claimed at most once per expiry episode: a
-// new grant after the claim opens a new episode.
-func (s *Service) sweepClientLocked(client uint64, now time.Time, keep *lockState) bool {
+// sweepClientLocked removes every expired grant client holds, on any lock
+// of domain d, and reports whether the expiry hook should fire. keep (may
+// be nil) is a lockState the caller still references; it is never deleted
+// from d.locks even if emptied. The hook is claimed at most once per expiry
+// episode: a new grant after the claim opens a new episode.
+func (s *Service) sweepClientLocked(d *domain, client uint64, now time.Time, keep *lockState) bool {
 	removed := 0
-	for id, st := range s.locks {
+	for id, st := range d.locks {
 		g := st.holders[client]
 		if g == nil || !now.After(g.expiry) {
 			continue
 		}
 		delete(st.holders, client)
 		removed++
-		s.Expirations++
+		atomic.AddInt64(&s.Expirations, 1)
 		s.obsExpirations.Inc()
-		s.wakeLocked(st)
+		wakeLocked(st)
 		if st != keep && len(st.holders) == 0 && len(st.waiters) == 0 {
-			delete(s.locks, id)
+			delete(d.locks, id)
 		}
 	}
 	if removed == 0 {
 		return false
 	}
-	ce := s.byClient[client]
+	ce := d.byClient[client]
 	if ce == nil {
 		return false
 	}
@@ -258,32 +303,34 @@ func (s *Service) sweepClientLocked(client uint64, now time.Time, keep *lockStat
 	fire := !ce.fired
 	ce.fired = true
 	if ce.grants <= 0 {
-		delete(s.byClient, client)
+		delete(d.byClient, client)
 	}
 	return fire
 }
 
 // ExpireClient force-expires every grant held by client, as if its lease
-// had lapsed, firing OnExpire (at most once) if it held anything. The
-// crash-simulation harness uses it to model a crashed client whose lease
-// runs out without waiting wall-clock lease time.
+// had lapsed, firing OnExpire (at most once per domain holding grants) if
+// it held anything. The crash-simulation harness uses it to model a crashed
+// client whose lease runs out without waiting wall-clock lease time.
 func (s *Service) ExpireClient(client uint64) {
-	s.mu.Lock()
 	var fire []uint64
-	// A force-expiry treats every grant as already past its lease.
-	for _, st := range s.locks {
-		if g := st.holders[client]; g != nil {
-			g.expiry = time.Time{}
+	for _, d := range s.doms {
+		d.mu.Lock()
+		// A force-expiry treats every grant as already past its lease.
+		for _, st := range d.locks {
+			if g := st.holders[client]; g != nil {
+				g.expiry = time.Time{}
+			}
 		}
+		if s.sweepClientLocked(d, client, time.Now(), nil) {
+			fire = append(fire, client)
+		}
+		d.mu.Unlock()
 	}
-	if s.sweepClientLocked(client, time.Now(), nil) {
-		fire = append(fire, client)
-	}
-	s.mu.Unlock()
 	s.fireExpiry(fire)
 }
 
-func (s *Service) wakeLocked(st *lockState) {
+func wakeLocked(st *lockState) {
 	for _, ch := range st.waiters {
 		select {
 		case ch <- struct{}{}:
@@ -299,24 +346,25 @@ func (s *Service) wakeLocked(st *lockState) {
 func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) error {
 	obsT0 := s.obsWait.StartTimer()
 	defer func() { s.obsWait.ObserveSince(obsT0) }()
+	d := s.dom(id)
 	deadline := time.Now().Add(s.cfg.AcquireTimeout)
 	var waiter chan struct{}
 	defer func() {
 		if waiter != nil {
-			s.mu.Lock()
-			s.removeWaiterLocked(id, waiter)
-			s.mu.Unlock()
+			d.mu.Lock()
+			removeWaiterLocked(d, id, waiter)
+			d.mu.Unlock()
 		}
 	}()
 	for {
 		now := time.Now()
-		s.mu.Lock()
-		if s.down {
-			s.mu.Unlock()
+		d.mu.Lock()
+		if d.down {
+			d.mu.Unlock()
 			return ErrShutdown
 		}
-		st := s.state(id)
-		expired := s.reapExpiredLocked(st, now)
+		st := d.state(id)
+		expired := s.reapExpiredLocked(d, st, now)
 		want := class
 		if g := st.holders[client]; g != nil {
 			want = merge(g.class, class)
@@ -340,14 +388,14 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 			if g == nil {
 				g = &grant{}
 				st.holders[client] = g
-				ce := s.byClient[client]
+				ce := d.byClient[client]
 				if ce == nil {
 					ce = &clientExpiry{}
-					s.byClient[client] = ce
+					d.byClient[client] = ce
 				}
 				ce.grants++
 				ce.fired = false
-			} else if ce := s.byClient[client]; ce != nil {
+			} else if ce := d.byClient[client]; ce != nil {
 				// A live re-acquire opens a new expiry episode.
 				ce.fired = false
 			}
@@ -355,9 +403,9 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 			g.hier = g.hier || hier
 			g.expiry = now.Add(s.cfg.Lease)
 			g.revoking = false
-			s.Acquires++
+			atomic.AddInt64(&s.Acquires, 1)
 			s.obsAcquires.Inc()
-			s.mu.Unlock()
+			d.mu.Unlock()
 			s.fireExpiry(expired)
 			return nil
 		}
@@ -367,17 +415,17 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 		}
 		st.waiters = append(st.waiters, waiter)
 		if s.cfg.Revoke != nil {
-			// Count while still under s.mu; the callbacks below must run
+			// Count while still under d.mu; the callbacks below must run
 			// unlocked (they re-enter clerk state), and bare counter
 			// increments out there race between dispatch goroutines.
 			for _, holder := range conflicts {
 				if holder != 0 {
-					s.Revocations++
+					atomic.AddInt64(&s.Revocations, 1)
 					s.obsRevocations.Inc()
 				}
 			}
 		}
-		s.mu.Unlock()
+		d.mu.Unlock()
 		s.fireExpiry(expired)
 		for _, holder := range conflicts {
 			if holder != 0 && s.cfg.Revoke != nil {
@@ -394,17 +442,17 @@ func (s *Service) Acquire(client uint64, id uint64, class Class, hier bool) erro
 		case <-waiter:
 		case <-time.After(poll):
 		}
-		s.mu.Lock()
-		s.removeWaiterLocked(id, waiter)
-		s.mu.Unlock()
+		d.mu.Lock()
+		removeWaiterLocked(d, id, waiter)
+		d.mu.Unlock()
 		if time.Now().After(deadline) {
 			return fmt.Errorf("%w: lock %#x class %v", ErrTimeout, id, class)
 		}
 	}
 }
 
-func (s *Service) removeWaiterLocked(id uint64, ch chan struct{}) {
-	st := s.locks[id]
+func removeWaiterLocked(d *domain, id uint64, ch chan struct{}) {
+	st := d.locks[id]
 	if st == nil {
 		return
 	}
@@ -427,63 +475,68 @@ func (s *Service) fireExpiry(clients []uint64) {
 
 // Release drops client's grant on id.
 func (s *Service) Release(client uint64, id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.locks[id]
+	d := s.dom(id)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.locks[id]
 	if st == nil || st.holders[client] == nil {
 		return fmt.Errorf("%w: client %d lock %#x", ErrNotHeld, client, id)
 	}
 	delete(st.holders, client)
-	s.dropGrantLocked(client, 1)
-	s.wakeLocked(st)
+	dropGrantLocked(d, client, 1)
+	wakeLocked(st)
 	if len(st.holders) == 0 && len(st.waiters) == 0 {
-		delete(s.locks, id)
+		delete(d.locks, id)
 	}
 	return nil
 }
 
 // dropGrantLocked decrements client's tracked grant count after n voluntary
 // releases (no expiry hook involved).
-func (s *Service) dropGrantLocked(client uint64, n int) {
-	ce := s.byClient[client]
+func dropGrantLocked(d *domain, client uint64, n int) {
+	ce := d.byClient[client]
 	if ce == nil {
 		return
 	}
 	ce.grants -= n
 	if ce.grants <= 0 {
-		delete(s.byClient, client)
+		delete(d.byClient, client)
 	}
 }
 
 // ReleaseAll drops every grant held by client (disconnect path).
 func (s *Service) ReleaseAll(client uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dropped := 0
-	for id, st := range s.locks {
-		if st.holders[client] != nil {
-			delete(st.holders, client)
-			dropped++
-			s.wakeLocked(st)
-			if len(st.holders) == 0 && len(st.waiters) == 0 {
-				delete(s.locks, id)
+	for _, d := range s.doms {
+		d.mu.Lock()
+		dropped := 0
+		for id, st := range d.locks {
+			if st.holders[client] != nil {
+				delete(st.holders, client)
+				dropped++
+				wakeLocked(st)
+				if len(st.holders) == 0 && len(st.waiters) == 0 {
+					delete(d.locks, id)
+				}
 			}
 		}
-	}
-	if dropped > 0 {
-		s.dropGrantLocked(client, dropped)
+		if dropped > 0 {
+			dropGrantLocked(d, client, dropped)
+		}
+		d.mu.Unlock()
 	}
 }
 
 // Renew extends the lease on all grants held by client.
 func (s *Service) Renew(client uint64) {
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, st := range s.locks {
-		if g := st.holders[client]; g != nil && !now.After(g.expiry) {
-			g.expiry = now.Add(s.cfg.Lease)
+	for _, d := range s.doms {
+		d.mu.Lock()
+		for _, st := range d.locks {
+			if g := st.holders[client]; g != nil && !now.After(g.expiry) {
+				g.expiry = now.Add(s.cfg.Lease)
+			}
 		}
+		d.mu.Unlock()
 	}
 }
 
@@ -491,9 +544,10 @@ func (s *Service) Renew(client uint64) {
 // class, and whether that grant is hierarchical. Expired grants don't count.
 func (s *Service) Holds(client uint64, id uint64, class Class) (held, hier bool) {
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.locks[id]
+	d := s.dom(id)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.locks[id]
 	if st == nil {
 		return false, false
 	}
@@ -506,10 +560,12 @@ func (s *Service) Holds(client uint64, id uint64, class Class) (held, hier bool)
 
 // Shutdown fails all pending and future acquires.
 func (s *Service) Shutdown() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.down = true
-	for _, st := range s.locks {
-		s.wakeLocked(st)
+	for _, d := range s.doms {
+		d.mu.Lock()
+		d.down = true
+		for _, st := range d.locks {
+			wakeLocked(st)
+		}
+		d.mu.Unlock()
 	}
 }

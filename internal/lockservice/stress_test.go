@@ -64,14 +64,16 @@ func TestExpireSweepsUntouchedLocks(t *testing.T) {
 	if err := s.Acquire(2, 0, X, false); err != nil {
 		t.Fatalf("acquire after expiry: %v", err)
 	}
-	s.mu.Lock()
 	leaked := 0
-	for _, st := range s.locks {
-		if st.holders[dead] != nil {
-			leaked++
+	for _, d := range s.doms {
+		d.mu.Lock()
+		for _, st := range d.locks {
+			if st.holders[dead] != nil {
+				leaked++
+			}
 		}
+		d.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if leaked != 0 {
 		t.Fatalf("dead client's grants leaked on %d untouched locks", leaked)
 	}

@@ -41,7 +41,14 @@ func (fs *FS) Open(path string, flags int) (*File, error) {
 func (fs *FS) OpenFile(path string, flags int, perm uint32) (*File, error) {
 	defer fs.observe("open", fs.obsOpen, fs.obsOp.StartTimer())
 	writing := flags&O_RDWR != 0
+	need := permRead
+	class := lockservice.S
+	if writing {
+		need = permWrite
+		class = lockservice.X
+	}
 	var oid sobj.OID
+	locked := false // file lock already acquired under the directory lock
 	if flags&O_CREATE != 0 {
 		dir, leaf, err := fs.resolveDir(path)
 		if err != nil {
@@ -58,14 +65,38 @@ func (fs *FS) OpenFile(path string, flags int, perm uint32) (*File, error) {
 		}
 		if found {
 			oid = existing
+			if oid.Type() != sobj.TypeCollection {
+				// Lock coupling: the name→object binding is only guaranteed
+				// while the directory lock is held, so the file lock must be
+				// acquired before releasing it. Otherwise a concurrent rename
+				// can move the entry between lookup and lock, and this open's
+				// writes would land on an object no longer bound to path.
+				if err := fs.s.Clerk.Acquire(oid.Lock(), class, false); err != nil {
+					fs.s.Clerk.Release(dirLock, lockservice.X)
+					return nil, err
+				}
+				locked = true
+			}
 		} else {
 			if err := fs.checkPerm(dir, permWrite); err != nil {
 				fs.s.Clerk.Release(dirLock, lockservice.X)
 				return nil, err
 			}
-			oid, err = fs.s.CreateMFileStaged(perm, fs.opts.ExtentLog)
+			// Files live on their parent directory's shard, keeping the
+			// create+insert pair a single-shard batch.
+			oid, err = fs.s.CreateMFileStagedOn(fs.s.ShardOf(dir), perm, fs.opts.ExtentLog)
 			if err == nil {
 				err = fs.s.DirInsert(dir, []byte(leaf), oid, dirLock)
+			}
+			if err == nil {
+				// Born locked: the directory lock's release publishes the
+				// insert to other clients, so the file lock must be held
+				// before that — otherwise a reader can slip in between the
+				// publish and the creator's first write and observe the
+				// empty file, tearing the create+write open apart. The OID
+				// is brand new, so this acquire can never contend.
+				err = fs.s.Clerk.Acquire(oid.Lock(), class, false)
+				locked = err == nil
 			}
 			if err != nil {
 				fs.s.Clerk.Release(dirLock, lockservice.X)
@@ -74,27 +105,54 @@ func (fs *FS) OpenFile(path string, flags int, perm uint32) (*File, error) {
 		}
 		fs.s.Clerk.Release(dirLock, lockservice.X)
 	} else {
-		var err error
-		oid, err = fs.resolve(path)
+		// Non-create opens need the same coupling: resolve the parent, then
+		// look up the leaf and take the file lock under the parent's lock.
+		// Resolving first and locking after leaves a window where a rename
+		// moves the entry and the open's reads/writes land on (and are
+		// observed at) an object no longer bound to path.
+		dir, leaf, err := fs.resolveDir(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := fs.checkPerm(dir, permTraverse); err != nil {
+			return nil, err
+		}
+		dirLock := dir.Lock()
+		if err := fs.s.Clerk.Acquire(dirLock, lockservice.S, false); err != nil {
+			return nil, err
+		}
+		var found bool
+		oid, found, err = fs.s.DirLookup(dir, []byte(leaf))
+		if err == nil && !found {
+			err = fmt.Errorf("%w: %q", ErrNotExist, leaf)
+		}
+		if err == nil && oid.Type() != sobj.TypeCollection {
+			err = fs.s.Clerk.Acquire(oid.Lock(), class, false)
+			locked = err == nil
+		}
+		fs.s.Clerk.Release(dirLock, lockservice.S)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if oid.Type() == sobj.TypeCollection {
+		if locked {
+			fs.s.Clerk.Release(oid.Lock(), class)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
 	}
-	need := permRead
-	class := lockservice.S
-	if writing {
-		need = permWrite
-		class = lockservice.X
-	}
 	if err := fs.checkPerm(oid, need); err != nil {
+		if locked {
+			fs.s.Clerk.Release(oid.Lock(), class)
+		}
 		return nil, err
 	}
-	// The file lock is held open-to-close (§6.1).
-	if err := fs.s.Clerk.Acquire(oid.Lock(), class, false); err != nil {
-		return nil, err
+	// The file lock is held open-to-close (§6.1); the O_CREATE paths already
+	// hold it from inside the directory-locked window above.
+	if !locked {
+		if err := fs.s.Clerk.Acquire(oid.Lock(), class, false); err != nil {
+			return nil, err
+		}
 	}
 	f := &File{fs: fs, oid: oid, path: path, flags: flags, writing: writing}
 	if flags&O_TRUNC != 0 && writing {

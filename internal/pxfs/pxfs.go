@@ -31,6 +31,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/libfs"
 	"github.com/aerie-fs/aerie/internal/lockservice"
 	"github.com/aerie-fs/aerie/internal/obs"
+	"github.com/aerie-fs/aerie/internal/shard"
 	"github.com/aerie-fs/aerie/internal/sobj"
 )
 
@@ -391,7 +392,11 @@ func (fs *FS) Mkdir(path string, perm uint32) error {
 	} else if found {
 		return fmt.Errorf("%w: %q", ErrExist, path)
 	}
-	child, err := fs.s.CreateCollectionStaged(perm)
+	// Placement: the new directory's shard is a pure function of its
+	// (parent, name) identity, so concurrent clients agree without
+	// coordination; the insert into a foreign parent rides the cross-shard
+	// transaction path.
+	child, err := fs.s.CreateCollectionStagedOn(shard.Dir(uint64(dir), []byte(leaf), fs.s.Shards()), perm)
 	if err != nil {
 		return err
 	}
@@ -431,7 +436,7 @@ func (fs *FS) Rmdir(path string) error {
 		return fmt.Errorf("%w: %q", ErrNotEmpty, path)
 	}
 	fs.cacheDrop(cleanAbs(path))
-	return fs.s.DirRemove(dir, []byte(leaf), lock)
+	return fs.s.DirRemove(dir, []byte(leaf), lock, child)
 }
 
 var errStopIter = errors.New("stop")
@@ -484,7 +489,7 @@ func (fs *FS) Unlink(path string) error {
 		fs.mu.Unlock()
 	}
 	fs.cacheDrop(cleanAbs(path))
-	return fs.s.DirRemove(dir, []byte(leaf), lock)
+	return fs.s.DirRemove(dir, []byte(leaf), lock, child)
 }
 
 // Rename atomically moves src to dst, overwriting an existing destination
@@ -521,9 +526,17 @@ func (fs *FS) Rename(src, dst string) error {
 	if !found {
 		return fmt.Errorf("%w: %q", ErrNotExist, src)
 	}
+	// An overwritten destination entry is torn down on its own shard; name
+	// it so the router can tell when the rename must go cross-shard.
+	var involved []sobj.OID
+	if victim, vFound, err := fs.s.DirLookup(ddir, []byte(dleaf)); err != nil {
+		return err
+	} else if vFound {
+		involved = append(involved, victim)
+	}
 	fs.cacheDrop(cleanAbs(src))
 	fs.cacheDrop(cleanAbs(dst))
-	return fs.s.DirRename(sdir, []byte(sleaf), ddir, []byte(dleaf), child, sdir.Lock(), ddir.Lock())
+	return fs.s.DirRename(sdir, []byte(sleaf), ddir, []byte(dleaf), child, sdir.Lock(), ddir.Lock(), involved...)
 }
 
 // FileInfo describes a file or directory.

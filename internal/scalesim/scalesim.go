@@ -16,6 +16,8 @@ package scalesim
 
 import (
 	"container/heap"
+	"fmt"
+	"strings"
 	"time"
 
 	"github.com/aerie-fs/aerie/internal/costmodel"
@@ -39,6 +41,12 @@ type Config struct {
 	// TFSThreads is the TFS service-thread count (default 6, the paper's
 	// core count).
 	TFSThreads int
+	// Shards partitions the trusted service: each simulated thread's "tfs"
+	// phases route to its home shard's service point ("tfs.<k>", k = thread
+	// mod Shards — the analogue of namespace placement spreading client
+	// working directories), and every shard gets its own TFSThreads-deep
+	// capacity. Zero or one simulates the classic single service.
+	Shards int
 }
 
 // Result summarizes a simulation.
@@ -113,6 +121,7 @@ type thread struct {
 	done    int
 	latency time.Duration
 	index   int // heap bookkeeping
+	id      int // stable identity; decides the thread's home shard
 }
 
 type threadHeap []*thread
@@ -161,7 +170,7 @@ func SimulateTraces(traces [][]costmodel.OpTrace, cfg Config) Result {
 		r := resources[name]
 		if r == nil {
 			capacity := 1
-			if name == "tfs" {
+			if name == "tfs" || strings.HasPrefix(name, "tfs.") {
 				capacity = cfg.TFSThreads
 			}
 			if c, ok := cfg.Capacity[name]; ok {
@@ -175,13 +184,21 @@ func SimulateTraces(traces [][]costmodel.OpTrace, cfg Config) Result {
 		}
 		return r
 	}
+	// Per-shard trusted-service points, named once up front.
+	var shardNames []string
+	if cfg.Shards > 1 {
+		shardNames = make([]string, cfg.Shards)
+		for k := range shardNames {
+			shardNames[k] = fmt.Sprintf("tfs.%d", k)
+		}
+	}
 	h := make(threadHeap, 0, cfg.Threads)
 	threads := make([]*thread, cfg.Threads)
 	for i := range threads {
 		if len(traces[i]) == 0 {
 			return Result{Threads: cfg.Threads}
 		}
-		threads[i] = &thread{trace: traces[i], opIdx: i * len(traces[i]) / cfg.Threads}
+		threads[i] = &thread{trace: traces[i], opIdx: i * len(traces[i]) / cfg.Threads, id: i}
 		heap.Push(&h, threads[i])
 	}
 	var totalOps int64
@@ -211,7 +228,11 @@ func SimulateTraces(traces [][]costmodel.OpTrace, cfg Config) Result {
 				t.now += ph.Dur
 				continue
 			}
-			t.now = getRes(ph.Resource).acquire(t.now, ph.Mode, ph.Dur)
+			name := ph.Resource
+			if shardNames != nil && name == "tfs" {
+				name = shardNames[t.id%cfg.Shards]
+			}
+			t.now = getRes(name).acquire(t.now, ph.Mode, ph.Dur)
 		}
 		t.latency += t.now - start
 		t.done++

@@ -262,5 +262,10 @@ func (mp *Mapping) Partition() PartitionID { return mp.part }
 // Base returns the first address of the mapped partition.
 func (mp *Mapping) Base() uint64 { return mp.start }
 
+// Span returns the mapped partition's address range. A sharded client
+// session composes one mapping per shard partition and routes accesses by
+// these ranges.
+func (mp *Mapping) Span() (start, size uint64) { return mp.start, mp.size }
+
 // Proc returns the owning process identity.
 func (mp *Mapping) Proc() *Process { return mp.proc }

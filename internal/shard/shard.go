@@ -1,0 +1,72 @@
+// Package shard defines the deterministic placement function that maps
+// every object in a sharded Aerie volume to the trusted-service shard that
+// owns it, plus the address-range table both sides use to answer "which
+// shard owns this object?".
+//
+// Placement is by construction, not by lookup: an object lives on the shard
+// whose allocator partition contains its header address, so ownership is a
+// pure function of the OID. New objects are placed by hashing:
+//
+//   - FlatFS keys hash to a per-shard namespace collection (Bucket).
+//   - PXFS directories hash their (parent, name) pair (Dir), with the
+//     root pinned to shard 0 so path resolution always has an anchor.
+//   - PXFS files are created on their parent directory's shard, keeping
+//     the common create+insert pair a single-shard batch.
+//
+// Operations whose objects span two shards (rename across directories on
+// different shards, cross-shard mkdir) are routed to the two-phase
+// mini-transaction path instead of a single shard's window.
+package shard
+
+import "hash/fnv"
+
+// Range is one shard's allocator partition: header addresses in
+// [Start, Start+Size) belong to that shard.
+type Range struct {
+	Start uint64
+	Size  uint64
+}
+
+// Table maps arena-absolute addresses to shard IDs. The slice index is the
+// shard ID; ranges never overlap (they are distinct scmmgr partitions).
+type Table []Range
+
+// OfAddr returns the shard owning addr, or -1 when no shard's partition
+// contains it (a forged or stale OID).
+func (t Table) OfAddr(addr uint64) int {
+	for i, r := range t {
+		if addr >= r.Start && addr < r.Start+r.Size {
+			return i
+		}
+	}
+	return -1
+}
+
+// Bucket places a FlatFS key: hash(key) mod n. Deterministic across
+// processes (FNV-1a), independent of insertion order.
+func Bucket(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// Dir places a new PXFS directory by hashing its (parent, name) identity.
+// The root directory is pinned to shard 0 by its creator (FormatVolume);
+// every other directory's shard is a pure function of where and as what it
+// was created, so concurrent clients agree without coordination.
+func Dir(parent uint64, name []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	var p [8]byte
+	for i := 0; i < 8; i++ {
+		p[i] = byte(parent >> (8 * i))
+	}
+	h.Write(p[:])
+	h.Write(name)
+	return int(h.Sum32() % uint32(n))
+}

@@ -39,6 +39,14 @@ const (
 	jFree            uint8 = 11 // a=addr, b=size
 	jPreallocAdd     uint8 = 12 // a=addr, b=size
 	jPreallocConsume uint8 = 13 // a=addr
+	// Cross-shard transaction markers (shardset.go). jTxCommit rides the
+	// coordinator's batch: applying it records the transaction outcome in
+	// the coordinator's side-log. jTxResolve rides each participant's
+	// resolve batch: applying it tombstones the shard's prepare record.
+	// Both are idempotent against the side-log state, so redo replay of the
+	// batches they ride re-reaches the same decision.
+	jTxCommit  uint8 = 14 // a=txid
+	jTxResolve uint8 = 15 // a=txid, b=coordinator shard
 )
 
 type action struct {
@@ -275,8 +283,14 @@ func (s *Service) applyAction(acts []action, i int, allocator sobj.Allocator, re
 		}
 		return err
 	case jSetRefcnt:
+		if unlock := s.hdrExcl(ac.oid); unlock != nil {
+			defer unlock()
+		}
 		return sobj.SetRefcnt(s.mem, ac.oid, uint32(ac.a))
 	case jSetParent:
+		if unlock := s.hdrExcl(ac.oid); unlock != nil {
+			defer unlock()
+		}
 		return sobj.SetParent(s.mem, ac.oid, ac.child)
 	case jAttach:
 		m, err := sobj.OpenMFile(s.mem, ac.oid)
@@ -310,8 +324,14 @@ func (s *Service) applyAction(acts []action, i int, allocator sobj.Allocator, re
 		}
 		return m.TruncatePruneOnly(allocator, ac.a)
 	case jSetPerm:
+		if unlock := s.hdrExcl(ac.oid); unlock != nil {
+			defer unlock()
+		}
 		return sobj.SetPerm(s.mem, ac.oid, uint32(ac.a))
 	case jSetAttrs:
+		if unlock := s.hdrExcl(ac.oid); unlock != nil {
+			defer unlock()
+		}
 		return sobj.SetAttrs(s.mem, ac.oid, ac.a)
 	case jReplaceExt:
 		m, err := sobj.OpenMFile(s.mem, ac.oid)
@@ -368,6 +388,10 @@ func (s *Service) applyAction(acts []action, i int, allocator sobj.Allocator, re
 			return nil
 		}
 		return err
+	case jTxCommit:
+		return s.txOutcome(ac.a)
+	case jTxResolve:
+		return s.txTombstone(ac.a, uint32(ac.b))
 	}
 	return fmt.Errorf("tfs: unknown journal action %d", ac.code)
 }
@@ -451,7 +475,11 @@ func (ov *overlay) refcnt(s *Service, oid sobj.OID) (uint32, error) {
 	if ov.created[oid] {
 		return 0, nil
 	}
+	unlock := s.hdrShared(oid)
 	h, err := sobj.ReadHeader(s.mem, oid)
+	if unlock != nil {
+		unlock()
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -465,7 +493,11 @@ func (ov *overlay) parent(s *Service, oid sobj.OID) (sobj.OID, error) {
 	if ov.created[oid] {
 		return 0, nil
 	}
+	unlock := s.hdrShared(oid)
 	h, err := sobj.ReadHeader(s.mem, oid)
+	if unlock != nil {
+		unlock()
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -655,7 +687,10 @@ func (s *Service) plan(client uint64, st *clientState, ops []fsproto.Op) ([]acti
 		}
 		ov.consumed[addr] = true
 		acts = append(acts, action{code: jPreallocConsume, a: addr})
-		effects = append(effects, func() { delete(st.prealloc, addr) })
+		// The tracking entry lives on the shard that allocated the extent —
+		// under a cross-shard transaction st is a merged view, so the
+		// deletion must route back to the owner (dropPrealloc).
+		effects = append(effects, func() { s.dropPrealloc(client, addr) })
 		return nil
 	}
 
@@ -673,8 +708,14 @@ func (s *Service) plan(client uint64, st *clientState, ops []fsproto.Op) ([]acti
 			acts = append(acts, action{code: jSetRefcnt, oid: child, a: uint64(refcnt)})
 			return nil
 		}
-		// Last link gone. Open files survive until closed (§6.1).
-		if os := s.openFiles[child]; os != nil && os.opens > 0 {
+		// Last link gone. Open files survive until closed (§6.1). The
+		// registration lives on the child's owning shard, which may not be
+		// the planning shard inside a cross-shard transaction.
+		osf, err := s.openStateFor(child)
+		if err != nil {
+			return err
+		}
+		if os := osf; os != nil && os.opens > 0 {
 			effects = append(effects, func() { os.unlinked = true })
 			acts = append(acts, action{code: jSetRefcnt, oid: child, a: 0})
 			return nil

@@ -40,13 +40,33 @@ func (r FsckReport) String() string {
 // the root namespace (plus tracked pre-allocations and open-but-unlinked
 // files) is marked, then the allocation bitmap is swept for unreachable
 // blocks. With repair set, leaked blocks are freed. The service must be
-// quiescent (no concurrent clients); run it right after recovery.
+// quiescent (no concurrent clients); run it right after recovery. On a
+// sharded set reachability is a whole-volume property (directories
+// reference children on any shard), so the check runs set-wide.
 func (s *Service) Fsck(repair bool) (FsckReport, error) {
+	if s.set != nil && len(s.set.shards) > 1 {
+		return s.set.Fsck(repair)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var rep FsckReport
 	reach := make(map[uint64]bool) // min-block addr -> reachable
+	if err := s.fsckMarkLocked(&rep, reach); err != nil {
+		return rep, err
+	}
+	rep.ReachableBlocks = len(reach)
+	if err := s.fsckSweepLocked(&rep, reach, repair); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
 
+// fsckMarkLocked marks every min-block reachable from this shard's root
+// namespace, pre-allocation tracking, and open-file registrations into
+// reach. The walk may cross into other shards' storage (a directory here
+// can reference a child there); reach is shared set-wide for that reason.
+// Callers hold s.mu.
+func (s *Service) fsckMarkLocked(rep *FsckReport, reach map[uint64]bool) error {
 	markExtent := func(addr, size uint64) {
 		actual := alloc.BlockSize(alloc.OrderFor(size))
 		for a := addr; a < addr+actual; a += alloc.MinBlock {
@@ -88,14 +108,14 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 		return nil
 	}
 	if err := markObject(s.root, 0); err != nil {
-		return rep, err
+		return err
 	}
 	// The pre-allocation tracking collection (its values are extent sizes,
 	// not object IDs, so mark only its own extents) and every extent it
 	// tracks.
 	preExts, err := s.preCol.Extents()
 	if err != nil {
-		return rep, err
+		return err
 	}
 	rep.Objects++
 	for _, e := range preExts {
@@ -109,17 +129,22 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 		}
 		return nil
 	}); err != nil {
-		return rep, err
+		return err
 	}
 	// Open-but-unlinked files are live until closed.
 	for oid := range s.openFiles {
 		if err := markObject(oid, 0); err != nil {
-			return rep, err
+			return err
 		}
 	}
-	rep.ReachableBlocks = len(reach)
+	return nil
+}
 
-	// Sweep.
+// fsckSweepLocked sweeps this shard's allocation bitmap against the (shared)
+// reach map: allocated-but-unreachable blocks are leaks (freed under
+// repair); reachable addresses inside this shard's heap that its bitmap
+// says are free are lost blocks. Callers hold s.mu.
+func (s *Service) fsckSweepLocked(rep *FsckReport, reach map[uint64]bool, repair bool) error {
 	var leaked []uint64
 	allocated := make(map[uint64]bool)
 	if err := s.bd.ForEachAllocated(func(addr uint64) error {
@@ -130,11 +155,12 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 		}
 		return nil
 	}); err != nil {
-		return rep, err
+		return err
 	}
-	rep.LeakedBlocks = len(leaked)
+	rep.LeakedBlocks += len(leaked)
+	heapEnd := s.heap[0] + s.heap[1]
 	for addr := range reach {
-		if !allocated[addr] {
+		if addr >= s.heap[0] && addr < heapEnd && !allocated[addr] {
 			rep.LostAddrs = append(rep.LostAddrs, addr)
 		}
 	}
@@ -142,11 +168,11 @@ func (s *Service) Fsck(repair bool) (FsckReport, error) {
 	if repair {
 		for _, addr := range leaked {
 			if err := s.bd.Free(addr, alloc.MinBlock); err != nil {
-				return rep, err
+				return err
 			}
 			rep.RepairedBlocks++
 			s.obsFsckRepairs.Inc()
 		}
 	}
-	return rep, nil
+	return nil
 }

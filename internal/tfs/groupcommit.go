@@ -333,6 +333,12 @@ func (s *Service) runGroup(group []*groupBatch) {
 			continue
 		}
 		acts, effects, err := s.plan(gb.client, st, gb.ops)
+		if err == nil {
+			// A single-shard batch must compile to actions on this shard's
+			// own storage; anything else belongs in a cross-shard
+			// transaction (TxApply) and is rejected with the owning shard.
+			err = s.checkHomeActs(acts)
+		}
 		if err != nil {
 			gb.err = err
 			s.OpsRejected.Add(int64(len(gb.ops)))

@@ -16,41 +16,73 @@ const (
 
 func journalErrFull() error { return journal.ErrFull }
 
-// registerHandlers wires the service's RPC methods.
-func (s *Service) registerHandlers() {
-	s.srv.Register(fsproto.MethodMount, func(client uint64, req []byte) ([]byte, error) {
+// registerHandlers wires the set's RPC methods. The legacy unframed methods
+// (ApplyLog, ApplyLogSeq, Prealloc) bind to shard 0 — a single-shard volume
+// behaves exactly as before sharding; on a multi-shard volume a legacy
+// client can still operate on shard 0's namespace. OID-addressed methods
+// route by the object's owning shard; shard-framed methods carry the shard
+// and routing epoch explicitly.
+func (set *ShardSet) registerHandlers() {
+	srv := set.srv
+	s0 := set.shards[0]
+	srv.Register(fsproto.MethodMount, func(client uint64, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		uid := r.U32()
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}
-		reply := s.Mount(client, uid)
+		reply := set.Mount(client, uid)
 		return fsproto.EncodeMountReply(&reply), nil
 	})
-	s.srv.Register(fsproto.MethodPrealloc, func(client uint64, req []byte) ([]byte, error) {
+	srv.Register(fsproto.MethodPrealloc, func(client uint64, req []byte) ([]byte, error) {
 		q, err := fsproto.DecodePrealloc(req)
 		if err != nil {
 			return nil, err
 		}
-		addrs, err := s.Prealloc(client, q.Size, q.Count)
+		addrs, err := s0.Prealloc(client, q.Size, q.Count)
 		if err != nil {
 			return nil, err
 		}
 		return fsproto.EncodeAddrs(addrs), nil
 	})
-	s.srv.Register(fsproto.MethodApplyLog, func(client uint64, req []byte) ([]byte, error) {
-		if err := s.ApplyLog(client, req); err != nil {
+	srv.Register(fsproto.MethodPreallocShard, func(client uint64, req []byte) ([]byte, error) {
+		h, inner, err := fsproto.DecodeShardFramed(req)
+		if err != nil {
 			return nil, err
 		}
-		return nil, nil
-	})
-	s.srv.Register(fsproto.MethodApplyLogSeq, func(client uint64, req []byte) ([]byte, error) {
-		if err := s.ApplyLogSeq(client, req); err != nil {
+		if err := set.checkFrame(h); err != nil {
 			return nil, err
 		}
-		return nil, nil
+		q, err := fsproto.DecodePrealloc(inner)
+		if err != nil {
+			return nil, err
+		}
+		addrs, err := set.shards[h.Shard].Prealloc(client, q.Size, q.Count)
+		if err != nil {
+			return nil, err
+		}
+		return fsproto.EncodeAddrs(addrs), nil
 	})
-	s.srv.Register(fsproto.MethodChmod, func(client uint64, req []byte) ([]byte, error) {
+	srv.Register(fsproto.MethodApplyLog, func(client uint64, req []byte) ([]byte, error) {
+		return nil, s0.ApplyLog(client, req)
+	})
+	srv.Register(fsproto.MethodApplyLogSeq, func(client uint64, req []byte) ([]byte, error) {
+		return nil, s0.ApplyLogSeq(client, req)
+	})
+	srv.Register(fsproto.MethodApplyLogShard, func(client uint64, req []byte) ([]byte, error) {
+		h, inner, err := fsproto.DecodeShardFramed(req)
+		if err != nil {
+			return nil, err
+		}
+		if err := set.checkFrame(h); err != nil {
+			return nil, err
+		}
+		return nil, set.shards[h.Shard].ApplyLogSeq(client, inner)
+	})
+	srv.Register(fsproto.MethodTxApply, func(client uint64, req []byte) ([]byte, error) {
+		return nil, set.TxApply(client, req)
+	})
+	srv.Register(fsproto.MethodChmod, func(client uint64, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		oid := sobj.OID(r.U64())
 		perm := r.U32()
@@ -58,33 +90,38 @@ func (s *Service) registerHandlers() {
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}
-		return nil, s.Chmod(client, oid, perm, hw)
+		return nil, set.ownerOf(oid.Addr()).Chmod(client, oid, perm, hw)
 	})
-	s.srv.Register(fsproto.MethodOpenFile, func(client uint64, req []byte) ([]byte, error) {
+	srv.Register(fsproto.MethodOpenFile, func(client uint64, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		oid := sobj.OID(r.U64())
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}
-		s.OpenFile(client, oid)
+		set.ownerOf(oid.Addr()).OpenFile(client, oid)
 		return nil, nil
 	})
-	s.srv.Register(fsproto.MethodCloseFile, func(client uint64, req []byte) ([]byte, error) {
+	srv.Register(fsproto.MethodCloseFile, func(client uint64, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		oid := sobj.OID(r.U64())
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}
-		return nil, s.CloseFile(client, oid)
+		return nil, set.ownerOf(oid.Addr()).CloseFile(client, oid)
 	})
-	s.srv.Register(fsproto.MethodStatVol, func(client uint64, _ []byte) ([]byte, error) {
+	srv.Register(fsproto.MethodStatVol, func(client uint64, _ []byte) ([]byte, error) {
+		var free, applied uint64
+		for _, s := range set.shards {
+			free += s.FreeBytes()
+			applied += uint64(s.BatchesApplied.Load())
+		}
 		w := wire.NewWriter(16)
-		w.U64(s.FreeBytes())
-		w.U64(uint64(s.BatchesApplied.Load()))
+		w.U64(free)
+		w.U64(applied)
 		return w.Bytes(), nil
 	})
-	s.srv.Register(fsproto.MethodStatfs, func(client uint64, _ []byte) ([]byte, error) {
-		rep, err := s.Statfs()
+	srv.Register(fsproto.MethodStatfs, func(client uint64, _ []byte) ([]byte, error) {
+		rep, err := set.Statfs()
 		if err != nil {
 			return nil, err
 		}

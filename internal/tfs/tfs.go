@@ -36,6 +36,11 @@ import (
 //	0x28 u64 heap start     0x30 u64 heap size
 //	0x38 u64 prealloc-tracking collection OID
 //	0x40 u32 volume GID
+//	0x48 u64 transaction side-log base   0x50 u64 transaction side-log size
+//	0x58 u64 transaction generation (bumped once per attach; shard 0 only)
+//
+// txBase == 0 marks a volume formatted before cross-shard transactions; such
+// a volume runs single-shard with no side-log.
 const (
 	sbMagic       = 0xae81ef5000000001
 	offSBMagic    = 0x00
@@ -47,6 +52,9 @@ const (
 	offSBHeapSize = 0x30
 	offSBPrealloc = 0x38
 	offSBGID      = 0x40
+	offSBTxBase   = 0x48
+	offSBTxSize   = 0x50
+	offSBTxGen    = 0x58
 )
 
 // Errors.
@@ -117,6 +125,18 @@ type Service struct {
 	openFiles map[sobj.OID]*openState
 
 	faults *faultinject.Injector
+
+	// Sharding (shardset.go). Every Service belongs to a ShardSet — the
+	// single-shard case is a set of one — and shardID is its index there.
+	// tx is the transaction side-log (nil on pre-sharding volumes), and
+	// planAcrossShards widens plan's placement checks while a cross-shard
+	// transaction holds every shard's mutex.
+	set              *ShardSet
+	shardID          int
+	tx               *txState
+	sbBase           uint64
+	txBase, txSize   uint64
+	planAcrossShards bool
 
 	// Group commit (groupcommit.go): handler goroutines enqueue batches
 	// under gqMu; the first enqueuer with no leader running becomes the
@@ -191,7 +211,15 @@ func FormatVolume(mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.Partiti
 	base := info.Start
 	jBase := base + scm.PageSize
 	jSize := cfg.JournalSize
-	bitmapAddr := jBase + jSize
+	// Transaction side-log: small — it only ever holds prepare/outcome/
+	// tombstone records for in-flight cross-shard transactions — but it must
+	// clear the journal's minimum region (header + 4 pages).
+	txSize := jSize / 8
+	if txSize < 8*scm.PageSize {
+		txSize = 8 * scm.PageSize
+	}
+	txBase := jBase + jSize
+	bitmapAddr := txBase + txSize
 	// Heap begins after the bitmap; compute with the final heap size.
 	heapStart := bitmapAddr
 	heapSize := uint64(0)
@@ -221,6 +249,9 @@ func FormatVolume(mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.Partiti
 		return err
 	}
 	if _, err := journal.Format(mem, jBase, jSize); err != nil {
+		return err
+	}
+	if _, err := journal.Format(mem, txBase, txSize); err != nil {
 		return err
 	}
 	root, err := sobj.CreateCollection(mem, bd, 0755)
@@ -256,6 +287,15 @@ func FormatVolume(mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.Partiti
 	if err := scm.Write32(mem, base+offSBGID, cfg.VolumeGID); err != nil {
 		return err
 	}
+	if err := scm.Write64(mem, base+offSBTxBase, txBase); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBTxSize, txSize); err != nil {
+		return err
+	}
+	if err := scm.Write64(mem, base+offSBTxGen, 0); err != nil {
+		return err
+	}
 	if err := mem.Flush(base, scm.PageSize); err != nil {
 		return err
 	}
@@ -265,91 +305,14 @@ func FormatVolume(mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.Partiti
 
 // Serve attaches a TFS to a formatted volume, recovers from the journal,
 // scavenges pre-allocations orphaned by the restart, and registers RPC
-// handlers (its own and the lock service's) on srv.
+// handlers (its own and the lock service's) on srv. It is the single-shard
+// case of ServeShards (shardset.go).
 func Serve(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, part scmmgr.PartitionID, cfg Config) (*Service, error) {
-	mem := mgr.Mem()
-	info, err := mgr.Partition(part)
+	set, err := ServeShards(srv, mgr, proc, []scmmgr.PartitionID{part}, cfg)
 	if err != nil {
 		return nil, err
 	}
-	base := info.Start
-	magic, err := scm.Read64(mem, base+offSBMagic)
-	if err != nil {
-		return nil, err
-	}
-	if magic != sbMagic {
-		return nil, ErrNotFormatted
-	}
-	rootOID, _ := scm.Read64(mem, base+offSBRoot)
-	jBase, _ := scm.Read64(mem, base+offSBJBase)
-	bitmapAddr, _ := scm.Read64(mem, base+offSBBitmap)
-	heapStart, _ := scm.Read64(mem, base+offSBHeap)
-	heapSize, _ := scm.Read64(mem, base+offSBHeapSize)
-	preOID, _ := scm.Read64(mem, base+offSBPrealloc)
-	gid, _ := scm.Read32(mem, base+offSBGID)
-
-	bd, err := alloc.Attach(mem, bitmapAddr, heapStart, heapSize)
-	if err != nil {
-		return nil, err
-	}
-	jl, err := journal.Attach(mem, jBase)
-	if err != nil {
-		return nil, err
-	}
-	preCol, err := sobj.OpenCollection(mem, sobj.OID(preOID))
-	if err != nil {
-		return nil, err
-	}
-	if cfg.MaxInflightBytes == 0 {
-		cfg.MaxInflightBytes = 64 << 20
-	}
-	if cfg.MaxClientInflight == 0 {
-		cfg.MaxClientInflight = 4
-	}
-	if cfg.RetryAfterHint == 0 {
-		cfg.RetryAfterHint = 5 * time.Millisecond
-	}
-	s := &Service{
-		mgr: mgr, proc: proc, part: part, mem: mem, cfg: cfg,
-		srv: srv, bd: bd, jl: jl,
-		root: sobj.OID(rootOID), preCol: preCol, gid: gid,
-		heap:         [2]uint64{heapStart, heapSize},
-		clients:      make(map[uint64]*clientState),
-		gates:        make(map[uint64]*seqGate),
-		openFiles:    make(map[sobj.OID]*openState),
-		admPerClient: make(map[uint64]int),
-		faults:       cfg.Faults,
-	}
-	s.obsBatchOps = cfg.Obs.Histogram("tfs.batch.ops")
-	s.obsFsckRepairs = cfg.Obs.Counter("tfs.fsck.repairs")
-	s.obsReserveBytes = cfg.Obs.Histogram("tfs.reserve.bytes")
-	s.obsReserveWait = cfg.Obs.Histogram("tfs.reserve.wait_ns")
-	s.obsReserveFallbks = cfg.Obs.Counter("tfs.reserve.fallbacks")
-	s.obsSheds = cfg.Obs.Counter("tfs.admission.sheds")
-	s.obsGroupBatches = cfg.Obs.Histogram("tfs.groupcommit.batches")
-	s.obsGroupFences = cfg.Obs.Counter("tfs.groupcommit.fences")
-	s.obsGroupCoalesced = cfg.Obs.Counter("tfs.groupcommit.coalesced")
-	s.obsGroupParallel = cfg.Obs.Counter("tfs.groupcommit.parallel_batches")
-	jl.SetFaults(cfg.Faults)
-	jl.SetObs(cfg.Obs)
-	bd.SetFaults(cfg.Faults)
-	// Crash recovery (§5.3.6): replay committed, un-checkpointed batches.
-	if err := s.recover(); err != nil {
-		return nil, err
-	}
-	// Scavenge: no client survives a TFS restart, so every tracked
-	// pre-allocation is an orphan; reclaim them (§5.3.7).
-	if err := s.scavengePreallocs(); err != nil {
-		return nil, err
-	}
-	s.Locks = lockservice.Serve(srv, lockservice.Config{
-		Lease:          cfg.Lease,
-		AcquireTimeout: cfg.AcquireTimeout,
-		OnExpire:       func(client uint64) { s.dropClient(client) },
-		Obs:            cfg.Obs,
-	})
-	s.registerHandlers()
-	return s, nil
+	return set.Shard(0), nil
 }
 
 // Root returns the volume's root collection OID.
@@ -377,8 +340,12 @@ func (s *Service) JournalIdle() bool {
 
 // Statfs reports volume-wide space and object accounting. The object count
 // walks the namespace under the service mutex — cheap for interactive `df`,
-// not meant for per-request hot paths.
+// not meant for per-request hot paths. On a sharded set the whole-volume
+// view lives on the set; asking any one shard answers for all of them.
 func (s *Service) Statfs() (fsproto.StatfsReply, error) {
+	if s.set != nil && len(s.set.shards) > 1 {
+		return s.set.Statfs()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rep := fsproto.StatfsReply{
@@ -503,6 +470,15 @@ func addrKey(addr uint64) []byte {
 // never seen; its pre-allocated extents are reclaimed (§4.3: lock
 // revocation implicitly discards outstanding updates).
 func (s *Service) dropClient(client uint64) {
+	s.dropClientState(client)
+	if s.Locks != nil {
+		s.Locks.ReleaseAll(client)
+	}
+}
+
+// dropClientState reclaims the client's shard-local state only; the set
+// drops every shard's state this way, then releases locks once.
+func (s *Service) dropClientState(client uint64) {
 	s.mu.Lock()
 	st := s.clients[client]
 	delete(s.clients, client)
@@ -514,9 +490,6 @@ func (s *Service) dropClient(client uint64) {
 		}
 	}
 	s.mu.Unlock()
-	if s.Locks != nil {
-		s.Locks.ReleaseAll(client)
-	}
 }
 
 func (s *Service) client(id uint64) *clientState {
