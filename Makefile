@@ -21,7 +21,7 @@ TIER2_PKGS := ./internal/scm ./internal/scmmgr ./internal/sobj ./internal/lockse
 RACE_FAULT_PKGS := ./internal/faultinject ./internal/lockservice
 FUZZTIME ?= 10s
 
-.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist tier2-linearize tier2-shard bench-readpath bench-writepath bench-recovery bench-shard fuzz-short
+.PHONY: all tier1 tier2 tier2-crash tier2-exhaust tier2-writepipe tier2-persist tier2-linearize tier2-shard tier2-aging tier2-tenant bench-readpath bench-writepath bench-recovery bench-shard bench-aging fuzz-short
 
 all: tier1
 
@@ -44,6 +44,7 @@ fuzz-short:
 	go test -fuzz='^FuzzDecodeReplies$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzSeqHeader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzShardHeader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
+	go test -fuzz='^FuzzTenantHeader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/fsproto
 	go test -fuzz='^FuzzReader$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzWriterReaderRoundTrip$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/wire
 	go test -fuzz='^FuzzSplitPath$$' -fuzztime=$(FUZZTIME) -run='^$$' ./internal/pxfs
@@ -100,6 +101,22 @@ tier2-shard:
 	go test -race -count=1 -timeout 10m -run 'TestConcurrentSharded|TestConcurrentTwoShard' -v ./internal/conformance
 	AERIE_2PCSWEEP_FULL=1 go test -count=1 -timeout 10m -run 'TestShard2PCKill9Sweep' -v ./internal/crashsweep
 
+# Aging tier: the short-mode long-haul sweep (log-rotate + varmail churn
+# rounds with per-round fragmentation, probe-read-latency, journal-idle and
+# fsck checks, bounded by an absolute fragmentation-index ceiling and a
+# generous read-slowdown ratio) plus the unlink-of-buffered-appends leak
+# regression the harness first exposed.
+tier2-aging:
+	go test -count=1 -timeout 10m -run 'TestAging|TestCheckBounds|TestUnlinkBufferedAppends' -v ./internal/agesweep
+
+# Tenancy tier: race-enabled multi-tenant isolation tests — weighted-fair
+# scheduling under an aggressor flood (victim p99 bound), the quota
+# exhaustion sweep (typed errors, batch atomicity, delete-to-recover), and
+# per-shard tenant accounting including mid-2PC reservation attribution.
+tier2-tenant:
+	go test -race -count=1 -timeout 10m -run 'TestTenant|TestQuota|TestFair' -v ./internal/tfs ./internal/core
+	go test -race -count=1 -run 'TestBackoffHonorsRetryAfterHint|TestRetryableShed' ./internal/libfs
+
 bench-readpath:
 	go test -run xxx -bench BenchmarkReadPath -benchmem .
 
@@ -111,3 +128,6 @@ bench-recovery:
 
 bench-shard:
 	go test -run xxx -bench BenchmarkShardScale -benchtime 1x .
+
+bench-aging:
+	go test -run xxx -bench BenchmarkAging -benchtime 1x -timeout 30m .

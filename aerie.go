@@ -37,6 +37,7 @@ import (
 	"github.com/aerie-fs/aerie/internal/pxfs"
 	"github.com/aerie-fs/aerie/internal/scm"
 	"github.com/aerie-fs/aerie/internal/sobj"
+	"github.com/aerie-fs/aerie/internal/tfs"
 )
 
 // StatfsInfo is the volume-wide space and object accounting returned by
@@ -57,7 +58,22 @@ var (
 	// ErrBusy: the TFS shed the batch under load and in-call retries were
 	// exhausted; the batch stays parked and a later Sync re-ships it.
 	ErrBusy = fsproto.ErrBusy
+	// ErrQuotaExceeded: the batch's worst-case space demand would push its
+	// tenant past its configured quota. Distinct from ErrNoSpace — the
+	// volume may have plenty of free space; deleting the tenant's own
+	// files restores headroom.
+	ErrQuotaExceeded = fsproto.ErrQuotaExceeded
 )
+
+// TenantConfig is one tenant's isolation policy (scheduling weight, space
+// quota), set at boot via Options.Tenants or at runtime via
+// Session.TenantCtl.
+type TenantConfig = tfs.TenantConfig
+
+// TenantUsage is one (tenant, shard) accounting row returned by
+// Session.TenantStat: configured policy plus live used/reserved bytes and
+// shed/reject counters.
+type TenantUsage = fsproto.TenantUsage
 
 // Typed volume-file errors surfaced by New (Options.VolumePath) and Open.
 // Test with errors.Is.

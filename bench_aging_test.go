@@ -1,0 +1,58 @@
+// Long-haul aging benchmark: repeated rounds of log-rotate and varmail
+// churn against one volume, sampling allocator fragmentation and fixed-probe
+// read latency after every round (internal/agesweep). The trajectory — not
+// any single number — is the result: a healthy allocator's fragmentation
+// index plateaus instead of drifting toward 1, and the probe read path must
+// not degrade by more than the generous slowdown ratio even after every
+// round's churn. The run also re-proves the no-leak invariants each round
+// (journal idle, fsck clean). BENCH_aging.json records a snapshot;
+// `make bench-aging` reproduces it.
+package aerie_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"github.com/aerie-fs/aerie/internal/agesweep"
+)
+
+const (
+	agingMaxFragIndex = 0.75
+	agingMaxSlowdown  = 10.0
+)
+
+func BenchmarkAging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := agesweep.Run(agesweep.Config{
+			Rounds:  6,
+			Iters:   25,
+			Threads: 2,
+			Logf:    b.Logf,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v := res.CheckBounds(agingMaxFragIndex, agingMaxSlowdown); len(v) != 0 {
+			for _, s := range v {
+				b.Error(s)
+			}
+			b.Fatal("aging bounds violated")
+		}
+		last := res.Rounds[len(res.Rounds)-1]
+		b.ReportMetric(last.FragIndex, "fragindex")
+		b.ReportMetric(float64(last.Fragments), "fragments")
+		b.ReportMetric(res.ReadSlowdown(), "readslowdown")
+		b.ReportMetric(float64(last.ReadNsPerOp), "probe-ns/read")
+		// AERIE_BENCH_SNAPSHOT=1 records the committed snapshot.
+		if os.Getenv("AERIE_BENCH_SNAPSHOT") != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := os.WriteFile("BENCH_aging.json", append(out, '\n'), 0644); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

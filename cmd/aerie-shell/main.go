@@ -20,6 +20,7 @@ import (
 
 func main() {
 	shards := flag.Int("shards", 1, "trusted-service shards (df and stats then show per-shard rows)")
+	tenant := flag.Uint("tenant", 0, "mount the session as this tenant; its writes charge the tenant's quota")
 	flag.Parse()
 	sink := aerie.NewObs()
 	sys, err := aerie.New(aerie.Options{ArenaSize: 256 << 20, Shards: *shards, Obs: sink})
@@ -27,7 +28,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sess, err := sys.NewSession(aerie.SessionConfig{UID: 1000})
+	sess, err := sys.NewSession(aerie.SessionConfig{UID: 1000, Tenant: uint32(*tenant)})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -50,14 +51,14 @@ func main() {
 		if cmd == "quit" || cmd == "exit" {
 			break
 		}
-		if err := dispatch(px, flat, sink, cmd, args); err != nil {
+		if err := dispatch(px, flat, sess, sink, cmd, args); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
 	_ = sess.Close()
 }
 
-func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, sink *aerie.ObsSink, cmd string, args []string) error {
+func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, sess *aerie.Session, sink *aerie.ObsSink, cmd string, args []string) error {
 	need := func(n int) error {
 		if len(args) < n {
 			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
@@ -69,6 +70,7 @@ func dispatch(px *aerie.PXFS, flat *aerie.FlatFS, sink *aerie.ObsSink, cmd strin
 		fmt.Print(`POSIX (PXFS):  ls [dir] | cat <file> | write <file> <text...> | append <file> <text...>
                mkdir <dir> | rm <file> | rmdir <dir> | mv <src> <dst> | stat <path> | chmod <octal> <path>
 Key/value (FlatFS): put <key> <text...> | get <key> | erase <key> | keys
+Tenancy:       tenant set <id> <weight> [quota-mb] | tenant ls
 Other:         df | sync | stats [reset] | help | quit
 `)
 		return nil
@@ -210,7 +212,53 @@ Other:         df | sync | stats [reset] | help | quit
 			fmt.Printf("shard %d: total %d  used %d  free %d  reserved %d  objects %d  batches %d\n",
 				i, sh.TotalBytes, shUsed, sh.FreeBytes, sh.ReservedBytes, sh.Objects, sh.BatchesApplied)
 		}
+		// Per-tenant df: any tenant with policy or live usage gets its
+		// charge-against-quota rows alongside the volume's totals.
+		rows, err := sess.TenantStat()
+		if err != nil {
+			return err
+		}
+		if len(rows) > 0 {
+			printTenantRows(rows)
+		}
 		return nil
+	case "tenant":
+		if len(args) == 0 {
+			return fmt.Errorf("tenant needs a subcommand: set <id> <weight> [quota-mb] | ls")
+		}
+		switch args[0] {
+		case "set":
+			if len(args) < 3 {
+				return fmt.Errorf("tenant set <id> <weight> [quota-mb]")
+			}
+			var id, weight uint32
+			if _, err := fmt.Sscanf(args[1], "%d", &id); err != nil {
+				return fmt.Errorf("tenant id %q: %v", args[1], err)
+			}
+			if _, err := fmt.Sscanf(args[2], "%d", &weight); err != nil {
+				return fmt.Errorf("weight %q: %v", args[2], err)
+			}
+			var quota uint64
+			if len(args) > 3 {
+				if _, err := fmt.Sscanf(args[3], "%d", &quota); err != nil {
+					return fmt.Errorf("quota-mb %q: %v", args[3], err)
+				}
+				quota <<= 20
+			}
+			return sess.TenantCtl(id, weight, quota)
+		case "ls":
+			rows, err := sess.TenantStat()
+			if err != nil {
+				return err
+			}
+			if len(rows) == 0 {
+				fmt.Println("no tenants configured or active")
+				return nil
+			}
+			printTenantRows(rows)
+			return nil
+		}
+		return fmt.Errorf("unknown tenant subcommand %q", args[0])
 	case "sync":
 		return px.Sync()
 	case "stats":
@@ -222,4 +270,20 @@ Other:         df | sync | stats [reset] | help | quit
 		return sink.Snapshot().WriteText(os.Stdout)
 	}
 	return fmt.Errorf("unknown command %q (try help)", cmd)
+}
+
+// printTenantRows renders per-tenant, per-shard accounting: the policy
+// (weight, quota) and the live charge against it (used, reserved), plus the
+// isolation counters that explain slow or rejected batches.
+func printTenantRows(rows []aerie.TenantUsage) {
+	fmt.Printf("%-7s %-6s %-7s %12s %12s %12s %8s %8s\n",
+		"tenant", "shard", "weight", "quota", "used", "reserved", "sheds", "rejects")
+	for _, r := range rows {
+		quota := "-"
+		if r.QuotaBytes > 0 {
+			quota = fmt.Sprintf("%d", r.QuotaBytes)
+		}
+		fmt.Printf("%-7d %-6d %-7d %12s %12d %12d %8d %8d\n",
+			r.Tenant, r.Shard, r.Weight, quota, r.UsedBytes, r.ReservedBytes, r.Sheds, r.QuotaRejects)
+	}
 }

@@ -19,20 +19,54 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"github.com/aerie-fs/aerie/internal/core"
 	"github.com/aerie-fs/aerie/internal/costmodel"
 	"github.com/aerie-fs/aerie/internal/obs"
+	"github.com/aerie-fs/aerie/internal/tfs"
 )
 
+// tenantFlags collects repeatable -tenant id:weight[:quota-mb] policy flags
+// into the boot-time tenant map.
+type tenantFlags map[uint32]tfs.TenantConfig
+
+func (t tenantFlags) String() string { return fmt.Sprintf("%d tenant(s)", len(t)) }
+
+func (t tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want id:weight[:quota-mb], got %q", v)
+	}
+	var id, weight uint32
+	if _, err := fmt.Sscanf(parts[0], "%d", &id); err != nil {
+		return fmt.Errorf("tenant id %q: %v", parts[0], err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &weight); err != nil {
+		return fmt.Errorf("weight %q: %v", parts[1], err)
+	}
+	cfg := tfs.TenantConfig{Weight: weight}
+	if len(parts) == 3 {
+		var mb uint64
+		if _, err := fmt.Sscanf(parts[2], "%d", &mb); err != nil {
+			return fmt.Errorf("quota-mb %q: %v", parts[2], err)
+		}
+		cfg.QuotaBytes = mb << 20
+	}
+	t[id] = cfg
+	return nil
+}
+
 func main() {
+	tenants := tenantFlags{}
 	var (
 		addr   = flag.String("listen", "127.0.0.1:7368", "TCP listen address")
 		arena  = flag.Uint64("arena-mb", 256, "SCM arena size in MiB (new volumes)")
 		volume = flag.String("volume", "", "mmap-backed volume file; created if missing, recovered if present")
 		shards = flag.Int("shards", 1, "trusted-service shards for new volumes (existing volumes keep their count)")
 	)
+	flag.Var(tenants, "tenant", "tenant policy id:weight[:quota-mb] (repeatable); weights drive the fair scheduler, quotas bound space")
 	flag.Parse()
 
 	sink := obs.New()
@@ -45,9 +79,10 @@ func main() {
 		if _, statErr := os.Stat(*volume); statErr == nil {
 			// Existing volume: open it and recover. Never degrades.
 			sys, err = core.Open(*volume, core.Options{
-				Costs: costmodel.DefaultCosts(),
-				Obs:   sink,
-				Logf:  logf,
+				Costs:   costmodel.DefaultCosts(),
+				Obs:     sink,
+				Logf:    logf,
+				Tenants: tenants,
 			})
 			if err == nil {
 				if sys.Vol.WasDirty() {
@@ -70,6 +105,7 @@ func main() {
 				Costs:      costmodel.DefaultCosts(),
 				Obs:        sink,
 				Logf:       logf,
+				Tenants:    tenants,
 			})
 			if err == nil {
 				if derr := sys.Degraded(); derr != nil {
@@ -86,6 +122,7 @@ func main() {
 			Costs:     costmodel.DefaultCosts(),
 			Obs:       sink,
 			Logf:      logf,
+			Tenants:   tenants,
 		})
 	}
 	if err != nil {
@@ -105,6 +142,7 @@ func main() {
 	dump := func() {
 		_ = sink.Snapshot().WriteText(os.Stdout)
 		dumpShards(sys)
+		dumpTenants(sys)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGUSR1)
@@ -146,5 +184,27 @@ func dumpShards(sys *core.System) {
 	for i, s := range rep.Shards {
 		fmt.Printf("%-6d %12d %12d %12d %10d %8d\n",
 			i, s.TotalBytes, s.FreeBytes, s.ReservedBytes, s.BatchesApplied, s.Objects)
+	}
+}
+
+// dumpTenants prints one accounting row per (tenant, shard): the policy
+// (weight, quota) and the live charge against it, plus the shed and
+// quota-reject counters the isolation machinery maintains. Skipped when no
+// tenant has declared policy or touched the volume.
+func dumpTenants(sys *core.System) {
+	rows := sys.Set.TenantStat()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("---- tenants ----")
+	fmt.Printf("%-7s %-6s %-7s %12s %12s %12s %8s %8s\n",
+		"tenant", "shard", "weight", "quota", "used", "reserved", "sheds", "rejects")
+	for _, r := range rows {
+		quota := "-"
+		if r.QuotaBytes > 0 {
+			quota = fmt.Sprintf("%d", r.QuotaBytes)
+		}
+		fmt.Printf("%-7d %-6d %-7d %12s %12d %12d %8d %8d\n",
+			r.Tenant, r.Shard, r.Weight, quota, r.UsedBytes, r.ReservedBytes, r.Sheds, r.QuotaRejects)
 	}
 }

@@ -343,6 +343,7 @@ type Reservation struct {
 	blocks   map[uint][]uint64 // order -> held block addresses
 	held     uint64            // bytes currently held (not yet consumed)
 	fallback uint64            // allocs that fell through to the shared pool
+	consumed uint64            // bytes actually drawn (held-serve + fallbacks)
 }
 
 // Reserve takes one block per requested size off the free lists. It either
@@ -410,7 +411,11 @@ func (r *Reservation) Alloc(size uint64) (uint64, error) {
 	}
 	if o > b.maxOrder {
 		r.fallback++
-		return b.allocLocked(order)
+		addr, err := b.allocLocked(order)
+		if err == nil {
+			r.consumed += BlockSize(order)
+		}
+		return addr, err
 	}
 	addr := r.blocks[o][len(r.blocks[o])-1]
 	r.blocks[o] = r.blocks[o][:len(r.blocks[o])-1]
@@ -427,6 +432,7 @@ func (r *Reservation) Alloc(size uint64) (uint64, error) {
 	sz := BlockSize(order)
 	b.reservedB -= sz
 	r.held -= sz
+	r.consumed += sz
 	return addr, nil
 }
 
@@ -455,4 +461,51 @@ func (r *Reservation) Fallbacks() uint64 {
 	r.b.mu.Lock()
 	defer r.b.mu.Unlock()
 	return r.fallback
+}
+
+// ConsumedBytes returns the bytes actually drawn through this reservation —
+// held blocks whose bitmap bits were committed plus fallback allocations.
+// This is the batch's real space cost (the worst-case demand minus whatever
+// Release returns), which the TFS charges against the batch's tenant.
+func (r *Reservation) ConsumedBytes() uint64 {
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	return r.consumed
+}
+
+// FragStats is a snapshot of the allocator's free-space fragmentation: how
+// the free bytes are scattered across buddy orders. LargestFree is the
+// biggest single extent allocatable right now; Index is 1 −
+// LargestFree/FreeBytes, so 0 means all free space is one contiguous block
+// and values near 1 mean the free space has shattered into minimum-order
+// fragments — the aging signal the long-haul harness tracks.
+type FragStats struct {
+	FreeBytes   uint64
+	LargestFree uint64
+	Fragments   uint64          // total free blocks across all orders
+	PerOrder    map[uint]uint64 // order -> free block count
+	Index       float64
+}
+
+// FragStats snapshots free-list fragmentation. Blocks held by open
+// reservations are off the free lists and therefore excluded, matching
+// FreeBytes.
+func (b *Buddy) FragStats() FragStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := FragStats{FreeBytes: b.freeB, PerOrder: make(map[uint]uint64)}
+	for order, list := range b.free {
+		if len(list) == 0 {
+			continue
+		}
+		st.PerOrder[order] = uint64(len(list))
+		st.Fragments += uint64(len(list))
+		if sz := BlockSize(order); sz > st.LargestFree {
+			st.LargestFree = sz
+		}
+	}
+	if st.FreeBytes > 0 {
+		st.Index = 1 - float64(st.LargestFree)/float64(st.FreeBytes)
+	}
+	return st
 }

@@ -57,6 +57,10 @@ type Options struct {
 	MaxInflightBytes  int64
 	MaxClientInflight int
 	RetryAfterHint    time.Duration
+	// Tenants is the boot-time multi-tenant policy: per-tenant scheduling
+	// weight and space quota, applied to every shard (see tfs.Config.Tenants).
+	// Unlisted tenants get weight 1 and no quota.
+	Tenants map[uint32]tfs.TenantConfig
 	// VolumeGID for the volume-wide extent ACL.
 	VolumeGID uint32
 	// Tracer records client phase traces (single-threaded capture runs).
@@ -283,6 +287,7 @@ func (sys *System) tfsConfig() tfs.Config {
 		MaxInflightBytes:  sys.opts.MaxInflightBytes,
 		MaxClientInflight: sys.opts.MaxClientInflight,
 		RetryAfterHint:    sys.opts.RetryAfterHint,
+		Tenants:           sys.opts.Tenants,
 		Costs:             sys.Costs,
 		Faults:            sys.opts.Faults,
 		Obs:               sys.opts.Obs,

@@ -66,6 +66,17 @@ type Profile struct {
 	// Metadata mix flags.
 	DoCreateDelete bool
 	DoStat         bool
+	// WholeFileRewrite adds a whole-file overwrite of a random file each
+	// iteration (the fileserver mix's write).
+	WholeFileRewrite bool
+	// FsyncEvery issues an explicit Sync every N iterations (1 = every
+	// iteration, the varmail durability discipline). 0 disables.
+	FsyncEvery int
+	// RotateEvery switches the log append to a thread-private log that is
+	// deleted and restarted every N appends (log-structured append+rotate:
+	// a steady allocate/free churn that ages the allocator). 0 keeps the
+	// shared append-only log.
+	RotateEvery int
 }
 
 // Fileserver is the paper's file-server profile: creates, deletes, appends,
@@ -73,15 +84,53 @@ type Profile struct {
 // width 20, 1 MB I/O size.
 func Fileserver(scale float64) Profile {
 	return Profile{
-		Name:           "fileserver",
-		NFiles:         scaled(10000, scale),
-		DirWidth:       20,
-		MeanFileSize:   128 * 1024,
+		Name:             "fileserver",
+		NFiles:           scaled(10000, scale),
+		DirWidth:         20,
+		MeanFileSize:     128 * 1024,
+		IOSize:           1 << 20,
+		AppendSize:       16 * 1024,
+		ReadsPerIter:     1,
+		DoCreateDelete:   true,
+		DoStat:           true,
+		WholeFileRewrite: true,
+	}
+}
+
+// Varmail is the fsync-heavy mail-server profile (filebench's varmail):
+// small files, a create/delete plus append per iteration, and an explicit
+// fsync after every iteration — the durability discipline of an MTA
+// spooling messages. Under multi-tenant runs it is the well-behaved,
+// latency-sensitive victim workload: every iteration ships a small batch
+// and waits for it.
+func Varmail(scale float64) Profile {
+	return Profile{
+		Name:           "varmail",
+		NFiles:         scaled(1000, scale),
+		DirWidth:       100,
+		MeanFileSize:   16 * 1024,
 		IOSize:         1 << 20,
-		AppendSize:     16 * 1024,
+		AppendSize:     8 * 1024,
 		ReadsPerIter:   1,
 		DoCreateDelete: true,
-		DoStat:         true,
+		FsyncEvery:     1,
+	}
+}
+
+// LogRotate is the log-structured append+rotate profile: large appends to a
+// thread-private log restarted every few appends. The steady stream of big
+// batches makes it the natural aggressor workload in multi-tenant runs, and
+// the allocate-grow-free churn ages the allocator for the long-haul
+// harness.
+func LogRotate(scale float64) Profile {
+	return Profile{
+		Name:         "logrotate",
+		NFiles:       scaled(100, scale),
+		DirWidth:     20,
+		MeanFileSize: 16 * 1024,
+		IOSize:       1 << 20,
+		AppendSize:   64 * 1024,
+		RotateEvery:  8,
 	}
 }
 

@@ -50,7 +50,7 @@ func targets(t *testing.T) map[string]FS {
 }
 
 func TestProfilesRunOnAllTargets(t *testing.T) {
-	profiles := []Profile{Fileserver(testScale), Webserver(testScale), Webproxy(testScale)}
+	profiles := []Profile{Fileserver(testScale), Webserver(testScale), Webproxy(testScale), Varmail(testScale), LogRotate(testScale)}
 	for name, fsys := range targets(t) {
 		for _, p := range profiles {
 			p := p
@@ -81,7 +81,7 @@ func TestProfilesRunOnAllTargets(t *testing.T) {
 }
 
 func TestEachProfileEachTargetFresh(t *testing.T) {
-	profiles := []func(float64) Profile{Fileserver, Webserver, Webproxy}
+	profiles := []func(float64) Profile{Fileserver, Webserver, Webproxy, Varmail, LogRotate}
 	for _, mk := range profiles {
 		p := mk(testScale)
 		t.Run(p.Name, func(t *testing.T) {

@@ -89,12 +89,14 @@ func max64(a, b int64) int64 {
 }
 
 type worker struct {
-	fsys   FS
-	p      Profile
-	rng    *rand.Rand
-	lo, hi int
-	tracer *costmodel.Tracer
-	buf    []byte
+	fsys    FS
+	p       Profile
+	rng     *rand.Rand
+	lo, hi  int
+	tracer  *costmodel.Tracer
+	buf     []byte
+	iters   int // iterations completed (FsyncEvery cadence)
+	appends int // appends issued (RotateEvery cadence)
 }
 
 func (w *worker) pick() int {
@@ -147,7 +149,7 @@ func (w *worker) iteration() (int64, error) {
 			return ops, fmt.Errorf("create: %w", err)
 		}
 	}
-	if p.Name == "fileserver" {
+	if p.WholeFileRewrite {
 		// Whole-file overwrite of another file.
 		i := w.pick()
 		w.begin("writewhole")
@@ -167,6 +169,17 @@ func (w *worker) iteration() (int64, error) {
 		if err != nil {
 			return ops, fmt.Errorf("append: %w", err)
 		}
+		w.appends++
+		if p.RotateEvery > 0 && w.appends%p.RotateEvery == 0 {
+			// Retire the thread-private log; the next append restarts it.
+			w.begin("rotatelog")
+			err := w.fsys.Delete(w.logPath())
+			w.end()
+			ops++
+			if err != nil {
+				return ops, fmt.Errorf("rotate: %w", err)
+			}
+		}
 	}
 	if p.DoStat {
 		i := w.pick()
@@ -178,7 +191,27 @@ func (w *worker) iteration() (int64, error) {
 			return ops, fmt.Errorf("stat: %w", err)
 		}
 	}
+	w.iters++
+	if p.FsyncEvery > 0 && w.iters%p.FsyncEvery == 0 {
+		w.begin("fsync")
+		err := w.fsys.Sync()
+		w.end()
+		ops++
+		if err != nil {
+			return ops, fmt.Errorf("fsync: %w", err)
+		}
+	}
 	return ops, nil
+}
+
+// logPath is the worker's append-log target: the shared setup-created log,
+// or a thread-private one (keyed by the worker's disjoint index range) for
+// rotating profiles so concurrent rotations never race.
+func (w *worker) logPath() string {
+	if w.p.RotateEvery > 0 {
+		return fmt.Sprintf("/bench/rotlog%06d", w.lo)
+	}
+	return "/bench/logfile"
 }
 
 func (w *worker) readWhole(path string) error {
@@ -200,7 +233,12 @@ func (w *worker) readWhole(path string) error {
 }
 
 func (w *worker) appendLog() error {
-	f, err := w.fsys.OpenAppend("/bench/logfile")
+	path := w.logPath()
+	f, err := w.fsys.OpenAppend(path)
+	if err != nil && w.p.RotateEvery > 0 {
+		// First append of a fresh (or just-rotated) private log.
+		f, err = w.fsys.Create(path)
+	}
 	if err != nil {
 		return err
 	}

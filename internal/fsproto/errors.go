@@ -35,6 +35,18 @@ var (
 	// routing epoch) hint — see WrongShardHint — so the client re-resolves
 	// its shard table and re-routes instead of blind-retrying.
 	ErrWrongShard = errors.New("fsproto: wrong shard")
+	// ErrQuotaExceeded rejects a batch whose worst-case space demand would
+	// push its tenant past the tenant's configured space quota. Distinct
+	// from ErrNoSpace: the volume may have plenty of free space — it is the
+	// tenant's slice that is exhausted, and only the tenant freeing its own
+	// data (or an administrator raising the quota) clears it. Enforced at
+	// reservation time with the same batch-granularity atomicity as the
+	// exhaustion path: a quota rejection happens before the journal is
+	// touched, so no partial batch ever lands. When other batches of the
+	// same tenant are still in flight (reserved but unapplied), the
+	// RemoteError's RetryAfterMs carries a hint — their release may admit a
+	// retry without any administrative action.
+	ErrQuotaExceeded = errors.New("fsproto: tenant quota exceeded")
 )
 
 // Stable wire codes for the exhaustion errors. Codes are protocol constants
@@ -45,6 +57,7 @@ const (
 	CodeBusy          uint32 = 3
 	CodeWindowStale   uint32 = 4
 	CodeWrongShard    uint32 = 5
+	CodeQuotaExceeded uint32 = 6
 )
 
 func init() {
@@ -53,12 +66,14 @@ func init() {
 	rpc.RegisterErrorCode(CodeBusy, ErrBusy)
 	rpc.RegisterErrorCode(CodeWindowStale, ErrWindowStale)
 	rpc.RegisterErrorCode(CodeWrongShard, ErrWrongShard)
+	rpc.RegisterErrorCode(CodeQuotaExceeded, ErrQuotaExceeded)
 }
 
 // IsExhaustion reports whether err is one of the typed resource-exhaustion
 // outcomes (possibly after an RPC round trip).
 func IsExhaustion(err error) bool {
-	return errors.Is(err, ErrNoSpace) || errors.Is(err, ErrBatchTooLarge) || errors.Is(err, ErrBusy)
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, ErrBatchTooLarge) ||
+		errors.Is(err, ErrBusy) || errors.Is(err, ErrQuotaExceeded)
 }
 
 // WrongShardError is the service-side form of ErrWrongShard: it names the

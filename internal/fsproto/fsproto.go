@@ -52,6 +52,15 @@ const (
 	// plain EncodeOps batch. The call is synchronous: on return the
 	// transaction is applied on every participant or rejected on all.
 	MethodTxApply = 0x20D
+	// MethodTenantCtl sets one tenant's isolation policy (scheduling weight
+	// and space quota) on every shard of the trusted service. Administrative:
+	// policy is volatile service state, re-applied at boot from service
+	// configuration, not stored on the volume.
+	MethodTenantCtl = 0x20E
+	// MethodTenantStat returns per-tenant, per-shard usage rows: configured
+	// policy plus the bytes currently charged (applied) and reserved
+	// (admitted but not yet applied) against each tenant on each shard.
+	MethodTenantStat = 0x20F
 )
 
 // ShardHeader is the routing prefix of shard-addressed methods.
@@ -93,6 +102,47 @@ func DecodeShardFramed(p []byte) (ShardHeader, []byte, error) {
 		Epoch: uint32(p[4]) | uint32(p[5])<<8 | uint32(p[6])<<16 | uint32(p[7])<<24,
 	}
 	return h, p[ShardHeaderLen:], nil
+}
+
+// TenantHeader is the tenant-identity prefix of windowed batch payloads. It
+// sits between the shard routing header (when present) and the completion
+// window header: Shard | Tenant | Seq | ops on sharded volumes, Tenant |
+// Seq | ops otherwise. The trusted service validates the stamped tenant
+// against the identity registered at mount — the header exists so every
+// batch is attributable on the wire (tracing, fairness accounting), not so
+// clients can claim an identity; a mismatch rejects the batch.
+type TenantHeader struct {
+	// Tenant is the client's tenant ID. 0 is the default tenant (unlimited
+	// quota, weight 1) that single-tenant deployments implicitly use.
+	Tenant uint32
+}
+
+// TenantHeaderLen is the encoded size of a TenantHeader prefix (the tenant
+// ID plus a reserved word kept zero for future policy bits).
+const TenantHeaderLen = 8
+
+// EncodeTenantFramed prefixes an inner payload with the tenant header.
+func EncodeTenantFramed(h TenantHeader, inner []byte) []byte {
+	out := make([]byte, TenantHeaderLen+len(inner))
+	out[0] = byte(h.Tenant)
+	out[1] = byte(h.Tenant >> 8)
+	out[2] = byte(h.Tenant >> 16)
+	out[3] = byte(h.Tenant >> 24)
+	// out[4:8] reserved, zero.
+	copy(out[TenantHeaderLen:], inner)
+	return out
+}
+
+// DecodeTenantFramed splits a tenant-framed payload into the tenant header
+// and the inner payload.
+func DecodeTenantFramed(p []byte) (TenantHeader, []byte, error) {
+	if len(p) < TenantHeaderLen {
+		return TenantHeader{}, nil, fmt.Errorf("fsproto: short tenant-framed payload (%d bytes)", len(p))
+	}
+	h := TenantHeader{
+		Tenant: uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24,
+	}
+	return h, p[TenantHeaderLen:], nil
 }
 
 // SeqHeader is the decoded completion-window header of a MethodApplyLogSeq
@@ -446,6 +496,110 @@ func EncodeAddrs(addrs []uint64) []byte {
 		w.U64(a)
 	}
 	return w.Bytes()
+}
+
+// TenantCtlRequest sets one tenant's policy: its weighted-fair scheduling
+// weight and its space quota in bytes (0 = unlimited). Weight 0 is
+// normalized to 1 by the service.
+type TenantCtlRequest struct {
+	Tenant     uint32
+	Weight     uint32
+	QuotaBytes uint64
+}
+
+// EncodeTenantCtl serializes a TenantCtlRequest.
+func EncodeTenantCtl(q TenantCtlRequest) []byte {
+	w := wire.NewWriter(16)
+	w.U32(q.Tenant)
+	w.U32(q.Weight)
+	w.U64(q.QuotaBytes)
+	return w.Bytes()
+}
+
+// DecodeTenantCtl parses a TenantCtlRequest.
+func DecodeTenantCtl(p []byte) (TenantCtlRequest, error) {
+	r := wire.NewReader(p)
+	var q TenantCtlRequest
+	q.Tenant = r.U32()
+	q.Weight = r.U32()
+	q.QuotaBytes = r.U64()
+	if err := r.Finish(); err != nil {
+		return TenantCtlRequest{}, err
+	}
+	return q, nil
+}
+
+// TenantUsage is one (tenant, shard) accounting row in a TenantStat reply.
+// UsedBytes and ReservedBytes are that shard's volatile charge against the
+// tenant: used bytes were drawn by applied batches (net of frees the tenant
+// performed), reserved bytes are held by admitted-but-unapplied batches.
+// The quota check gates on used+reserved, so the rows explain any
+// ErrQuotaExceeded exactly.
+type TenantUsage struct {
+	Tenant        uint32
+	Shard         uint32
+	Weight        uint32
+	QuotaBytes    uint64
+	UsedBytes     uint64
+	ReservedBytes uint64
+	Sheds         uint64 // batches shed by weighted admission for this tenant
+	QuotaRejects  uint64 // batches rejected at reservation time by quota
+}
+
+// EncodeTenantStatReply serializes per-tenant usage rows.
+func EncodeTenantStatReply(rows []TenantUsage) []byte {
+	w := wire.NewWriter(8 + 52*len(rows))
+	w.U32(uint32(len(rows)))
+	for i := range rows {
+		u := &rows[i]
+		w.U32(u.Tenant)
+		w.U32(u.Shard)
+		w.U32(u.Weight)
+		w.U64(u.QuotaBytes)
+		w.U64(u.UsedBytes)
+		w.U64(u.ReservedBytes)
+		w.U64(u.Sheds)
+		w.U64(u.QuotaRejects)
+	}
+	return w.Bytes()
+}
+
+// DecodeTenantStatReply parses a MethodTenantStat response.
+func DecodeTenantStatReply(p []byte) ([]TenantUsage, error) {
+	r := wire.NewReader(p)
+	n := r.U32()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	// tenants × shards rows; bound the preallocation like the other
+	// list decoders so a corrupt count cannot force a huge slab.
+	if n > 1<<16 {
+		return nil, fmt.Errorf("fsproto: implausible tenant row count %d", n)
+	}
+	capHint := n
+	if most := uint32(len(p)/52) + 1; most < capHint {
+		capHint = most
+	}
+	rows := make([]TenantUsage, 0, capHint)
+	for i := uint32(0); i < n; i++ {
+		var u TenantUsage
+		u.Tenant = r.U32()
+		u.Shard = r.U32()
+		u.Weight = r.U32()
+		u.QuotaBytes = r.U64()
+		u.UsedBytes = r.U64()
+		u.ReservedBytes = r.U64()
+		u.Sheds = r.U64()
+		u.QuotaRejects = r.U64()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		rows = append(rows, u)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // DecodeAddrs parses a list of extent addresses.

@@ -108,6 +108,10 @@ func FuzzShardHeader(f *testing.F) {
 	f.Add(EncodeShardFramed(ShardHeader{Shard: 3, Epoch: 1},
 		EncodeApplyLogSeq(SeqHeader{Seq: 9, Epoch: 2, Opener: true}, EncodeOps(nil))))
 	f.Add(EncodeShardFramed(ShardHeader{Shard: ^uint32(0), Epoch: ^uint32(0)}, []byte{0xde, 0xad}))
+	// The full sharded stack: shard | tenant | seq | ops.
+	f.Add(EncodeShardFramed(ShardHeader{Shard: 1, Epoch: 2},
+		EncodeTenantFramed(TenantHeader{Tenant: 5},
+			EncodeApplyLogSeq(SeqHeader{Seq: 3, Epoch: 1}, EncodeOps(nil)))))
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}) // one byte short of a header
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, inner, err := DecodeShardFramed(data)
@@ -134,6 +138,55 @@ func FuzzShardHeader(f *testing.F) {
 	})
 }
 
+// FuzzTenantHeader throws arbitrary bytes at the tenant-identity frame
+// decoder. The frame sits between the shard routing header and the
+// completion-window header on every windowed batch, and the service's
+// fairness accounting, quota attribution, and anti-spoofing check all key
+// off it — so the decoder must never panic, must reject short frames, and
+// accepted frames must round-trip the tenant ID exactly with the inner
+// payload untouched. The re-encoding zeroes the reserved word, which is the
+// one legal difference.
+func FuzzTenantHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeTenantFramed(TenantHeader{Tenant: 0}, EncodeApplyLogSeq(SeqHeader{Seq: 1, Epoch: 0}, EncodeOps(nil))))
+	f.Add(EncodeTenantFramed(TenantHeader{Tenant: 7},
+		EncodeApplyLogSeq(SeqHeader{Seq: 42, Epoch: 3, Opener: true},
+			EncodeOps([]Op{{Code: OpTruncate, Target: 0x8002, Val: 4096}}))))
+	f.Add(EncodeTenantFramed(TenantHeader{Tenant: ^uint32(0)}, []byte{0xde, 0xad}))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})                // one byte short of a frame
+	f.Add([]byte{9, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}) // hostile reserved word
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, inner, err := DecodeTenantFramed(data)
+		if err != nil {
+			if len(data) >= TenantHeaderLen {
+				t.Fatalf("%d-byte frame rejected: %v", len(data), err)
+			}
+			return
+		}
+		if len(data) < TenantHeaderLen {
+			t.Fatalf("short frame (%d bytes) accepted", len(data))
+		}
+		if !bytes.Equal(inner, data[TenantHeaderLen:]) {
+			t.Fatalf("inner payload corrupted: %d bytes -> %d bytes", len(data)-TenantHeaderLen, len(inner))
+		}
+		back := EncodeTenantFramed(h, inner)
+		h2, inner2, err := DecodeTenantFramed(back)
+		if err != nil || h2 != h || !bytes.Equal(inner, inner2) {
+			t.Fatalf("tenant frame round trip: %+v -> %+v (%v)", h, h2, err)
+		}
+		// The tenant ID bytes are canonical; only the reserved word may
+		// differ, and only by being zeroed.
+		if !bytes.Equal(back[:4], data[:4]) {
+			t.Fatalf("tenant bytes changed: %x -> %x", data[:4], back[:4])
+		}
+		for i := 4; i < TenantHeaderLen; i++ {
+			if back[i] != 0 {
+				t.Fatalf("reserved byte %d re-encoded nonzero: %#x", i, back[i])
+			}
+		}
+	})
+}
+
 // FuzzDecodeReplies covers the remaining fixed-shape decoders (mount
 // reply, prealloc request, address list): no panics, and accepted inputs
 // round-trip.
@@ -142,6 +195,11 @@ func FuzzDecodeReplies(f *testing.F) {
 	f.Add(EncodeMountReply(&MountReply{Root: 0x4001, HeapStart: 1 << 20, HeapSize: 7 << 20, Partition: 2, VolumeGID: 100}))
 	f.Add(EncodePrealloc(PreallocRequest{Size: 8192, Count: 17}))
 	f.Add(EncodeAddrs([]uint64{1, 4096, 1 << 40}))
+	f.Add(EncodeTenantCtl(TenantCtlRequest{Tenant: 2, Weight: 8, QuotaBytes: 1 << 30}))
+	f.Add(EncodeTenantStatReply([]TenantUsage{
+		{Tenant: 1, Shard: 0, Weight: 4, QuotaBytes: 1 << 20, UsedBytes: 4096, ReservedBytes: 8192, Sheds: 2, QuotaRejects: 1},
+		{Tenant: 1, Shard: 1, Weight: 4, QuotaBytes: 1 << 20},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if m, err := DecodeMountReply(data); err == nil {
 			if got, err := DecodeMountReply(EncodeMountReply(&m)); err != nil || !reflect.DeepEqual(got, m) {
@@ -151,6 +209,17 @@ func FuzzDecodeReplies(f *testing.F) {
 		if q, err := DecodePrealloc(data); err == nil {
 			if got, err := DecodePrealloc(EncodePrealloc(q)); err != nil || got != q {
 				t.Fatalf("prealloc round trip: %+v %v", got, err)
+			}
+		}
+		if q, err := DecodeTenantCtl(data); err == nil {
+			if got, err := DecodeTenantCtl(EncodeTenantCtl(q)); err != nil || got != q {
+				t.Fatalf("tenant ctl round trip: %+v %v", got, err)
+			}
+		}
+		if rows, err := DecodeTenantStatReply(data); err == nil {
+			got, err := DecodeTenantStatReply(EncodeTenantStatReply(rows))
+			if err != nil || !reflect.DeepEqual(got, rows) {
+				t.Fatalf("tenant stat round trip: %+v %v", got, err)
 			}
 		}
 		if addrs, err := DecodeAddrs(data); err == nil {

@@ -18,6 +18,16 @@ func (e shedError) Error() string        { return fmt.Sprintf("shed, retry in %d
 func (e shedError) Unwrap() error        { return fsproto.ErrBusy }
 func (e shedError) RetryAfterMs() uint32 { return e.hintMs }
 
+// quotaError mimics the TFS's quota rejection: it unwraps to
+// ErrQuotaExceeded (stable code 6, distinct from ErrNoSpace) and carries a
+// retry-after hint when in-flight reservations of the same tenant may
+// release enough to admit a retry.
+type quotaError struct{ hintMs uint32 }
+
+func (e quotaError) Error() string        { return fmt.Sprintf("quota, retry in %dms", e.hintMs) }
+func (e quotaError) Unwrap() error        { return fsproto.ErrQuotaExceeded }
+func (e quotaError) RetryAfterMs() uint32 { return e.hintMs }
+
 const methodFail = 77
 
 // newFailServer returns a server whose handler fails with the error named
@@ -32,6 +42,8 @@ func newFailServer() *rpc.Server {
 			return nil, fsproto.ErrBatchTooLarge
 		case "busy":
 			return nil, shedError{hintMs: 17}
+		case "quota":
+			return nil, quotaError{hintMs: 23}
 		case "untyped":
 			return nil, errors.New("some validation failure")
 		}
@@ -55,6 +67,7 @@ func checkTyped(t *testing.T, c rpc.Client) {
 		{"nospace", fsproto.ErrNoSpace, fsproto.CodeNoSpace, 0},
 		{"toolarge", fsproto.ErrBatchTooLarge, fsproto.CodeBatchTooLarge, 0},
 		{"busy", fsproto.ErrBusy, fsproto.CodeBusy, 17},
+		{"quota", fsproto.ErrQuotaExceeded, fsproto.CodeQuotaExceeded, 23},
 	}
 	for _, tc := range cases {
 		_, err := c.Call(methodFail, []byte(tc.req))

@@ -1,0 +1,65 @@
+package libfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/aerie-fs/aerie/internal/fsproto"
+	"github.com/aerie-fs/aerie/internal/rpc"
+)
+
+// TestBackoffHonorsRetryAfterHint pins the contract every server-shaped
+// backpressure hint relies on: the session's single backoff policy floors
+// the delay at the hint the RemoteError carries, for both admission sheds
+// (ErrBusy) and quota rejections (ErrQuotaExceeded). A client that retried
+// sooner than the hint would defeat the server's backlog shaping.
+func TestBackoffHonorsRetryAfterHint(t *testing.T) {
+	busy := rpc.NewRemoteError("shed", fsproto.CodeBusy, 40)
+	if got := backoffDelay(0, busy); got != 40*time.Millisecond {
+		t.Fatalf("busy attempt 0: delay %v, want the 40ms hint", got)
+	}
+	// The hint is a floor, not a cap: later attempts still back off
+	// exponentially from it.
+	if got := backoffDelay(1, busy); got != 80*time.Millisecond {
+		t.Fatalf("busy attempt 1: delay %v, want 80ms", got)
+	}
+	quota := rpc.NewRemoteError("quota", fsproto.CodeQuotaExceeded, 23)
+	if got := backoffDelay(0, quota); got != 23*time.Millisecond {
+		t.Fatalf("quota attempt 0: delay %v, want the 23ms hint", got)
+	}
+	// No hint: the default base applies.
+	plain := rpc.NewRemoteError("shed", fsproto.CodeBusy, 0)
+	if got := backoffDelay(0, plain); got != 2*time.Millisecond {
+		t.Fatalf("hintless attempt 0: delay %v, want the 2ms default", got)
+	}
+	// The cap bounds runaway exponents (and shift overflow).
+	if got := backoffDelay(20, busy); got != 250*time.Millisecond {
+		t.Fatalf("attempt 20: delay %v, want the 250ms cap", got)
+	}
+	if got := backoffDelay(60, busy); got != 250*time.Millisecond {
+		t.Fatalf("attempt 60 (shift overflow): delay %v, want the 250ms cap", got)
+	}
+}
+
+// TestRetryableShed pins which verdicts the in-call retry loop absorbs: a
+// shed always (the batch definitively did not apply), a quota rejection only
+// when the server hints in-flight reservations may release, and definitive
+// rejections never.
+func TestRetryableShed(t *testing.T) {
+	if !retryableShed(rpc.NewRemoteError("shed", fsproto.CodeBusy, 0)) {
+		t.Fatal("busy without hint must retry")
+	}
+	if !retryableShed(rpc.NewRemoteError("quota", fsproto.CodeQuotaExceeded, 5)) {
+		t.Fatal("quota with hint must retry")
+	}
+	if retryableShed(rpc.NewRemoteError("quota", fsproto.CodeQuotaExceeded, 0)) {
+		t.Fatal("quota without hint is definitive")
+	}
+	if retryableShed(rpc.NewRemoteError("nospace", fsproto.CodeNoSpace, 0)) {
+		t.Fatal("ENOSPC is definitive")
+	}
+	if retryableShed(errors.New("other")) {
+		t.Fatal("untyped errors are definitive")
+	}
+}

@@ -33,6 +33,11 @@ import (
 type Config struct {
 	// UID is the client's user identity; it joins the volume group.
 	UID uint32
+	// Tenant is the session's tenant binding (0: the default tenant —
+	// weight 1, no quota). It is registered at mount and stamped into every
+	// shipped batch; the TFS rejects a batch claiming any other tenant, and
+	// charges the session's space and scheduling against this one.
+	Tenant uint32
 	// BatchLimit is the metadata log size that triggers shipping
 	// (default 8 MiB, the paper's measured optimum).
 	BatchLimit int
@@ -279,6 +284,7 @@ func Mount(rc rpc.Client, mgr *scmmgr.Manager, cfg Config) (*Session, error) {
 	}
 	w := wire.NewWriter(8)
 	w.U32(cfg.UID)
+	w.U32(cfg.Tenant)
 	resp, err := rc.Call(fsproto.MethodMount, w.Bytes())
 	if err != nil {
 		return nil, err
@@ -1106,7 +1112,7 @@ func (s *Session) shipOne(ship *shipState) error {
 		if ferr := s.cfg.Faults.Hit("libfs.flush.postship"); ferr != nil && err == nil {
 			err = fmt.Errorf("%w: %v", rpc.ErrUnreachable, ferr)
 		}
-		if err == nil || !errors.Is(err, fsproto.ErrBusy) {
+		if err == nil || !retryableShed(err) {
 			return err
 		}
 		// The shed definitely did not apply the batch, and the server's
@@ -1122,18 +1128,44 @@ func (s *Session) shipOne(ship *shipState) error {
 	}
 }
 
-// sleepBackoff sleeps an exponential, jittered delay floored at the
-// server's retry-after hint when the shed error carries one.
-func sleepBackoff(attempt int, err error) {
+// backoffDelay is the session's single backoff policy: every server-shaped
+// retry-after hint — admission sheds, backlog-shaped overload hints, quota
+// rejections with in-flight reservations about to release — funnels through
+// here. The delay is exponential in the attempt, floored at the server's
+// hint when the error carries one (the server knows its backlog; the client
+// must not retry sooner), and capped at 250ms. Deterministic: the caller
+// adds jitter when sleeping.
+func backoffDelay(attempt int, err error) time.Duration {
 	base := 2 * time.Millisecond
 	var re *rpc.RemoteError
 	if errors.As(err, &re) && re.RetryAfterMs > 0 {
 		base = time.Duration(re.RetryAfterMs) * time.Millisecond
 	}
 	d := base << uint(attempt)
-	if d > 250*time.Millisecond {
+	if d > 250*time.Millisecond || d < base {
 		d = 250 * time.Millisecond
 	}
+	return d
+}
+
+// retryableShed reports whether err is worth an in-call retry: an admission
+// shed always is (the batch definitively did not apply), a quota rejection
+// only when the server hints the tenant's own in-flight reservations may
+// release enough to admit a retry. Anything else is a definitive verdict.
+func retryableShed(err error) bool {
+	if errors.Is(err, fsproto.ErrBusy) {
+		return true
+	}
+	if errors.Is(err, fsproto.ErrQuotaExceeded) {
+		var re *rpc.RemoteError
+		return errors.As(err, &re) && re.RetryAfterMs > 0
+	}
+	return false
+}
+
+// sleepBackoff sleeps backoffDelay plus up to 50% jitter.
+func sleepBackoff(attempt int, err error) {
+	d := backoffDelay(attempt, err)
 	d += time.Duration(rand.Int63n(int64(d/2 + 1)))
 	time.Sleep(d)
 }
@@ -1209,6 +1241,26 @@ func (s *Session) Statfs() (fsproto.StatfsReply, error) {
 		return fsproto.StatfsReply{}, err
 	}
 	return fsproto.DecodeStatfsReply(resp)
+}
+
+// TenantCtl sets one tenant's isolation policy — scheduling weight and
+// space quota — on every shard of the trusted service. Administrative;
+// policy is volatile service state re-applied at boot from configuration.
+func (s *Session) TenantCtl(tenant, weight uint32, quotaBytes uint64) error {
+	_, err := s.rc.Call(fsproto.MethodTenantCtl, fsproto.EncodeTenantCtl(
+		fsproto.TenantCtlRequest{Tenant: tenant, Weight: weight, QuotaBytes: quotaBytes}))
+	return err
+}
+
+// TenantStat fetches per-tenant, per-shard usage rows: configured policy
+// plus the bytes currently applied and reserved against each tenant on each
+// shard, and the shed/quota-reject counts.
+func (s *Session) TenantStat() ([]fsproto.TenantUsage, error) {
+	resp, err := s.rc.Call(fsproto.MethodTenantStat, nil)
+	if err != nil {
+		return nil, err
+	}
+	return fsproto.DecodeTenantStatReply(resp)
 }
 
 // ---- Open-file and protection RPCs ----

@@ -21,7 +21,6 @@
 package libfs
 
 import (
-	"errors"
 	"fmt"
 
 	"github.com/aerie-fs/aerie/internal/alloc"
@@ -103,10 +102,13 @@ func (s *Session) shardOf(addr uint64) int {
 	return 0
 }
 
-// sealPayload encodes a window batch for the wire: the sequence header and
-// ops, shard-framed with the routing epoch on a sharded volume.
+// sealPayload encodes a window batch for the wire: the tenant frame, the
+// sequence header and ops, shard-framed with the routing epoch on a sharded
+// volume. The tenant frame restates the mount-time binding on every batch;
+// the TFS cross-checks it so a forged frame cannot bill another tenant.
 func (s *Session) sealPayload(hdr fsproto.SeqHeader, ops []fsproto.Op, shardID int) []byte {
-	p := fsproto.EncodeApplyLogSeq(hdr, fsproto.EncodeOps(ops))
+	p := fsproto.EncodeTenantFramed(fsproto.TenantHeader{Tenant: s.cfg.Tenant},
+		fsproto.EncodeApplyLogSeq(hdr, fsproto.EncodeOps(ops)))
 	if s.sharded() {
 		p = fsproto.EncodeShardFramed(fsproto.ShardHeader{Shard: uint32(shardID), Epoch: s.repoch}, p)
 	}
@@ -210,7 +212,7 @@ func (s *Session) txApply(single *fsproto.Op, ops []fsproto.Op) error {
 	var err error
 	for attempt := 0; ; attempt++ {
 		_, err = s.rc.Call(fsproto.MethodTxApply, payload)
-		if err == nil || !errors.Is(err, fsproto.ErrBusy) ||
+		if err == nil || !retryableShed(err) ||
 			s.cfg.BusyRetries < 0 || attempt >= s.cfg.BusyRetries {
 			break
 		}

@@ -289,7 +289,8 @@ func TestWindowSeqGate(t *testing.T) {
 	defer s.Close()
 	empty := fsproto.EncodeOps(nil)
 	send := func(h fsproto.SeqHeader, ops []byte) error {
-		return sys.TFS.ApplyLogSeq(s.ClientID(), fsproto.EncodeApplyLogSeq(h, ops))
+		return sys.TFS.ApplyLogSeq(s.ClientID(),
+			fsproto.EncodeTenantFramed(fsproto.TenantHeader{}, fsproto.EncodeApplyLogSeq(h, ops)))
 	}
 	// Epoch 1 opens at seq 5 (the gate baselines wherever the opener says).
 	if err := send(fsproto.SeqHeader{Seq: 5, Epoch: 1, Opener: true}, empty); err != nil {

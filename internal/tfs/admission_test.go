@@ -18,10 +18,10 @@ func newAdmitService(cfg Config) *Service {
 // nothing else is in flight, so a single huge batch cannot starve forever.
 func TestAdmitShedsOverByteLimit(t *testing.T) {
 	s := newAdmitService(Config{MaxInflightBytes: 1000, RetryAfterHint: 7 * time.Millisecond})
-	if err := s.admit(1, 900); err != nil {
+	if err := s.admit(1, 0, 900); err != nil {
 		t.Fatalf("first admit: %v", err)
 	}
-	err := s.admit(2, 200)
+	err := s.admit(2, 0, 200)
 	if !errors.Is(err, fsproto.ErrBusy) {
 		t.Fatalf("over-limit admit: %v", err)
 	}
@@ -32,38 +32,38 @@ func TestAdmitShedsOverByteLimit(t *testing.T) {
 	if s.BatchesShed.Load() != 1 {
 		t.Fatalf("BatchesShed = %d", s.BatchesShed.Load())
 	}
-	s.admitDone(1, 900)
+	s.admitDone(1, 0, 900)
 	// Idle again: even a batch alone over the whole limit is admitted.
-	if err := s.admit(2, 5000); err != nil {
+	if err := s.admit(2, 0, 5000); err != nil {
 		t.Fatalf("anti-wedge admit: %v", err)
 	}
-	s.admitDone(2, 5000)
+	s.admitDone(2, 0, 5000)
 }
 
 // TestAdmitShedsOverClientDepth checks the per-client depth bound and that
 // admitDone fully releases the debt.
 func TestAdmitShedsOverClientDepth(t *testing.T) {
 	s := newAdmitService(Config{MaxClientInflight: 2, RetryAfterHint: time.Millisecond})
-	if err := s.admit(7, 10); err != nil {
+	if err := s.admit(7, 0, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.admit(7, 10); err != nil {
+	if err := s.admit(7, 0, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.admit(7, 10); !errors.Is(err, fsproto.ErrBusy) {
+	if err := s.admit(7, 0, 10); !errors.Is(err, fsproto.ErrBusy) {
 		t.Fatalf("third in-flight request for one client: %v", err)
 	}
 	// Another client is not affected by the first one's depth.
-	if err := s.admit(8, 10); err != nil {
+	if err := s.admit(8, 0, 10); err != nil {
 		t.Fatalf("other client shed by a neighbor's depth: %v", err)
 	}
-	s.admitDone(7, 10)
-	if err := s.admit(7, 10); err != nil {
+	s.admitDone(7, 0, 10)
+	if err := s.admit(7, 0, 10); err != nil {
 		t.Fatalf("admit after release: %v", err)
 	}
-	s.admitDone(7, 10)
-	s.admitDone(7, 10)
-	s.admitDone(8, 10)
+	s.admitDone(7, 0, 10)
+	s.admitDone(7, 0, 10)
+	s.admitDone(8, 0, 10)
 	if len(s.admPerClient) != 0 || s.admBytes != 0 {
 		t.Fatalf("debt left after release: bytes=%d clients=%v", s.admBytes, s.admPerClient)
 	}

@@ -47,6 +47,15 @@ const (
 	// batches they ride re-reaches the same decision.
 	jTxCommit  uint8 = 14 // a=txid
 	jTxResolve uint8 = 15 // a=txid, b=coordinator shard
+	// jFreeObj frees every extent of an unlinked object by walking it at
+	// APPLY time, after earlier actions in the batch have run. The planner
+	// emits it instead of a plan-time jFree list when the same batch also
+	// attached or replaced extents on the object: the plan-time walk reads
+	// SCM state that does not show those yet, so it would both miss the new
+	// extents (leak) and free a replaced extent twice. Redo replay re-walks
+	// the object — safe because frees are quarantined until the checkpoint
+	// erases the batch, so the header stays intact for the walk.
+	jFreeObj uint8 = 16 // oid=unlinked object
 )
 
 type action struct {
@@ -142,6 +151,16 @@ func (d *deferFrees) Free(addr, size uint64) error {
 	return nil
 }
 
+// freedBytes sums the quarantined frees' sizes — the space the batch gives
+// back, credited to the batch's tenant once release performs the frees.
+func (d *deferFrees) freedBytes() uint64 {
+	var n uint64
+	for _, e := range d.ents {
+		n += e.size
+	}
+	return n
+}
+
 // release performs the quarantined frees. Double-frees are tolerated the
 // same way replay tolerates them: the checkpointed batch is already
 // durable, so a stale free must not fail the apply after the fact.
@@ -194,8 +213,10 @@ var journalFull = journalErrFull()
 // applyAll applies a committed batch to its home locations and checkpoints
 // the journal (upholding the one-batch recovery invariant). Apply-time
 // allocations are served from the batch's admission reservation, so they
-// cannot fail on space. Callers hold s.mu.
-func (s *Service) applyAll(acts []action, allocator sobj.Allocator) error {
+// cannot fail on space. The batch's performed frees are credited to tenant
+// (recovery paths pass 0 — boot-time accounting starts empty anyway).
+// Callers hold s.mu.
+func (s *Service) applyAll(acts []action, allocator sobj.Allocator, tenant uint32) error {
 	// The batch is committed; a crash anywhere between here and the
 	// checkpoint replays it from the journal.
 	if err := s.faults.Hit("tfs.apply.postcommit"); err != nil {
@@ -216,7 +237,12 @@ func (s *Service) applyAll(acts []action, allocator sobj.Allocator) error {
 	if err := s.jl.Checkpoint(); err != nil {
 		return err
 	}
-	return df.release()
+	freed := df.freedBytes()
+	if err := df.release(); err != nil {
+		return err
+	}
+	s.tenantCredit(tenant, freed)
+	return nil
 }
 
 // applyAction applies acts[i] with the given allocator. With replay set,
@@ -352,6 +378,20 @@ func (s *Service) applyAction(acts []action, i int, allocator sobj.Allocator, re
 			return nil
 		}
 		return err
+	case jFreeObj:
+		// Walk the unlinked object NOW — earlier actions in this batch
+		// (attaches, extent replacements) have applied, so the walk sees
+		// the final extent set the plan-time view could not.
+		exts, err := s.objectExtents(ac.oid)
+		if err != nil {
+			return err
+		}
+		for _, e := range exts {
+			if err := allocator.Free(e.Addr, e.Size); err != nil && !errors.Is(err, alloc.ErrBadFree) {
+				return err
+			}
+		}
+		return nil
 	case jPreallocAdd:
 		if replay {
 			// Same allocation-idempotence probe as jInsert.
@@ -455,6 +495,13 @@ type overlay struct {
 	// inserts/removes staged per collection (key presence).
 	colIns map[sobj.OID]map[string]sobj.OID
 	colDel map[sobj.OID]map[string]bool
+	// attached marks objects whose extent set this batch changes (attach
+	// or replace). An unlink later in the same batch cannot plan its frees
+	// from SCM state — it does not show those changes yet — so it must
+	// defer the walk to apply time (jFreeObj). Without the marker the
+	// append-then-rotate pattern (grow a log, delete it, all one batch)
+	// leaks every appended extent.
+	attached map[sobj.OID]bool
 }
 
 func newOverlay() *overlay {
@@ -465,6 +512,7 @@ func newOverlay() *overlay {
 		consumed: make(map[uint64]bool),
 		colIns:   make(map[sobj.OID]map[string]sobj.OID),
 		colDel:   make(map[sobj.OID]map[string]bool),
+		attached: make(map[sobj.OID]bool),
 	}
 }
 
@@ -667,7 +715,9 @@ func (s *Service) ApplyLog(client uint64, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
-	return s.submitBatch(client, fsproto.SeqHeader{}, ops, int64(len(payload)))
+	// The legacy frame carries no tenant; the batch bills to the tenant the
+	// session mounted as.
+	return s.submitBatch(client, s.clientTenant(client), fsproto.SeqHeader{}, ops, int64(len(payload)))
 }
 
 // plan validates ops sequentially and compiles them into journal actions
@@ -733,6 +783,12 @@ func (s *Service) plan(client uint64, st *clientState, ops []fsproto.Op) ([]acti
 			if n > 0 {
 				return fmt.Errorf("%w: removing non-empty collection %v", ErrValidation, child)
 			}
+		}
+		if ov.attached[child] {
+			// This batch already changed the object's extent set; the
+			// SCM walk below would miss (or double-free) those extents.
+			acts = append(acts, action{code: jFreeObj, oid: child})
+			return nil
 		}
 		exts, err := s.objectExtents(child)
 		if err != nil {
@@ -821,6 +877,7 @@ func (s *Service) plan(client uint64, st *clientState, ops []fsproto.Op) ([]acti
 				return nil, nil, err
 			}
 			acts = append(acts, action{code: jAttach, oid: op.Target, a: op.Val, b: op.Val2})
+			ov.attached[op.Target] = true
 		case fsproto.OpSetSize:
 			if _, err := s.requireMFile(op.Target, ov); err != nil {
 				return nil, nil, err
@@ -864,6 +921,7 @@ func (s *Service) plan(client uint64, st *clientState, ops []fsproto.Op) ([]acti
 				return nil, nil, err
 			}
 			acts = append(acts, action{code: jReplaceExt, oid: op.Target, a: op.Val, b: op.Val2})
+			ov.attached[op.Target] = true
 		default:
 			return nil, nil, fmt.Errorf("%w: op %d", ErrValidation, op.Code)
 		}

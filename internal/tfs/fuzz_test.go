@@ -23,6 +23,13 @@ func FuzzDecodeActions(f *testing.F) {
 		{code: jAttach, oid: 0x8002, a: 3, b: 1 << 20},
 		{code: jFree, oid: 0x8002, a: 1 << 21, b: 8192},
 	}))
+	// The multi-tenant era's records: an apply-time object free (the
+	// unlink-of-buffered-appends path) and a degraded NoGC remove, as a
+	// quota-era batch would journal them.
+	f.Add(encodeActions([]action{
+		{code: jFreeObj, oid: 0x8002},
+		{code: jRemove, oid: 0x4001, key: []byte("old"), a: 1},
+	}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f}) // hostile count
 	f.Fuzz(func(t *testing.T, data []byte) {
 		acts, err := decodeActions(data)

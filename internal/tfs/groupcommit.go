@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -58,24 +59,38 @@ const maxGroupBatches = 32
 // group.
 type groupBatch struct {
 	client uint64
+	tenant uint32
 	seq    uint64 // per-session window sequence (0: unsequenced ApplyLog)
 	ops    []fsproto.Op
+	bytes  int64   // encoded payload size (the WFQ cost measure)
+	vft    float64 // virtual finish time, assigned at enqueue under gqMu
 	t0     time.Time
 	done   chan struct{}
+	lead   chan struct{} // closed to hand this batch's handler leadership
 	err    error
 
 	// Populated by the leader under s.mu once the batch validates.
 	acts    []action
 	effects []func()
 	res     *alloc.Reservation
+	demand  uint64 // worst-case bytes charged against the tenant's quota
 	df      *deferFrees
 }
 
-// ApplyLogSeq is ApplyLog for pipelined sessions: the payload carries a
-// completion-window header (sequence, epoch, fragment/opener flags) ahead
-// of the encoded ops.
+// ApplyLogSeq is ApplyLog for pipelined sessions: the payload carries the
+// session's tenant frame and a completion-window header (sequence, epoch,
+// fragment/opener flags) ahead of the encoded ops. The wire tenant is
+// cross-checked against the session's Mount registration before anything
+// else — a spoofed identity is rejected without touching the window gate.
 func (s *Service) ApplyLogSeq(client uint64, payload []byte) error {
-	h, opsPayload, err := fsproto.DecodeApplyLogSeq(payload)
+	th, rest, err := fsproto.DecodeTenantFramed(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrValidation, err)
+	}
+	if err := s.checkTenant(client, th.Tenant); err != nil {
+		return err
+	}
+	h, opsPayload, err := fsproto.DecodeApplyLogSeq(rest)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
@@ -83,7 +98,7 @@ func (s *Service) ApplyLogSeq(client uint64, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrValidation, err)
 	}
-	return s.submitBatch(client, h, ops, int64(len(payload)))
+	return s.submitBatch(client, th.Tenant, h, ops, int64(len(payload)))
 }
 
 // submitBatch runs a decoded batch through the window sequence gate,
@@ -98,42 +113,72 @@ func (s *Service) ApplyLogSeq(client uint64, payload []byte) error {
 // cleanly; any post-admission outcome is recorded on exit so the
 // session's next sequence number unblocks (or, after a rejection, so the
 // rest of the epoch dies with ErrWindowStale).
-func (s *Service) submitBatch(client uint64, h fsproto.SeqHeader, ops []fsproto.Op, bytes int64) error {
+func (s *Service) submitBatch(client uint64, tenant uint32, h fsproto.SeqHeader, ops []fsproto.Op, bytes int64) error {
 	if h.Seq == 0 {
-		if err := s.admit(client, bytes); err != nil {
+		if err := s.admit(client, tenant, bytes); err != nil {
 			return err
 		}
-		defer s.admitDone(client, bytes)
-		return s.runBatch(client, 0, ops)
+		defer s.admitDone(client, tenant, bytes)
+		return s.runBatch(client, tenant, 0, ops, bytes)
 	}
 	g := s.gate(client)
 	if err := g.enter(h); err != nil {
 		return err
 	}
-	if err := s.admit(client, bytes); err != nil {
+	if err := s.admit(client, tenant, bytes); err != nil {
 		return err
 	}
-	err := s.runBatch(client, h.Seq, ops)
-	s.admitDone(client, bytes)
+	err := s.runBatch(client, tenant, h.Seq, ops, bytes)
+	s.admitDone(client, tenant, bytes)
 	g.exit(h, err)
 	return err
 }
 
 // runBatch queues one admitted, sequenced-or-legacy batch for group commit
-// and waits for its outcome.
-func (s *Service) runBatch(client uint64, seq uint64, ops []fsproto.Op) error {
-	gb := &groupBatch{client: client, seq: seq, ops: ops, t0: time.Now(), done: make(chan struct{})}
+// and waits for its outcome. The batch's virtual finish time — the
+// weighted-fair scheduler's ordering key — is assigned here, under gqMu:
+// vft = max(scheduler vtime, tenant's last vft) + bytes/weight. Per-tenant
+// vfts are strictly increasing, so vft order never reorders one session's
+// batches (the sequence gates rely on per-client FIFO), while a flooding
+// tenant's backlog pushes its own later batches ever further back relative
+// to a light tenant's.
+func (s *Service) runBatch(client uint64, tenant uint32, seq uint64, ops []fsproto.Op, bytes int64) error {
+	gb := &groupBatch{client: client, tenant: tenant, seq: seq, ops: ops, bytes: bytes, t0: time.Now(), done: make(chan struct{}), lead: make(chan struct{})}
+	w := float64(s.tenantWeight(tenant))
 	s.gqMu.Lock()
-	s.groupq = append(s.groupq, gb)
-	if s.leaderOn {
-		s.gqMu.Unlock()
-		<-gb.done
-		return gb.err
+	if s.tenVft == nil {
+		s.tenVft = make(map[uint32]float64)
 	}
-	s.leaderOn = true
+	start := s.vtime
+	if last := s.tenVft[tenant]; last > start {
+		start = last
+	}
+	gb.vft = start + float64(bytes+1)/w
+	s.tenVft[tenant] = gb.vft
+	s.groupq = append(s.groupq, gb)
+	lead := !s.leaderOn
+	if lead {
+		s.leaderOn = true
+	}
 	s.gqMu.Unlock()
-	s.lead()
+	// A leader serves groups only until its own batch completes, then hands
+	// leadership to a queued batch's waiting handler (see lead). Without the
+	// handoff, whichever tenant's batch happened to arrive at a vacant-leader
+	// moment was conscripted into serving the whole queue until a lull —
+	// under a sustained flood, an unbounded latency tail for exactly the
+	// light tenant the weighted-fair queue is meant to protect. Non-leaders
+	// wait on their outcome but stand ready to inherit the duty.
+	if lead {
+		s.lead(gb)
+	} else {
+		select {
+		case <-gb.done:
+		case <-gb.lead:
+			s.lead(gb)
+		}
+	}
 	<-gb.done
+	s.observeTenantLatency(tenant, time.Since(gb.t0))
 	return gb.err
 }
 
@@ -256,7 +301,15 @@ func (g *seqGate) exit(h fsproto.SeqHeader, err error) {
 // lead drains the batch queue group by group until it is empty, then
 // retires. The leader may end up committing batches queued by other
 // handler goroutines; they wait on their done channels.
-func (s *Service) lead() {
+// lead serves group commits until the queue drains or the leader's own
+// batch (own) completes with more work still queued — then leadership is
+// handed to a queued batch's handler (every queued batch has one, parked in
+// runBatch's select) and this handler returns to its RPC. Bounding the
+// stint to the leader's own batch keeps any one tenant's handler from
+// serving another tenant's flood, while keeping the commit loop on handler
+// stacks — a crash fault injected under s.mu must propagate through the
+// RPC goroutine that asked for it, exactly as the crash sweeps expect.
+func (s *Service) lead(own *groupBatch) {
 	for {
 		// Gather beat: yield once before sealing each group so handler
 		// goroutines that are already runnable — a burst of batches whose
@@ -271,12 +324,37 @@ func (s *Service) lead() {
 			s.gqMu.Unlock()
 			return
 		}
+		if own != nil {
+			select {
+			case <-own.done:
+				// The stint is over but the queue is not empty: pass the
+				// duty. The successor is still queued, so its handler is
+				// parked in runBatch's select and cannot have returned;
+				// leaderOn stays true across the handoff, so no second
+				// leader can be elected in the gap.
+				successor := s.groupq[0]
+				s.gqMu.Unlock()
+				close(successor.lead)
+				return
+			default:
+			}
+		}
+		// Weighted-fair pick: drain in virtual-finish-time order, so a hot
+		// tenant's backlog (large, fast-growing vfts) queues behind a light
+		// tenant's occasional batch. The sort is stable and per-tenant vfts
+		// are strictly increasing, so per-client arrival order survives;
+		// journal-overflow deferrals requeued from an earlier group carry
+		// vfts below the advanced vtime and sort back to the front.
+		sort.SliceStable(s.groupq, func(i, j int) bool { return s.groupq[i].vft < s.groupq[j].vft })
 		var group, rest []*groupBatch
 		seen := make(map[uint64]bool, len(s.groupq))
 		for _, gb := range s.groupq {
 			if !seen[gb.client] && len(group) < maxGroupBatches {
 				seen[gb.client] = true
 				group = append(group, gb)
+				if gb.vft > s.vtime {
+					s.vtime = gb.vft
+				}
 			} else {
 				rest = append(rest, gb)
 			}
@@ -344,13 +422,20 @@ func (s *Service) runGroup(group []*groupBatch) {
 			s.OpsRejected.Add(int64(len(gb.ops)))
 			continue
 		}
-		res, err := s.reserveFor(acts)
-		if err != nil && errors.Is(err, fsproto.ErrNoSpace) && degradeRemoves(acts) {
-			// Graceful degradation on a full volume: tombstone GC is an
-			// optimization, so pin every remove to its NoGC variant and
-			// retry — deletes must keep working (and freeing space) when
-			// the GC rehash's worst case can no longer be reserved.
-			res, err = s.reserveFor(acts)
+		res, demand, err := s.reserveForTenant(gb.tenant, acts)
+		if err != nil &&
+			(errors.Is(err, fsproto.ErrNoSpace) || errors.Is(err, fsproto.ErrQuotaExceeded)) &&
+			degradeRemoves(acts) {
+			// Graceful degradation on a full volume OR a full quota:
+			// tombstone GC is an optimization, so pin every remove to its
+			// NoGC variant and retry — deletes must keep working (and
+			// freeing space) when the GC rehash's worst case can no longer
+			// be reserved or charged. Without this a tenant sitting at its
+			// quota could never delete its way back under it: the unlink
+			// batch's transient rehash demand would itself be rejected,
+			// exactly the delete-to-recover deadlock the ENOSPC path
+			// already avoids.
+			res, demand, err = s.reserveForTenant(gb.tenant, acts)
 		}
 		if err != nil {
 			gb.err = err
@@ -359,7 +444,7 @@ func (s *Service) runGroup(group []*groupBatch) {
 		}
 		s.obsReserveBytes.Observe(int64(res.HeldBytes()))
 		s.obsReserveWait.Observe(time.Since(gb.t0).Nanoseconds())
-		gb.acts, gb.effects, gb.res = acts, effects, res
+		gb.acts, gb.effects, gb.res, gb.demand = acts, effects, res, demand
 		if err := s.stageRecord(gb, len(staged) == 0); err != nil {
 			if errors.Is(err, journalFull) {
 				// The group outgrew the ring; this batch leads the next one.
@@ -431,14 +516,18 @@ func (s *Service) stageRecord(gb *groupBatch, first bool) error {
 	return err
 }
 
-// releaseReservation returns a batch's unconsumed reserved blocks and
-// records estimator misses. Idempotent; callers hold s.mu.
+// releaseReservation returns a batch's unconsumed reserved blocks, records
+// estimator misses, and settles the tenant's quota reservation: worst-case
+// demand comes off, actually consumed bytes become usage. Idempotent;
+// callers hold s.mu.
 func (s *Service) releaseReservation(gb *groupBatch) {
 	if gb.res == nil {
 		return
 	}
 	s.obsReserveFallbks.Add(int64(gb.res.Fallbacks()))
 	gb.res.Release()
+	s.tenantReserveDone(gb.tenant, gb.demand, gb.res.ConsumedBytes())
+	gb.res, gb.demand = nil, 0
 }
 
 // finishGroup completes every batch in the group except the deferred ones.
@@ -501,10 +590,15 @@ func (s *Service) applyGroup(staged []*groupBatch) {
 		return
 	}
 	for _, gb := range staged {
+		freed := gb.df.freedBytes()
 		if err := gb.df.release(); err != nil {
 			gb.err = err
 			continue
 		}
+		// The batch's deletes are performed: their bytes come back to the
+		// batch's tenant (a failed release leaks the blocks until Fsck, so
+		// it keeps the charge too — the safe direction).
+		s.tenantCredit(gb.tenant, freed)
 		for _, fn := range gb.effects {
 			fn()
 		}

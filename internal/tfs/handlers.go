@@ -28,10 +28,16 @@ func (set *ShardSet) registerHandlers() {
 	srv.Register(fsproto.MethodMount, func(client uint64, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		uid := r.U32()
+		// Optional tenant binding after the UID; absent on legacy mounts,
+		// which land in the default tenant (0: weight 1, no quota).
+		var tenant uint32
+		if len(req) >= 8 {
+			tenant = r.U32()
+		}
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}
-		reply := set.Mount(client, uid)
+		reply := set.Mount(client, uid, tenant)
 		return fsproto.EncodeMountReply(&reply), nil
 	})
 	srv.Register(fsproto.MethodPrealloc, func(client uint64, req []byte) ([]byte, error) {
@@ -126,5 +132,16 @@ func (set *ShardSet) registerHandlers() {
 			return nil, err
 		}
 		return fsproto.EncodeStatfsReply(&rep), nil
+	})
+	srv.Register(fsproto.MethodTenantCtl, func(client uint64, req []byte) ([]byte, error) {
+		q, err := fsproto.DecodeTenantCtl(req)
+		if err != nil {
+			return nil, err
+		}
+		set.TenantCtl(q)
+		return nil, nil
+	})
+	srv.Register(fsproto.MethodTenantStat, func(client uint64, _ []byte) ([]byte, error) {
+		return fsproto.EncodeTenantStatReply(set.TenantStat()), nil
 	})
 }

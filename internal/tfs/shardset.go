@@ -303,6 +303,13 @@ func ServeShards(srv *rpc.Server, mgr *scmmgr.Manager, proc *scmmgr.Process, par
 		}
 		set.shards = append(set.shards, s)
 	}
+	// Boot-time tenant policy: weights and quotas from config apply to every
+	// shard (each enforces its own partition's share independently).
+	for id, tc := range cfg.Tenants {
+		for _, s := range set.shards {
+			s.SetTenant(id, tc)
+		}
+	}
 	// Transaction IDs must never repeat across restarts (a stale prepare
 	// must not collide with a fresh transaction's id), so shard 0 persists
 	// a generation counter bumped once per attach.
@@ -421,6 +428,10 @@ func (set *ShardSet) attachShard(id int, part scmmgr.PartitionID, pfx string) (*
 		gates:        make(map[uint64]*seqGate),
 		openFiles:    make(map[sobj.OID]*openState),
 		admPerClient: make(map[uint64]int),
+		admTenBytes:  make(map[uint32]int64),
+		tenants:      make(map[uint32]*tenantState),
+		clientTen:    make(map[uint64]uint32),
+		tenVft:       make(map[uint32]float64),
 		faults:       cfg.Faults,
 	}
 	metric := func(name string) string {
@@ -429,6 +440,7 @@ func (set *ShardSet) attachShard(id int, part scmmgr.PartitionID, pfx string) (*
 		}
 		return pfx + strings.TrimPrefix(name, "tfs.")
 	}
+	s.metric = metric
 	s.obsBatchOps = cfg.Obs.Histogram(metric("tfs.batch.ops"))
 	s.obsFsckRepairs = cfg.Obs.Counter(metric("tfs.fsck.repairs"))
 	s.obsReserveBytes = cfg.Obs.Histogram(metric("tfs.reserve.bytes"))
@@ -568,13 +580,17 @@ func (set *ShardSet) dropClient(client uint64) {
 }
 
 // Mount registers the client on every shard and returns the volume geometry
-// plus, when sharded, the placement table the client's router needs.
-func (set *ShardSet) Mount(client uint64, uid uint32) fsproto.MountReply {
+// plus, when sharded, the placement table the client's router needs. The
+// tenant binding is fixed at mount: later batches naming a different tenant
+// are rejected (checkTenant), so one client cannot spend another tenant's
+// quota or ride its scheduler weight.
+func (set *ShardSet) Mount(client uint64, uid uint32, tenant uint32) fsproto.MountReply {
 	for _, s := range set.shards {
 		s.mu.Lock()
 		st := s.client(client)
 		st.uid = uid
 		s.mu.Unlock()
+		s.setClientTenant(client, tenant)
 	}
 	set.srv.OnDisconnect(client, func() { set.dropClient(client) })
 	s0 := set.shards[0]
@@ -740,7 +756,7 @@ func (set *ShardSet) resolveOrphans() error {
 			}
 			err = s.commitActions(acts)
 			if err == nil {
-				err = s.applyAll(acts, res)
+				err = s.applyAll(acts, res, 0)
 			}
 			res.Release()
 			if err != nil {
@@ -787,12 +803,23 @@ func (set *ShardSet) TxApply(client uint64, payload []byte) error {
 		// Degenerate single-shard transaction: the ordinary group-commit
 		// batch is already atomic.
 		s := set.shards[0]
-		if err := s.admit(client, int64(len(payload))); err != nil {
+		tenant := s.clientTenant(client)
+		if err := s.admit(client, tenant, int64(len(payload))); err != nil {
 			return err
 		}
-		defer s.admitDone(client, int64(len(payload)))
-		return s.runBatch(client, 0, ops)
+		defer s.admitDone(client, tenant, int64(len(payload)))
+		return s.runBatch(client, tenant, 0, ops, int64(len(payload)))
 	}
+	// Cross-shard transactions pass the same weight-aware admission gate as
+	// ordinary batches, accounted on shard 0 (the coordinator candidate):
+	// an aggressor cannot sidestep overload shedding by routing everything
+	// through TxApply.
+	s0 := set.shards[0]
+	tenant := s0.clientTenant(client)
+	if err := s0.admit(client, tenant, int64(len(payload))); err != nil {
+		return err
+	}
+	defer s0.admitDone(client, tenant, int64(len(payload)))
 	set.txMu.Lock()
 	defer set.txMu.Unlock()
 	// Every shard's mutex, in ID order: the plan reads cross-shard state
@@ -811,6 +838,9 @@ func (set *ShardSet) TxApply(client uint64, payload []byte) error {
 }
 
 func (set *ShardSet) txApplyLocked(client uint64, ops []fsproto.Op) error {
+	// The mount-time tenant binding is identical on every shard; read it from
+	// shard 0 and bill each participant shard's reservation against it.
+	tenant := set.shards[0].clientTenant(client)
 	// Merge the client's per-shard prealloc pools for validation: a staged
 	// object's extents were pre-allocated on its owning shard, and the plan
 	// checks consumption against one map.
@@ -865,20 +895,30 @@ func (set *ShardSet) txApplyLocked(client uint64, ops []fsproto.Op) error {
 				fsproto.ErrBatchTooLarge, len(p), max)
 		}
 	}
-	// Worst-case space reservation per shard, before anything durable.
-	reses := make(map[int]*alloc.Reservation, len(participants))
+	// Worst-case space reservation per shard, charged against the tenant's
+	// quota on each participant (every shard enforces its own partition).
+	// The deferred settle credits back the unconsumed surplus per shard —
+	// mid-transaction, TenantStat shows the reserved bytes on exactly the
+	// participating shards and nowhere else.
+	type shardRes struct {
+		res    *alloc.Reservation
+		demand uint64
+	}
+	reses := make(map[int]shardRes, len(participants))
 	defer func() {
-		for k, res := range reses {
-			set.shards[k].obsReserveFallbks.Add(int64(res.Fallbacks()))
-			res.Release()
+		for k, sr := range reses {
+			s := set.shards[k]
+			s.obsReserveFallbks.Add(int64(sr.res.Fallbacks()))
+			sr.res.Release()
+			s.tenantReserveDone(tenant, sr.demand, sr.res.ConsumedBytes())
 		}
 	}()
 	for _, k := range participants {
-		res, rerr := set.shards[k].reserveFor(byShard[k])
+		res, demand, rerr := set.shards[k].reserveForTenant(tenant, byShard[k])
 		if rerr != nil {
 			return rerr
 		}
-		reses[k] = res
+		reses[k] = shardRes{res: res, demand: demand}
 	}
 	set.txCtr++
 	txid := set.txGen<<32 | (set.txCtr & 0xffffffff)
@@ -920,7 +960,7 @@ func (set *ShardSet) txApplyLocked(client uint64, ops []fsproto.Op) error {
 	if ferr := coord.faults.Hit("tfs.2pc.commit"); ferr != nil {
 		return ferr
 	}
-	if aerr := coord.applyAll(cacts, reses[coordID]); aerr != nil {
+	if aerr := coord.applyAll(cacts, reses[coordID].res, tenant); aerr != nil {
 		return aerr
 	}
 	// Outcome durable and coordinator applied; participants still hold
@@ -937,7 +977,7 @@ func (set *ShardSet) txApplyLocked(client uint64, ops []fsproto.Op) error {
 		if cerr := s.commitActions(racts); cerr != nil {
 			return cerr
 		}
-		if aerr := s.applyAll(racts, reses[k]); aerr != nil {
+		if aerr := s.applyAll(racts, reses[k].res, tenant); aerr != nil {
 			return aerr
 		}
 	}

@@ -88,7 +88,16 @@ type Config struct {
 	MaxClientInflight int
 	// RetryAfterHint is the backpressure hint attached to shed requests
 	// (default 5ms); the client's jittered backoff uses it as a floor.
+	// Weight-aware shedding scales it by the tenant's backlog depth, and
+	// quota rejections reuse it when a same-tenant reservation in flight
+	// could release enough to admit a retry.
 	RetryAfterHint time.Duration
+	// Tenants is the boot-time tenant policy (weights and quotas), applied
+	// to every shard before the service starts accepting requests. Policy
+	// is volatile — MethodTenantCtl changes live only until restart, when
+	// this map is re-applied. Unlisted tenants default to weight 1 with no
+	// quota.
+	Tenants map[uint32]TenantConfig
 	// Faults, when non-nil, arms fault points on the service's mutation
 	// paths (tfs.*), its journal (journal.*), and its allocator (alloc.*).
 	// Nil in production.
@@ -155,9 +164,28 @@ type Service struct {
 
 	// Admission control (backpressure): tracked outside mu so shedding
 	// happens before a request ever queues on the service mutex.
+	// admTenBytes splits the admitted bytes by tenant for the weight-aware
+	// overload degradation (reserve.go).
 	admMu        sync.Mutex
 	admBytes     int64
 	admPerClient map[uint64]int
+	admTenBytes  map[uint32]int64
+
+	// Multi-tenancy (tenant.go): per-tenant policy (weight, quota), space
+	// accounting, and the session -> tenant binding made at Mount. Guarded
+	// by tenMu alone — never s.mu — so TenantRows stays readable while the
+	// shard mutex is held, including mid-2PC.
+	tenMu     sync.Mutex
+	tenants   map[uint32]*tenantState
+	clientTen map[uint64]uint32
+	metric    func(string) string // shard-prefixed metric names
+
+	// Weighted-fair queueing state, under gqMu: the scheduler's virtual
+	// time and each tenant's last assigned virtual finish time
+	// (groupcommit.go).
+	vtime  float64
+	tenVft map[uint32]float64
+
 	// Stats.
 	BatchesApplied costmodel.Counter
 	OpsApplied     costmodel.Counter
@@ -328,6 +356,12 @@ func (s *Service) FreeBytes() uint64 { return s.bd.FreeBytes() }
 // ReservedBytes reports bytes held by open admission reservations.
 func (s *Service) ReservedBytes() uint64 { return s.bd.ReservedBytes() }
 
+// FragStats reports the allocator's fragmentation profile (free-list shape,
+// largest contiguous run, fragmentation index). The aging harness samples it
+// between churn rounds to track how the buddy free lists degrade over a long
+// workload.
+func (s *Service) FragStats() alloc.FragStats { return s.bd.FragStats() }
+
 // JournalIdle reports whether the redo journal holds no committed,
 // un-checkpointed batch. With the one-group recovery invariant it must be
 // true whenever the service is quiescent; the exhaustion sweep asserts it
@@ -477,8 +511,11 @@ func (s *Service) dropClient(client uint64) {
 }
 
 // dropClientState reclaims the client's shard-local state only; the set
-// drops every shard's state this way, then releases locks once.
+// drops every shard's state this way, then releases locks once. The freed
+// pre-allocations are credited back to the tenant the session mounted as.
 func (s *Service) dropClientState(client uint64) {
+	tenant := s.clientTenant(client)
+	var credit uint64
 	s.mu.Lock()
 	st := s.clients[client]
 	delete(s.clients, client)
@@ -486,10 +523,13 @@ func (s *Service) dropClientState(client uint64) {
 		for addr, size := range st.prealloc {
 			if err := s.bd.Free(addr, size); err == nil {
 				_ = s.preCol.Remove(s.bd, addrKey(addr))
+				credit += size
 			}
 		}
 	}
 	s.mu.Unlock()
+	s.tenantCredit(tenant, credit)
+	s.dropClientTenant(client)
 }
 
 func (s *Service) client(id uint64) *clientState {
@@ -526,12 +566,24 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.client(client)
+	tenant := s.clientTenant(client)
 	addrs := make([]uint64, 0, count)
 	actual := alloc.BlockSize(alloc.OrderFor(size))
+	// Pre-allocated extents bypass the batch reservation path, so their
+	// quota charge happens here: the worst case up front (batch-atomic,
+	// before any block is allocated), settled on exit by whether the
+	// extents actually stayed allocated.
+	extentB := uint64(count) * actual
+	if err := s.tenantReserve(tenant, extentB); err != nil {
+		return nil, err
+	}
+	charged := extentB
+	defer func() { s.tenantReserveDone(tenant, extentB, charged) }()
 	rollback := func() {
 		for _, got := range addrs {
 			_ = s.bd.Free(got, actual)
 		}
+		charged = 0
 	}
 	for i := uint32(0); i < count; i++ {
 		a, err := s.bd.Alloc(size)
@@ -551,7 +603,7 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	}
 	// Reserve the tracking inserts' worst case before commit so apply
 	// cannot fail on space.
-	res, err := s.reserveFor(acts)
+	res, demand, err := s.reserveForTenant(tenant, acts)
 	if err != nil {
 		rollback()
 		return nil, err
@@ -559,6 +611,7 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	defer func() {
 		s.obsReserveFallbks.Add(int64(res.Fallbacks()))
 		res.Release()
+		s.tenantReserveDone(tenant, demand, res.ConsumedBytes())
 	}()
 	if err := s.commitActions(acts); err != nil {
 		rollback()
@@ -569,7 +622,7 @@ func (s *Service) Prealloc(client uint64, size uint64, count uint32) ([]uint64, 
 	if err := s.faults.Hit("tfs.prealloc.postcommit"); err != nil {
 		return nil, err
 	}
-	if err := s.applyAll(acts, res); err != nil {
+	if err := s.applyAll(acts, res, tenant); err != nil {
 		return nil, err
 	}
 	for _, a := range addrs {
@@ -627,7 +680,7 @@ func (s *Service) Chmod(client uint64, oid sobj.OID, perm uint32, hwProtect bool
 	if err := s.faults.Hit("tfs.chmod.postcommit"); err != nil {
 		return err
 	}
-	if err := s.applyAll(acts, s.bd); err != nil {
+	if err := s.applyAll(acts, s.bd, s.clientTenant(client)); err != nil {
 		return err
 	}
 	if hwProtect {
